@@ -1,0 +1,51 @@
+// Ablation A1 (DESIGN.md): BlueTree's blocking factor alpha. The paper
+// fixes alpha = 2 at hardware-development time (Sec. 2.2) -- this sweep
+// shows how the heuristic's one-knob priority trades the two subtree
+// halves off against each other, and that no alpha setting reaches
+// BlueScale's deadline-aware behaviour.
+//
+//   $ ./bench/ablation_alpha [trials] [measure_cycles]
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness/fig6_experiment.hpp"
+#include "stats/table.hpp"
+
+using namespace bluescale;
+using namespace bluescale::harness;
+
+int main(int argc, char** argv) {
+    const std::uint32_t trials =
+        argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 8;
+    const cycle_t cycles =
+        argc > 2 ? static_cast<cycle_t>(std::atoll(argv[2])) : 60'000;
+
+    std::printf("Ablation A1: BlueTree blocking factor alpha "
+                "(16 clients, utilization 70-90%%)\n\n");
+
+    stats::table t({"config", "blocking lat (us)", "worst (us)",
+                    "miss ratio"});
+    for (std::uint32_t alpha : {1u, 2u, 4u, 8u}) {
+        fig6_config cfg;
+        cfg.trials = trials;
+        cfg.measure_cycles = cycles;
+        cfg.bluetree_alpha = alpha;
+        const auto r = run_fig6(ic_kind::bluetree, cfg);
+        t.add_row({"BlueTree alpha=" + std::to_string(alpha),
+                   stats::table::num(r.blocking_us.mean(), 3),
+                   stats::table::num(r.worst_blocking_us.mean(), 2),
+                   stats::table::pct(r.miss_ratio.mean(), 2)});
+    }
+    {
+        fig6_config cfg;
+        cfg.trials = trials;
+        cfg.measure_cycles = cycles;
+        const auto r = run_fig6(ic_kind::bluescale, cfg);
+        t.add_row({"BlueScale (reference)",
+                   stats::table::num(r.blocking_us.mean(), 3),
+                   stats::table::num(r.worst_blocking_us.mean(), 2),
+                   stats::table::pct(r.miss_ratio.mean(), 2)});
+    }
+    t.print();
+    return 0;
+}

@@ -1,0 +1,42 @@
+// Ablation A2 (DESIGN.md): depth of the SE's random access buffers. The
+// paper's register-chain buffer is a real silicon cost (Table 1's LUT
+// delta over BlueTree); this sweep measures what the depth buys in
+// blocking latency and deadline misses.
+//
+//   $ ./bench/ablation_buffer_depth [trials] [measure_cycles]
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness/fig6_experiment.hpp"
+#include "stats/table.hpp"
+
+using namespace bluescale;
+using namespace bluescale::harness;
+
+int main(int argc, char** argv) {
+    const std::uint32_t trials =
+        argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 8;
+    const cycle_t cycles =
+        argc > 2 ? static_cast<cycle_t>(std::atoll(argv[2])) : 60'000;
+
+    std::printf("Ablation A2: BlueScale random-access-buffer depth "
+                "(16 clients, utilization 70-90%%)\n\n");
+
+    stats::table t({"buffer depth", "blocking lat (us)", "worst (us)",
+                    "miss ratio"});
+    for (std::size_t depth : {2u, 4u, 8u, 16u, 32u}) {
+        fig6_config cfg;
+        cfg.trials = trials;
+        cfg.measure_cycles = cycles;
+        core::se_params se;
+        se.buffer_depth = depth;
+        cfg.bluescale_se = se;
+        const auto r = run_fig6(ic_kind::bluescale, cfg);
+        t.add_row({std::to_string(depth),
+                   stats::table::num(r.blocking_us.mean(), 3),
+                   stats::table::num(r.worst_blocking_us.mean(), 2),
+                   stats::table::pct(r.miss_ratio.mean(), 2)});
+    }
+    t.print();
+    return 0;
+}

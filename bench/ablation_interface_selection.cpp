@@ -1,0 +1,78 @@
+// Ablation A3 (DESIGN.md): interface-selection cost and quality. Sweeps
+// the per-client task count and reports the selected root bandwidth, the
+// algorithm's work (schedulability tests / dbf points), the estimated
+// FSM runtime of the paper's hardware interface selector (Sec. 4.3), and
+// the size of the incremental update when one client's tasks change
+// (Sec. 3.2's distributed-refresh property).
+//
+//   $ ./bench/ablation_interface_selection [trials]
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/tree_analysis.hpp"
+#include "core/interface_selector.hpp"
+#include "sim/rng.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+#include "workload/taskset_gen.hpp"
+
+using namespace bluescale;
+
+int main(int argc, char** argv) {
+    const std::uint32_t trials =
+        argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 10;
+
+    std::printf("Ablation A3: interface selection cost/quality "
+                "(16 clients, utilization 80%%)\n\n");
+
+    stats::table t({"tasks/client", "feasible", "root bandwidth",
+                    "sched tests", "dbf points", "est. FSM cycles",
+                    "SEs updated on 1-client change"});
+
+    for (std::uint32_t n_tasks : {1u, 2u, 4u, 8u, 16u}) {
+        stats::running_summary root_bw, tests, points, fsm, updated;
+        std::uint32_t feasible = 0;
+        for (std::uint32_t trial = 0; trial < trials; ++trial) {
+            rng rand(1000 + trial);
+            workload::taskset_params params;
+            params.n_tasks = n_tasks;
+            auto sets = workload::make_client_tasksets(rand, 16, 0.8, 0.8,
+                                                       params);
+            std::vector<analysis::task_set> rt;
+            for (const auto& s : sets) {
+                rt.push_back(workload::to_rt_tasks(s));
+            }
+
+            analysis::sched_test_stats work;
+            analysis::selection_config cfg;
+            cfg.sched.stats = &work;
+            auto sel = analysis::select_tree_interfaces(rt, cfg);
+            if (sel.feasible) ++feasible;
+            root_bw.add(sel.root_bandwidth);
+            tests.add(static_cast<double>(work.tests_run));
+            points.add(static_cast<double>(work.points_checked));
+            fsm.add(static_cast<double>(
+                work.tests_run * core::interface_selector::k_cycles_per_test +
+                work.points_checked *
+                    core::interface_selector::k_cycles_per_point));
+
+            // Incremental refresh: change client 0's tasks.
+            rng rand2(5000 + trial);
+            auto new_tasks = workload::to_rt_tasks(
+                workload::make_taskset(rand2, params));
+            updated.add(static_cast<double>(
+                analysis::update_client_tasks(sel, rt, 0, new_tasks)));
+        }
+        t.add_row({std::to_string(n_tasks),
+                   std::to_string(feasible) + "/" + std::to_string(trials),
+                   stats::table::num(root_bw.mean(), 3),
+                   stats::table::num(tests.mean(), 0),
+                   stats::table::num(points.mean(), 0),
+                   stats::table::num(fsm.mean(), 0),
+                   stats::table::num(updated.mean(), 1)});
+    }
+    t.print();
+    std::printf("\nNote: a 1-client change touches at most leaf_level+1 "
+                "SEs (the request path), never the whole tree.\n");
+    return 0;
+}

@@ -1,0 +1,56 @@
+// Ablation A5 (DESIGN.md): the SE's upper-level queue policy. The paper
+// schedules server tasks GEDF (Algorithm 1); this sweep compares GEDF
+// against fixed-priority servers, and shows what the work-conserving
+// slack-reclamation fallback contributes.
+//
+//   $ ./bench/ablation_server_policy [trials] [measure_cycles]
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness/fig6_experiment.hpp"
+#include "stats/table.hpp"
+
+using namespace bluescale;
+using namespace bluescale::harness;
+
+int main(int argc, char** argv) {
+    const std::uint32_t trials =
+        argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 8;
+    const cycle_t cycles =
+        argc > 2 ? static_cast<cycle_t>(std::atoll(argv[2])) : 60'000;
+
+    std::printf("Ablation A5: SE server-task policy "
+                "(16 clients, utilization 70-90%%)\n\n");
+
+    struct variant {
+        const char* name;
+        core::server_policy policy;
+        bool work_conserving;
+    };
+    const variant variants[] = {
+        {"GEDF + work-conserving (paper)", core::server_policy::gedf, true},
+        {"GEDF, strict budgets", core::server_policy::gedf, false},
+        {"fixed-priority + work-conserving",
+         core::server_policy::fixed_priority, true},
+        {"fixed-priority, strict budgets",
+         core::server_policy::fixed_priority, false},
+    };
+
+    stats::table t({"variant", "blocking lat (us)", "worst (us)",
+                    "miss ratio"});
+    for (const auto& v : variants) {
+        fig6_config cfg;
+        cfg.trials = trials;
+        cfg.measure_cycles = cycles;
+        core::se_params se;
+        se.policy = v.policy;
+        se.work_conserving = v.work_conserving;
+        cfg.bluescale_se = se;
+        const auto r = run_fig6(ic_kind::bluescale, cfg);
+        t.add_row({v.name, stats::table::num(r.blocking_us.mean(), 3),
+                   stats::table::num(r.worst_blocking_us.mean(), 2),
+                   stats::table::pct(r.miss_ratio.mean(), 2)});
+    }
+    t.print();
+    return 0;
+}

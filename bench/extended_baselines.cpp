@@ -1,0 +1,41 @@
+// Extended baseline comparison (beyond the paper's six): adds
+// AXI-HyperConnect [15] -- fair round-robin with per-client outstanding
+// caps -- to the Fig. 6 synthetic-workload experiment, locating it
+// between the heuristic trees and the deadline-aware designs.
+//
+//   $ ./bench/extended_baselines [trials] [measure_cycles]
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness/fig6_experiment.hpp"
+#include "stats/table.hpp"
+
+using namespace bluescale;
+using namespace bluescale::harness;
+
+int main(int argc, char** argv) {
+    const std::uint32_t trials =
+        argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 8;
+    const cycle_t cycles =
+        argc > 2 ? static_cast<cycle_t>(std::atoll(argv[2])) : 60'000;
+
+    std::printf("Extended baselines: the paper's six plus "
+                "AXI-HyperConnect [15] (16 clients, utilization "
+                "70-90%%)\n\n");
+
+    fig6_config cfg;
+    cfg.trials = trials;
+    cfg.measure_cycles = cycles;
+
+    stats::table t({"design", "blocking lat (us)", "worst (us)",
+                    "miss ratio"});
+    for (ic_kind kind : k_extended_kinds) {
+        const auto r = run_fig6(kind, cfg);
+        t.add_row({kind_name(r.kind),
+                   stats::table::num(r.blocking_us.mean(), 3),
+                   stats::table::num(r.worst_blocking_us.mean(), 2),
+                   stats::table::pct(r.miss_ratio.mean(), 2)});
+    }
+    t.print();
+    return 0;
+}

@@ -1,0 +1,85 @@
+// Reproduces Fig. 7: system-level case study. 16/64 processors + 2 DNN
+// HAs execute 10 automotive safety tasks + 10 automotive function tasks
+// with interference tasks raising each processor to a target utilization;
+// reports the success ratio (trials without any app deadline miss) per
+// design across the utilization sweep.
+//
+//   $ ./bench/fig7_case_study [trials] [measure_cycles] [out.csv]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "harness/fig7_experiment.hpp"
+#include "stats/csv.hpp"
+#include "stats/table.hpp"
+
+using namespace bluescale;
+using namespace bluescale::harness;
+
+namespace {
+
+void run_scale(std::uint32_t n_processors, std::uint32_t trials,
+               cycle_t cycles, stats::csv_writer* csv) {
+    fig7_config cfg;
+    cfg.n_processors = n_processors;
+    cfg.trials = trials;
+    cfg.measure_cycles = cycles;
+
+    std::printf("\n=== Fig. 7(%c): %u-core system + %u DNN HAs, %u trials "
+                "x %llu cycles per point ===\n",
+                n_processors == 16 ? 'a' : 'b', n_processors,
+                cfg.n_accelerators, trials,
+                static_cast<unsigned long long>(cycles));
+
+    const auto all = run_fig7_all(cfg);
+
+    std::vector<std::string> headers{"design"};
+    for (const auto& p : all.front().points) {
+        headers.push_back(stats::table::num(p.target_utilization, 2));
+    }
+    stats::table t(std::move(headers));
+    for (const auto& r : all) {
+        std::vector<std::string> row{kind_name(r.kind)};
+        for (const auto& p : r.points) {
+            row.push_back(stats::table::num(p.success_ratio, 2));
+            if (csv != nullptr) {
+                csv->add_row({std::to_string(n_processors),
+                              kind_name(r.kind),
+                              std::to_string(p.target_utilization),
+                              std::to_string(p.success_ratio),
+                              std::to_string(p.app_miss_ratio)});
+            }
+        }
+        t.add_row(std::move(row));
+    }
+    std::printf("success ratio vs target utilization:\n");
+    t.print();
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const std::uint32_t trials =
+        argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 8;
+    const cycle_t cycles =
+        argc > 2 ? static_cast<cycle_t>(std::atoll(argv[2])) : 60'000;
+
+    std::unique_ptr<stats::csv_writer> csv;
+    if (argc > 3) {
+        csv = std::make_unique<stats::csv_writer>(
+            argv[3], std::vector<std::string>{"processors", "design",
+                                              "target_utilization",
+                                              "success_ratio",
+                                              "app_miss_ratio"});
+        if (!csv->ok()) {
+            std::fprintf(stderr, "cannot write %s\n", argv[3]);
+            return 1;
+        }
+    }
+
+    std::printf("Fig. 7 reproduction: case-study success ratio, "
+                "six interconnects\n");
+    run_scale(16, trials, cycles, csv.get());
+    run_scale(64, trials, cycles, csv.get());
+    return 0;
+}

@@ -1,0 +1,154 @@
+// Micro-benchmarks (google-benchmark) for the simulator's hot paths and
+// the analysis kernels: per-cycle cost of a Scale Element, buffer
+// arbitration, sbf/dbf evaluation, schedulability testing, and whole-tree
+// interface selection.
+#include <benchmark/benchmark.h>
+
+#include "analysis/interface_selection.hpp"
+#include "analysis/schedulability.hpp"
+#include "analysis/tree_analysis.hpp"
+#include "core/random_access_buffer.hpp"
+#include "core/scale_element.hpp"
+#include "mem/memory_controller.hpp"
+#include "sim/rng.hpp"
+#include "workload/taskset_gen.hpp"
+
+namespace {
+
+using namespace bluescale;
+
+void bm_random_access_buffer_fetch(benchmark::State& state) {
+    const auto depth = static_cast<std::size_t>(state.range(0));
+    core::random_access_buffer buf(depth);
+    rng rand(1);
+    for (auto _ : state) {
+        while (buf.can_load()) {
+            mem_request r;
+            r.level_deadline = rand.uniform_u64(0, 1000);
+            buf.load(r);
+        }
+        buf.commit();
+        while (!buf.empty()) {
+            benchmark::DoNotOptimize(buf.fetch_earliest());
+        }
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(depth));
+}
+BENCHMARK(bm_random_access_buffer_fetch)->Arg(4)->Arg(8)->Arg(16)->Arg(64);
+
+void bm_scale_element_tick(benchmark::State& state) {
+    core::scale_element se("SE", {});
+    for (std::uint32_t p = 0; p < 4; ++p) se.configure_port(p, 8, 2);
+    std::uint64_t sunk = 0;
+    se.bind_sink([] { return true; }, [&](mem_request) { ++sunk; });
+    rng rand(2);
+    cycle_t now = 0;
+    for (auto _ : state) {
+        for (std::uint32_t p = 0; p < 4; ++p) {
+            if (se.port_can_accept(p)) {
+                mem_request r;
+                r.level_deadline = now + rand.uniform_u64(10, 500);
+                se.port_push(p, r);
+            }
+        }
+        se.tick(now);
+        se.commit();
+        ++now;
+    }
+    benchmark::DoNotOptimize(sunk);
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(bm_scale_element_tick);
+
+void bm_memory_controller_tick(benchmark::State& state) {
+    memory_controller mc;
+    rng rand(3);
+    std::uint64_t seq = 0;
+    cycle_t now = 0;
+    for (auto _ : state) {
+        while (mc.can_accept()) {
+            mem_request r;
+            r.id = seq;
+            r.addr = (seq++ % 4096) * 64;
+            r.level_deadline = now + 500;
+            mc.push(r);
+        }
+        mc.tick(now);
+        while (mc.has_response()) benchmark::DoNotOptimize(mc.pop_response());
+        mc.commit();
+        ++now;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(bm_memory_controller_tick);
+
+void bm_sbf(benchmark::State& state) {
+    const analysis::resource_interface iface{97, 31};
+    std::uint64_t t = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(analysis::sbf(t, iface));
+        t = (t * 1103515245 + 12345) % 100000;
+    }
+}
+BENCHMARK(bm_sbf);
+
+void bm_dbf_taskset(benchmark::State& state) {
+    const auto n = static_cast<std::uint32_t>(state.range(0));
+    rng rand(4);
+    analysis::task_set tasks;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const std::uint64_t period = rand.uniform_u64(50, 2000);
+        tasks.push_back({period, rand.uniform_u64(1, period / 4)});
+    }
+    std::uint64_t t = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(analysis::dbf(t, tasks));
+        t = (t * 48271) % 100000 + 1;
+    }
+}
+BENCHMARK(bm_dbf_taskset)->Arg(4)->Arg(16)->Arg(64);
+
+void bm_schedulability_test(benchmark::State& state) {
+    rng rand(5);
+    analysis::task_set tasks;
+    for (int i = 0; i < 8; ++i) {
+        const std::uint64_t period = rand.uniform_u64(100, 2000);
+        tasks.push_back({period, rand.uniform_u64(1, period / 16)});
+    }
+    const analysis::resource_interface iface{64, 24};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(analysis::is_schedulable(tasks, iface));
+    }
+}
+BENCHMARK(bm_schedulability_test);
+
+void bm_select_interface(benchmark::State& state) {
+    rng rand(6);
+    analysis::task_set tasks;
+    for (int i = 0; i < 4; ++i) {
+        const std::uint64_t period = rand.uniform_u64(100, 1000);
+        tasks.push_back({period, rand.uniform_u64(1, period / 16)});
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            analysis::select_interface(tasks, 0.8));
+    }
+}
+BENCHMARK(bm_select_interface);
+
+void bm_tree_selection_16_clients(benchmark::State& state) {
+    rng rand(7);
+    auto sets = workload::make_client_tasksets(rand, 16, 0.8, 0.8);
+    std::vector<analysis::task_set> rt;
+    for (const auto& s : sets) rt.push_back(workload::to_rt_tasks(s));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(analysis::select_tree_interfaces(rt));
+    }
+}
+BENCHMARK(bm_tree_selection_16_clients);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// Reproduces Table 1: hardware overhead of the evaluated designs at 16
+// clients (LUTs, registers, DSPs, RAMs, power), from the analytic cost
+// model calibrated against the paper's Vivado synthesis (see DESIGN.md,
+// substitution table).
+#include <cstdio>
+
+#include "hwcost/cost_model.hpp"
+#include "stats/table.hpp"
+
+using namespace bluescale;
+using namespace bluescale::hwcost;
+
+int main() {
+    std::printf("Table 1 reproduction: hardware overhead at 16 clients "
+                "(RAM unit: KB; power unit: mW)\n\n");
+
+    const design rows[] = {
+        design::axi_icrt,  design::bluetree, design::bluetree_smooth,
+        design::gsmtree,   design::microblaze, design::riscv,
+        design::bluescale,
+    };
+
+    stats::table t({"design", "LUTs", "Registers", "DSPs", "RAMs",
+                    "Power"});
+    for (design d : rows) {
+        const auto e = estimate(d, 16);
+        t.add_row({d == design::bluescale ? "Proposed" : design_name(d),
+                   stats::table::num(e.luts, 0),
+                   stats::table::num(e.registers, 0),
+                   stats::table::num(e.dsps, 0),
+                   stats::table::num(e.ram_kb, 0),
+                   stats::table::num(e.power_mw, 0)});
+    }
+    t.print();
+
+    std::printf("\nObs 1 ratios (BlueScale vs. baselines):\n");
+    const auto bs = estimate(design::bluescale, 16);
+    for (design d : {design::bluetree, design::bluetree_smooth,
+                     design::gsmtree, design::axi_icrt,
+                     design::microblaze, design::riscv}) {
+        const auto e = estimate(d, 16);
+        std::printf("  vs %-16s %5.1f%% LUTs, %5.1f%% registers, "
+                    "%5.1f%% power\n",
+                    design_name(d), 100.0 * bs.luts / e.luts,
+                    100.0 * bs.registers / e.registers,
+                    100.0 * bs.power_mw / e.power_mw);
+    }
+    return 0;
+}

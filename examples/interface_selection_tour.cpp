@@ -1,0 +1,88 @@
+// A guided tour of the Sec. 5 analysis machinery: supply/demand bound
+// functions, Theorem 1's finite test bound, Theorem 2's period range,
+// per-VE interface selection and the whole-tree bottom-up resolution.
+//
+//   $ ./examples/interface_selection_tour
+#include <cstdio>
+
+#include "analysis/tree_analysis.hpp"
+#include "stats/table.hpp"
+
+using namespace bluescale;
+using namespace bluescale::analysis;
+
+int main() {
+    // --- 1. One VE, one task set ---------------------------------------
+    const task_set tasks{{50, 5}, {100, 10}, {200, 20}};
+    std::printf("task set: (50,5) (100,10) (200,20)  ->  U = %.3f\n",
+                utilization(tasks));
+
+    // --- 2. sbf / dbf side by side -------------------------------------
+    const resource_interface trial{10, 4};
+    std::printf("\nsupply (Pi=10, Theta=4) vs demand, t = 0..100:\n");
+    stats::table sd({"t", "dbf(t)", "sbf(t)", "ok?"});
+    for (std::uint64_t t = 0; t <= 100; t += 10) {
+        const auto demand = dbf(t, tasks);
+        const auto supply = sbf(t, trial);
+        sd.add_row({std::to_string(t), std::to_string(demand),
+                    std::to_string(supply),
+                    demand <= supply ? "yes" : "NO"});
+    }
+    sd.print();
+
+    // --- 3. Theorem 1: the finite bound --------------------------------
+    std::printf("\nTheorem 1 bound beta = %.1f: checking dbf <= sbf below "
+                "it suffices for all t\n",
+                theorem1_beta(trial, utilization(tasks)));
+    std::printf("is_schedulable((50,5)(100,10)(200,20) on (10,4)): %s\n",
+                is_schedulable(tasks, trial) == sched_result::schedulable
+                    ? "yes"
+                    : "no");
+
+    // --- 4. Theorem 2 + binary search: minimum-bandwidth interface -----
+    std::printf("\nTheorem 2 period bound with sibling load 0.8: Pi <= "
+                "%llu\n",
+                static_cast<unsigned long long>(
+                    theorem2_max_period(tasks, 0.8)));
+    stats::table mins({"Pi", "min Theta", "bandwidth"});
+    for (std::uint64_t pi : {2ull, 5ull, 10ull, 20ull, 40ull}) {
+        const auto theta = min_budget_for_period(tasks, pi);
+        mins.add_row({std::to_string(pi),
+                      theta ? std::to_string(*theta) : "-",
+                      theta ? stats::table::num(
+                                  static_cast<double>(*theta) /
+                                      static_cast<double>(pi),
+                                  3)
+                            : "-"});
+    }
+    mins.print();
+    const auto best = select_interface(tasks, 0.8);
+    if (best) {
+        std::printf("selected interface: (Pi=%llu, Theta=%llu), bandwidth "
+                    "%.3f (minimum over the whole range)\n",
+                    static_cast<unsigned long long>(best->period),
+                    static_cast<unsigned long long>(best->budget),
+                    best->bandwidth());
+    }
+
+    // --- 5. Whole-tree resolution for 16 clients -----------------------
+    std::printf("\nwhole-tree selection, 16 identical clients "
+                "(each one task (200, 4)):\n");
+    std::vector<task_set> clients(16, task_set{{200, 4}});
+    const auto sel = select_tree_interfaces(clients);
+    std::printf("feasible: %s, root bandwidth %.3f <= 1\n",
+                sel.feasible ? "yes" : "no", sel.root_bandwidth);
+    for (std::uint32_t l = 0; l < sel.levels.size(); ++l) {
+        std::printf("  level %u:", l);
+        for (std::uint32_t y = 0; y < sel.levels[l].size(); ++y) {
+            const auto& iface = sel.levels[l][y].ports[0];
+            if (iface && iface->budget > 0) {
+                std::printf(" SE(%u,%u).A=(%llu,%llu)", l, y,
+                            static_cast<unsigned long long>(iface->period),
+                            static_cast<unsigned long long>(iface->budget));
+            }
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

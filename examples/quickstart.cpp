@@ -1,0 +1,113 @@
+// Quickstart: build a 16-client BlueScale fabric, program it from the
+// interface selection analysis, drive it with random real-time memory
+// traffic, and print latency/deadline statistics.
+//
+//   $ ./examples/quickstart [n_clients] [utilization]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "analysis/tree_analysis.hpp"
+#include "core/bluescale_ic.hpp"
+#include "mem/memory_controller.hpp"
+#include "sim/simulator.hpp"
+#include "stats/table.hpp"
+#include "workload/taskset_gen.hpp"
+#include "workload/traffic_generator.hpp"
+
+using namespace bluescale;
+
+int main(int argc, char** argv) {
+    const std::uint32_t n_clients =
+        argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 16;
+    const double total_util = argc > 2 ? std::atof(argv[2]) : 0.8;
+
+    // 1. Generate a random real-time workload: each client runs a few
+    //    periodic tasks; together they demand `total_util` of the memory
+    //    system's throughput.
+    rng rand(42);
+    auto tasksets = workload::make_client_tasksets(rand, n_clients,
+                                                   total_util, total_util);
+
+    // 2. Resolve the interface selection problems bottom-up (Sec. 5):
+    //    every SE port gets the minimum-bandwidth (Pi, Theta) interface
+    //    that keeps its sub-tree schedulable.
+    std::vector<analysis::task_set> rt_sets;
+    for (const auto& ts : tasksets) {
+        rt_sets.push_back(workload::to_rt_tasks(ts));
+    }
+    const auto selection = analysis::select_tree_interfaces(rt_sets);
+    std::printf("interface selection: %s (root bandwidth %.3f)\n",
+                selection.feasible ? "feasible" : "INFEASIBLE",
+                selection.root_bandwidth);
+    if (selection.feasible) {
+        const auto& root = selection.levels[0][0];
+        for (std::uint32_t p = 0; p < 4; ++p) {
+            if (root.ports[p] && root.ports[p]->budget > 0) {
+                std::printf("  root server tau_%c: Pi=%llu Theta=%llu "
+                            "(bandwidth %.3f)\n",
+                            "ABCD"[p],
+                            static_cast<unsigned long long>(
+                                root.ports[p]->period),
+                            static_cast<unsigned long long>(
+                                root.ports[p]->budget),
+                            root.ports[p]->bandwidth());
+            }
+        }
+    }
+
+    // 3. Build the system: BlueScale quadtree + memory controller +
+    //    traffic-generator clients.
+    core::bluescale_ic fabric(n_clients);
+    if (selection.feasible) fabric.configure(selection);
+    std::printf("fabric: %u clients, %u scale elements, depth %u\n",
+                n_clients, fabric.total_ses(), fabric.depth_of(0));
+
+    memory_controller mem;
+    fabric.attach_memory(mem);
+
+    std::vector<std::unique_ptr<workload::traffic_generator>> clients;
+    for (std::uint32_t c = 0; c < n_clients; ++c) {
+        clients.push_back(std::make_unique<workload::traffic_generator>(
+            c, tasksets[c], fabric, 1000 + c));
+    }
+    fabric.set_response_handler([&clients](mem_request&& r) {
+        clients[r.client]->on_response(std::move(r));
+    });
+
+    // 4. Simulate.
+    simulator sim;
+    for (auto& c : clients) sim.add(*c);
+    sim.add(fabric);
+    sim.add(mem);
+    sim.run(200'000);
+
+    // 5. Report.
+    stats::table report({"client", "issued", "completed", "missed",
+                         "avg latency (cyc)", "p99 latency (cyc)",
+                         "avg blocking (cyc)"});
+    std::uint64_t missed = 0, completed = 0;
+    for (auto& c : clients) {
+        c->finalize(sim.now());
+        const auto& s = c->stats();
+        missed += s.missed;
+        completed += s.completed;
+        report.add_row({std::to_string(c->id()), std::to_string(s.issued),
+                        std::to_string(s.completed),
+                        std::to_string(s.missed),
+                        stats::table::num(s.latency_cycles.mean(), 1),
+                        stats::table::num(s.latency_cycles.percentile(99), 1),
+                        stats::table::num(s.blocking_cycles.mean(), 2)});
+    }
+    report.print();
+    std::printf("\nmemory transactions serviced: %llu (row hit rate %.1f%%)\n",
+                static_cast<unsigned long long>(mem.serviced()),
+                100.0 * static_cast<double>(mem.dram().hits()) /
+                    static_cast<double>(mem.dram().hits() +
+                                        mem.dram().misses()));
+    std::printf("total missed deadlines: %llu / %llu requests\n",
+                static_cast<unsigned long long>(missed),
+                static_cast<unsigned long long>(completed));
+    return 0;
+}

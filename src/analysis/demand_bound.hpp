@@ -1,0 +1,23 @@
+// EDF demand bound functions (paper Sec. 5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/rt_task.hpp"
+
+namespace bluescale::analysis {
+
+/// dbf(t, tau_i) = floor(t / T_i) * C_i  (implicit deadlines, D_i = T_i).
+[[nodiscard]] std::uint64_t dbf(std::uint64_t t, const rt_task& task);
+
+/// dbf(t, T) = sum over tasks.
+[[nodiscard]] std::uint64_t dbf(std::uint64_t t, const task_set& tasks);
+
+/// All values of t in (0, horizon] at which dbf(t, tasks) changes, in
+/// ascending order without duplicates: the multiples of every period.
+/// These are the only points a schedulability test needs to check.
+[[nodiscard]] std::vector<std::uint64_t>
+dbf_step_points(const task_set& tasks, std::uint64_t horizon);
+
+} // namespace bluescale::analysis

@@ -1,0 +1,93 @@
+#include "analysis/exact_test.hpp"
+
+#include <deque>
+#include <numeric>
+#include <vector>
+
+namespace bluescale::analysis {
+
+namespace {
+
+/// lcm with saturation at `cap` (returns 0 on overflow past cap).
+std::uint64_t saturating_lcm(std::uint64_t a, std::uint64_t b,
+                             std::uint64_t cap) {
+    if (a == 0 || b == 0) return std::max(a, b);
+    const std::uint64_t g = std::gcd(a, b);
+    const std::uint64_t q = a / g;
+    if (q > cap / b) return 0;
+    return q * b;
+}
+
+} // namespace
+
+std::uint64_t exact_test_horizon(const task_set& tasks,
+                                 const resource_interface& iface,
+                                 std::uint64_t max_horizon) {
+    std::uint64_t h = iface.period;
+    for (const auto& t : tasks) {
+        if (t.period == 0 || t.wcet == 0) continue;
+        h = saturating_lcm(h, t.period, max_horizon);
+        if (h == 0 || h > max_horizon) return 0;
+    }
+    // One extra resource period of warm-up covers the early-then-late
+    // supply transition.
+    if (h > max_horizon - iface.period) return 0;
+    return h + iface.period;
+}
+
+sched_result exact_edf_test(const task_set& tasks,
+                            const resource_interface& iface,
+                            std::uint64_t max_horizon) {
+    if (tasks.empty()) return sched_result::schedulable;
+    if (iface.period == 0 || iface.budget == 0) {
+        return sched_result::unschedulable;
+    }
+
+    const std::uint64_t horizon =
+        exact_test_horizon(tasks, iface, max_horizon);
+    if (horizon == 0) return sched_result::aborted;
+
+    struct job {
+        std::uint64_t deadline;
+        std::uint64_t remaining;
+    };
+    std::vector<std::deque<job>> queues(tasks.size());
+
+    for (std::uint64_t t = 0; t < horizon; ++t) {
+        for (std::size_t i = 0; i < tasks.size(); ++i) {
+            if (tasks[i].period != 0 && t % tasks[i].period == 0 &&
+                tasks[i].wcet > 0) {
+                queues[i].push_back({t + tasks[i].period, tasks[i].wcet});
+            }
+        }
+        const std::uint64_t phase = t % iface.period;
+        const bool supplied =
+            t < iface.period
+                ? phase < iface.budget                  // first: early
+                : phase >= iface.period - iface.budget; // later: late
+        if (supplied) {
+            int best = -1;
+            std::uint64_t best_deadline = ~0ull;
+            for (std::size_t i = 0; i < queues.size(); ++i) {
+                if (!queues[i].empty() &&
+                    queues[i].front().deadline < best_deadline) {
+                    best_deadline = queues[i].front().deadline;
+                    best = static_cast<int>(i);
+                }
+            }
+            if (best >= 0) {
+                auto& q = queues[static_cast<std::size_t>(best)];
+                if (--q.front().remaining == 0) q.pop_front();
+            }
+        }
+        for (const auto& q : queues) {
+            if (!q.empty() && q.front().deadline <= t + 1 &&
+                q.front().remaining > 0) {
+                return sched_result::unschedulable;
+            }
+        }
+    }
+    return sched_result::schedulable;
+}
+
+} // namespace bluescale::analysis

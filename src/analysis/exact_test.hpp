@@ -1,0 +1,40 @@
+// Exact (simulation-based) EDF schedulability on a periodic resource.
+//
+// Complements the Theorem-1 test (sufficient, fast) with a slow oracle:
+// brute-force EDF simulation over the hyperperiod on the worst-case
+// supply pattern. Useful for small task sets, for validating the analytic
+// test, and for quantifying its pessimism.
+#pragma once
+
+#include <cstdint>
+
+#include "analysis/periodic_resource.hpp"
+#include "analysis/rt_task.hpp"
+#include "analysis/schedulability.hpp"
+
+namespace bluescale::analysis {
+
+/// Worst-case supply pattern simulated by the oracle: the first resource
+/// period delivers its budget as early as possible and every later period
+/// as late as possible, realizing the model's maximal blackout
+/// 2(Pi - Theta). All tasks release synchronously at time 0 (the critical
+/// instant for synchronous periodic EDF).
+///
+/// Returns:
+///  * schedulable   -- no deadline missed across the simulated horizon
+///                     (hyperperiod of all periods and Pi, plus one extra
+///                     resource period of warm-up),
+///  * unschedulable -- a deadline miss was observed (a definitive
+///                     counterexample under this supply pattern),
+///  * aborted       -- the hyperperiod exceeds `max_horizon` slots.
+[[nodiscard]] sched_result
+exact_edf_test(const task_set& tasks, const resource_interface& iface,
+               std::uint64_t max_horizon = 1u << 22);
+
+/// The simulated horizon the oracle would use (hyperperiod + warm-up);
+/// 0 when it would overflow max_horizon.
+[[nodiscard]] std::uint64_t
+exact_test_horizon(const task_set& tasks, const resource_interface& iface,
+                   std::uint64_t max_horizon = 1u << 22);
+
+} // namespace bluescale::analysis

@@ -1,0 +1,105 @@
+#include "analysis/interface_selection.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bluescale::analysis {
+
+std::uint64_t theorem2_max_period(const task_set& tasks,
+                                  double level_utilization) {
+    const std::uint64_t t_min = min_period(tasks);
+    if (t_min == 0) return 0;
+    const double slack = level_utilization - utilization(tasks);
+    if (slack <= 0.0) return t_min;
+    const double bound = static_cast<double>(t_min) / (2.0 * slack);
+    if (bound >= static_cast<double>(t_min)) return t_min;
+    return static_cast<std::uint64_t>(std::floor(bound));
+}
+
+std::optional<std::uint64_t>
+min_budget_for_period(const task_set& tasks, std::uint64_t period,
+                      const sched_test_config& cfg) {
+    if (period == 0) return std::nullopt;
+    if (tasks.empty()) return 0;
+
+    const double u = utilization(tasks);
+    // Theta/Pi > U is necessary (Theorem 1's precondition).
+    auto lo = static_cast<std::uint64_t>(
+                  std::floor(u * static_cast<double>(period))) +
+              1;
+    if (lo > period) return std::nullopt;
+
+    if (is_schedulable(tasks, {period, period}, cfg) !=
+        sched_result::schedulable) {
+        return std::nullopt;
+    }
+
+    std::uint64_t hi = period; // known schedulable
+    while (lo < hi) {
+        const std::uint64_t mid = lo + (hi - lo) / 2;
+        if (is_schedulable(tasks, {period, mid}, cfg) ==
+            sched_result::schedulable) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    return hi;
+}
+
+std::optional<resource_interface>
+select_interface(const task_set& tasks, double level_utilization,
+                 const selection_config& cfg) {
+    if (tasks.empty()) return resource_interface{0, 0};
+
+    const std::uint64_t pi_max =
+        std::min(theorem2_max_period(tasks, level_utilization),
+                 cfg.max_period);
+    if (pi_max == 0) return std::nullopt;
+
+    const double u = utilization(tasks);
+    const double tol = std::max(0.0, cfg.bandwidth_tolerance);
+    std::vector<resource_interface> candidates;
+    double best_bw = 2.0; // anything beats this
+
+    for (std::uint64_t pi = 1; pi <= pi_max; ++pi) {
+        // Cheapest budget this period could possibly achieve; skip the
+        // binary search when it cannot land within tolerance of the best
+        // bandwidth found so far.
+        const auto theta_floor =
+            static_cast<std::uint64_t>(
+                std::floor(u * static_cast<double>(pi))) +
+            1;
+        if (theta_floor > pi) continue;
+        const double bw_floor =
+            static_cast<double>(theta_floor) / static_cast<double>(pi);
+        if (bw_floor >= best_bw * (1.0 + tol) + 1e-12) continue;
+
+        const auto theta = min_budget_for_period(tasks, pi, cfg.sched);
+        if (!theta) continue;
+        const resource_interface candidate{pi, *theta};
+        candidates.push_back(candidate);
+        best_bw = std::min(best_bw, candidate.bandwidth());
+    }
+    if (candidates.empty()) return std::nullopt;
+
+    // Paper-faithful: strict minimum bandwidth, ties toward smaller Pi
+    // (the enumeration order). With a tolerance, prefer the largest
+    // period within (1 + tol) of the minimum: the resulting server task
+    // is a friendlier task for the parent level (larger T relaxes the
+    // sbf-blackout and Theorem-2 constraints up the tree).
+    std::optional<resource_interface> best;
+    for (const auto& c : candidates) {
+        const double bw = c.bandwidth();
+        if (bw > best_bw * (1.0 + tol) + 1e-12) continue;
+        if (!best) {
+            best = c;
+        } else if (tol > 0.0 ? c.period > best->period
+                             : bw < best->bandwidth() - 1e-12) {
+            best = c;
+        }
+    }
+    return best;
+}
+
+} // namespace bluescale::analysis

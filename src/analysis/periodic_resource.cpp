@@ -1,0 +1,28 @@
+#include "analysis/periodic_resource.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bluescale::analysis {
+
+std::uint64_t sbf(std::uint64_t t, const resource_interface& r) {
+    assert(r.budget <= r.period);
+    if (r.period == 0 || r.budget == 0) return 0;
+    const std::uint64_t gap = r.period - r.budget;
+    if (t < gap) return 0;
+    const std::uint64_t t_prime = t - gap;
+    const std::uint64_t whole_periods = t_prime / r.period;
+    const std::uint64_t remainder = t_prime - whole_periods * r.period;
+    const std::uint64_t eps = remainder > gap ? remainder - gap : 0;
+    return whole_periods * r.budget + std::min<std::uint64_t>(eps, r.budget);
+}
+
+double lsbf(std::uint64_t t, const resource_interface& r) {
+    if (r.period == 0) return 0.0;
+    const double bw = r.bandwidth();
+    const double shifted = static_cast<double>(t) -
+                           2.0 * static_cast<double>(r.period - r.budget);
+    return std::max(0.0, bw * shifted);
+}
+
+} // namespace bluescale::analysis

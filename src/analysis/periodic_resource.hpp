@@ -1,0 +1,38 @@
+// Shin & Lee's periodic resource model (RTSS'03), as used by the paper to
+// characterize a Virtual Element's supply.
+#pragma once
+
+#include <cstdint>
+
+namespace bluescale::analysis {
+
+/// The interface of a Virtual Element: at least `budget` (Theta) time units
+/// of service are guaranteed every `period` (Pi) time units.
+struct resource_interface {
+    std::uint64_t period = 0; ///< Pi
+    std::uint64_t budget = 0; ///< Theta (<= Pi)
+
+    [[nodiscard]] double bandwidth() const {
+        return period == 0 ? 0.0
+                           : static_cast<double>(budget) /
+                                 static_cast<double>(period);
+    }
+
+    friend bool operator==(const resource_interface&,
+                           const resource_interface&) = default;
+};
+
+/// Supply bound function: the minimum service guaranteed to the VE in any
+/// interval of length t (paper Sec. 5, from [17]):
+///
+///   sbf(t) = 0                                   if t' < 0
+///   sbf(t) = floor(t'/Pi) * Theta + eps          if t' >= 0
+///   where t'  = t - (Pi - Theta)
+///         eps = max(t' - Pi*floor(t'/Pi) - (Pi - Theta), 0)
+[[nodiscard]] std::uint64_t sbf(std::uint64_t t, const resource_interface& r);
+
+/// Linear lower bound on sbf used in Theorem 1's proof:
+///   lsbf(t) = (Theta/Pi) * (t - 2(Pi - Theta)), clamped at 0.
+[[nodiscard]] double lsbf(std::uint64_t t, const resource_interface& r);
+
+} // namespace bluescale::analysis

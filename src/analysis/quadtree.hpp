@@ -1,0 +1,72 @@
+// Quadtree indexing shared by the analysis framework and the BlueScale
+// hardware model (paper Sec. 3: SE(x, y) where x is depth, y the order).
+#pragma once
+
+#include <cstdint>
+
+namespace bluescale::analysis {
+
+/// Branching factor of BlueScale's tree (4-to-1 Scale Elements).
+inline constexpr std::uint32_t k_se_fanin = 4;
+
+/// Static shape of a BlueScale quadtree serving `clients` leaves.
+struct quadtree_shape {
+    std::uint32_t clients = 0;       ///< requested client count
+    std::uint32_t leaf_level = 0;    ///< L: deepest SE level
+    std::uint32_t padded_clients = 0; ///< 4^(L+1), >= clients
+
+    /// Number of SEs at level l (full tree): 4^l.
+    [[nodiscard]] std::uint32_t ses_at_level(std::uint32_t level) const {
+        return 1u << (2 * level);
+    }
+
+    /// Total SEs in the full tree: sum of 4^l for l in [0, L], which equals
+    /// (4^(L+1) - 1) / 3 = (padded_clients - 1) / 3.
+    [[nodiscard]] std::uint32_t total_ses() const {
+        return (padded_clients - 1) / 3;
+    }
+
+    /// Leaf SE serving client c.
+    [[nodiscard]] std::uint32_t leaf_se_of_client(std::uint32_t c) const {
+        return c / k_se_fanin;
+    }
+
+    /// Port of the leaf SE that client c occupies.
+    [[nodiscard]] std::uint32_t leaf_port_of_client(std::uint32_t c) const {
+        return c % k_se_fanin;
+    }
+
+    /// Child SE order at level (l+1) behind port p of SE(l, y).
+    [[nodiscard]] static std::uint32_t child_order(std::uint32_t y,
+                                                   std::uint32_t p) {
+        return y * k_se_fanin + p;
+    }
+
+    /// Parent SE order at level (l-1) of SE(l, y).
+    [[nodiscard]] static std::uint32_t parent_order(std::uint32_t y) {
+        return y / k_se_fanin;
+    }
+
+    /// Parent port that SE(l, y) plugs into.
+    [[nodiscard]] static std::uint32_t parent_port(std::uint32_t y) {
+        return y % k_se_fanin;
+    }
+};
+
+/// Computes the shape for `clients` leaves (clients >= 1). The tree is the
+/// smallest full quadtree with capacity >= clients; surplus leaf ports are
+/// left unconnected.
+[[nodiscard]] inline quadtree_shape make_quadtree_shape(std::uint32_t clients) {
+    quadtree_shape s;
+    s.clients = clients;
+    s.leaf_level = 0;
+    std::uint32_t capacity = k_se_fanin; // one SE, 4 clients
+    while (capacity < clients) {
+        capacity *= k_se_fanin;
+        ++s.leaf_level;
+    }
+    s.padded_clients = capacity;
+    return s;
+}
+
+} // namespace bluescale::analysis

@@ -1,0 +1,52 @@
+// Compositional EDF schedulability test on a periodic resource
+// (paper Sec. 5, Theorem 1).
+#pragma once
+
+#include <cstdint>
+
+#include "analysis/demand_bound.hpp"
+#include "analysis/periodic_resource.hpp"
+#include "analysis/rt_task.hpp"
+
+namespace bluescale::analysis {
+
+/// Outcome of a schedulability test, distinguishing "provably schedulable"
+/// from both "provably not" and "test aborted" (bound too large to check
+/// exhaustively -- treated as unschedulable, which is conservative).
+enum class sched_result : std::uint8_t {
+    schedulable,
+    unschedulable,
+    aborted,
+};
+
+/// Work counters for estimating the hardware interface selector's FSM
+/// runtime (core::interface_selector) and for test assertions.
+struct sched_test_stats {
+    std::uint64_t tests_run = 0;      ///< schedulability tests invoked
+    std::uint64_t points_checked = 0; ///< dbf/sbf comparisons performed
+};
+
+struct sched_test_config {
+    /// Upper limit on the number of dbf step points inspected before the
+    /// test conservatively aborts. Theorem 1's bound beta explodes as the
+    /// interface bandwidth approaches the task-set utilization; aborting
+    /// keeps the interface-selection search total.
+    std::uint64_t max_test_points = 1u << 20;
+    /// Optional work counters, accumulated across calls when set.
+    sched_test_stats* stats = nullptr;
+};
+
+/// Theorem 1 test bound:
+///   beta = 2*(Theta/Pi)*(Pi - Theta) / (Theta/Pi - U)
+/// Only defined when bandwidth > U; returns 0 otherwise.
+[[nodiscard]] double theorem1_beta(const resource_interface& iface,
+                                   double task_utilization);
+
+/// Checks dbf(t, tasks) <= sbf(t, iface) for all t < beta (sufficient by
+/// Theorem 1 for all t). Requires iface.bandwidth() > utilization(tasks)
+/// as a necessary precondition; returns unschedulable when violated.
+[[nodiscard]] sched_result is_schedulable(const task_set& tasks,
+                                          const resource_interface& iface,
+                                          const sched_test_config& cfg = {});
+
+} // namespace bluescale::analysis

@@ -1,0 +1,151 @@
+#include "analysis/tree_analysis.hpp"
+
+#include <cassert>
+
+namespace bluescale::analysis {
+
+namespace {
+
+/// The task set a non-leaf SE port sees: the child SE's engaged server
+/// tasks, each treated as the task (T = Pi, C = Theta).
+task_set child_server_tasks(const se_interfaces& child) {
+    task_set tasks;
+    for (const auto& port : child.ports) {
+        if (port && port->budget > 0) {
+            tasks.push_back(rt_task{port->period, port->budget});
+        }
+    }
+    return tasks;
+}
+
+/// Total selected bandwidth across a level (the next level's U_{l+2}).
+double level_bandwidth(const std::vector<se_interfaces>& level) {
+    double bw = 0.0;
+    for (const auto& se : level) bw += se.total_bandwidth();
+    return bw;
+}
+
+task_set tasks_of_client(const std::vector<task_set>& client_tasks,
+                         std::uint32_t client) {
+    if (client < client_tasks.size()) return client_tasks[client];
+    return {};
+}
+
+void finalize(tree_selection& sel) {
+    sel.root_bandwidth = sel.levels[0][0].total_bandwidth();
+    if (sel.failure.empty() && sel.root_bandwidth > 1.0 + 1e-9) {
+        sel.failure = "root resource over-utilized: total level-1 server "
+                      "bandwidth exceeds 1";
+    }
+    sel.feasible = sel.failure.empty();
+}
+
+std::string port_failure(std::uint32_t level, std::uint32_t order,
+                         std::uint32_t port) {
+    return "no feasible interface for SE(" + std::to_string(level) + "," +
+           std::to_string(order) + ") port " + std::to_string(port);
+}
+
+} // namespace
+
+tree_selection
+select_tree_interfaces(const std::vector<task_set>& client_tasks,
+                       const selection_config& cfg) {
+    tree_selection sel;
+    sel.shape = make_quadtree_shape(
+        static_cast<std::uint32_t>(std::max<std::size_t>(client_tasks.size(), 1)));
+    const std::uint32_t depth = sel.shape.leaf_level;
+    sel.levels.resize(depth + 1);
+    for (std::uint32_t l = 0; l <= depth; ++l) {
+        sel.levels[l].resize(sel.shape.ses_at_level(l));
+    }
+
+    // Level L: VEs are system clients; tasks are the Local Tasks.
+    double u_level = 0.0;
+    for (const auto& tasks : client_tasks) u_level += utilization(tasks);
+
+    for (std::uint32_t y = 0; y < sel.levels[depth].size(); ++y) {
+        for (std::uint32_t p = 0; p < k_se_fanin; ++p) {
+            const std::uint32_t client = quadtree_shape::child_order(y, p);
+            const task_set tasks = tasks_of_client(client_tasks, client);
+            auto iface = select_interface(tasks, u_level, cfg);
+            if (!iface && sel.failure.empty()) {
+                sel.failure = port_failure(depth, y, p);
+            }
+            sel.levels[depth][y].ports[p] = iface;
+        }
+    }
+
+    // Levels L-1 .. 0: VEs are child SEs; tasks are their server tasks.
+    for (std::uint32_t l = depth; l-- > 0;) {
+        const double u_children = level_bandwidth(sel.levels[l + 1]);
+        for (std::uint32_t y = 0; y < sel.levels[l].size(); ++y) {
+            for (std::uint32_t p = 0; p < k_se_fanin; ++p) {
+                const std::uint32_t child = quadtree_shape::child_order(y, p);
+                const task_set tasks =
+                    child_server_tasks(sel.levels[l + 1][child]);
+                auto iface = select_interface(tasks, u_children, cfg);
+                if (!iface && sel.failure.empty()) {
+                    sel.failure = port_failure(l, y, p);
+                }
+                sel.levels[l][y].ports[p] = iface;
+            }
+        }
+    }
+
+    finalize(sel);
+    return sel;
+}
+
+std::uint32_t update_client_tasks(tree_selection& sel,
+                                  std::vector<task_set>& client_tasks,
+                                  std::uint32_t client,
+                                  task_set new_tasks,
+                                  const selection_config& cfg) {
+    assert(client < sel.shape.padded_clients);
+    if (client >= client_tasks.size()) client_tasks.resize(client + 1);
+    client_tasks[client] = std::move(new_tasks);
+    sel.failure.clear();
+
+    const std::uint32_t depth = sel.shape.leaf_level;
+    std::uint32_t changed_ses = 0;
+
+    // Leaf level: only this client's port is reselected.
+    double u_level = 0.0;
+    for (const auto& tasks : client_tasks) u_level += utilization(tasks);
+
+    std::uint32_t order = sel.shape.leaf_se_of_client(client);
+    std::uint32_t port = sel.shape.leaf_port_of_client(client);
+    {
+        auto iface = select_interface(client_tasks[client], u_level, cfg);
+        if (!iface) sel.failure = port_failure(depth, order, port);
+        if (sel.levels[depth][order].ports[port] != iface) {
+            sel.levels[depth][order].ports[port] = iface;
+            ++changed_ses;
+        }
+    }
+
+    // Walk the request path to the root, reselecting the single affected
+    // port at each level. All SEs off the path keep their parameters.
+    for (std::uint32_t l = depth; l-- > 0;) {
+        const double u_children = level_bandwidth(sel.levels[l + 1]);
+        const std::uint32_t child_order = order;
+        order = quadtree_shape::parent_order(child_order);
+        port = quadtree_shape::parent_port(child_order);
+        const task_set tasks =
+            child_server_tasks(sel.levels[l + 1][child_order]);
+        auto iface = select_interface(tasks, u_children, cfg);
+        if (!iface && sel.failure.empty()) {
+            sel.failure = port_failure(l, order, port);
+        }
+        if (sel.levels[l][order].ports[port] != iface) {
+            sel.levels[l][order].ports[port] = iface;
+            ++changed_ses;
+        }
+    }
+
+    finalize(sel);
+    return changed_ses;
+}
+
+} // namespace bluescale::analysis

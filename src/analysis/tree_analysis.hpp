@@ -1,0 +1,68 @@
+// Whole-tree interface selection: resolves the paper's per-level interface
+// selection problems bottom-up (level L down to level 0) and verifies the
+// root resource is not over-utilized (paper Sec. 5, closing paragraph).
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/interface_selection.hpp"
+#include "analysis/quadtree.hpp"
+#include "analysis/rt_task.hpp"
+
+namespace bluescale::analysis {
+
+/// Interfaces of one SE's four local client ports (the parameters of its
+/// four server tasks tau_A..tau_D). nullopt means selection failed for that
+/// port; an engaged {0,0} means the port is unused (no tasks behind it).
+struct se_interfaces {
+    std::array<std::optional<resource_interface>, k_se_fanin> ports;
+
+    /// Sum of the engaged ports' bandwidths.
+    [[nodiscard]] double total_bandwidth() const {
+        double bw = 0.0;
+        for (const auto& p : ports) {
+            if (p) bw += p->bandwidth();
+        }
+        return bw;
+    }
+};
+
+/// Result of resolving every level's interface selection problem.
+struct tree_selection {
+    quadtree_shape shape;
+    /// levels[l][y] = interfaces of SE(l, y); l in [0, L].
+    std::vector<std::vector<se_interfaces>> levels;
+    bool feasible = false;
+    /// Sum of level-1 server bandwidths at the root; must be <= 1.
+    double root_bandwidth = 0.0;
+    /// Human-readable reason when infeasible.
+    std::string failure;
+
+    [[nodiscard]] const std::optional<resource_interface>&
+    port_interface(std::uint32_t level, std::uint32_t order,
+                   std::uint32_t port) const {
+        return levels[level][order].ports[port];
+    }
+};
+
+/// Resolves all interface selection problems for a quadtree whose leaves
+/// run the given per-client task sets (client_tasks[c] is client mu.c's
+/// local task set; missing/extra leaf ports are treated as empty).
+[[nodiscard]] tree_selection
+select_tree_interfaces(const std::vector<task_set>& client_tasks,
+                       const selection_config& cfg = {});
+
+/// Incremental reselection after tasks join/leave one client: recomputes
+/// interfaces only along that client's request path (paper Sec. 3.2's
+/// third property). Returns the number of SEs whose parameters changed;
+/// `selection` is updated in place (including feasibility/root bandwidth).
+std::uint32_t update_client_tasks(tree_selection& selection,
+                                  std::vector<task_set>& client_tasks,
+                                  std::uint32_t client,
+                                  task_set new_tasks,
+                                  const selection_config& cfg = {});
+
+} // namespace bluescale::analysis

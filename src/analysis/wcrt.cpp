@@ -1,0 +1,65 @@
+#include "analysis/wcrt.hpp"
+
+namespace bluescale::analysis {
+
+std::uint64_t inverse_sbf(std::uint64_t demand,
+                          const resource_interface& iface) {
+    if (demand == 0) return 0;
+    if (iface.budget == 0 || iface.period == 0) return k_no_supply;
+
+    // sbf is non-decreasing and reaches `demand` within
+    // ceil(demand/Theta)+1 periods plus the initial blackout, so binary
+    // search over that range is exact and cheap.
+    std::uint64_t lo = 0;
+    std::uint64_t hi = (demand / iface.budget + 2) * iface.period +
+                       2 * (iface.period - iface.budget);
+    while (lo < hi) {
+        const std::uint64_t mid = lo + (hi - lo) / 2;
+        if (sbf(mid, iface) >= demand) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    return lo;
+}
+
+wcrt_breakdown wcrt_bound(const tree_selection& selection,
+                          std::uint32_t client, std::uint64_t buffer_depth,
+                          const wcrt_memory_model& mem) {
+    wcrt_breakdown out;
+    out.bounded = true;
+
+    const quadtree_shape& shape = selection.shape;
+    std::uint32_t order = shape.leaf_se_of_client(client);
+    std::uint32_t port = shape.leaf_port_of_client(client);
+
+    // Walk the request path from the leaf SE to the root. At each level
+    // the transaction drains behind at most (buffer_depth - 1) queued
+    // transactions, all of which may have earlier deadlines, so the
+    // worst-case wait is the time for the port's supply to deliver
+    // buffer_depth units.
+    for (std::uint32_t level = shape.leaf_level;; --level) {
+        const auto& iface = selection.levels[level][order].ports[port];
+        if (!iface || iface->budget == 0) {
+            out.bounded = false;
+            out.per_level_units.push_back(0);
+        } else {
+            out.per_level_units.push_back(
+                inverse_sbf(buffer_depth, *iface));
+        }
+        if (level == 0) break;
+        port = quadtree_shape::parent_port(order);
+        order = quadtree_shape::parent_order(order);
+    }
+
+    // Memory: a full controller queue of earlier transactions plus this
+    // one, each occupying a start slot, plus the worst single access.
+    out.memory_cycles = (mem.queue_depth + 1) * mem.initiation_interval +
+                        mem.worst_access_cycles;
+    // One cycle per request hop plus the response-path demux crossings.
+    out.hop_cycles = 2ull * (shape.leaf_level + 1);
+    return out;
+}
+
+} // namespace bluescale::analysis

@@ -1,0 +1,63 @@
+// Backlog-drain latency bounds for memory transactions traversing a
+// configured BlueScale tree.
+//
+// The compositional guarantee gives every SE port a supply bound function;
+// inverting it bounds how long a backlog of k transactions takes to drain
+// through that port *absent further higher-priority arrivals*. Summing the
+// per-level drain bounds along a client's request path -- each level's
+// backlog bounded by the SE buffer depth -- plus the memory controller's
+// worst case yields a structural latency estimate.
+//
+// NOTE: this is not a hard per-request WCRT under sustained EDF traffic
+// (later-arriving earlier-deadline requests may pass a queued one). The
+// hard guarantee the paper's analysis gives is job-level: a feasible
+// interface selection makes every request meet its implicit deadline,
+// which the `wcrt_validation` bench checks directly; the drain bound is
+// reported there as a structural pessimism diagnostic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/periodic_resource.hpp"
+#include "analysis/tree_analysis.hpp"
+
+namespace bluescale::analysis {
+
+/// Smallest t with sbf(t, iface) >= demand (the worst-case time to
+/// receive `demand` time units of service). Returns k_no_supply when the
+/// interface cannot supply at all (budget == 0).
+inline constexpr std::uint64_t k_no_supply = ~0ull;
+[[nodiscard]] std::uint64_t inverse_sbf(std::uint64_t demand,
+                                        const resource_interface& iface);
+
+/// Parameters of the downstream memory system for the end-to-end bound.
+struct wcrt_memory_model {
+    std::uint64_t queue_depth = 16;       ///< controller queue, transactions
+    std::uint64_t initiation_interval = 4; ///< cycles per start slot
+    std::uint64_t worst_access_cycles = 20; ///< bank conflict + write
+};
+
+/// Per-level breakdown of the bound, in time units (level 0 = the leaf SE
+/// the client plugs into; last = the root SE).
+struct wcrt_breakdown {
+    std::vector<std::uint64_t> per_level_units;
+    std::uint64_t memory_cycles = 0;
+    std::uint64_t hop_cycles = 0; ///< request forwarding + response path
+    bool bounded = false;         ///< false if any level lacks supply
+
+    [[nodiscard]] std::uint64_t total_cycles(std::uint32_t unit_cycles) const {
+        std::uint64_t units = 0;
+        for (auto u : per_level_units) units += u;
+        return units * unit_cycles + memory_cycles + hop_cycles;
+    }
+};
+
+/// Bound for client `client`'s transactions under `selection`, assuming
+/// at most `buffer_depth` transactions queue at each SE port (the
+/// hardware buffer depth provides this bound via backpressure).
+[[nodiscard]] wcrt_breakdown
+wcrt_bound(const tree_selection& selection, std::uint32_t client,
+           std::uint64_t buffer_depth, const wcrt_memory_model& mem = {});
+
+} // namespace bluescale::analysis

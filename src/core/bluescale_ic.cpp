@@ -1,0 +1,148 @@
+#include "core/bluescale_ic.hpp"
+
+#include <cassert>
+
+namespace bluescale::core {
+
+bluescale_ic::bluescale_ic(std::uint32_t n_clients, bluescale_config cfg,
+                           std::string name)
+    : interconnect(std::move(name), n_clients), cfg_(cfg),
+      shape_(analysis::make_quadtree_shape(n_clients)) {
+    const std::uint32_t depth = shape_.leaf_level;
+    levels_.resize(depth + 1);
+    for (std::uint32_t l = 0; l <= depth; ++l) {
+        const std::uint32_t count = shape_.ses_at_level(l);
+        levels_[l].reserve(count);
+        for (std::uint32_t y = 0; y < count; ++y) {
+            levels_[l].push_back(std::make_unique<scale_element>(
+                "SE(" + std::to_string(l) + "," + std::to_string(y) + ")",
+                cfg_.se));
+        }
+    }
+
+    if (cfg_.responses == response_model::demux_network) {
+        resp_q_.resize(depth + 1);
+        for (std::uint32_t l = 0; l <= depth; ++l) {
+            const std::uint32_t count = shape_.ses_at_level(l);
+            resp_q_[l].reserve(count);
+            for (std::uint32_t y = 0; y < count; ++y) {
+                resp_q_[l].emplace_back(cfg_.response_buffer_depth);
+            }
+        }
+    }
+
+    // Wire provider ports: SE(l, y) feeds port (y % 4) of SE(l-1, y/4);
+    // the root feeds the memory controller.
+    levels_[0][0]->bind_sink([this] { return memory_can_accept(); },
+                             [this](mem_request r) {
+                                 forward_to_memory(std::move(r));
+                             });
+    for (std::uint32_t l = 1; l <= depth; ++l) {
+        for (std::uint32_t y = 0; y < levels_[l].size(); ++y) {
+            scale_element* parent =
+                levels_[l - 1][analysis::quadtree_shape::parent_order(y)]
+                    .get();
+            const std::uint32_t port =
+                analysis::quadtree_shape::parent_port(y);
+            levels_[l][y]->bind_sink(
+                [parent, port] { return parent->port_can_accept(port); },
+                [parent, port](mem_request r) {
+                    parent->port_push(port, std::move(r));
+                });
+        }
+    }
+}
+
+void bluescale_ic::configure(const analysis::tree_selection& selection) {
+    assert(selection.shape.leaf_level == shape_.leaf_level);
+    for (std::uint32_t l = 0; l < selection.levels.size(); ++l) {
+        for (std::uint32_t y = 0; y < selection.levels[l].size(); ++y) {
+            for (std::uint32_t p = 0; p < analysis::k_se_fanin; ++p) {
+                const auto& iface = selection.levels[l][y].ports[p];
+                if (iface && iface->budget > 0) {
+                    levels_[l][y]->configure_port(
+                        p, static_cast<std::uint32_t>(iface->period),
+                        static_cast<std::uint32_t>(iface->budget));
+                } else {
+                    levels_[l][y]->configure_port(p, 0, 0);
+                }
+            }
+        }
+    }
+}
+
+bool bluescale_ic::client_can_accept(client_id_t c) const {
+    return leaf_of(c).port_can_accept(shape_.leaf_port_of_client(c));
+}
+
+void bluescale_ic::client_push(client_id_t c, mem_request r) {
+    note_injected();
+    leaf_of(c).port_push(shape_.leaf_port_of_client(c), std::move(r));
+}
+
+std::uint32_t bluescale_ic::depth_of(client_id_t) const {
+    return shape_.leaf_level + 1;
+}
+
+void bluescale_ic::tick_response_network(cycle_t now) {
+    // Pull finished transactions into the root SE's response port.
+    while (resp_q_[0][0].can_push() && memory_has_response()) {
+        resp_q_[0][0].push(pop_memory_response());
+    }
+
+    // Each SE forwards one response per cycle down its demux.
+    const std::uint32_t depth = shape_.leaf_level;
+    for (std::uint32_t l = 0; l <= depth; ++l) {
+        for (std::uint32_t y = 0; y < resp_q_[l].size(); ++y) {
+            auto& q = resp_q_[l][y];
+            if (q.empty()) continue;
+            const client_id_t c = q.front().client;
+            if (l == depth) {
+                // Leaf demux: hand the response to the client port.
+                mem_request r = q.pop();
+                r.complete_cycle = now;
+                deliver_response_now(std::move(r));
+            } else {
+                const std::uint32_t port = response_port(l, c);
+                const std::uint32_t child =
+                    analysis::quadtree_shape::child_order(y, port);
+                if (resp_q_[l + 1][child].can_push()) {
+                    resp_q_[l + 1][child].push(q.pop());
+                }
+            }
+        }
+    }
+}
+
+void bluescale_ic::tick(cycle_t now) {
+    for (auto& level : levels_) {
+        for (auto& se : level) se->tick(now);
+    }
+    if (cfg_.responses == response_model::demux_network) {
+        tick_response_network(now);
+    } else {
+        drain_memory_responses(now);
+        deliver_due_responses(now);
+    }
+}
+
+void bluescale_ic::commit() {
+    for (auto& level : levels_) {
+        for (auto& se : level) se->commit();
+    }
+    for (auto& level : resp_q_) {
+        for (auto& q : level) q.commit();
+    }
+}
+
+void bluescale_ic::reset() {
+    interconnect::reset();
+    for (auto& level : levels_) {
+        for (auto& se : level) se->reset();
+    }
+    for (auto& level : resp_q_) {
+        for (auto& q : level) q.clear();
+    }
+}
+
+} // namespace bluescale::core

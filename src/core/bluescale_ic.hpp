@@ -1,0 +1,100 @@
+// BlueScale memory interconnect (paper Sec. 3, Fig. 2(a)/(d)): a quadtree
+// of isomorphic Scale Elements between the clients (leaves) and the shared
+// memory sub-system (root). Each SE needs only local information, yet the
+// per-SE compositional schedulers together guarantee system-wide real-time
+// performance once the interface selection (Sec. 5) has programmed every
+// server task.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "analysis/quadtree.hpp"
+#include "analysis/tree_analysis.hpp"
+#include "core/scale_element.hpp"
+#include "interconnect/interconnect.hpp"
+
+namespace bluescale::core {
+
+/// How the response path (memory -> client) is simulated.
+enum class response_model : std::uint8_t {
+    /// Contention-free fixed latency of depth hops (upper-bound-accurate
+    /// for response rates below one per cycle per subtree).
+    ideal_latency,
+    /// Cycle-accurate demux network: each SE's response port forwards one
+    /// response per cycle into per-child buffers with backpressure
+    /// (paper Fig. 2(b)'s DeMux).
+    demux_network,
+};
+
+struct bluescale_config {
+    se_params se = {};
+    response_model responses = response_model::demux_network;
+    /// Per-SE response buffer depth (demux_network model).
+    std::size_t response_buffer_depth = 4;
+};
+
+class bluescale_ic : public interconnect {
+public:
+    bluescale_ic(std::uint32_t n_clients, bluescale_config cfg = {},
+                 std::string name = "bluescale");
+
+    /// Programs every SE's server tasks from a resolved interface
+    /// selection (analysis::select_tree_interfaces). Ports whose selection
+    /// is missing or zero-bandwidth are disabled.
+    void configure(const analysis::tree_selection& selection);
+
+    [[nodiscard]] bool client_can_accept(client_id_t c) const override;
+    void client_push(client_id_t c, mem_request r) override;
+    [[nodiscard]] std::uint32_t depth_of(client_id_t c) const override;
+
+    void tick(cycle_t now) override;
+    void commit() override;
+    void reset() override;
+
+    [[nodiscard]] const analysis::quadtree_shape& shape() const {
+        return shape_;
+    }
+    [[nodiscard]] std::uint32_t total_ses() const {
+        return shape_.total_ses();
+    }
+    [[nodiscard]] const scale_element& se_at(std::uint32_t level,
+                                             std::uint32_t order) const {
+        return *levels_[level][order];
+    }
+    [[nodiscard]] scale_element& se_at(std::uint32_t level,
+                                       std::uint32_t order) {
+        return *levels_[level][order];
+    }
+
+private:
+    [[nodiscard]] scale_element& leaf_of(client_id_t c) {
+        return *levels_.back()[shape_.leaf_se_of_client(c)];
+    }
+    [[nodiscard]] const scale_element& leaf_of(client_id_t c) const {
+        return *levels_.back()[shape_.leaf_se_of_client(c)];
+    }
+
+    /// Child port of SE(level, ·) on client c's path (the demux select).
+    [[nodiscard]] std::uint32_t
+    response_port(std::uint32_t level, client_id_t c) const {
+        std::uint32_t shift = shape_.leaf_level - level;
+        std::uint32_t div = 1;
+        while (shift-- > 0) div *= analysis::k_se_fanin;
+        return (c / div) % analysis::k_se_fanin;
+    }
+
+    /// Demux-network step: move responses one SE hop toward the clients.
+    void tick_response_network(cycle_t now);
+
+    bluescale_config cfg_;
+    analysis::quadtree_shape shape_;
+    /// levels_[l][y] owns SE(l, y); level 0 is the root.
+    std::vector<std::vector<std::unique_ptr<scale_element>>> levels_;
+    /// resp_q_[l][y]: responses waiting at SE(l, y)'s provider-side
+    /// response port (demux_network model only).
+    std::vector<std::vector<latched_queue<mem_request>>> resp_q_;
+};
+
+} // namespace bluescale::core

@@ -1,0 +1,90 @@
+// Countdown counters and server tasks (paper Sec. 4.2, Fig. 3(b)).
+//
+// A server task realizes one Virtual Element with a Period-counter
+// (P-counter) holding Pi and a Budget-counter (B-counter) holding Theta.
+// The P-counter free-runs; when it wraps, both counters reload -- the
+// server's budget is replenished at every period boundary. The scheduling
+// circuits treat the server as eligible while the B-counter is non-zero
+// (the paper's XOR-against-0 check).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace bluescale::core {
+
+/// One countdown counter with the paper's four ports: program (set reset
+/// value), resetn (reload), clock (decrement) and value (read).
+class countdown_counter {
+public:
+    /// Program port: set the reload value (takes effect at next reload).
+    void program(std::uint32_t reset_value) { reset_value_ = reset_value; }
+
+    /// Resetn port (active): reload current from the programmed value.
+    void reload() { current_ = reset_value_; }
+
+    /// Clock port: decrement toward zero (saturating).
+    void decrement() {
+        if (current_ > 0) --current_;
+    }
+
+    /// Value port.
+    [[nodiscard]] std::uint32_t value() const { return current_; }
+    [[nodiscard]] std::uint32_t reset_value() const { return reset_value_; }
+
+private:
+    std::uint32_t reset_value_ = 0;
+    std::uint32_t current_ = 0;
+};
+
+/// A server task tau_X = (Pi_X, Theta_X): the upper-level schedulable
+/// entity of one SE local client port.
+class server_task {
+public:
+    /// Programs (Pi, Theta) in time units and restarts the period.
+    void configure(std::uint32_t period, std::uint32_t budget) {
+        p_.program(period);
+        b_.program(budget);
+        p_.reload();
+        b_.reload();
+    }
+
+    /// Advances one time unit. At a period boundary both counters reload
+    /// (budget replenishment). Returns true when a new period started.
+    bool tick_unit() {
+        if (p_.reset_value() == 0) return false; // unconfigured / disabled
+        p_.decrement();
+        if (p_.value() == 0) {
+            p_.reload();
+            b_.reload();
+            return true;
+        }
+        return false;
+    }
+
+    /// Eligibility check of the scheduling circuits: budget remaining?
+    [[nodiscard]] bool has_budget() const { return b_.value() > 0; }
+
+    /// Consumes one time unit of budget (one forwarded transaction).
+    void consume() { b_.decrement(); }
+
+    /// Time units until the current period ends == the server job's
+    /// relative deadline, for GEDF among servers (Algorithm 1).
+    [[nodiscard]] std::uint32_t units_to_deadline() const {
+        return p_.value();
+    }
+
+    [[nodiscard]] std::uint32_t period() const { return p_.reset_value(); }
+    [[nodiscard]] std::uint32_t budget() const { return b_.reset_value(); }
+    [[nodiscard]] std::uint32_t budget_left() const { return b_.value(); }
+    [[nodiscard]] bool enabled() const {
+        return p_.reset_value() > 0 && b_.reset_value() > 0;
+    }
+
+private:
+    countdown_counter p_;
+    countdown_counter b_;
+};
+
+} // namespace bluescale::core

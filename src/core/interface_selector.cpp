@@ -1,0 +1,39 @@
+#include "core/interface_selector.hpp"
+
+namespace bluescale::core {
+
+bool interface_selector::load_task(std::uint8_t client_port,
+                                   std::uint8_t task_id,
+                                   std::uint32_t period,
+                                   std::uint32_t wcet) {
+    if (table_.size() >= table_depth_) return false;
+    table_.push_back({static_cast<std::uint8_t>(client_port & 0x3), task_id,
+                      period, wcet});
+    return true;
+}
+
+selector_result
+interface_selector::select(double level_utilization,
+                           const analysis::selection_config& cfg) const {
+    selector_result result;
+
+    analysis::selection_config counted = cfg;
+    counted.sched.stats = &result.work;
+
+    for (std::uint8_t port = 0; port < 4; ++port) {
+        analysis::task_set tasks;
+        for (const auto& entry : table_) {
+            if (entry.client == port) {
+                tasks.push_back({entry.period, entry.wcet});
+            }
+        }
+        result.interfaces[port] =
+            analysis::select_interface(tasks, level_utilization, counted);
+    }
+
+    result.estimated_cycles = result.work.tests_run * k_cycles_per_test +
+                              result.work.points_checked * k_cycles_per_point;
+    return result;
+}
+
+} // namespace bluescale::core

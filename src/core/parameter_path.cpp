@@ -1,0 +1,202 @@
+#include "core/parameter_path.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bluescale::core {
+
+namespace {
+
+using analysis::k_se_fanin;
+using analysis::quadtree_shape;
+using analysis::resource_interface;
+using analysis::se_interfaces;
+using analysis::select_interface;
+using analysis::task_set;
+
+/// Server tasks a parent-port selector sees from one child SE.
+task_set child_server_tasks(const se_interfaces& child) {
+    task_set tasks;
+    for (const auto& port : child.ports) {
+        if (port && port->budget > 0) {
+            tasks.push_back({port->period, port->budget});
+        }
+    }
+    return tasks;
+}
+
+/// FSM cycles for one port's selection, counted from the algorithm work.
+std::uint64_t selection_cycles(const task_set& tasks,
+                               double level_utilization,
+                               const analysis::selection_config& cfg,
+                               const reconfig_costs& costs,
+                               std::optional<resource_interface>* out) {
+    analysis::sched_test_stats work;
+    analysis::selection_config counted = cfg;
+    counted.sched.stats = &work;
+    auto iface = select_interface(tasks, level_utilization, counted);
+    if (out != nullptr) *out = iface;
+    return work.tests_run * costs.cycles_per_test +
+           work.points_checked * costs.cycles_per_point;
+}
+
+} // namespace
+
+reconfig_report
+model_full_reconfiguration(const std::vector<analysis::task_set>& clients,
+                           const analysis::selection_config& cfg,
+                           const reconfig_costs& costs) {
+    reconfig_report report;
+    const auto shape = analysis::make_quadtree_shape(
+        static_cast<std::uint32_t>(std::max<std::size_t>(clients.size(), 1)));
+    const std::uint32_t depth = shape.leaf_level;
+
+    report.selection.shape = shape;
+    report.selection.levels.resize(depth + 1);
+    for (std::uint32_t l = 0; l <= depth; ++l) {
+        report.selection.levels[l].resize(shape.ses_at_level(l));
+    }
+    report.level_finish_cycles.assign(depth + 1, 0);
+
+    // finish[l][y] = cycle SE(l, y)'s selector delivers its result.
+    std::vector<std::vector<std::uint64_t>> finish(depth + 1);
+
+    // Leaf level: load the clients' task parameters, then select.
+    double u_level = 0.0;
+    for (const auto& tasks : clients) {
+        u_level += analysis::utilization(tasks);
+    }
+    finish[depth].resize(shape.ses_at_level(depth), 0);
+    for (std::uint32_t y = 0; y < finish[depth].size(); ++y) {
+        std::uint64_t entries = 0;
+        std::uint64_t compute = 0;
+        for (std::uint32_t p = 0; p < k_se_fanin; ++p) {
+            const std::uint32_t c = quadtree_shape::child_order(y, p);
+            const task_set tasks =
+                c < clients.size() ? clients[c] : task_set{};
+            entries += tasks.size();
+            compute += selection_cycles(
+                tasks, u_level, cfg, costs,
+                &report.selection.levels[depth][y].ports[p]);
+        }
+        finish[depth][y] = entries * costs.cycles_per_entry + compute;
+        ++report.ses_involved;
+    }
+
+    // Inner levels: wait for the children, receive their interfaces,
+    // then select.
+    for (std::uint32_t l = depth; l-- > 0;) {
+        double u_children = 0.0;
+        for (const auto& se : report.selection.levels[l + 1]) {
+            u_children += se.total_bandwidth();
+        }
+        finish[l].resize(shape.ses_at_level(l), 0);
+        for (std::uint32_t y = 0; y < finish[l].size(); ++y) {
+            std::uint64_t start = 0;
+            std::uint64_t entries = 0;
+            std::uint64_t compute = 0;
+            for (std::uint32_t p = 0; p < k_se_fanin; ++p) {
+                const std::uint32_t child =
+                    quadtree_shape::child_order(y, p);
+                start = std::max(start, finish[l + 1][child]);
+                const task_set tasks = child_server_tasks(
+                    report.selection.levels[l + 1][child]);
+                entries += tasks.size();
+                compute += selection_cycles(
+                    tasks, u_children, cfg, costs,
+                    &report.selection.levels[l][y].ports[p]);
+            }
+            finish[l][y] =
+                start + entries * costs.cycles_per_entry + compute;
+            ++report.ses_involved;
+        }
+    }
+
+    for (std::uint32_t l = 0; l <= depth; ++l) {
+        for (auto f : finish[l]) {
+            report.level_finish_cycles[l] =
+                std::max(report.level_finish_cycles[l], f);
+        }
+    }
+    report.total_cycles = report.level_finish_cycles[0];
+
+    report.selection.root_bandwidth =
+        report.selection.levels[0][0].total_bandwidth();
+    report.selection.feasible =
+        report.selection.root_bandwidth <= 1.0 + 1e-9;
+    for (const auto& level : report.selection.levels) {
+        for (const auto& se : level) {
+            for (const auto& p : se.ports) {
+                if (!p) report.selection.feasible = false;
+            }
+        }
+    }
+    report.feasible = report.selection.feasible;
+    return report;
+}
+
+reconfig_report
+model_client_update(analysis::tree_selection selection,
+                    std::vector<analysis::task_set> clients,
+                    std::uint32_t client, analysis::task_set new_tasks,
+                    const analysis::selection_config& cfg,
+                    const reconfig_costs& costs) {
+    reconfig_report report;
+    const auto& shape = selection.shape;
+    assert(client < shape.padded_clients);
+    if (client >= clients.size()) clients.resize(client + 1);
+    clients[client] = std::move(new_tasks);
+
+    const std::uint32_t depth = shape.leaf_level;
+    report.level_finish_cycles.assign(depth + 1, 0);
+
+    double u_level = 0.0;
+    for (const auto& tasks : clients) {
+        u_level += analysis::utilization(tasks);
+    }
+
+    // Serial wave up the request path: each selector reloads the changed
+    // entries, recomputes the single affected port, and forwards.
+    std::uint64_t clock = 0;
+    std::uint32_t order = shape.leaf_se_of_client(client);
+    std::uint32_t port = shape.leaf_port_of_client(client);
+    clock += clients[client].size() * costs.cycles_per_entry;
+    clock += selection_cycles(clients[client], u_level, cfg, costs,
+                              &selection.levels[depth][order].ports[port]);
+    report.level_finish_cycles[depth] = clock;
+    ++report.ses_involved;
+
+    for (std::uint32_t l = depth; l-- > 0;) {
+        double u_children = 0.0;
+        for (const auto& se : selection.levels[l + 1]) {
+            u_children += se.total_bandwidth();
+        }
+        const std::uint32_t child = order;
+        order = quadtree_shape::parent_order(child);
+        port = quadtree_shape::parent_port(child);
+        const task_set tasks =
+            child_server_tasks(selection.levels[l + 1][child]);
+        clock += tasks.size() * costs.cycles_per_entry;
+        clock += selection_cycles(tasks, u_children, cfg, costs,
+                                  &selection.levels[l][order].ports[port]);
+        report.level_finish_cycles[l] = clock;
+        ++report.ses_involved;
+    }
+
+    report.total_cycles = clock;
+    selection.root_bandwidth = selection.levels[0][0].total_bandwidth();
+    selection.failure.clear();
+    selection.feasible = selection.root_bandwidth <= 1.0 + 1e-9;
+    for (const auto& level : selection.levels) {
+        for (const auto& se : level) {
+            for (const auto& p : se.ports) {
+                if (!p) selection.feasible = false;
+            }
+        }
+    }
+    report.feasible = selection.feasible;
+    report.selection = std::move(selection);
+    return report;
+}
+
+} // namespace bluescale::core

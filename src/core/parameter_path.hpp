@@ -1,0 +1,61 @@
+// Parameter-path timing model (paper Fig. 2(b)'s third path and Sec. 4.3).
+//
+// When task parameters change, interface selectors recompute (Pi, Theta)
+// bottom-up: every SE loads its local clients' parameters into the task
+// parameter table, runs the Sec. 5 algorithm on its FSM, and delivers the
+// selected interfaces to its parent's selector. SEs at the same level run
+// in parallel (the paper's distributed-refresh property), so the total
+// reconfiguration latency is the critical path:
+//
+//   finish(SE) = max over children(finish(child)) + transfer + compute
+//
+// This model prices compute from the algorithm's actual work (counted
+// schedulability tests / dbf points, as core::interface_selector does)
+// and transfer from the 74-bit table-entry format.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/interface_selection.hpp"
+#include "analysis/tree_analysis.hpp"
+
+namespace bluescale::core {
+
+struct reconfig_costs {
+    /// Cycles to deliver one 74-bit task-parameter entry to the next SE.
+    std::uint64_t cycles_per_entry = 2;
+    /// FSM cycles per schedulability test / per dbf point (matches
+    /// interface_selector's constants).
+    std::uint64_t cycles_per_test = 8;
+    std::uint64_t cycles_per_point = 4;
+};
+
+struct reconfig_report {
+    /// Latency until the root selector has delivered its result.
+    std::uint64_t total_cycles = 0;
+    /// Cycle at which each level's selectors finish (index 0 = root).
+    std::vector<std::uint64_t> level_finish_cycles;
+    /// SEs that recomputed (whole tree for a full reconfiguration; the
+    /// request path only for a single-client update).
+    std::uint32_t ses_involved = 0;
+    bool feasible = false;
+    analysis::tree_selection selection;
+};
+
+/// Models a full system reconfiguration: every SE reselects.
+[[nodiscard]] reconfig_report
+model_full_reconfiguration(const std::vector<analysis::task_set>& clients,
+                           const analysis::selection_config& cfg = {},
+                           const reconfig_costs& costs = {});
+
+/// Models the paper's incremental case: one client's tasks change, only
+/// the SEs on its request path recompute (serially, leaf to root).
+[[nodiscard]] reconfig_report
+model_client_update(analysis::tree_selection selection,
+                    std::vector<analysis::task_set> clients,
+                    std::uint32_t client, analysis::task_set new_tasks,
+                    const analysis::selection_config& cfg = {},
+                    const reconfig_costs& costs = {});
+
+} // namespace bluescale::core

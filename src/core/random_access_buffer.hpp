@@ -1,0 +1,73 @@
+// Random access buffer (paper Sec. 4.1, Fig. 2(c)): the SE's low-level
+// priority queue. Unlike a FIFO, the stored requests can be fetched in any
+// order: a comparator bank continuously searches the register banks for
+// the highest-priority (earliest-deadline) request, and the fetcher
+// extracts it for the local scheduler.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "mem/request.hpp"
+#include "sim/latched_queue.hpp"
+#include "sim/types.hpp"
+
+namespace bluescale::core {
+
+class random_access_buffer {
+public:
+    explicit random_access_buffer(std::size_t depth) : slots_(depth) {}
+
+    // --- loader side (register chain input) -----------------------------
+    [[nodiscard]] bool can_load() const { return slots_.can_push(); }
+    void load(mem_request r) { slots_.push(std::move(r)); }
+
+    // --- arbiter / fetcher side ------------------------------------------
+    [[nodiscard]] bool empty() const { return slots_.empty(); }
+    [[nodiscard]] std::size_t size() const { return slots_.size(); }
+    [[nodiscard]] std::size_t capacity() const { return slots_.capacity(); }
+
+    /// The comparators' result: earliest level deadline currently stored
+    /// (nullopt when empty). This is Algorithm 1's inner EDF pick.
+    [[nodiscard]] std::optional<cycle_t> min_deadline() const {
+        if (slots_.empty()) return std::nullopt;
+        cycle_t best = slots_.at(0).level_deadline;
+        for (std::size_t i = 1; i < slots_.size(); ++i) {
+            best = std::min(best, slots_.at(i).level_deadline);
+        }
+        return best;
+    }
+
+    /// Fetches the earliest-deadline request (ties broken by load order,
+    /// matching the comparator chain's first-match behaviour).
+    mem_request fetch_earliest() {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < slots_.size(); ++i) {
+            if (slots_.at(i).level_deadline <
+                slots_.at(best).level_deadline) {
+                best = i;
+            }
+        }
+        return slots_.extract(best);
+    }
+
+    /// Charges one blocking cycle to stored requests with a deadline
+    /// earlier than the granted one (measurement hook, not hardware).
+    void charge_blocked(cycle_t granted_deadline) {
+        for (std::size_t i = 0; i < slots_.size(); ++i) {
+            mem_request& waiting = slots_.at(i);
+            if (waiting.level_deadline < granted_deadline) {
+                ++waiting.blocked_cycles;
+            }
+        }
+    }
+
+    /// Clock edge: loads staged this cycle become visible.
+    void commit() { slots_.commit(); }
+    void clear() { slots_.clear(); }
+
+private:
+    latched_queue<mem_request> slots_;
+};
+
+} // namespace bluescale::core

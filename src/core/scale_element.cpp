@@ -1,0 +1,107 @@
+#include "core/scale_element.hpp"
+
+#include <cassert>
+
+namespace bluescale::core {
+
+namespace {
+std::array<random_access_buffer, k_se_ports>
+make_buffers(std::size_t depth) {
+    return {random_access_buffer(depth), random_access_buffer(depth),
+            random_access_buffer(depth), random_access_buffer(depth)};
+}
+} // namespace
+
+scale_element::scale_element(std::string name, se_params params)
+    : component(std::move(name)), params_(params),
+      buffers_(make_buffers(params.buffer_depth)), sched_(params.policy) {}
+
+void scale_element::bind_sink(sink_ready_fn ready, sink_push_fn push) {
+    sink_ready_ = std::move(ready);
+    sink_push_ = std::move(push);
+}
+
+void scale_element::configure_port(std::uint32_t port,
+                                   std::uint32_t period_units,
+                                   std::uint32_t budget_units) {
+    sched_.configure_port(port, period_units, budget_units);
+}
+
+std::optional<std::uint32_t> scale_element::pick_fallback() const {
+    std::optional<std::uint32_t> best;
+    cycle_t best_deadline = k_cycle_never;
+    for (std::uint32_t p = 0; p < k_se_ports; ++p) {
+        const auto deadline = buffers_[p].min_deadline();
+        if (deadline && *deadline < best_deadline) {
+            best_deadline = *deadline;
+            best = p;
+        }
+    }
+    return best;
+}
+
+void scale_element::tick(cycle_t now) {
+    assert(sink_ready_ && sink_push_);
+
+    // Time-unit boundary: the P-counters decrement; expired periods reload
+    // budgets before this cycle's scheduling decision.
+    if (now % params_.unit_cycles == 0) sched_.tick_unit();
+
+    // Injected fault window: the element is stalled (counters keep
+    // running -- the supply lost to the fault is genuinely lost).
+    if (params_.fault_period != 0 &&
+        now % params_.fault_period < params_.fault_duration) {
+        ++fault_stall_cycles_;
+        return;
+    }
+
+    if (!sink_ready_()) return;
+
+    bool budgeted = true;
+    std::optional<std::uint32_t> pick = sched_.pick_budgeted(buffers_);
+    if (!pick && (params_.work_conserving || !sched_.configured())) {
+        pick = pick_fallback();
+        budgeted = false;
+    }
+    if (!pick) return;
+
+    mem_request granted = buffers_[*pick].fetch_earliest();
+    wait_stats_.add(static_cast<double>(now - granted.hop_arrival));
+    granted.hop_arrival = now + 1; // arrival at the next hop
+
+    // Blocking-latency measurement: requests queued anywhere in this SE
+    // with an earlier deadline than the granted one wait a cycle.
+    for (auto& buf : buffers_) {
+        buf.charge_blocked(granted.level_deadline);
+    }
+
+    if (budgeted && sched_.configured()) {
+        server_task& server = sched_.server(*pick);
+        server.consume();
+        // Iterative compositional scheduling: the request now competes at
+        // the next level as the forwarding server job, so it inherits the
+        // server's current absolute deadline.
+        granted.level_deadline =
+            now + static_cast<cycle_t>(server.units_to_deadline()) *
+                      params_.unit_cycles;
+        ++forwarded_budgeted_;
+    }
+
+    ++forwarded_;
+    sink_push_(std::move(granted));
+}
+
+void scale_element::commit() {
+    for (auto& buf : buffers_) buf.commit();
+}
+
+void scale_element::reset() {
+    for (auto& buf : buffers_) buf.clear();
+    sched_.reset_counters();
+    forwarded_ = 0;
+    forwarded_budgeted_ = 0;
+    fault_stall_cycles_ = 0;
+    wait_stats_ = {};
+}
+
+} // namespace bluescale::core

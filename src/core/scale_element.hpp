@@ -1,0 +1,106 @@
+// Scale Element (paper Secs. 3-4, Fig. 2(b)): the isomorphic building
+// block of BlueScale. Four local client ports feed random access buffers
+// (low-level priority queue); a local scheduler of four server tasks
+// (upper-level priority queue) decides, every cycle, which buffered
+// request to forward to the local provider port.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "core/local_scheduler.hpp"
+#include "core/random_access_buffer.hpp"
+#include "mem/request.hpp"
+#include "sim/component.hpp"
+#include "stats/summary.hpp"
+
+namespace bluescale::core {
+
+struct se_params {
+    /// Interconnect cycles per analysis time unit (server counters tick
+    /// once per unit; one transaction consumes one budget unit).
+    std::uint32_t unit_cycles = 4;
+    /// Depth of each port's random access buffer.
+    std::size_t buffer_depth = 8;
+    /// When no budgeted server is ready, forward the earliest-deadline
+    /// buffered request anyway (slack reclamation). Also the behaviour of
+    /// an SE with no configured interfaces (pure nested EDF).
+    bool work_conserving = true;
+    server_policy policy = server_policy::gedf;
+    /// Failure injection: every `fault_period` cycles the SE stalls for
+    /// `fault_duration` cycles (forwards nothing; buffers still accept).
+    /// Models transient upsets / resynchronization events. 0 = healthy.
+    cycle_t fault_period = 0;
+    cycle_t fault_duration = 0;
+};
+
+class scale_element : public component {
+public:
+    /// Can the local provider port take one request this cycle?
+    using sink_ready_fn = std::function<bool()>;
+    /// Hand one request to the local provider.
+    using sink_push_fn = std::function<void(mem_request)>;
+
+    scale_element(std::string name, se_params params = {});
+
+    /// Wires the local provider port (parent SE port or the memory).
+    void bind_sink(sink_ready_fn ready, sink_push_fn push);
+
+    // --- local client ports ---------------------------------------------
+    [[nodiscard]] bool port_can_accept(std::uint32_t port) const {
+        return buffers_[port].can_load();
+    }
+    void port_push(std::uint32_t port, mem_request r) {
+        buffers_[port].load(std::move(r));
+    }
+
+    /// Programs server tau_port = (Pi, Theta) in time units; switches the
+    /// SE into budgeted compositional mode.
+    void configure_port(std::uint32_t port, std::uint32_t period_units,
+                        std::uint32_t budget_units);
+
+    void tick(cycle_t now) override;
+    void commit() override;
+
+    /// Drops buffered requests and restarts counters (between trials).
+    void reset();
+
+    [[nodiscard]] const local_scheduler& scheduler() const { return sched_; }
+    [[nodiscard]] const random_access_buffer& buffer(std::uint32_t p) const {
+        return buffers_[p];
+    }
+    [[nodiscard]] std::uint64_t forwarded() const { return forwarded_; }
+    [[nodiscard]] std::uint64_t forwarded_budgeted() const {
+        return forwarded_budgeted_;
+    }
+    [[nodiscard]] const se_params& params() const { return params_; }
+
+    /// Queueing time (arrival at this SE -> grant) of forwarded requests.
+    [[nodiscard]] const stats::running_summary& wait_stats() const {
+        return wait_stats_;
+    }
+
+    /// Cycles lost to injected faults (see se_params::fault_period).
+    [[nodiscard]] std::uint64_t fault_stall_cycles() const {
+        return fault_stall_cycles_;
+    }
+
+private:
+    /// Work-conserving fallback: port whose buffer holds the earliest
+    /// deadline request; nullopt if all buffers are empty.
+    [[nodiscard]] std::optional<std::uint32_t> pick_fallback() const;
+
+    se_params params_;
+    std::array<random_access_buffer, k_se_ports> buffers_;
+    local_scheduler sched_;
+    sink_ready_fn sink_ready_;
+    sink_push_fn sink_push_;
+    std::uint64_t forwarded_ = 0;
+    std::uint64_t forwarded_budgeted_ = 0;
+    std::uint64_t fault_stall_cycles_ = 0;
+    stats::running_summary wait_stats_;
+};
+
+} // namespace bluescale::core

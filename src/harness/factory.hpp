@@ -1,0 +1,64 @@
+// Design-agnostic construction of the evaluated interconnects.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/tree_analysis.hpp"
+#include "hwcost/cost_model.hpp"
+#include "interconnect/interconnect.hpp"
+
+namespace bluescale::harness {
+
+/// The six configurations of the paper's evaluation (Sec. 6), plus
+/// extended baselines beyond the paper.
+enum class ic_kind : std::uint8_t {
+    axi_icrt,
+    bluetree,
+    bluetree_smooth,
+    gsmtree_tdm,
+    gsmtree_fbsp,
+    bluescale,
+    axi_hyperconnect, ///< extended baseline [15], not in the paper's six
+};
+
+/// The paper's evaluated six (Fig. 6 / Fig. 7 iterate exactly these).
+inline constexpr ic_kind k_all_kinds[] = {
+    ic_kind::axi_icrt,     ic_kind::bluetree,     ic_kind::bluetree_smooth,
+    ic_kind::gsmtree_tdm,  ic_kind::gsmtree_fbsp, ic_kind::bluescale,
+};
+
+/// Every buildable design, extended baselines included.
+inline constexpr ic_kind k_extended_kinds[] = {
+    ic_kind::axi_icrt,     ic_kind::bluetree,
+    ic_kind::bluetree_smooth, ic_kind::gsmtree_tdm,
+    ic_kind::gsmtree_fbsp, ic_kind::bluescale,
+    ic_kind::axi_hyperconnect,
+};
+
+[[nodiscard]] const char* kind_name(ic_kind kind);
+[[nodiscard]] hwcost::design to_design(ic_kind kind);
+
+struct ic_build_options {
+    std::uint32_t n_clients = 16;
+    /// Cycles per transaction time unit (matched to the memory
+    /// controller's initiation interval).
+    std::uint32_t unit_cycles = 4;
+    /// Per-client utilization (fraction of memory throughput), used for
+    /// GSMTree-FBSP slot weights and AXI-IC^RT bandwidth regulation.
+    std::vector<double> client_utilizations;
+    /// Resolved interface selection for BlueScale; when null the fabric
+    /// runs unconfigured (pure nested EDF, work-conserving).
+    const analysis::tree_selection* selection = nullptr;
+    /// BlueTree/BlueTree-Smooth blocking factor (paper default: 2).
+    std::uint32_t bluetree_alpha = 2;
+};
+
+/// Builds an interconnect of the given kind, configured per the paper's
+/// evaluation setup.
+[[nodiscard]] std::unique_ptr<interconnect>
+make_interconnect(ic_kind kind, const ic_build_options& opts);
+
+} // namespace bluescale::harness

@@ -1,0 +1,139 @@
+#include "harness/fig6_experiment.hpp"
+
+#include <memory>
+
+#include "core/bluescale_ic.hpp"
+#include "sim/simulator.hpp"
+#include "workload/traffic_generator.hpp"
+
+namespace bluescale::harness {
+
+namespace {
+
+/// One simulated trial of one design.
+struct trial_metrics {
+    double mean_blocking_cycles = 0.0;
+    double worst_blocking_cycles = 0.0;
+    double miss_ratio = 0.0;
+    bool selection_feasible = false;
+};
+
+trial_metrics run_trial(ic_kind kind, const fig6_config& cfg,
+                        std::uint64_t trial_seed) {
+    rng workload_rng(trial_seed);
+
+    // Identical workload per design at the same trial seed.
+    auto tasksets = workload::make_client_tasksets(
+        workload_rng, cfg.n_clients, cfg.util_lo, cfg.util_hi, cfg.taskset);
+
+    std::vector<double> client_utils;
+    client_utils.reserve(tasksets.size());
+    for (const auto& ts : tasksets) {
+        client_utils.push_back(workload::utilization(ts));
+    }
+
+    trial_metrics out;
+
+    // BlueScale: resolve the interface selection for this workload.
+    analysis::tree_selection selection;
+    ic_build_options opts;
+    opts.n_clients = cfg.n_clients;
+    opts.unit_cycles = cfg.memctrl.initiation_interval;
+    opts.client_utilizations = client_utils;
+    opts.bluetree_alpha = cfg.bluetree_alpha;
+    if (kind == ic_kind::bluescale) {
+        std::vector<analysis::task_set> rt_sets;
+        rt_sets.reserve(tasksets.size());
+        for (const auto& ts : tasksets) {
+            rt_sets.push_back(workload::to_rt_tasks(ts));
+        }
+        selection = analysis::select_tree_interfaces(rt_sets);
+        out.selection_feasible = selection.feasible;
+        opts.selection = &selection;
+    }
+
+    auto ic = make_interconnect(kind, opts);
+    if (kind == ic_kind::bluescale && cfg.bluescale_se.has_value()) {
+        // SE ablations rebuild the fabric with the override.
+        core::bluescale_config bs_cfg;
+        bs_cfg.se = *cfg.bluescale_se;
+        bs_cfg.se.unit_cycles = opts.unit_cycles;
+        auto bs = std::make_unique<core::bluescale_ic>(cfg.n_clients, bs_cfg);
+        if (selection.feasible) bs->configure(selection);
+        ic = std::move(bs);
+    }
+
+    memory_controller mem(cfg.memctrl);
+    ic->attach_memory(mem);
+
+    std::vector<std::unique_ptr<workload::traffic_generator>> clients;
+    clients.reserve(cfg.n_clients);
+    workload::traffic_gen_config tg_cfg;
+    tg_cfg.unit_cycles = cfg.memctrl.initiation_interval;
+    for (std::uint32_t c = 0; c < cfg.n_clients; ++c) {
+        clients.push_back(std::make_unique<workload::traffic_generator>(
+            c, tasksets[c], *ic, trial_seed ^ (0x5851f42d4c957f2dull + c),
+            tg_cfg));
+    }
+    ic->set_response_handler([&clients](mem_request&& r) {
+        clients[r.client]->on_response(std::move(r));
+    });
+
+    simulator sim;
+    for (auto& c : clients) sim.add(*c);
+    sim.add(*ic);
+    sim.add(mem);
+    sim.run(cfg.measure_cycles);
+
+    stats::running_summary blocking;
+    double worst = 0.0;
+    std::uint64_t missed = 0;
+    std::uint64_t accounted = 0;
+    for (auto& c : clients) {
+        c->finalize(sim.now());
+        const auto& s = c->stats();
+        for (double b : s.blocking_cycles.samples()) {
+            blocking.add(b);
+            worst = std::max(worst, b);
+        }
+        missed += s.missed;
+        accounted += s.completed + s.abandoned;
+    }
+    out.mean_blocking_cycles = blocking.mean();
+    out.worst_blocking_cycles = worst;
+    out.miss_ratio = accounted == 0 ? 0.0
+                                    : static_cast<double>(missed) /
+                                          static_cast<double>(accounted);
+    return out;
+}
+
+} // namespace
+
+fig6_result run_fig6(ic_kind kind, const fig6_config& cfg) {
+    fig6_result result;
+    result.kind = kind;
+    result.n_clients = cfg.n_clients;
+    result.system_clock_mhz =
+        hwcost::system_clock_mhz(to_design(kind), cfg.n_clients);
+    const double us_per_cycle = 1.0 / result.system_clock_mhz;
+
+    for (std::uint32_t t = 0; t < cfg.trials; ++t) {
+        const auto metrics = run_trial(kind, cfg, cfg.seed + t);
+        result.blocking_us.add(metrics.mean_blocking_cycles * us_per_cycle);
+        result.worst_blocking_us.add(metrics.worst_blocking_cycles *
+                                     us_per_cycle);
+        result.miss_ratio.add(metrics.miss_ratio);
+        if (metrics.selection_feasible) ++result.feasible_trials;
+    }
+    return result;
+}
+
+std::vector<fig6_result> run_fig6_all(const fig6_config& cfg) {
+    std::vector<fig6_result> results;
+    for (ic_kind kind : k_all_kinds) {
+        results.push_back(run_fig6(kind, cfg));
+    }
+    return results;
+}
+
+} // namespace bluescale::harness

@@ -1,0 +1,66 @@
+// Interconnect-level real-time performance experiment (paper Sec. 6.3 /
+// Fig. 6): traffic generators with random GEDF-prioritized workloads at
+// 70-90% interconnect utilization; metrics are blocking latency and
+// deadline miss ratio per design.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include <optional>
+
+#include "core/scale_element.hpp"
+#include "harness/factory.hpp"
+#include "mem/memory_controller.hpp"
+#include "stats/summary.hpp"
+#include "workload/taskset_gen.hpp"
+
+namespace bluescale::harness {
+
+struct fig6_config {
+    std::uint32_t n_clients = 16;
+    std::uint32_t trials = 20;          ///< paper: 200
+    cycle_t measure_cycles = 100'000;   ///< simulated window per trial
+    double util_lo = 0.70;              ///< interconnect utilization range
+    double util_hi = 0.90;
+    std::uint64_t seed = 1;
+    /// Paper setup: intensive traffic with tight implicit deadlines.
+    workload::taskset_params taskset = {
+        .n_tasks = 4,
+        .total_utilization = 0.05, // overridden per trial by util_lo/hi
+        .min_period_units = 40,
+        .max_period_units = 600,
+        .write_fraction = 0.3,
+    };
+    memctrl_config memctrl = {};
+    std::uint32_t bluetree_alpha = 2;
+    /// Optional SE parameter override for BlueScale (ablations: buffer
+    /// depth, server policy, work conservation). unit_cycles is forced to
+    /// the memory controller's initiation interval.
+    std::optional<core::se_params> bluescale_se;
+};
+
+struct fig6_result {
+    ic_kind kind{};
+    std::uint32_t n_clients = 0;
+    /// Per-trial mean blocking latency, in microseconds of wall-clock at
+    /// the design's achievable system frequency.
+    stats::sample_set blocking_us;
+    /// Per-trial deadline miss ratio, in [0, 1].
+    stats::sample_set miss_ratio;
+    /// Per-trial worst observed request blocking, microseconds.
+    stats::sample_set worst_blocking_us;
+    /// Trials in which the BlueScale interface selection was feasible.
+    std::uint32_t feasible_trials = 0;
+    double system_clock_mhz = 0.0;
+};
+
+/// Runs `cfg.trials` trials of one design. Every design sees identical
+/// per-trial workloads (the trial seed drives the generator), matching the
+/// paper's "data input ... identical in each execution".
+[[nodiscard]] fig6_result run_fig6(ic_kind kind, const fig6_config& cfg);
+
+/// Convenience: all six designs.
+[[nodiscard]] std::vector<fig6_result> run_fig6_all(const fig6_config& cfg);
+
+} // namespace bluescale::harness

@@ -1,0 +1,205 @@
+#include "harness/fig7_experiment.hpp"
+
+#include <memory>
+
+#include "core/bluescale_ic.hpp"
+#include "sim/simulator.hpp"
+#include "workload/automotive_profiles.hpp"
+#include "workload/dnn_accelerator.hpp"
+#include "workload/memory_task.hpp"
+#include "workload/processor_client.hpp"
+
+namespace bluescale::harness {
+
+namespace {
+
+/// Builds each processor's task set: the 20 app tasks spread round-robin
+/// plus interference tasks topping utilization up to the target.
+std::vector<workload::compute_task_set>
+build_processor_tasks(rng& rand, std::uint32_t n_processors,
+                      double target_utilization, double mem_scale) {
+    std::vector<workload::compute_task_set> per_proc(n_processors);
+    const auto app =
+        workload::make_case_study_tasks(rand, n_processors, mem_scale);
+    for (std::size_t i = 0; i < app.size(); ++i) {
+        per_proc[i % n_processors].push_back(app[i]);
+    }
+    task_id_t next_id = 100;
+    for (auto& tasks : per_proc) {
+        double u = workload::compute_utilization(tasks);
+        while (u < target_utilization) {
+            const double chunk = std::min(target_utilization - u,
+                                          rand.uniform_real(0.05, 0.15));
+            if (chunk < 0.01) break;
+            tasks.push_back(workload::make_interference_task(
+                rand, next_id++, chunk, mem_scale));
+            u += chunk;
+        }
+    }
+    return per_proc;
+}
+
+/// Memory-demand view of a processor's tasks for the analysis and for
+/// bandwidth reservation (AXI regulation / FBSP weights).
+analysis::task_set
+memory_view(const workload::compute_task_set& tasks,
+            std::uint32_t unit_cycles) {
+    analysis::task_set out;
+    for (const auto& t : tasks) {
+        if (t.period == 0 || t.mem_requests == 0) continue;
+        out.push_back({std::max<std::uint64_t>(1, t.period / unit_cycles),
+                       t.mem_requests});
+    }
+    return out;
+}
+
+analysis::task_set memory_view_ha(const workload::dnn_config& cfg) {
+    // One layer = burst_requests transactions each
+    // (burst issue + compute) cycles -- but the HA's own token-bucket
+    // regulator caps its rate at bandwidth_share, so downstream
+    // reservations (FBSP weights, AXI shares, BlueScale interfaces) must
+    // see the capped demand, not the raw burst rate.
+    const std::uint64_t raw_period_units =
+        (static_cast<std::uint64_t>(cfg.burst_requests) * cfg.unit_cycles +
+         cfg.compute_cycles) /
+        cfg.unit_cycles;
+    const double raw_util =
+        static_cast<double>(cfg.burst_requests) /
+        static_cast<double>(std::max<std::uint64_t>(1, raw_period_units));
+    const double util = std::min(raw_util, cfg.bandwidth_share);
+    const auto period_units = static_cast<std::uint64_t>(
+        static_cast<double>(cfg.burst_requests) / util);
+    return {{std::max<std::uint64_t>(1, period_units),
+             cfg.burst_requests}};
+}
+
+} // namespace
+
+bool run_fig7_trial(ic_kind kind, const fig7_config& cfg,
+                    double target_utilization, std::uint64_t trial_seed,
+                    double* app_miss_ratio) {
+    rng rand(trial_seed);
+    const std::uint32_t n_clients = cfg.n_processors + cfg.n_accelerators;
+
+    const auto per_proc =
+        build_processor_tasks(rand, cfg.n_processors, target_utilization,
+                              cfg.mem_intensity_scale);
+
+    workload::dnn_config ha_cfg;
+    ha_cfg.unit_cycles = cfg.memctrl.initiation_interval;
+    ha_cfg.bandwidth_share = 1.0 / n_clients; // paper's enforced cap
+
+    // Analysis view (used by BlueScale selection and reservations).
+    std::vector<analysis::task_set> rt_sets;
+    std::vector<double> client_utils;
+    for (const auto& tasks : per_proc) {
+        rt_sets.push_back(
+            memory_view(tasks, cfg.memctrl.initiation_interval));
+        client_utils.push_back(analysis::utilization(rt_sets.back()));
+    }
+    for (std::uint32_t h = 0; h < cfg.n_accelerators; ++h) {
+        rt_sets.push_back(memory_view_ha(ha_cfg));
+        client_utils.push_back(analysis::utilization(rt_sets.back()));
+    }
+
+    ic_build_options opts;
+    opts.n_clients = n_clients;
+    opts.unit_cycles = cfg.memctrl.initiation_interval;
+    opts.client_utilizations = client_utils;
+    opts.bluetree_alpha = cfg.bluetree_alpha;
+    analysis::tree_selection selection;
+    if (kind == ic_kind::bluescale) {
+        selection = analysis::select_tree_interfaces(rt_sets);
+        opts.selection = &selection;
+    }
+
+    auto ic = make_interconnect(kind, opts);
+    memory_controller mem(cfg.memctrl);
+    ic->attach_memory(mem);
+
+    std::vector<std::unique_ptr<workload::processor_client>> procs;
+    for (std::uint32_t c = 0; c < cfg.n_processors; ++c) {
+        procs.push_back(std::make_unique<workload::processor_client>(
+            c, per_proc[c], *ic, trial_seed ^ (0x9e3779b9ull * (c + 1))));
+    }
+    std::vector<std::unique_ptr<workload::dnn_accelerator>> has;
+    for (std::uint32_t h = 0; h < cfg.n_accelerators; ++h) {
+        has.push_back(std::make_unique<workload::dnn_accelerator>(
+            cfg.n_processors + h, ha_cfg, *ic,
+            trial_seed ^ (0x51ull * (h + 1))));
+    }
+    ic->set_response_handler([&](mem_request&& r) {
+        if (r.client < cfg.n_processors) {
+            procs[r.client]->on_response(std::move(r));
+        } else {
+            has[r.client - cfg.n_processors]->on_response(std::move(r));
+        }
+    });
+
+    simulator sim;
+    for (auto& p : procs) sim.add(*p);
+    for (auto& h : has) sim.add(*h);
+    sim.add(*ic);
+    sim.add(mem);
+    sim.run(cfg.measure_cycles);
+
+    bool success = true;
+    std::uint64_t app_completed = 0, app_missed = 0;
+    for (auto& p : procs) {
+        p->finalize(sim.now());
+        if (p->app_deadline_missed()) success = false;
+        for (auto cat : {workload::task_category::safety,
+                         workload::task_category::function}) {
+            app_completed += p->stats(cat).completed;
+            app_missed += p->stats(cat).missed;
+        }
+    }
+    if (app_miss_ratio != nullptr) {
+        *app_miss_ratio =
+            app_completed == 0
+                ? 0.0
+                : static_cast<double>(app_missed) /
+                      static_cast<double>(app_completed);
+    }
+    return success;
+}
+
+fig7_result run_fig7(ic_kind kind, const fig7_config& cfg) {
+    fig7_result result;
+    result.kind = kind;
+    result.n_processors = cfg.n_processors;
+    for (double u = cfg.util_lo; u <= cfg.util_hi + 1e-9;
+         u += cfg.util_step) {
+        fig7_point point;
+        point.target_utilization = u;
+        std::uint32_t successes = 0;
+        double miss_sum = 0.0;
+        for (std::uint32_t t = 0; t < cfg.trials; ++t) {
+            // Seed depends on (utilization, trial) but not the design, so
+            // every design sees identical workloads.
+            const std::uint64_t trial_seed =
+                cfg.seed + t * 1000003ull +
+                static_cast<std::uint64_t>(u * 1000.0) * 7919ull;
+            double miss = 0.0;
+            if (run_fig7_trial(kind, cfg, u, trial_seed, &miss)) {
+                ++successes;
+            }
+            miss_sum += miss;
+        }
+        point.success_ratio =
+            static_cast<double>(successes) / cfg.trials;
+        point.app_miss_ratio = miss_sum / cfg.trials;
+        result.points.push_back(point);
+    }
+    return result;
+}
+
+std::vector<fig7_result> run_fig7_all(const fig7_config& cfg) {
+    std::vector<fig7_result> results;
+    for (ic_kind kind : k_all_kinds) {
+        results.push_back(run_fig7(kind, cfg));
+    }
+    return results;
+}
+
+} // namespace bluescale::harness

@@ -1,0 +1,26 @@
+// Calibration anchors: the paper's Table 1 (16-client configurations,
+// Vivado 2021.1, Xilinx VC707). Per-element constants elsewhere in the
+// cost model are fitted so estimate(d, 16) reproduces these rows.
+#pragma once
+
+#include "hwcost/cost_model.hpp"
+
+namespace bluescale::hwcost::calibration {
+
+/// Table 1, verbatim (RAM in KB, power in mW).
+inline constexpr resource_estimate k_axi_icrt_16{3744, 3451, 0, 0, 46};
+inline constexpr resource_estimate k_bluetree_16{1683, 2901, 0, 0, 27};
+inline constexpr resource_estimate k_bluetree_smooth_16{2349, 3455, 0, 0, 41};
+inline constexpr resource_estimate k_gsmtree_16{2443, 3115, 0, 8, 59};
+inline constexpr resource_estimate k_microblaze{4993, 4295, 6, 256, 369};
+inline constexpr resource_estimate k_riscv{7433, 16544, 21, 512, 583};
+inline constexpr resource_estimate k_bluescale_16{2959, 3312, 0, 10, 67};
+
+/// Structure counts at the 16-client anchor.
+inline constexpr std::uint32_t k_bluescale_ses_16 = 5;  // 4 leaves + root
+inline constexpr std::uint32_t k_bluetree_nodes_16 = 15; // 16-leaf binary tree
+
+/// VC707 platform totals used to normalize Fig. 5(a)'s area axis.
+inline constexpr double k_platform_luts = 485760.0;
+
+} // namespace bluescale::hwcost::calibration

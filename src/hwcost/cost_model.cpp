@@ -1,0 +1,170 @@
+#include "hwcost/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hwcost/calibration.hpp"
+
+namespace bluescale::hwcost {
+
+namespace {
+
+namespace cal = calibration;
+
+double log2d(std::uint32_t n) {
+    return std::log2(static_cast<double>(std::max<std::uint32_t>(n, 2)));
+}
+
+resource_estimate scale(const resource_estimate& anchor, double factor) {
+    return {anchor.luts * factor, anchor.registers * factor,
+            anchor.dsps * factor, anchor.ram_kb * factor,
+            anchor.power_mw * factor};
+}
+
+/// Split of the centralized design's cost: a fixed controller/decoder
+/// base, an n*log2(n) mux/arbiter structure, and linear per-port
+/// buffering. Fitted at n = 16 (log2 = 4).
+constexpr double k_axi_base_fraction = 0.13;
+constexpr double k_axi_nlogn_fraction = 0.57;
+
+double axi_scaled(double anchor_16, std::uint32_t n) {
+    const double base = anchor_16 * k_axi_base_fraction;
+    const double nlogn_16 = 16.0 * 4.0;
+    const double a = anchor_16 * k_axi_nlogn_fraction / nlogn_16;
+    const double b = anchor_16 *
+                     (1.0 - k_axi_base_fraction - k_axi_nlogn_fraction) /
+                     16.0;
+    return base + a * static_cast<double>(n) * log2d(n) +
+           b * static_cast<double>(n);
+}
+
+} // namespace
+
+const char* design_name(design d) {
+    switch (d) {
+    case design::axi_icrt: return "AXI-IC^RT";
+    case design::bluetree: return "BlueTree";
+    case design::bluetree_smooth: return "BlueTree-Smooth";
+    case design::gsmtree: return "GSMTree";
+    case design::bluescale: return "BlueScale";
+    case design::microblaze: return "MicroBlaze";
+    case design::riscv: return "RISC-V";
+    }
+    return "?";
+}
+
+std::uint32_t bluescale_se_count(std::uint32_t n_clients) {
+    std::uint32_t count = 0;
+    std::uint32_t groups = std::max<std::uint32_t>(n_clients, 1);
+    do {
+        groups = (groups + 3) / 4;
+        count += groups;
+    } while (groups > 1);
+    return count;
+}
+
+std::uint32_t bluetree_node_count(std::uint32_t n_clients) {
+    std::uint32_t count = 0;
+    std::uint32_t groups = std::max<std::uint32_t>(n_clients, 2);
+    do {
+        groups = (groups + 1) / 2;
+        count += groups;
+    } while (groups > 1);
+    return count;
+}
+
+resource_estimate estimate(design d, std::uint32_t n) {
+    switch (d) {
+    case design::bluescale:
+        return scale(cal::k_bluescale_16,
+                     static_cast<double>(bluescale_se_count(n)) /
+                         cal::k_bluescale_ses_16);
+    case design::bluetree:
+        return scale(cal::k_bluetree_16,
+                     static_cast<double>(bluetree_node_count(n)) /
+                         cal::k_bluetree_nodes_16);
+    case design::bluetree_smooth:
+        return scale(cal::k_bluetree_smooth_16,
+                     static_cast<double>(bluetree_node_count(n)) /
+                         cal::k_bluetree_nodes_16);
+    case design::gsmtree: {
+        // Tree fabric (BlueTree-like nodes) plus a globally arbitrated
+        // slot table that grows linearly with the client count.
+        const double tree_factor =
+            static_cast<double>(bluetree_node_count(n)) /
+            cal::k_bluetree_nodes_16;
+        const resource_estimate tree =
+            scale(cal::k_bluetree_16, tree_factor);
+        const double per_client = static_cast<double>(n) / 16.0;
+        return {tree.luts + (cal::k_gsmtree_16.luts -
+                             cal::k_bluetree_16.luts) *
+                                per_client,
+                tree.registers + (cal::k_gsmtree_16.registers -
+                                  cal::k_bluetree_16.registers) *
+                                     per_client,
+                0,
+                cal::k_gsmtree_16.ram_kb * per_client,
+                tree.power_mw + (cal::k_gsmtree_16.power_mw -
+                                 cal::k_bluetree_16.power_mw) *
+                                    per_client};
+    }
+    case design::axi_icrt:
+        return {axi_scaled(cal::k_axi_icrt_16.luts, n),
+                axi_scaled(cal::k_axi_icrt_16.registers, n), 0, 0,
+                axi_scaled(cal::k_axi_icrt_16.power_mw, n)};
+    case design::microblaze:
+        return cal::k_microblaze;
+    case design::riscv:
+        return cal::k_riscv;
+    }
+    return {};
+}
+
+double legacy_fmax_mhz(std::uint32_t n) { return 210.0 - 2.0 * log2d(n); }
+
+double fmax_mhz(design d, std::uint32_t n) {
+    const double eta = log2d(n);
+    switch (d) {
+    case design::bluescale:
+        // Constant-size SEs: placement/routing pressure only.
+        return 455.0 - 6.0 * eta;
+    case design::bluetree:
+        return 470.0 - 5.0 * eta;
+    case design::bluetree_smooth:
+        return 450.0 - 5.0 * eta;
+    case design::gsmtree:
+        return 440.0 - 5.0 * eta;
+    case design::axi_icrt:
+        // Monolithic arbiter: combinational depth grows with fan-in, so
+        // fmax collapses past ~32 clients and crosses below the legacy
+        // system (Fig. 5(c), Obs. 3).
+        return 500.0 / (1.0 + 0.075 * std::pow(eta, 1.7));
+    case design::microblaze:
+        return 200.0;
+    case design::riscv:
+        return 150.0;
+    }
+    return 0.0;
+}
+
+double legacy_area_fraction(std::uint32_t n) {
+    return 0.004 * static_cast<double>(n) + 0.02;
+}
+
+double legacy_power_w(std::uint32_t n) {
+    return 0.011 * static_cast<double>(n) + 0.18;
+}
+
+double area_fraction(design d, std::uint32_t n) {
+    return estimate(d, n).luts / cal::k_platform_luts;
+}
+
+double power_w(design d, std::uint32_t n) {
+    return estimate(d, n).power_mw / 1000.0;
+}
+
+double system_clock_mhz(design d, std::uint32_t n) {
+    return std::min(legacy_fmax_mhz(n), fmax_mhz(d, n));
+}
+
+} // namespace bluescale::hwcost

@@ -1,0 +1,81 @@
+// Analytic hardware cost model.
+//
+// The paper evaluates hardware overhead (Table 1) and scalability (Fig. 5)
+// by synthesizing each design for a Xilinx VC707 with Vivado 2021.1. That
+// toolchain (and FPGA) is not available here, so this model substitutes
+// analytic scaling laws calibrated to the paper's own numbers:
+//
+//   * Distributed trees instantiate O(n) constant-size elements, so their
+//     resources scale linearly with the element count (the paper's core
+//     hardware-scalability argument, Secs. 1-3).
+//   * The centralized AXI-IC^RT's switch box and monolithic arbiter grow
+//     as n*log2(n) (mux tree) plus a linear per-port term.
+//   * Per-element constants are fitted so the 16-client configuration
+//     reproduces Table 1 exactly.
+//
+// Maximum synthesizable frequency follows the same structural argument:
+// constant-size distributed elements keep fmax flat, while the monolithic
+// arbiter's combinational depth grows with client count, dragging fmax
+// below the legacy system past eta = 5 (Fig. 5(c), Obs. 3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bluescale::hwcost {
+
+/// Designs evaluated in Table 1 / Fig. 5.
+enum class design : std::uint8_t {
+    axi_icrt,
+    bluetree,
+    bluetree_smooth,
+    gsmtree,
+    bluescale,
+    microblaze, ///< per-processor reference point
+    riscv,      ///< per-processor reference point (out-of-order, [13])
+};
+
+[[nodiscard]] const char* design_name(design d);
+
+/// One row of Table 1.
+struct resource_estimate {
+    double luts = 0;
+    double registers = 0;
+    double dsps = 0;
+    double ram_kb = 0;
+    double power_mw = 0;
+};
+
+/// Scale Elements a BlueScale fabric needs for n clients: the chain of
+/// ceil(n/4) groups per level down to a single root (no padding; only
+/// instantiated elements cost area).
+[[nodiscard]] std::uint32_t bluescale_se_count(std::uint32_t n_clients);
+
+/// 2:1 nodes a binary tree (BlueTree/GSMTree) needs for n clients.
+[[nodiscard]] std::uint32_t bluetree_node_count(std::uint32_t n_clients);
+
+/// Table-1-calibrated resource estimate for a design at n clients.
+/// (Processors are per-instance: n_clients is ignored.)
+[[nodiscard]] resource_estimate estimate(design d, std::uint32_t n_clients);
+
+/// Maximum synthesizable clock frequency of the design alone (Fig. 5(c)).
+[[nodiscard]] double fmax_mhz(design d, std::uint32_t n_clients);
+
+/// The legacy many-core system (MicroBlaze cores + NoC + memory, no
+/// evaluated interconnect): fmax, normalized area and power vs scale.
+[[nodiscard]] double legacy_fmax_mhz(std::uint32_t n_clients);
+[[nodiscard]] double legacy_area_fraction(std::uint32_t n_clients);
+[[nodiscard]] double legacy_power_w(std::uint32_t n_clients);
+
+/// Design area as a fraction of the platform's total resources (Fig. 5(a)).
+[[nodiscard]] double area_fraction(design d, std::uint32_t n_clients);
+
+/// Design power in watts (Fig. 5(b)).
+[[nodiscard]] double power_w(design d, std::uint32_t n_clients);
+
+/// Achievable system clock when the design is integrated: the slower of
+/// the legacy system and the interconnect (used to convert simulated
+/// cycles to wall-clock microseconds in the Fig. 6 harness).
+[[nodiscard]] double system_clock_mhz(design d, std::uint32_t n_clients);
+
+} // namespace bluescale::hwcost

@@ -1,0 +1,68 @@
+// AXI-InterconnectRT (paper Sec. 1/6; Jiang et al. [11]): a centralized
+// real-time interconnect. A monolithic switch box buffers every client's
+// requests and a central arbiter with a global view grants the pending
+// request with the earliest deadline, subject to optional per-client
+// bandwidth regulation ("allocating memory bandwidth to a client based on
+// its workload").
+//
+// Centralization buys near-optimal scheduling at small scale; its cost is
+// hardware scalability: the monolithic arbiter's logic grows with the
+// client count, which lowers the synthesizable clock frequency (captured
+// by hwcost::frequency_model, used when converting cycles to wall-clock).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "interconnect/interconnect.hpp"
+
+namespace bluescale {
+
+struct axi_icrt_config {
+    /// Per-client buffer depth in the switch box.
+    std::size_t queue_depth = 4;
+    /// Pipeline latency of the monolithic mux/arbiter, in cycles (grows
+    /// with the mux tree depth; the factory default is log2(n)/2).
+    std::uint32_t arb_latency = 2;
+    /// Bandwidth-regulation window, in cycles. Regulation is enabled per
+    /// client via set_client_share().
+    cycle_t regulation_period = 256;
+};
+
+class axi_icrt : public interconnect {
+public:
+    axi_icrt(std::uint32_t n_clients, axi_icrt_config cfg = {},
+             std::string name = "axi_icrt");
+
+    /// Reserves `share` (fraction of total transaction throughput) for
+    /// client c; the regulator refills the client's request budget every
+    /// regulation_period. Unset clients are unregulated.
+    void set_client_share(client_id_t c, double share);
+
+    [[nodiscard]] bool client_can_accept(client_id_t c) const override;
+    void client_push(client_id_t c, mem_request r) override;
+    [[nodiscard]] std::uint32_t depth_of(client_id_t c) const override;
+
+    void tick(cycle_t now) override;
+    void commit() override;
+    void reset() override;
+
+    /// Default arbiter pipeline depth for an n-client monolithic switch.
+    [[nodiscard]] static std::uint32_t default_arb_latency(std::uint32_t n);
+
+private:
+    struct regulator {
+        bool enabled = false;
+        std::uint64_t budget_per_period = 0;
+        std::uint64_t budget = 0;
+    };
+
+    axi_icrt_config cfg_;
+    std::vector<latched_queue<mem_request>> client_q_;
+    std::vector<regulator> regulators_;
+    /// Granted requests in the arbiter pipeline: (exit cycle, request).
+    std::deque<std::pair<cycle_t, mem_request>> pipeline_;
+};
+
+} // namespace bluescale

@@ -1,0 +1,150 @@
+#include "interconnect/bluetree.hpp"
+
+#include <cassert>
+
+namespace bluescale {
+
+namespace {
+std::uint32_t pad_to_pow2(std::uint32_t n) {
+    std::uint32_t p = 2;
+    while (p < n) p *= 2;
+    return p;
+}
+std::uint32_t log2_u32(std::uint32_t p) {
+    std::uint32_t l = 0;
+    while ((1u << l) < p) ++l;
+    return l;
+}
+} // namespace
+
+bluetree::bluetree(std::uint32_t n_clients, bluetree_config cfg,
+                   std::string name)
+    : interconnect(std::move(name), n_clients), cfg_(cfg),
+      padded_clients_(pad_to_pow2(n_clients)),
+      levels_(log2_u32(padded_clients_)) {
+    assert(cfg_.alpha >= 1);
+    const std::uint32_t n_nodes = padded_clients_ - 1;
+    nodes_.reserve(n_nodes);
+    for (std::uint32_t i = 0; i < n_nodes; ++i) {
+        nodes_.emplace_back(cfg_.queue_depth, cfg_.smooth_depth);
+        if (i > 0) {
+            nodes_[i].parent = static_cast<std::int32_t>((i - 1) / 2);
+            nodes_[i].parent_port = static_cast<std::uint8_t>((i - 1) % 2);
+        }
+    }
+    leaf_base_ = (1u << (levels_ - 1)) - 1;
+}
+
+bluetree bluetree::make_smooth(std::uint32_t n_clients, std::uint32_t alpha) {
+    bluetree_config cfg;
+    cfg.alpha = alpha;
+    cfg.queue_depth = 8;
+    cfg.smooth_depth = 4;
+    return bluetree(n_clients, cfg, "bluetree_smooth");
+}
+
+bool bluetree::client_can_accept(client_id_t c) const {
+    const node& leaf = nodes_[leaf_base_ + c / 2];
+    return leaf.in[c % 2].can_push();
+}
+
+void bluetree::client_push(client_id_t c, mem_request r) {
+    node& leaf = nodes_[leaf_base_ + c / 2];
+    assert(leaf.in[c % 2].can_push());
+    note_injected();
+    leaf.in[c % 2].push(std::move(r));
+}
+
+std::uint32_t bluetree::depth_of(client_id_t) const {
+    // Response path crosses one demux per tree level (plus one per output
+    // register stage in the smoothed variant).
+    return cfg_.smooth_depth > 0 ? 2 * levels_ : levels_;
+}
+
+bool bluetree::sink_can_accept(const node& n) const {
+    if (n.out) return n.out->can_push();
+    if (n.parent < 0) return memory_can_accept();
+    return nodes_[static_cast<std::size_t>(n.parent)]
+        .in[n.parent_port]
+        .can_push();
+}
+
+void bluetree::sink_push(node& n, mem_request r) {
+    if (n.out) {
+        n.out->push(std::move(r));
+    } else if (n.parent < 0) {
+        forward_to_memory(std::move(r));
+    } else {
+        nodes_[static_cast<std::size_t>(n.parent)].in[n.parent_port].push(
+            std::move(r));
+    }
+}
+
+void bluetree::arbitrate(node& n) {
+    if (!sink_can_accept(n)) return;
+    const bool hp = !n.in[0].empty();
+    const bool lp = !n.in[1].empty();
+    if (!hp && !lp) return;
+
+    // Blocking-factor rule: after `alpha` consecutive high-priority grants
+    // a pending low-priority request gets through.
+    std::size_t pick;
+    if (hp && (!lp || n.hp_run < cfg_.alpha)) {
+        pick = 0;
+        ++n.hp_run;
+    } else {
+        pick = 1;
+        n.hp_run = 0;
+    }
+
+    mem_request granted = n.in[pick].pop();
+    charge_blocked(n.in[0], granted.level_deadline);
+    charge_blocked(n.in[1], granted.level_deadline);
+    sink_push(n, std::move(granted));
+}
+
+void bluetree::tick(cycle_t now) {
+    // Move smoothing-stage outputs toward the parent first, then arbitrate.
+    for (auto& n : nodes_) {
+        if (!n.out || n.out->empty()) continue;
+        const bool parent_ok =
+            n.parent < 0
+                ? memory_can_accept()
+                : nodes_[static_cast<std::size_t>(n.parent)]
+                      .in[n.parent_port]
+                      .can_push();
+        if (!parent_ok) continue;
+        mem_request r = n.out->pop();
+        if (n.parent < 0) {
+            forward_to_memory(std::move(r));
+        } else {
+            nodes_[static_cast<std::size_t>(n.parent)]
+                .in[n.parent_port]
+                .push(std::move(r));
+        }
+    }
+    for (auto& n : nodes_) arbitrate(n);
+
+    drain_memory_responses(now);
+    deliver_due_responses(now);
+}
+
+void bluetree::commit() {
+    for (auto& n : nodes_) {
+        n.in[0].commit();
+        n.in[1].commit();
+        if (n.out) n.out->commit();
+    }
+}
+
+void bluetree::reset() {
+    interconnect::reset();
+    for (auto& n : nodes_) {
+        n.in[0].clear();
+        n.in[1].clear();
+        if (n.out) n.out->clear();
+        n.hp_run = 0;
+    }
+}
+
+} // namespace bluescale

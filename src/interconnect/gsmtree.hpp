@@ -1,0 +1,70 @@
+// GSMTree: a globally arbitrated memory tree (paper Sec. 2/6; Gomony et
+// al. [7, 8]). The tree is scheduled by a global TDM frame: each slot
+// admits (at most) one request from one designated client, which then
+// traverses the contention-free pipeline to the memory. Two reservation
+// strategies from the paper's evaluation:
+//   * TDM:  equal slots for every client.
+//   * FBSP: slots proportional to each client's maximum workload
+//           (frame-based slot proportional reservation).
+//
+// TDM trees are predictable but non-work-conserving: a slot whose owner
+// has nothing pending is wasted, which is exactly the average-latency
+// penalty the paper observes.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "interconnect/interconnect.hpp"
+
+namespace bluescale {
+
+enum class gsm_reservation : std::uint8_t {
+    tdm,  ///< equal bandwidth for all clients
+    fbsp, ///< bandwidth proportional to declared client workload
+};
+
+struct gsmtree_config {
+    gsm_reservation reservation = gsm_reservation::tdm;
+    /// Cycles per TDM slot; one memory transaction per slot. Matched to
+    /// the memory controller's initiation interval by the harness.
+    std::uint32_t slot_cycles = 4;
+    /// Per-client admission queue depth.
+    std::size_t queue_depth = 4;
+    /// FBSP: relative workload weight per client (utilization share).
+    /// Empty (or for TDM) means equal weights.
+    std::vector<double> client_weights;
+    /// FBSP frame length in slots (>= n_clients so every client gets one).
+    std::uint32_t frame_slots = 0; ///< 0 = auto (2x clients for FBSP)
+};
+
+class gsmtree : public interconnect {
+public:
+    gsmtree(std::uint32_t n_clients, gsmtree_config cfg = {},
+            std::string name = "gsmtree");
+
+    [[nodiscard]] bool client_can_accept(client_id_t c) const override;
+    void client_push(client_id_t c, mem_request r) override;
+    [[nodiscard]] std::uint32_t depth_of(client_id_t c) const override;
+
+    void tick(cycle_t now) override;
+    void commit() override;
+    void reset() override;
+
+    [[nodiscard]] const std::vector<client_id_t>& slot_table() const {
+        return slot_table_;
+    }
+
+private:
+    void build_slot_table();
+
+    gsmtree_config cfg_;
+    std::uint32_t levels_;
+    std::vector<latched_queue<mem_request>> client_q_;
+    std::vector<client_id_t> slot_table_;
+    /// Requests in the tree pipeline: (cycle they reach the root, request).
+    std::deque<std::pair<cycle_t, mem_request>> pipeline_;
+};
+
+} // namespace bluescale

@@ -1,0 +1,60 @@
+#include "interconnect/interconnect.hpp"
+
+#include <cassert>
+
+namespace bluescale {
+
+interconnect::interconnect(std::string name, std::uint32_t n_clients)
+    : component(std::move(name)), n_clients_(n_clients) {
+    assert(n_clients > 0);
+}
+
+void interconnect::charge_blocked(latched_queue<mem_request>& q,
+                                  cycle_t granted_deadline) {
+    for (std::size_t i = 0; i < q.size(); ++i) {
+        mem_request& waiting = q.at(i);
+        if (waiting.level_deadline < granted_deadline) {
+            ++waiting.blocked_cycles;
+        }
+    }
+}
+
+void interconnect::drain_memory_responses(cycle_t now) {
+    if (mem_ == nullptr) return;
+    while (mem_->has_response()) {
+        mem_request r = mem_->pop_response();
+        const cycle_t due = now + depth_of(r.client);
+        response_line_.push({due, response_seq_++, std::move(r)});
+    }
+}
+
+void interconnect::deliver_due_responses(cycle_t now) {
+    while (!response_line_.empty() && response_line_.top().due <= now) {
+        // priority_queue::top() is const; the element is moved out via the
+        // usual const_cast idiom since pop() follows immediately.
+        auto& top = const_cast<pending_response&>(response_line_.top());
+        mem_request r = std::move(top.req);
+        response_line_.pop();
+        r.complete_cycle = now;
+        assert(in_flight_ > 0);
+        --in_flight_;
+        on_response_delivered(r);
+        if (on_response_) on_response_(std::move(r));
+    }
+}
+
+void interconnect::deliver_response_now(mem_request r) {
+    assert(in_flight_ > 0);
+    --in_flight_;
+    on_response_delivered(r);
+    if (on_response_) on_response_(std::move(r));
+}
+
+void interconnect::reset() {
+    while (!response_line_.empty()) response_line_.pop();
+    in_flight_ = 0;
+    forwarded_ = 0;
+    response_seq_ = 0;
+}
+
+} // namespace bluescale

@@ -1,0 +1,123 @@
+// Abstract memory interconnect: the component between client ports and the
+// shared memory controller. All evaluated designs (BlueScale, AXI-IC^RT,
+// BlueTree, BlueTree-Smooth, GSMTree) implement this interface, so the
+// experiment harness and the clients are design-agnostic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "mem/memory_controller.hpp"
+#include "mem/request.hpp"
+#include "sim/component.hpp"
+#include "sim/latched_queue.hpp"
+
+namespace bluescale {
+
+class interconnect : public component {
+public:
+    /// Called with each completed transaction when its response reaches the
+    /// issuing client's port.
+    using response_handler = std::function<void(mem_request&&)>;
+
+    interconnect(std::string name, std::uint32_t n_clients);
+
+    [[nodiscard]] std::uint32_t num_clients() const { return n_clients_; }
+
+    /// Backpressure: can client c inject a request this cycle?
+    [[nodiscard]] virtual bool client_can_accept(client_id_t c) const = 0;
+
+    /// Injects a request at client c's port. Only valid when
+    /// client_can_accept(c). The request's level_deadline must be set (leaf
+    /// arbitration priority; normally its abs_deadline).
+    virtual void client_push(client_id_t c, mem_request r) = 0;
+
+    /// Number of request-path hops between client c and the memory; the
+    /// response path crosses the same number of demux stages.
+    [[nodiscard]] virtual std::uint32_t depth_of(client_id_t c) const = 0;
+
+    void attach_memory(memory_controller& mc) { mem_ = &mc; }
+    void set_response_handler(response_handler h) {
+        on_response_ = std::move(h);
+    }
+
+    /// Requests injected but not yet delivered back to their client.
+    [[nodiscard]] std::uint64_t in_flight() const { return in_flight_; }
+    /// Total requests handed to the memory controller.
+    [[nodiscard]] std::uint64_t forwarded_to_memory() const {
+        return forwarded_;
+    }
+
+    /// Drops all queued state between trials (derived classes extend).
+    virtual void reset();
+
+protected:
+    /// Charges one cycle of priority-inversion blocking to every request
+    /// waiting in `q` whose level deadline is earlier than the granted
+    /// request's (the paper's blocking-latency metric, Sec. 6.3).
+    static void charge_blocked(latched_queue<mem_request>& q,
+                               cycle_t granted_deadline);
+
+    /// Bookkeeping wrappers derived classes use at the memory boundary.
+    [[nodiscard]] bool memory_can_accept() const {
+        return mem_ != nullptr && mem_->can_accept();
+    }
+    void forward_to_memory(mem_request r) {
+        ++forwarded_;
+        mem_->push(std::move(r));
+    }
+
+    void note_injected() { ++in_flight_; }
+
+    /// Direct memory-response access for interconnects that model the
+    /// response path themselves (instead of the delay line below).
+    [[nodiscard]] bool memory_has_response() const {
+        return mem_ != nullptr && mem_->has_response();
+    }
+    mem_request pop_memory_response() { return mem_->pop_response(); }
+
+    /// Pulls finished transactions from the memory controller and schedules
+    /// their delivery depth_of(client) cycles later (response-path demux
+    /// stages are contention-free, one route per client). Call every tick.
+    void drain_memory_responses(cycle_t now);
+
+    /// Delivers responses whose due time has arrived. Call every tick.
+    void deliver_due_responses(cycle_t now);
+
+    /// Hands one completed request straight to the response handler,
+    /// bypassing the delay line (for interconnects that model response
+    /// latency themselves, and for test doubles).
+    void deliver_response_now(mem_request r);
+
+    /// Hook invoked just before a response reaches the client's handler;
+    /// lets derived classes release per-client credits or record stats.
+    virtual void on_response_delivered(const mem_request&) {}
+
+private:
+    struct pending_response {
+        cycle_t due;
+        std::uint64_t seq; ///< tie-break, preserves FIFO order per due time
+        mem_request req;
+    };
+    struct later_due {
+        bool operator()(const pending_response& a,
+                        const pending_response& b) const {
+            return a.due != b.due ? a.due > b.due : a.seq > b.seq;
+        }
+    };
+
+    std::uint32_t n_clients_;
+    memory_controller* mem_ = nullptr;
+    response_handler on_response_;
+    std::priority_queue<pending_response, std::vector<pending_response>,
+                        later_due>
+        response_line_;
+    std::uint64_t in_flight_ = 0;
+    std::uint64_t forwarded_ = 0;
+    std::uint64_t response_seq_ = 0;
+};
+
+} // namespace bluescale

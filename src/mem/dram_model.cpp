@@ -1,0 +1,71 @@
+#include "mem/dram_model.hpp"
+
+#include <cassert>
+
+namespace bluescale {
+
+dram_model::dram_model(dram_timing timing)
+    : timing_(timing), open_row_(timing.n_banks, -1) {
+    assert(timing_.n_banks > 0);
+    assert(timing_.row_bytes > 0);
+}
+
+std::uint32_t dram_model::bank_of(std::uint64_t addr) const {
+    return static_cast<std::uint32_t>((addr / timing_.bank_interleave_bytes) %
+                                      timing_.n_banks);
+}
+
+std::uint64_t dram_model::row_of(std::uint64_t addr) const {
+    return addr / (timing_.row_bytes * timing_.n_banks);
+}
+
+row_outcome dram_model::classify(const mem_request& r) const {
+    const auto bank = bank_of(r.addr);
+    const auto row = static_cast<std::int64_t>(row_of(r.addr));
+    if (open_row_[bank] == row) return row_outcome::hit;
+    if (open_row_[bank] < 0) return row_outcome::closed;
+    return row_outcome::conflict;
+}
+
+std::uint32_t dram_model::latency_for(row_outcome outcome, mem_op op) const {
+    std::uint32_t lat = timing_.t_cas + timing_.t_burst;
+    switch (outcome) {
+    case row_outcome::hit:
+        break;
+    case row_outcome::closed:
+        lat += timing_.t_rcd;
+        break;
+    case row_outcome::conflict:
+        lat += timing_.t_rp + timing_.t_rcd;
+        break;
+    }
+    if (op == mem_op::write) lat += timing_.t_wr_extra;
+    return lat;
+}
+
+std::uint32_t dram_model::access_latency(const mem_request& r) const {
+    return latency_for(classify(r), r.op);
+}
+
+std::uint32_t dram_model::access(const mem_request& r) {
+    const row_outcome outcome = classify(r);
+    if (outcome == row_outcome::hit) {
+        ++hits_;
+    } else {
+        ++misses_;
+    }
+    open_row_[bank_of(r.addr)] = static_cast<std::int64_t>(row_of(r.addr));
+    return latency_for(outcome, r.op);
+}
+
+void dram_model::close_all_rows() {
+    for (auto& row : open_row_) row = -1;
+}
+
+void dram_model::reset() {
+    close_all_rows();
+    hits_ = 0;
+    misses_ = 0;
+}
+
+} // namespace bluescale

@@ -1,0 +1,106 @@
+#include "mem/memory_controller.hpp"
+
+#include <algorithm>
+
+namespace bluescale {
+
+memory_controller::memory_controller(memctrl_config cfg)
+    : component("memory_controller"), cfg_(cfg), dram_(cfg.timing),
+      in_q_(cfg.request_queue_depth), out_q_(cfg.response_queue_depth),
+      bank_busy_until_(cfg.timing.n_banks, 0) {}
+
+bool memory_controller::bank_free(const mem_request& r, cycle_t now) const {
+    return bank_busy_until_[dram_.bank_of(r.addr)] <= now;
+}
+
+int memory_controller::choose(cycle_t now) const {
+    if (in_q_.empty()) return -1;
+
+    if (cfg_.policy == memctrl_policy::fcfs) {
+        // Strict order: the head stalls everyone while its bank is busy.
+        return bank_free(in_q_.at(0), now) ? 0 : -1;
+    }
+
+    // FR-FCFS. A head bypassed too often is forced next (starvation guard).
+    if (head_bypasses_ >= cfg_.fr_fcfs_bypass_cap) {
+        return bank_free(in_q_.at(0), now) ? 0 : -1;
+    }
+    // Oldest ready row hit...
+    for (std::size_t i = 0; i < in_q_.size(); ++i) {
+        const mem_request& r = in_q_.at(i);
+        if (bank_free(r, now) &&
+            dram_.classify(r) == row_outcome::hit) {
+            return static_cast<int>(i);
+        }
+    }
+    // ...else oldest request with a free bank.
+    for (std::size_t i = 0; i < in_q_.size(); ++i) {
+        if (bank_free(in_q_.at(i), now)) return static_cast<int>(i);
+    }
+    return -1;
+}
+
+void memory_controller::tick(cycle_t now) {
+    // Retire finished transactions into the response queue.
+    while (!in_flight_.empty() && in_flight_.top().done <= now &&
+           out_q_.can_push()) {
+        auto& top = const_cast<completion&>(in_flight_.top());
+        mem_request r = std::move(top.req);
+        in_flight_.pop();
+        r.mem_done = now;
+        out_q_.push(std::move(r));
+        ++serviced_;
+    }
+
+    // Refresh window: all rows close and no transaction starts until the
+    // refresh completes (a fixed-cadence disturbance every t_refi cycles).
+    if (cfg_.timing.t_refi != 0 && now != 0 &&
+        now % cfg_.timing.t_refi == 0) {
+        dram_.close_all_rows();
+        next_start_ = std::max<cycle_t>(next_start_,
+                                        now + cfg_.timing.t_rfc);
+    }
+
+    // Start a new transaction at most once per initiation interval.
+    if (now < next_start_) return;
+    const int pick = choose(now);
+    if (pick < 0) return;
+
+    if (pick == 0) {
+        head_bypasses_ = 0;
+    } else {
+        ++head_bypasses_;
+    }
+    mem_request r = in_q_.extract(static_cast<std::size_t>(pick));
+    const std::uint32_t latency = dram_.access(r);
+    r.mem_start = now;
+    // Requests that keep waiting while a later-deadline transaction
+    // occupies the start slot are blocked by lower-priority work.
+    for (std::size_t i = 0; i < in_q_.size(); ++i) {
+        mem_request& waiting = in_q_.at(i);
+        if (waiting.level_deadline < r.level_deadline) {
+            waiting.blocked_cycles += cfg_.initiation_interval;
+        }
+    }
+    bank_busy_until_[dram_.bank_of(r.addr)] = now + latency;
+    in_flight_.push({now + latency, completion_seq_++, std::move(r)});
+    next_start_ = now + cfg_.initiation_interval;
+}
+
+void memory_controller::commit() {
+    in_q_.commit();
+    out_q_.commit();
+}
+
+void memory_controller::reset() {
+    in_q_.clear();
+    out_q_.clear();
+    while (!in_flight_.empty()) in_flight_.pop();
+    for (auto& b : bank_busy_until_) b = 0;
+    next_start_ = 0;
+    head_bypasses_ = 0;
+    serviced_ = 0;
+    dram_.reset();
+}
+
+} // namespace bluescale

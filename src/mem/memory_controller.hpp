@@ -1,0 +1,97 @@
+// Memory controller: queues transactions from the interconnect root and
+// services them against the DRAM model with bank-level parallelism.
+//
+// The controller starts at most one transaction every
+// `initiation_interval` cycles (the command/data-bus slot -- one paper
+// "time unit"); each started transaction occupies its bank for the
+// DRAM-model latency and completes independently, so throughput is
+// 1/initiation_interval while per-request latency is row-state dependent.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "mem/dram_model.hpp"
+#include "mem/request.hpp"
+#include "sim/component.hpp"
+#include "sim/latched_queue.hpp"
+
+namespace bluescale {
+
+/// Transaction scheduling policy inside the controller.
+enum class memctrl_policy : std::uint8_t {
+    fcfs,    ///< strictly oldest-first
+    fr_fcfs, ///< first-ready (open-row hit on a free bank) first
+};
+
+struct memctrl_config {
+    memctrl_policy policy = memctrl_policy::fr_fcfs;
+    std::size_t request_queue_depth = 16;
+    std::size_t response_queue_depth = 16;
+    /// Cycles between transaction starts (one analysis time unit).
+    std::uint32_t initiation_interval = 4;
+    /// FR-FCFS starvation guard: after the queue head has been bypassed by
+    /// this many younger requests, it must be served next.
+    std::uint32_t fr_fcfs_bypass_cap = 16;
+    dram_timing timing = {};
+};
+
+class memory_controller : public component {
+public:
+    explicit memory_controller(memctrl_config cfg = {});
+
+    // --- request side (interconnect root pushes here) -------------------
+    [[nodiscard]] bool can_accept() const { return in_q_.can_push(); }
+    void push(mem_request r) { in_q_.push(std::move(r)); }
+
+    // --- response side (interconnect root drains these) -----------------
+    [[nodiscard]] bool has_response() const { return !out_q_.empty(); }
+    mem_request pop_response() { return out_q_.pop(); }
+
+    void tick(cycle_t now) override;
+    void commit() override;
+
+    /// Drops queued/in-flight state between trials.
+    void reset();
+
+    [[nodiscard]] const dram_model& dram() const { return dram_; }
+    [[nodiscard]] const memctrl_config& config() const { return cfg_; }
+    [[nodiscard]] std::uint64_t serviced() const { return serviced_; }
+    /// True when no transaction is queued or in flight.
+    [[nodiscard]] bool idle() const {
+        return in_flight_.empty() && in_q_.empty();
+    }
+
+private:
+    /// Index into in_q_ of the transaction to start next; -1 when none is
+    /// ready (e.g. the head's bank is still busy).
+    [[nodiscard]] int choose(cycle_t now) const;
+    /// Younger-request grants since the current head became head.
+    std::uint32_t head_bypasses_ = 0;
+    [[nodiscard]] bool bank_free(const mem_request& r, cycle_t now) const;
+
+    struct completion {
+        cycle_t done;
+        std::uint64_t seq;
+        mem_request req;
+    };
+    struct later_done {
+        bool operator()(const completion& a, const completion& b) const {
+            return a.done != b.done ? a.done > b.done : a.seq > b.seq;
+        }
+    };
+
+    memctrl_config cfg_;
+    dram_model dram_;
+    latched_queue<mem_request> in_q_;
+    latched_queue<mem_request> out_q_;
+    std::priority_queue<completion, std::vector<completion>, later_done>
+        in_flight_;
+    std::vector<cycle_t> bank_busy_until_;
+    cycle_t next_start_ = 0;
+    std::uint64_t serviced_ = 0;
+    std::uint64_t completion_seq_ = 0;
+};
+
+} // namespace bluescale

@@ -1,0 +1,71 @@
+#include "mem/memory_subsystem.hpp"
+
+#include <cstdio>
+
+namespace bluescale {
+
+const char* preset_name(dram_preset preset) {
+    switch (preset) {
+    case dram_preset::ddr3_1600: return "DDR3-1600";
+    case dram_preset::lpddr4: return "LPDDR4";
+    case dram_preset::fast_sram: return "SRAM";
+    }
+    return "?";
+}
+
+dram_timing make_dram_timing(dram_preset preset) {
+    dram_timing t; // defaults are the DDR3-1600-class model
+    switch (preset) {
+    case dram_preset::ddr3_1600:
+        break;
+    case dram_preset::lpddr4:
+        t.t_cas = 8;
+        t.t_rcd = 8;
+        t.t_rp = 8;
+        t.t_burst = 4;
+        t.t_refi = 1560;
+        t.t_rfc = 70;
+        break;
+    case dram_preset::fast_sram:
+        // Uniform access: one "row" covering everything, tiny latency.
+        t.n_banks = 1;
+        t.row_bytes = 1u << 30;
+        t.t_cas = 1;
+        t.t_rcd = 0;
+        t.t_rp = 0;
+        t.t_burst = 1;
+        t.t_wr_extra = 0;
+        break;
+    }
+    return t;
+}
+
+memctrl_config make_memctrl_config(dram_preset preset) {
+    memctrl_config cfg;
+    cfg.timing = make_dram_timing(preset);
+    switch (preset) {
+    case dram_preset::ddr3_1600:
+        break;
+    case dram_preset::lpddr4:
+        cfg.initiation_interval = 6;
+        break;
+    case dram_preset::fast_sram:
+        cfg.policy = memctrl_policy::fcfs; // nothing to reorder for
+        cfg.initiation_interval = 1;
+        break;
+    }
+    return cfg;
+}
+
+std::string memory_subsystem::describe() const {
+    const auto s = stats();
+    char buf[128];
+    std::snprintf(buf, sizeof buf,
+                  "%s: %llu transactions, %.1f%% row hits",
+                  preset_name(preset_),
+                  static_cast<unsigned long long>(s.serviced),
+                  100.0 * s.hit_rate());
+    return buf;
+}
+
+} // namespace bluescale

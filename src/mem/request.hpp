@@ -1,0 +1,60 @@
+// Memory transaction types that flow through every interconnect.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace bluescale {
+
+/// Read/write direction of a transaction.
+enum class mem_op : std::uint8_t { read, write };
+
+/// One memory transaction. The same object travels up the request path,
+/// through the memory controller, and back down the response path; timing
+/// fields are filled in as it goes so the client can account latency and
+/// deadline misses when the response arrives.
+struct mem_request {
+    request_id_t id = 0;
+    client_id_t client = 0;  ///< issuing system-wide client (mu.x)
+    task_id_t task = 0;      ///< issuing task within the client
+    std::uint32_t job = 0;   ///< job sequence number of the issuing task
+    std::uint64_t addr = 0;
+    mem_op op = mem_op::read;
+
+    /// Cycle the client issued the request.
+    cycle_t issue_cycle = 0;
+
+    /// Task-level absolute deadline (release + period under implicit
+    /// deadlines). Used for deadline-miss accounting and for EDF ordering
+    /// at the leaf level.
+    cycle_t abs_deadline = k_cycle_never;
+
+    /// Deadline used for arbitration at the *current* tree level. At the
+    /// leaves it equals abs_deadline; each BlueScale SE that forwards the
+    /// request re-stamps it with the forwarding server job's deadline,
+    /// realizing the paper's iterative compositional scheduling.
+    cycle_t level_deadline = k_cycle_never;
+
+    // --- measurement fields -------------------------------------------
+    /// Cycles spent waiting at any arbitration point while a request with a
+    /// *later* deadline was being granted (priority inversion; the paper's
+    /// "blocking latency", Sec. 6.3).
+    cycle_t blocked_cycles = 0;
+    /// Cycle this request arrived at its current hop (re-stamped by each
+    /// forwarding element; drives per-level latency breakdowns).
+    cycle_t hop_arrival = 0;
+    cycle_t mem_start = 0;      ///< cycle the memory controller began service
+    cycle_t mem_done = 0;       ///< cycle the memory controller finished
+    cycle_t complete_cycle = 0; ///< cycle the response reached the client
+
+    [[nodiscard]] cycle_t total_latency() const {
+        return complete_cycle - issue_cycle;
+    }
+
+    [[nodiscard]] bool met_deadline() const {
+        return complete_cycle <= abs_deadline;
+    }
+};
+
+} // namespace bluescale

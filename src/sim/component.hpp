@@ -1,0 +1,35 @@
+// Base class for clocked hardware components.
+#pragma once
+
+#include <string>
+
+#include "sim/types.hpp"
+
+namespace bluescale {
+
+/// A clocked component. The simulator calls tick() once per cycle on every
+/// registered component (combinational + sequential work for that cycle),
+/// then commit() on every component (clock edge: latch outputs). Components
+/// that communicate exclusively through latched_queue interfaces are
+/// insensitive to tick ordering.
+class component {
+public:
+    explicit component(std::string name) : name_(std::move(name)) {}
+    virtual ~component() = default;
+
+    component(const component&) = delete;
+    component& operator=(const component&) = delete;
+
+    /// Evaluate one cycle at time `now`.
+    virtual void tick(cycle_t now) = 0;
+
+    /// Clock edge: make this cycle's outputs visible to consumers.
+    virtual void commit() {}
+
+    [[nodiscard]] const std::string& name() const { return name_; }
+
+private:
+    std::string name_;
+};
+
+} // namespace bluescale

@@ -1,0 +1,90 @@
+// Bounded FIFO ring buffer used to model hardware queues with finite depth.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace bluescale {
+
+/// A fixed-capacity FIFO. push() on a full queue is a programming error
+/// (callers must check full() first -- hardware queues exert backpressure,
+/// they do not drop or grow).
+template <typename T>
+class fixed_queue {
+public:
+    explicit fixed_queue(std::size_t capacity)
+        : slots_(capacity) {
+        assert(capacity > 0);
+    }
+
+    [[nodiscard]] bool empty() const { return size_ == 0; }
+    [[nodiscard]] bool full() const { return size_ == slots_.size(); }
+    [[nodiscard]] std::size_t size() const { return size_; }
+    [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+    [[nodiscard]] std::size_t free_slots() const { return slots_.size() - size_; }
+
+    void push(T value) {
+        assert(!full());
+        slots_[(head_ + size_) % slots_.size()] = std::move(value);
+        ++size_;
+    }
+
+    [[nodiscard]] const T& front() const {
+        assert(!empty());
+        return slots_[head_];
+    }
+
+    [[nodiscard]] T& front() {
+        assert(!empty());
+        return slots_[head_];
+    }
+
+    T pop() {
+        assert(!empty());
+        T value = std::move(slots_[head_]);
+        head_ = (head_ + 1) % slots_.size();
+        --size_;
+        return value;
+    }
+
+    void clear() {
+        head_ = 0;
+        size_ = 0;
+    }
+
+    /// Element i positions from the front (0 == front). For arbiters that
+    /// inspect queue contents without consuming them.
+    [[nodiscard]] const T& at(std::size_t i) const {
+        assert(i < size_);
+        return slots_[(head_ + i) % slots_.size()];
+    }
+
+    [[nodiscard]] T& at(std::size_t i) {
+        assert(i < size_);
+        return slots_[(head_ + i) % slots_.size()];
+    }
+
+    /// Removes and returns the element i positions from the front,
+    /// preserving the order of the remaining elements. Used by random
+    /// access buffers, which can fetch any stored entry.
+    T extract(std::size_t i) {
+        assert(i < size_);
+        T value = std::move(slots_[(head_ + i) % slots_.size()]);
+        // Shift the tail of the window forward by one slot.
+        for (std::size_t j = i; j + 1 < size_; ++j) {
+            slots_[(head_ + j) % slots_.size()] =
+                std::move(slots_[(head_ + j + 1) % slots_.size()]);
+        }
+        --size_;
+        return value;
+    }
+
+private:
+    std::vector<T> slots_;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace bluescale

@@ -1,0 +1,67 @@
+// Two-phase bounded queue modelling a registered hardware interface.
+//
+// Values pushed during a cycle's tick() phase become visible to consumers
+// only after commit() -- i.e., on the next clock edge. This gives every
+// producer/consumer pair well-defined one-cycle hand-off semantics that do
+// not depend on the order in which the simulator ticks components.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "sim/fixed_queue.hpp"
+
+namespace bluescale {
+
+template <typename T>
+class latched_queue {
+public:
+    explicit latched_queue(std::size_t capacity)
+        : visible_(capacity), capacity_(capacity) {}
+
+    /// Free slots from the producer's point of view: pushes staged this
+    /// cycle count against capacity, so a producer can never overrun the
+    /// queue even before commit().
+    [[nodiscard]] bool can_push() const {
+        return visible_.size() + staged_.size() < capacity_;
+    }
+
+    [[nodiscard]] std::size_t free_slots() const {
+        return capacity_ - visible_.size() - staged_.size();
+    }
+
+    void push(T value) {
+        assert(can_push());
+        staged_.push_back(std::move(value));
+    }
+
+    // --- consumer side: operates on values committed in earlier cycles ---
+    [[nodiscard]] bool empty() const { return visible_.empty(); }
+    [[nodiscard]] std::size_t size() const { return visible_.size(); }
+    [[nodiscard]] std::size_t capacity() const { return capacity_; }
+    [[nodiscard]] const T& front() const { return visible_.front(); }
+    T pop() { return visible_.pop(); }
+    [[nodiscard]] const T& at(std::size_t i) const { return visible_.at(i); }
+    [[nodiscard]] T& at(std::size_t i) { return visible_.at(i); }
+    T extract(std::size_t i) { return visible_.extract(i); }
+
+    /// Clock edge: staged values become visible, in push order.
+    void commit() {
+        for (auto& value : staged_) visible_.push(std::move(value));
+        staged_.clear();
+    }
+
+    void clear() {
+        visible_.clear();
+        staged_.clear();
+    }
+
+private:
+    fixed_queue<T> visible_;
+    std::vector<T> staged_;
+    std::size_t capacity_;
+};
+
+} // namespace bluescale

@@ -1,0 +1,32 @@
+// Minimal leveled logging for simulation debugging. Off by default so that
+// benchmark runs are quiet; tests and examples can raise the level.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "sim/types.hpp"
+
+namespace bluescale {
+
+enum class log_level { off = 0, error = 1, info = 2, trace = 3 };
+
+namespace detail {
+inline log_level& global_log_level() {
+    static log_level level = log_level::off;
+    return level;
+}
+} // namespace detail
+
+inline void set_log_level(log_level level) { detail::global_log_level() = level; }
+inline log_level get_log_level() { return detail::global_log_level(); }
+
+/// Logs a pre-formatted line with the cycle stamp when `level` is enabled.
+inline void log_line(log_level level, cycle_t now, const std::string& text) {
+    if (static_cast<int>(level) <= static_cast<int>(detail::global_log_level())) {
+        std::fprintf(stderr, "[%10llu] %s\n",
+                     static_cast<unsigned long long>(now), text.c_str());
+    }
+}
+
+} // namespace bluescale

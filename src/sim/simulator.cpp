@@ -1,0 +1,25 @@
+#include "sim/simulator.hpp"
+
+namespace bluescale {
+
+void simulator::step() {
+    for (component* c : components_) c->tick(now_);
+    for (component* c : components_) c->commit();
+    ++now_;
+}
+
+void simulator::run(cycle_t cycles) {
+    const cycle_t end = now_ + cycles;
+    while (now_ < end) step();
+}
+
+bool simulator::run_until(const std::function<bool()>& done, cycle_t max_cycles) {
+    const cycle_t end = now_ + max_cycles;
+    while (now_ < end) {
+        if (done()) return true;
+        step();
+    }
+    return done();
+}
+
+} // namespace bluescale

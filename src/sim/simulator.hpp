@@ -1,0 +1,36 @@
+// Cycle-stepped simulation engine.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/component.hpp"
+#include "sim/types.hpp"
+
+namespace bluescale {
+
+/// Drives a set of components with a shared clock. Components are owned by
+/// the caller (typically a system model that also wires them together); the
+/// simulator only sequences them.
+class simulator {
+public:
+    void add(component& c) { components_.push_back(&c); }
+
+    [[nodiscard]] cycle_t now() const { return now_; }
+
+    /// Runs for `cycles` additional cycles.
+    void run(cycle_t cycles);
+
+    /// Runs until `done()` returns true or `max_cycles` elapse. Returns true
+    /// if the predicate fired.
+    bool run_until(const std::function<bool()>& done, cycle_t max_cycles);
+
+    /// Advances exactly one cycle.
+    void step();
+
+private:
+    std::vector<component*> components_;
+    cycle_t now_ = 0;
+};
+
+} // namespace bluescale

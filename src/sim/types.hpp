@@ -1,0 +1,27 @@
+// Fundamental simulation types shared by every module.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace bluescale {
+
+/// Simulation time, in interconnect clock cycles. One cycle is the paper's
+/// discrete "time unit": the cost of forwarding one memory transaction
+/// through one arbitration point.
+using cycle_t = std::uint64_t;
+
+/// A cycle value that is later than any reachable simulation time.
+inline constexpr cycle_t k_cycle_never = std::numeric_limits<cycle_t>::max();
+
+/// System-wide client identifier (the paper's mu.x index).
+using client_id_t = std::uint32_t;
+
+/// Task identifier, unique within one client (8 bits in the paper's task
+/// parameter table).
+using task_id_t = std::uint8_t;
+
+/// Unique identifier of one in-flight memory request.
+using request_id_t = std::uint64_t;
+
+} // namespace bluescale

@@ -1,0 +1,34 @@
+#include "stats/csv.hpp"
+
+namespace bluescale::stats {
+
+csv_writer::csv_writer(const std::string& path,
+                       std::vector<std::string> headers)
+    : out_(path) {
+    if (out_) write_row(headers);
+}
+
+void csv_writer::add_row(const std::vector<std::string>& cells) {
+    write_row(cells);
+}
+
+std::string csv_writer::escape(const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string quoted = "\"";
+    for (char c : cell) {
+        if (c == '"') quoted += '"';
+        quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+void csv_writer::write_row(const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i != 0) out_ << ',';
+        out_ << escape(cells[i]);
+    }
+    out_ << '\n';
+}
+
+} // namespace bluescale::stats

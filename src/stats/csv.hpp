@@ -1,0 +1,27 @@
+// CSV emission for post-processing experiment output (plotting, diffing).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace bluescale::stats {
+
+/// Writes rows to a CSV file. Values containing commas/quotes/newlines are
+/// quoted per RFC 4180.
+class csv_writer {
+public:
+    csv_writer(const std::string& path, std::vector<std::string> headers);
+
+    [[nodiscard]] bool ok() const { return static_cast<bool>(out_); }
+
+    void add_row(const std::vector<std::string>& cells);
+
+private:
+    static std::string escape(const std::string& cell);
+    void write_row(const std::vector<std::string>& cells);
+
+    std::ofstream out_;
+};
+
+} // namespace bluescale::stats

@@ -1,0 +1,62 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace bluescale::stats {
+
+histogram::histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bin_width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+    assert(hi > lo && bins > 0);
+}
+
+void histogram::add(double x) {
+    ++total_;
+    if (x < lo_) {
+        ++underflow_;
+    } else if (x >= hi_) {
+        ++overflow_;
+    } else {
+        auto i = static_cast<std::size_t>((x - lo_) / bin_width_);
+        i = std::min(i, counts_.size() - 1); // guard FP edge at hi_
+        ++counts_[i];
+    }
+}
+
+double histogram::bin_lo(std::size_t i) const {
+    return lo_ + static_cast<double>(i) * bin_width_;
+}
+
+double histogram::bin_hi(std::size_t i) const {
+    return lo_ + static_cast<double>(i + 1) * bin_width_;
+}
+
+std::string histogram::to_string(std::size_t max_width) const {
+    std::uint64_t peak = 1;
+    for (auto c : counts_) peak = std::max(peak, c);
+
+    std::string out;
+    char line[160];
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const auto bar_len = static_cast<std::size_t>(
+            static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+            static_cast<double>(max_width));
+        std::snprintf(line, sizeof line, "[%10.2f, %10.2f) %8llu |",
+                      bin_lo(i), bin_hi(i),
+                      static_cast<unsigned long long>(counts_[i]));
+        out += line;
+        out.append(bar_len, '#');
+        out += '\n';
+    }
+    if (underflow_ != 0 || overflow_ != 0) {
+        std::snprintf(line, sizeof line, "underflow %llu, overflow %llu\n",
+                      static_cast<unsigned long long>(underflow_),
+                      static_cast<unsigned long long>(overflow_));
+        out += line;
+    }
+    return out;
+}
+
+} // namespace bluescale::stats

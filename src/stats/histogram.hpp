@@ -1,0 +1,40 @@
+// Fixed-width histogram for latency distributions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bluescale::stats {
+
+/// Linear-bin histogram over [lo, hi); values outside the range land in
+/// saturating under-/overflow bins.
+class histogram {
+public:
+    histogram(double lo, double hi, std::size_t bins);
+
+    void add(double x);
+
+    [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+    [[nodiscard]] std::uint64_t bin(std::size_t i) const { return counts_[i]; }
+    [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+    [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+    [[nodiscard]] std::uint64_t total() const { return total_; }
+    [[nodiscard]] double bin_lo(std::size_t i) const;
+    [[nodiscard]] double bin_hi(std::size_t i) const;
+
+    /// Compact one-line-per-bin ASCII rendering for logs/examples.
+    [[nodiscard]] std::string to_string(std::size_t max_width = 50) const;
+
+private:
+    double lo_;
+    double hi_;
+    double bin_width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace bluescale::stats

@@ -1,0 +1,66 @@
+// Streaming and sample-retaining summary statistics.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace bluescale::stats {
+
+/// Streaming mean/variance/min/max via Welford's algorithm. O(1) memory;
+/// use `sample_set` when percentiles are needed.
+class running_summary {
+public:
+    void add(double x);
+
+    [[nodiscard]] std::size_t count() const { return count_; }
+    [[nodiscard]] double mean() const { return count_ ? mean_ : 0.0; }
+    /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+    [[nodiscard]] double variance() const;
+    [[nodiscard]] double stddev() const;
+    [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+    [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+    [[nodiscard]] double sum() const { return sum_; }
+
+    /// Merges another summary into this one (parallel-trial aggregation).
+    void merge(const running_summary& other);
+
+private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/// Retains all samples; supports exact percentiles in addition to the
+/// running_summary statistics.
+class sample_set {
+public:
+    void add(double x) {
+        samples_.push_back(x);
+        summary_.add(x);
+        sorted_ = false;
+    }
+
+    [[nodiscard]] std::size_t count() const { return summary_.count(); }
+    [[nodiscard]] double mean() const { return summary_.mean(); }
+    [[nodiscard]] double variance() const { return summary_.variance(); }
+    [[nodiscard]] double stddev() const { return summary_.stddev(); }
+    [[nodiscard]] double min() const { return summary_.min(); }
+    [[nodiscard]] double max() const { return summary_.max(); }
+    [[nodiscard]] double sum() const { return summary_.sum(); }
+
+    /// Exact percentile by linear interpolation between closest ranks.
+    /// p in [0, 100]. Returns 0 when empty.
+    [[nodiscard]] double percentile(double p) const;
+
+    [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+private:
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = false;
+    running_summary summary_;
+};
+
+} // namespace bluescale::stats

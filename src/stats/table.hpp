@@ -1,0 +1,31 @@
+// Aligned console table rendering for benchmark/experiment output.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace bluescale::stats {
+
+/// Builds a column-aligned text table. Benches use it to print paper-style
+/// rows; the formatting is plain ASCII so output diffs cleanly.
+class table {
+public:
+    explicit table(std::vector<std::string> headers);
+
+    /// Appends a row; the row must have the same arity as the header.
+    void add_row(std::vector<std::string> cells);
+
+    [[nodiscard]] std::string to_string() const;
+    void print(std::FILE* out = stdout) const;
+
+    /// Convenience numeric formatting helpers.
+    static std::string num(double v, int precision = 2);
+    static std::string pct(double fraction, int precision = 1);
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace bluescale::stats

@@ -1,0 +1,38 @@
+// Per-client measurement record shared by all client models.
+#pragma once
+
+#include <cstdint>
+
+#include "stats/summary.hpp"
+
+namespace bluescale::workload {
+
+/// Counters and samples one client accumulates over a trial.
+struct client_stats {
+    std::uint64_t issued = 0;    ///< requests injected into the interconnect
+    std::uint64_t completed = 0; ///< responses received
+    std::uint64_t missed = 0;    ///< requests completed (or abandoned) late
+
+    stats::sample_set latency_cycles;  ///< issue -> response, per request
+    stats::sample_set blocking_cycles; ///< priority-inversion wait, per request
+
+    [[nodiscard]] double miss_ratio() const {
+        const std::uint64_t accounted = completed + abandoned;
+        return accounted == 0
+                   ? 0.0
+                   : static_cast<double>(missed) /
+                         static_cast<double>(accounted);
+    }
+
+    /// Requests never completed by trial end whose deadline had passed;
+    /// these are also counted in `missed`.
+    std::uint64_t abandoned = 0;
+
+    /// Requests later than deadline + margin, where the margin is the
+    /// client's configured validation allowance (theory-validation runs
+    /// grant the constant memory/response-path overhead the analysis
+    /// abstracts away; 0 by default, making this equal to `missed`).
+    std::uint64_t missed_beyond_margin = 0;
+};
+
+} // namespace bluescale::workload

@@ -1,0 +1,50 @@
+// Compute-task model for the system-level case study (paper Sec. 6.4):
+// real-world tasks that interleave processor work with memory accesses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace bluescale::workload {
+
+/// Category of a case-study task (paper: automotive safety tasks from the
+/// Renesas use-case database [5], function tasks from EEMBC [4], plus
+/// interference tasks used to reach a target utilization).
+enum class task_category : std::uint8_t {
+    safety,
+    function,
+    interference,
+};
+
+/// A periodic compute task: every `period` cycles it releases a job that
+/// executes `compute_cycles` of processor work and issues `mem_requests`
+/// memory accesses spread evenly through the execution (each access
+/// stalls the in-order core until its response returns). Implicit
+/// deadline = next release.
+struct compute_task {
+    std::string name;
+    task_id_t id = 0;
+    task_category category = task_category::function;
+    cycle_t period = 0;
+    std::uint32_t compute_cycles = 0;
+    std::uint32_t mem_requests = 0;
+
+    /// Compute-only utilization (the paper's "target utilization" knob --
+    /// actual utilization also includes memory stalls, which depend on
+    /// the interconnect under test).
+    [[nodiscard]] double compute_utilization() const {
+        return period == 0 ? 0.0
+                           : static_cast<double>(compute_cycles) /
+                                 static_cast<double>(period);
+    }
+};
+
+using compute_task_set = std::vector<compute_task>;
+
+/// Sum of compute-only utilizations.
+[[nodiscard]] double compute_utilization(const compute_task_set& tasks);
+
+} // namespace bluescale::workload

@@ -1,0 +1,59 @@
+// Task model for memory-traffic workloads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/rt_task.hpp"
+#include "sim/types.hpp"
+
+namespace bluescale::workload {
+
+/// One "transaction time unit" in interconnect cycles.
+///
+/// The paper's analysis (Sec. 5) abstracts the memory system as a unit-rate
+/// resource: one transaction consumes one time unit. In the simulator a
+/// pipelined memory controller starts one transaction every
+/// `k_unit_cycles` cycles, so one analysis time unit corresponds to this
+/// many interconnect cycles. Task periods are expressed in units and
+/// converted to cycles when driving the simulator.
+inline constexpr std::uint32_t k_unit_cycles = 4;
+
+/// A periodic memory-transaction task (the load one client task puts on the
+/// interconnect): every `period_units` time units it releases a job of
+/// `requests_per_job` memory transactions, all due by the implicit deadline
+/// (the next release).
+struct memory_task {
+    task_id_t id = 0;
+    std::uint64_t period_units = 0;     ///< T_i, in transaction time units
+    std::uint32_t requests_per_job = 0; ///< C_i, in transactions
+    bool writes = false;                ///< issue writes instead of reads
+
+    [[nodiscard]] cycle_t period_cycles(std::uint32_t unit_cycles =
+                                            k_unit_cycles) const {
+        return period_units * unit_cycles;
+    }
+
+    [[nodiscard]] double utilization() const {
+        return period_units == 0
+                   ? 0.0
+                   : static_cast<double>(requests_per_job) /
+                         static_cast<double>(period_units);
+    }
+
+    /// View for the schedulability analysis: T = period in units,
+    /// C = transactions per job.
+    [[nodiscard]] analysis::rt_task as_rt_task() const {
+        return {period_units, requests_per_job};
+    }
+};
+
+using memory_task_set = std::vector<memory_task>;
+
+/// Sum of task utilizations (fraction of the memory system's throughput).
+[[nodiscard]] double utilization(const memory_task_set& tasks);
+
+/// Analysis view of a whole set.
+[[nodiscard]] analysis::task_set to_rt_tasks(const memory_task_set& tasks);
+
+} // namespace bluescale::workload

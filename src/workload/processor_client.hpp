@@ -1,0 +1,88 @@
+// Processor client for the system-level case study (paper Sec. 6.4): an
+// in-order core running periodic compute tasks under non-preemptive EDF.
+// Jobs interleave compute cycles with memory accesses; each access stalls
+// the core until the response returns (blocking cache-miss semantics).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "interconnect/interconnect.hpp"
+#include "sim/component.hpp"
+#include "sim/rng.hpp"
+#include "workload/compute_task.hpp"
+
+namespace bluescale::workload {
+
+/// Per-category job outcome counters.
+struct job_stats {
+    std::uint64_t completed = 0;
+    std::uint64_t missed = 0;
+
+    [[nodiscard]] double miss_ratio() const {
+        return completed == 0 ? 0.0
+                              : static_cast<double>(missed) /
+                                    static_cast<double>(completed);
+    }
+};
+
+class processor_client : public component {
+public:
+    processor_client(client_id_t id, compute_task_set tasks,
+                     interconnect& net, std::uint64_t seed);
+
+    void tick(cycle_t now) override;
+    void on_response(mem_request&& r);
+
+    /// Accounts jobs that are running late (or queued past their
+    /// deadline) at trial end.
+    void finalize(cycle_t end_cycle);
+
+    [[nodiscard]] client_id_t id() const { return id_; }
+    [[nodiscard]] const job_stats& stats(task_category c) const {
+        return stats_[static_cast<std::size_t>(c)];
+    }
+    /// True if any safety or function job missed its deadline (the
+    /// paper's per-trial success criterion ignores interference tasks).
+    [[nodiscard]] bool app_deadline_missed() const {
+        return stats(task_category::safety).missed > 0 ||
+               stats(task_category::function).missed > 0;
+    }
+    [[nodiscard]] std::uint64_t mem_requests_issued() const {
+        return requests_issued_;
+    }
+
+private:
+    struct job {
+        std::size_t task_index;
+        cycle_t release;
+        cycle_t deadline;
+        std::uint32_t compute_left;
+        std::uint32_t requests_left;
+        std::uint32_t compute_per_request; ///< spacing of accesses
+        std::uint32_t compute_since_request = 0;
+    };
+
+    void release_jobs(cycle_t now);
+    void start_next_job(cycle_t now);
+    void finish_job(cycle_t now);
+    void issue_request(cycle_t now);
+
+    client_id_t id_;
+    compute_task_set tasks_;
+    interconnect& net_;
+    rng rng_;
+    std::vector<cycle_t> next_release_;
+    std::deque<job> ready_;           ///< released, not started (EDF order)
+    std::optional<job> running_;
+    bool stalled_ = false;            ///< waiting for a memory response
+    bool request_pending_issue_ = false;
+    std::array<job_stats, 3> stats_{};
+    std::uint64_t requests_issued_ = 0;
+    request_id_t next_request_id_;
+};
+
+} // namespace bluescale::workload

@@ -1,0 +1,44 @@
+// Random task-set generation for the synthetic experiments (paper Sec. 6.3:
+// "workloads on the traffic generators were randomly generated offline,
+// with specified periods and implicit deadlines, bounding the interconnect
+// utilization between 70% and 90%").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "workload/memory_task.hpp"
+
+namespace bluescale::workload {
+
+struct taskset_params {
+    std::uint32_t n_tasks = 4;           ///< tasks per client
+    double total_utilization = 0.05;     ///< target sum of C_i/T_i
+    std::uint64_t min_period_units = 100; ///< log-uniform period range
+    std::uint64_t max_period_units = 2000;
+    double write_fraction = 0.3;         ///< probability a task issues writes
+};
+
+/// UUniFast (Bini & Buttazzo): draws n utilizations that sum to U,
+/// uniformly over the valid simplex.
+[[nodiscard]] std::vector<double> uunifast(rng& rand, std::uint32_t n,
+                                           double total_utilization);
+
+/// Generates one client's task set. Periods are log-uniform in
+/// [min, max] units; each task's request count is u_i * T_i rounded to at
+/// least one transaction, so the achieved utilization can deviate slightly
+/// from the target (use `utilization()` for the realized value).
+[[nodiscard]] memory_task_set make_taskset(rng& rand,
+                                           const taskset_params& params);
+
+/// Generates task sets for `n_clients` clients whose *combined* utilization
+/// is drawn uniformly in [lo, hi] (the paper's 70-90% interconnect
+/// utilization), split evenly across clients.
+[[nodiscard]] std::vector<memory_task_set>
+make_client_tasksets(rng& rand, std::uint32_t n_clients,
+                     double lo_total_utilization,
+                     double hi_total_utilization,
+                     const taskset_params& per_client_template = {});
+
+} // namespace bluescale::workload

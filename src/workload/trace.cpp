@@ -1,0 +1,123 @@
+#include "workload/trace.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace bluescale::workload {
+
+bool save_trace(const std::string& path, const trace& records) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fputs("cycle,client,task,addr,op,deadline\n", f);
+    for (const auto& r : records) {
+        std::fprintf(f, "%" PRIu64 ",%u,%u,%" PRIu64 ",%c,%" PRIu64 "\n",
+                     r.issue_cycle, r.client, r.task, r.addr,
+                     r.op == mem_op::write ? 'W' : 'R', r.abs_deadline);
+    }
+    std::fclose(f);
+    return true;
+}
+
+trace load_trace(const std::string& path) {
+    trace records;
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    if (f == nullptr) return records;
+    char line[256];
+    bool first = true;
+    while (std::fgets(line, sizeof line, f) != nullptr) {
+        if (first) { // header
+            first = false;
+            continue;
+        }
+        trace_record r;
+        unsigned client = 0, task = 0;
+        char op = 'R';
+        if (std::sscanf(line,
+                        "%" SCNu64 ",%u,%u,%" SCNu64 ",%c,%" SCNu64,
+                        &r.issue_cycle, &client, &task, &r.addr, &op,
+                        &r.abs_deadline) == 6) {
+            r.client = client;
+            r.task = static_cast<task_id_t>(task);
+            r.op = op == 'W' ? mem_op::write : mem_op::read;
+            records.push_back(r);
+        }
+    }
+    std::fclose(f);
+    return records;
+}
+
+trace trace_from_requests(const std::vector<mem_request>& done) {
+    trace records;
+    records.reserve(done.size());
+    for (const auto& r : done) {
+        records.push_back({r.issue_cycle, r.client, r.task, r.addr, r.op,
+                           r.abs_deadline});
+    }
+    std::sort(records.begin(), records.end(),
+              [](const trace_record& a, const trace_record& b) {
+                  return a.issue_cycle < b.issue_cycle;
+              });
+    return records;
+}
+
+trace_player::trace_player(client_id_t id, const trace& full_trace,
+                           interconnect& net)
+    : component("trace_player_" + std::to_string(id)), id_(id), net_(net),
+      next_request_id_((static_cast<request_id_t>(id) << 40) | 1u) {
+    for (const auto& r : full_trace) {
+        if (r.client == id) records_.push_back(r);
+    }
+    std::stable_sort(records_.begin(), records_.end(),
+                     [](const trace_record& a, const trace_record& b) {
+                         return a.issue_cycle < b.issue_cycle;
+                     });
+}
+
+void trace_player::tick(cycle_t now) {
+    // One injection per cycle, in trace order, no earlier than recorded.
+    if (next_ >= records_.size()) return;
+    const trace_record& rec = records_[next_];
+    if (rec.issue_cycle > now) return;
+    if (!net_.client_can_accept(id_)) return;
+
+    mem_request r;
+    r.id = next_request_id_++;
+    r.client = id_;
+    r.task = rec.task;
+    r.addr = rec.addr;
+    r.op = rec.op;
+    r.issue_cycle = now;
+    r.hop_arrival = now;
+    r.abs_deadline = rec.abs_deadline;
+    r.level_deadline = rec.abs_deadline;
+    outstanding_deadline_.emplace(r.id, r.abs_deadline);
+    ++stats_.issued;
+    net_.client_push(id_, std::move(r));
+    ++next_;
+}
+
+void trace_player::on_response(mem_request&& r) {
+    outstanding_deadline_.erase(r.id);
+    ++stats_.completed;
+    if (!r.met_deadline()) ++stats_.missed;
+    stats_.latency_cycles.add(static_cast<double>(r.total_latency()));
+    stats_.blocking_cycles.add(static_cast<double>(r.blocked_cycles));
+}
+
+void trace_player::finalize(cycle_t end_cycle) {
+    for (const auto& [id, deadline] : outstanding_deadline_) {
+        if (deadline < end_cycle) {
+            ++stats_.missed;
+            ++stats_.abandoned;
+        }
+    }
+    for (std::size_t i = next_; i < records_.size(); ++i) {
+        if (records_[i].abs_deadline < end_cycle) {
+            ++stats_.missed;
+            ++stats_.abandoned;
+        }
+    }
+}
+
+} // namespace bluescale::workload

@@ -1,0 +1,71 @@
+// Memory-trace capture and replay.
+//
+// Traces decouple workload generation from interconnect evaluation: a
+// trial's traffic can be recorded once (from any client mix), saved as
+// CSV, and replayed identically against every design -- or against future
+// versions of this library for regression comparisons.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "interconnect/interconnect.hpp"
+#include "mem/request.hpp"
+#include "sim/component.hpp"
+#include "workload/client_stats.hpp"
+
+namespace bluescale::workload {
+
+/// One recorded transaction.
+struct trace_record {
+    cycle_t issue_cycle = 0;
+    client_id_t client = 0;
+    task_id_t task = 0;
+    std::uint64_t addr = 0;
+    mem_op op = mem_op::read;
+    cycle_t abs_deadline = k_cycle_never;
+};
+
+using trace = std::vector<trace_record>;
+
+/// Saves/loads a trace as CSV (header: cycle,client,task,addr,op,deadline).
+bool save_trace(const std::string& path, const trace& records);
+[[nodiscard]] trace load_trace(const std::string& path);
+
+/// Extracts a trace from completed requests (e.g. collected by a response
+/// handler during a recording run), ordered by issue cycle.
+[[nodiscard]] trace trace_from_requests(const std::vector<mem_request>& done);
+
+/// Replays one client's slice of a trace: each record is injected at its
+/// recorded issue cycle (or as soon afterwards as backpressure allows,
+/// preserving order). Latency/deadline statistics accumulate exactly as
+/// for the synthetic clients.
+class trace_player : public component {
+public:
+    trace_player(client_id_t id, const trace& full_trace,
+                 interconnect& net);
+
+    void tick(cycle_t now) override;
+    void on_response(mem_request&& r);
+    void finalize(cycle_t end_cycle);
+
+    [[nodiscard]] client_id_t id() const { return id_; }
+    [[nodiscard]] const client_stats& stats() const { return stats_; }
+    [[nodiscard]] bool done() const { return next_ >= records_.size(); }
+    [[nodiscard]] std::size_t remaining() const {
+        return records_.size() - next_;
+    }
+
+private:
+    client_id_t id_;
+    trace records_; ///< this client's slice, issue-cycle ordered
+    interconnect& net_;
+    std::size_t next_ = 0;
+    std::unordered_map<request_id_t, cycle_t> outstanding_deadline_;
+    client_stats stats_;
+    request_id_t next_request_id_;
+};
+
+} // namespace bluescale::workload

@@ -1,0 +1,138 @@
+#include "workload/traffic_generator.hpp"
+
+#include <cassert>
+
+namespace bluescale::workload {
+
+traffic_generator::traffic_generator(client_id_t id, memory_task_set tasks,
+                                     interconnect& net, std::uint64_t seed,
+                                     traffic_gen_config cfg)
+    : component("traffic_gen_" + std::to_string(id)), id_(id),
+      tasks_(std::move(tasks)), net_(net), rng_(seed), cfg_(cfg),
+      state_(tasks_.size()),
+      // Partition the request-id space by client so ids never collide.
+      next_request_id_(static_cast<request_id_t>(id) << 40) {}
+
+void traffic_generator::release_jobs(cycle_t now) {
+    for (std::size_t i = 0; i < tasks_.size(); ++i) {
+        const memory_task& task = tasks_[i];
+        task_state& ts = state_[i];
+        const cycle_t period = task.period_cycles(cfg_.unit_cycles);
+        while (ts.next_release <= now) {
+            pending_job job;
+            job.release = ts.next_release;
+            job.deadline = ts.next_release + period; // implicit deadline
+            job.remaining = task.requests_per_job;
+            job.job_seq = ts.jobs_released;
+            // Jobs stream lines from a random offset inside the task's
+            // private region (sequential within a job -> row locality).
+            const std::uint64_t task_base =
+                (static_cast<std::uint64_t>(id_) * 64 + task.id) *
+                cfg_.task_region_bytes;
+            const std::uint64_t lines =
+                cfg_.task_region_bytes / cfg_.cache_line_bytes;
+            job.base_addr = task_base + rng_.uniform_u64(0, lines - 1) *
+                                            cfg_.cache_line_bytes;
+            ts.jobs.push_back(job);
+            ts.next_release += period;
+            ++ts.jobs_released;
+        }
+    }
+}
+
+int traffic_generator::pick_edf_task() const {
+    int best = -1;
+    cycle_t best_deadline = k_cycle_never;
+    for (std::size_t i = 0; i < state_.size(); ++i) {
+        const auto& jobs = state_[i].jobs;
+        if (jobs.empty()) continue;
+        if (jobs.front().deadline < best_deadline) {
+            best_deadline = jobs.front().deadline;
+            best = static_cast<int>(i);
+        }
+    }
+    return best;
+}
+
+void traffic_generator::tick(cycle_t now) {
+    if (stopped_) return;
+    release_jobs(now);
+
+    // Issue at most one request per cycle (client port width), EDF-first.
+    if (outstanding() >= cfg_.max_outstanding) return;
+    if (!net_.client_can_accept(id_)) return;
+    const int which = pick_edf_task();
+    if (which < 0) return;
+
+    task_state& ts = state_[static_cast<std::size_t>(which)];
+    pending_job& job = ts.jobs.front();
+
+    mem_request r;
+    r.id = next_request_id_++;
+    r.client = id_;
+    r.task = tasks_[static_cast<std::size_t>(which)].id;
+    r.job = job.job_seq;
+    r.addr = job.base_addr +
+             static_cast<std::uint64_t>(job.issued) * cfg_.cache_line_bytes;
+    r.op = tasks_[static_cast<std::size_t>(which)].writes ? mem_op::write
+                                                          : mem_op::read;
+    r.issue_cycle = now;
+    r.hop_arrival = now;
+    r.abs_deadline = job.deadline;
+    r.level_deadline = job.deadline; // leaf-level arbitration priority
+
+    outstanding_deadline_.emplace(r.id, r.abs_deadline);
+    ++stats_.issued;
+    net_.client_push(id_, std::move(r));
+
+    ++job.issued;
+    if (--job.remaining == 0) ts.jobs.pop_front();
+}
+
+void traffic_generator::on_response(mem_request&& r) {
+    assert(r.client == id_);
+    outstanding_deadline_.erase(r.id);
+    ++stats_.completed;
+    if (!r.met_deadline()) ++stats_.missed;
+    if (r.complete_cycle > r.abs_deadline + cfg_.validation_margin_cycles) {
+        ++stats_.missed_beyond_margin;
+    }
+    stats_.latency_cycles.add(static_cast<double>(r.total_latency()));
+    stats_.blocking_cycles.add(static_cast<double>(r.blocked_cycles));
+}
+
+std::uint64_t traffic_generator::backlog() const {
+    std::uint64_t total = 0;
+    for (const auto& ts : state_) {
+        for (const auto& job : ts.jobs) total += job.remaining;
+    }
+    return total;
+}
+
+void traffic_generator::finalize(cycle_t end_cycle) {
+    // In-flight requests that can no longer meet their deadline.
+    for (const auto& [id, deadline] : outstanding_deadline_) {
+        if (deadline < end_cycle) {
+            ++stats_.missed;
+            ++stats_.abandoned;
+            if (deadline + cfg_.validation_margin_cycles < end_cycle) {
+                ++stats_.missed_beyond_margin;
+            }
+        }
+    }
+    // Released but never issued requests past their deadline.
+    for (const auto& ts : state_) {
+        for (const auto& job : ts.jobs) {
+            if (job.deadline < end_cycle) {
+                stats_.missed += job.remaining;
+                stats_.abandoned += job.remaining;
+                if (job.deadline + cfg_.validation_margin_cycles <
+                    end_cycle) {
+                    stats_.missed_beyond_margin += job.remaining;
+                }
+            }
+        }
+    }
+}
+
+} // namespace bluescale::workload

@@ -1,0 +1,92 @@
+// Traffic generator client (paper Sec. 6.3, after Wang et al. [20]):
+// issues memory requests according to a periodic task set, without
+// processing any data. Requests are prioritized locally by GEDF.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "interconnect/interconnect.hpp"
+#include "mem/request.hpp"
+#include "sim/component.hpp"
+#include "sim/rng.hpp"
+#include "workload/client_stats.hpp"
+#include "workload/memory_task.hpp"
+
+namespace bluescale::workload {
+
+struct traffic_gen_config {
+    std::uint32_t unit_cycles = k_unit_cycles;
+    /// Maximum requests in flight before the generator throttles (models
+    /// finite MSHRs; the port buffer also exerts backpressure).
+    std::uint32_t max_outstanding = 16;
+    /// Private address region per task, for locality-realistic traffic.
+    std::uint64_t task_region_bytes = 1u << 20;
+    std::uint64_t cache_line_bytes = 64;
+    /// Allowance for client_stats::missed_beyond_margin (see there).
+    cycle_t validation_margin_cycles = 0;
+};
+
+class traffic_generator : public component {
+public:
+    traffic_generator(client_id_t id, memory_task_set tasks,
+                      interconnect& net, std::uint64_t seed,
+                      traffic_gen_config cfg = {});
+
+    void tick(cycle_t now) override;
+
+    /// Harness routes interconnect responses for this client here.
+    void on_response(mem_request&& r);
+
+    /// Call once at trial end: requests still unfinished whose deadline has
+    /// passed are counted as missed.
+    void finalize(cycle_t end_cycle);
+
+    /// Stops releasing and issuing (drain phase of a trial): in-flight
+    /// requests still complete normally.
+    void stop() { stopped_ = true; }
+
+    [[nodiscard]] const client_stats& stats() const { return stats_; }
+    [[nodiscard]] client_id_t id() const { return id_; }
+    [[nodiscard]] const memory_task_set& tasks() const { return tasks_; }
+    /// Released but not yet issued requests.
+    [[nodiscard]] std::uint64_t backlog() const;
+    [[nodiscard]] std::uint32_t outstanding() const {
+        return static_cast<std::uint32_t>(outstanding_deadline_.size());
+    }
+
+private:
+    struct pending_job {
+        cycle_t release = 0;
+        cycle_t deadline = 0;
+        std::uint32_t remaining = 0; ///< requests not yet issued
+        std::uint64_t base_addr = 0;
+        std::uint32_t issued = 0; ///< requests already issued (addr offset)
+        std::uint32_t job_seq = 0;
+    };
+    struct task_state {
+        cycle_t next_release = 0;
+        std::uint32_t jobs_released = 0;
+        std::deque<pending_job> jobs;
+    };
+
+    void release_jobs(cycle_t now);
+    /// Index of the task whose head job has the earliest deadline;
+    /// -1 when nothing is pending.
+    [[nodiscard]] int pick_edf_task() const;
+
+    client_id_t id_;
+    memory_task_set tasks_;
+    interconnect& net_;
+    rng rng_;
+    traffic_gen_config cfg_;
+    std::vector<task_state> state_;
+    std::unordered_map<request_id_t, cycle_t> outstanding_deadline_;
+    client_stats stats_;
+    request_id_t next_request_id_;
+    bool stopped_ = false;
+};
+
+} // namespace bluescale::workload

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "analysis/exact_test.hpp"
+#include "analysis/interface_selection.hpp"
+#include "sim/rng.hpp"
+
+namespace bluescale::analysis {
+namespace {
+
+TEST(exact_edf_test, empty_set_schedulable) {
+    EXPECT_EQ(exact_edf_test({}, {10, 1}), sched_result::schedulable);
+}
+
+TEST(exact_edf_test, null_interface_unschedulable) {
+    EXPECT_EQ(exact_edf_test({{10, 1}}, {0, 0}),
+              sched_result::unschedulable);
+    EXPECT_EQ(exact_edf_test({{10, 1}}, {10, 0}),
+              sched_result::unschedulable);
+}
+
+TEST(exact_edf_test, dedicated_resource_full_utilization) {
+    // The oracle is exact: U == 1 on a dedicated resource IS schedulable,
+    // which the (strict-inequality) analytic test conservatively rejects.
+    EXPECT_EQ(exact_edf_test({{4, 4}}, {1, 1}), sched_result::schedulable);
+    EXPECT_EQ(is_schedulable({{4, 4}}, {1, 1}),
+              sched_result::unschedulable);
+}
+
+TEST(exact_edf_test, detects_blackout_miss) {
+    // Pi=10, Theta=1: blackout 18 > period 5.
+    EXPECT_EQ(exact_edf_test({{5, 1}}, {10, 1}),
+              sched_result::unschedulable);
+}
+
+TEST(exact_edf_test, aborts_on_huge_hyperperiod) {
+    const task_set s{{99991, 1}, {99989, 1}, {99961, 1}};
+    EXPECT_EQ(exact_edf_test(s, {7, 3}, /*max_horizon=*/1u << 20),
+              sched_result::aborted);
+}
+
+TEST(exact_test_horizon, hyperperiod_plus_warmup) {
+    EXPECT_EQ(exact_test_horizon({{4, 1}, {6, 1}}, {10, 2}),
+              60u + 10u); // lcm(4,6,10) + Pi
+}
+
+TEST(exact_edf_test, analytic_test_is_sound_wrt_oracle) {
+    // Sufficiency: whatever Theorem 1 accepts, the oracle must accept.
+    rng rand(501);
+    int compared = 0;
+    for (int trial = 0; trial < 200; ++trial) {
+        task_set tasks;
+        const int n = 1 + static_cast<int>(rand.pick(3));
+        for (int i = 0; i < n; ++i) {
+            // Harmonic-ish periods keep hyperperiods small.
+            const std::uint64_t period = 1u << (2 + rand.pick(5));
+            tasks.push_back({period, 1 + rand.uniform_u64(0, period / 2)});
+        }
+        const std::uint64_t pi = 2 + rand.uniform_u64(0, 14);
+        const resource_interface iface{pi, 1 + rand.uniform_u64(0, pi - 1)};
+        if (is_schedulable(tasks, iface) != sched_result::schedulable) {
+            continue;
+        }
+        ++compared;
+        EXPECT_EQ(exact_edf_test(tasks, iface),
+                  sched_result::schedulable)
+            << "trial " << trial;
+    }
+    EXPECT_GT(compared, 10);
+}
+
+TEST(exact_edf_test, quantifies_analytic_pessimism) {
+    // There exist systems the oracle accepts but the analytic test
+    // rejects (the test is sufficient, not exact). Find at least one.
+    rng rand(733);
+    bool found_gap = false;
+    for (int trial = 0; trial < 400 && !found_gap; ++trial) {
+        task_set tasks;
+        const int n = 1 + static_cast<int>(rand.pick(2));
+        for (int i = 0; i < n; ++i) {
+            const std::uint64_t period = 1u << (2 + rand.pick(4));
+            tasks.push_back({period, 1 + rand.uniform_u64(0, period / 2)});
+        }
+        const std::uint64_t pi = 2 + rand.uniform_u64(0, 6);
+        const resource_interface iface{pi, 1 + rand.uniform_u64(0, pi - 1)};
+        if (is_schedulable(tasks, iface) == sched_result::unschedulable &&
+            exact_edf_test(tasks, iface) == sched_result::schedulable) {
+            found_gap = true;
+        }
+    }
+    EXPECT_TRUE(found_gap);
+}
+
+TEST(exact_edf_test, selected_interfaces_pass_oracle) {
+    rng rand(91);
+    for (int trial = 0; trial < 20; ++trial) {
+        task_set tasks;
+        for (int i = 0; i < 2; ++i) {
+            const std::uint64_t period = 1u << (3 + rand.pick(4));
+            tasks.push_back({period, 1 + rand.uniform_u64(0, period / 8)});
+        }
+        const auto iface =
+            select_interface(tasks, utilization(tasks) + 0.3);
+        if (!iface || iface->budget == 0) continue;
+        EXPECT_NE(exact_edf_test(tasks, *iface),
+                  sched_result::unschedulable)
+            << "trial " << trial;
+    }
+}
+
+} // namespace
+} // namespace bluescale::analysis

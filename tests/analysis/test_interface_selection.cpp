@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "analysis/interface_selection.hpp"
+#include "analysis/tree_analysis.hpp"
+#include "sim/rng.hpp"
+
+namespace bluescale::analysis {
+namespace {
+
+TEST(theorem2_max_period, empty_set_is_zero) {
+    EXPECT_EQ(theorem2_max_period({}, 0.5), 0u);
+}
+
+TEST(theorem2_max_period, no_sibling_load_caps_at_min_period) {
+    const task_set s{{40, 4}, {100, 10}};
+    EXPECT_EQ(theorem2_max_period(s, utilization(s)), 40u);
+}
+
+TEST(theorem2_max_period, matches_formula) {
+    // min T = 40, U_X = 0.2, U_level = 0.7 -> bound = 40/(2*0.5) = 40.
+    const task_set s{{40, 8}};
+    EXPECT_EQ(theorem2_max_period(s, 0.7), 40u);
+    // U_level = 0.95 -> 40/(2*0.75) = 26.67 -> 26.
+    EXPECT_EQ(theorem2_max_period(s, 0.95), 26u);
+}
+
+TEST(min_budget_for_period, empty_tasks_need_nothing) {
+    EXPECT_EQ(min_budget_for_period({}, 10), 0u);
+}
+
+TEST(min_budget_for_period, zero_period_is_infeasible) {
+    EXPECT_EQ(min_budget_for_period({{10, 1}}, 0), std::nullopt);
+}
+
+TEST(min_budget_for_period, full_budget_infeasible_when_overloaded) {
+    EXPECT_EQ(min_budget_for_period({{10, 10}}, 10), std::nullopt);
+}
+
+TEST(min_budget_for_period, returns_minimum_schedulable_budget) {
+    const task_set s{{100, 20}};
+    const auto theta = min_budget_for_period(s, 10);
+    ASSERT_TRUE(theta.has_value());
+    // Minimality: theta works, theta-1 does not.
+    EXPECT_EQ(is_schedulable(s, {10, *theta}), sched_result::schedulable);
+    ASSERT_GT(*theta, 0u);
+    EXPECT_NE(is_schedulable(s, {10, *theta - 1}),
+              sched_result::schedulable);
+}
+
+TEST(min_budget_for_period, short_period_needs_proportionally_less) {
+    const task_set s{{100, 20}};
+    const auto t2 = min_budget_for_period(s, 2);
+    ASSERT_TRUE(t2.has_value());
+    EXPECT_LE(static_cast<double>(*t2) / 2.0, 0.5);
+}
+
+TEST(select_interface, empty_tasks_get_null_interface) {
+    const auto iface = select_interface({}, 0.9);
+    ASSERT_TRUE(iface.has_value());
+    EXPECT_EQ(iface->period, 0u);
+    EXPECT_EQ(iface->budget, 0u);
+    EXPECT_EQ(iface->bandwidth(), 0.0);
+}
+
+TEST(select_interface, result_is_schedulable_and_above_utilization) {
+    const task_set s{{50, 5}, {100, 10}, {200, 20}};
+    const auto iface = select_interface(s, 0.8);
+    ASSERT_TRUE(iface.has_value());
+    EXPECT_GT(iface->bandwidth(), utilization(s));
+    EXPECT_EQ(is_schedulable(s, *iface), sched_result::schedulable);
+}
+
+TEST(select_interface, respects_theorem2_period_bound) {
+    const task_set s{{40, 8}};
+    const double u_level = 0.95;
+    const auto iface = select_interface(s, u_level);
+    ASSERT_TRUE(iface.has_value());
+    EXPECT_LE(iface->period, theorem2_max_period(s, u_level));
+}
+
+TEST(select_interface, overloaded_task_set_is_infeasible) {
+    // U > 1 can never be served.
+    EXPECT_EQ(select_interface({{10, 11}}, 1.1), std::nullopt);
+}
+
+TEST(select_interface, bandwidth_at_most_one) {
+    const task_set s{{10, 9}};
+    const auto iface = select_interface(s, 0.9);
+    ASSERT_TRUE(iface.has_value());
+    EXPECT_LE(iface->bandwidth(), 1.0 + 1e-12);
+}
+
+TEST(select_interface, tighter_tasks_need_more_bandwidth) {
+    const auto loose = select_interface({{1000, 100}}, 0.5);
+    const auto tight = select_interface({{20, 2}}, 0.5);
+    ASSERT_TRUE(loose.has_value());
+    ASSERT_TRUE(tight.has_value());
+    // Same utilization (0.1) but the short-period task needs the supply
+    // more often, so its minimum bandwidth is at least as large.
+    EXPECT_GE(tight->bandwidth(), loose->bandwidth());
+}
+
+class selection_optimality : public ::testing::TestWithParam<int> {};
+
+TEST_P(selection_optimality, no_smaller_bandwidth_within_search_space) {
+    // Property: the selected pair has minimal bandwidth among all
+    // (Pi, Theta) pairs the algorithm's search space admits.
+    rng r(GetParam());
+    task_set tasks;
+    const int n = 1 + static_cast<int>(r.pick(3));
+    for (int i = 0; i < n; ++i) {
+        const std::uint64_t period = 20 + r.uniform_u64(0, 180);
+        const std::uint64_t wcet =
+            1 + r.uniform_u64(0, std::max<std::uint64_t>(1, period / 8));
+        tasks.push_back({period, wcet});
+    }
+    const double u_level = utilization(tasks) + 0.3;
+    const auto best = select_interface(tasks, u_level);
+    ASSERT_TRUE(best.has_value());
+
+    const std::uint64_t pi_max = theorem2_max_period(tasks, u_level);
+    for (std::uint64_t pi = 1; pi <= pi_max; ++pi) {
+        const auto theta = min_budget_for_period(tasks, pi);
+        if (!theta) continue;
+        const double bw =
+            static_cast<double>(*theta) / static_cast<double>(pi);
+        EXPECT_GE(bw, best->bandwidth() - 1e-12)
+            << "found better pair Pi=" << pi << " Theta=" << *theta;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(seeds, selection_optimality,
+                         ::testing::Range(1, 9));
+
+TEST(select_interface, tolerance_trades_bandwidth_for_period) {
+    const task_set s{{50, 5}, {100, 10}, {200, 20}};
+    const auto strict = select_interface(s, 0.8);
+    selection_config cfg;
+    cfg.bandwidth_tolerance = 0.15;
+    const auto relaxed = select_interface(s, 0.8, cfg);
+    ASSERT_TRUE(strict.has_value());
+    ASSERT_TRUE(relaxed.has_value());
+    // Still schedulable, never worse than tolerance over the minimum,
+    // and the period never shrinks.
+    EXPECT_EQ(is_schedulable(s, *relaxed), sched_result::schedulable);
+    EXPECT_LE(relaxed->bandwidth(),
+              strict->bandwidth() * 1.15 + 1e-12);
+    EXPECT_GE(relaxed->period, strict->period);
+}
+
+TEST(select_interface, zero_tolerance_is_strict_minimum) {
+    const task_set s{{50, 5}, {100, 10}};
+    selection_config cfg;
+    cfg.bandwidth_tolerance = 0.0;
+    const auto a = select_interface(s, 0.5);
+    const auto b = select_interface(s, 0.5, cfg);
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(*a, *b);
+}
+
+TEST(select_interface, tolerant_tree_selection_remains_sound) {
+    // Tolerance is a heuristic trade (it can help or hurt feasibility),
+    // but every interface it selects must still schedule its tasks.
+    rng r(77);
+    std::vector<task_set> clients(16);
+    for (auto& s : clients) {
+        const std::uint64_t period = 100 + r.uniform_u64(0, 400);
+        s.push_back({period, 1 + r.uniform_u64(0, period / 25)});
+    }
+    selection_config cfg;
+    cfg.bandwidth_tolerance = 0.10;
+    const auto relaxed = select_tree_interfaces(clients, cfg);
+    for (std::uint32_t y = 0; y < 4; ++y) {
+        for (std::uint32_t p = 0; p < 4; ++p) {
+            const auto& iface = relaxed.port_interface(1, y, p);
+            ASSERT_TRUE(iface.has_value());
+            EXPECT_EQ(is_schedulable(clients[4 * y + p], *iface),
+                      sched_result::schedulable);
+        }
+    }
+}
+
+TEST(select_interface, honors_max_period_cap) {
+    selection_config cfg;
+    cfg.max_period = 3;
+    const auto iface = select_interface({{100, 10}}, 0.1, cfg);
+    ASSERT_TRUE(iface.has_value());
+    EXPECT_LE(iface->period, 3u);
+}
+
+} // namespace
+} // namespace bluescale::analysis

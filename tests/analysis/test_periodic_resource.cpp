@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "analysis/periodic_resource.hpp"
+
+namespace bluescale::analysis {
+namespace {
+
+TEST(sbf, zero_for_null_interface) {
+    EXPECT_EQ(sbf(100, {0, 0}), 0u);
+    EXPECT_EQ(sbf(100, {10, 0}), 0u);
+}
+
+TEST(sbf, dedicated_resource_supplies_t) {
+    // Theta == Pi: the VE owns the resource; sbf(t) == t.
+    const resource_interface full{5, 5};
+    for (std::uint64_t t = 0; t <= 50; ++t) {
+        EXPECT_EQ(sbf(t, full), t);
+    }
+}
+
+TEST(sbf, blackout_interval_is_two_gaps) {
+    // sbf(t) == 0 for t <= 2(Pi - Theta) (used by Theorem 2's proof).
+    const resource_interface r{10, 4};
+    const std::uint64_t blackout = 2 * (10 - 4);
+    for (std::uint64_t t = 0; t <= blackout; ++t) {
+        EXPECT_EQ(sbf(t, r), 0u) << "t=" << t;
+    }
+    EXPECT_GT(sbf(blackout + 1, r), 0u);
+}
+
+TEST(sbf, known_values_paper_formula) {
+    // Pi=5, Theta=2: gap=3, blackout through t=6.
+    const resource_interface r{5, 2};
+    EXPECT_EQ(sbf(6, r), 0u);
+    EXPECT_EQ(sbf(7, r), 1u);
+    EXPECT_EQ(sbf(8, r), 2u);
+    EXPECT_EQ(sbf(9, r), 2u);  // idle gap of next period
+    EXPECT_EQ(sbf(12, r), 3u);
+    EXPECT_EQ(sbf(13, r), 4u);
+    EXPECT_EQ(sbf(17, r), 5u);
+}
+
+TEST(sbf, one_full_period_supplies_at_least_theta_minus_gap) {
+    const resource_interface r{10, 7};
+    // Any window of length 2*Pi contains at least Theta.
+    EXPECT_GE(sbf(20, r), 7u);
+}
+
+class sbf_property
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::uint64_t>> {
+};
+
+TEST_P(sbf_property, monotone_nondecreasing) {
+    const auto [pi, theta] = GetParam();
+    const resource_interface r{pi, theta};
+    std::uint64_t prev = 0;
+    for (std::uint64_t t = 0; t <= 6 * pi; ++t) {
+        const std::uint64_t s = sbf(t, r);
+        EXPECT_GE(s, prev) << "t=" << t;
+        prev = s;
+    }
+}
+
+TEST_P(sbf_property, never_exceeds_elapsed_time_or_bandwidth_envelope) {
+    const auto [pi, theta] = GetParam();
+    const resource_interface r{pi, theta};
+    for (std::uint64_t t = 0; t <= 6 * pi; ++t) {
+        const std::uint64_t s = sbf(t, r);
+        EXPECT_LE(s, t);
+        // Upper envelope: bandwidth * t + Theta.
+        EXPECT_LE(static_cast<double>(s),
+                  r.bandwidth() * static_cast<double>(t) +
+                      static_cast<double>(theta) + 1e-9);
+    }
+}
+
+TEST_P(sbf_property, periodic_increment_is_theta) {
+    // Periodicity holds once past the initial offset Pi - Theta (inside
+    // the blackout the first-period supply profile differs).
+    const auto [pi, theta] = GetParam();
+    const resource_interface r{pi, theta};
+    for (std::uint64_t t = pi - theta; t <= 4 * pi; ++t) {
+        EXPECT_EQ(sbf(t + pi, r), sbf(t, r) + theta) << "t=" << t;
+    }
+}
+
+TEST_P(sbf_property, lsbf_lower_bounds_sbf) {
+    const auto [pi, theta] = GetParam();
+    const resource_interface r{pi, theta};
+    for (std::uint64_t t = 0; t <= 6 * pi; ++t) {
+        EXPECT_LE(lsbf(t, r), static_cast<double>(sbf(t, r)) + 1e-9)
+            << "t=" << t;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    interfaces, sbf_property,
+    ::testing::Values(std::make_tuple(5u, 2u), std::make_tuple(10u, 1u),
+                      std::make_tuple(10u, 9u), std::make_tuple(7u, 7u),
+                      std::make_tuple(16u, 4u), std::make_tuple(100u, 37u),
+                      std::make_tuple(3u, 1u), std::make_tuple(1u, 1u)));
+
+TEST(resource_interface, bandwidth) {
+    EXPECT_DOUBLE_EQ((resource_interface{4, 1}).bandwidth(), 0.25);
+    EXPECT_DOUBLE_EQ((resource_interface{0, 0}).bandwidth(), 0.0);
+    EXPECT_DOUBLE_EQ((resource_interface{5, 5}).bandwidth(), 1.0);
+}
+
+} // namespace
+} // namespace bluescale::analysis

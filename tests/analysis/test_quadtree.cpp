@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "analysis/quadtree.hpp"
+
+namespace bluescale::analysis {
+namespace {
+
+TEST(quadtree_shape, sixteen_clients) {
+    const auto s = make_quadtree_shape(16);
+    EXPECT_EQ(s.leaf_level, 1u);
+    EXPECT_EQ(s.padded_clients, 16u);
+    EXPECT_EQ(s.total_ses(), 5u); // 1 root + 4 leaves (paper Fig. 2(a))
+    EXPECT_EQ(s.ses_at_level(0), 1u);
+    EXPECT_EQ(s.ses_at_level(1), 4u);
+}
+
+TEST(quadtree_shape, sixty_four_clients) {
+    const auto s = make_quadtree_shape(64);
+    EXPECT_EQ(s.leaf_level, 2u);
+    EXPECT_EQ(s.padded_clients, 64u);
+    EXPECT_EQ(s.total_ses(), 21u); // 1 + 4 + 16 (paper Fig. 2(d))
+    EXPECT_EQ(s.ses_at_level(2), 16u);
+}
+
+TEST(quadtree_shape, four_clients_single_se) {
+    const auto s = make_quadtree_shape(4);
+    EXPECT_EQ(s.leaf_level, 0u);
+    EXPECT_EQ(s.total_ses(), 1u);
+}
+
+TEST(quadtree_shape, non_power_of_four_pads_up) {
+    const auto s = make_quadtree_shape(20);
+    EXPECT_EQ(s.padded_clients, 64u);
+    EXPECT_EQ(s.leaf_level, 2u);
+}
+
+TEST(quadtree_shape, tiny_client_counts) {
+    EXPECT_EQ(make_quadtree_shape(1).total_ses(), 1u);
+    EXPECT_EQ(make_quadtree_shape(2).total_ses(), 1u);
+    EXPECT_EQ(make_quadtree_shape(5).padded_clients, 16u);
+}
+
+TEST(quadtree_shape, leaf_mapping) {
+    const auto s = make_quadtree_shape(16);
+    EXPECT_EQ(s.leaf_se_of_client(0), 0u);
+    EXPECT_EQ(s.leaf_port_of_client(0), 0u);
+    EXPECT_EQ(s.leaf_se_of_client(7), 1u);
+    EXPECT_EQ(s.leaf_port_of_client(7), 3u);
+    EXPECT_EQ(s.leaf_se_of_client(15), 3u);
+    EXPECT_EQ(s.leaf_port_of_client(15), 3u);
+}
+
+TEST(quadtree_shape, parent_child_round_trip) {
+    // SE(x+1, 4y+p) must be the child at port p of SE(x, y).
+    for (std::uint32_t y = 0; y < 16; ++y) {
+        for (std::uint32_t p = 0; p < k_se_fanin; ++p) {
+            const std::uint32_t child = quadtree_shape::child_order(y, p);
+            EXPECT_EQ(quadtree_shape::parent_order(child), y);
+            EXPECT_EQ(quadtree_shape::parent_port(child), p);
+        }
+    }
+}
+
+TEST(quadtree_shape, request_path_length_is_leaf_level_plus_one) {
+    // A request from any client crosses exactly leaf_level+1 SEs.
+    const auto s = make_quadtree_shape(64);
+    std::uint32_t order = s.leaf_se_of_client(63);
+    std::uint32_t hops = 1; // the leaf SE itself
+    for (std::uint32_t l = s.leaf_level; l > 0; --l) {
+        order = quadtree_shape::parent_order(order);
+        ++hops;
+    }
+    EXPECT_EQ(order, 0u); // must land at the root
+    EXPECT_EQ(hops, s.leaf_level + 1);
+}
+
+} // namespace
+} // namespace bluescale::analysis

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "analysis/tree_analysis.hpp"
+#include "sim/rng.hpp"
+#include "workload/taskset_gen.hpp"
+
+namespace bluescale::analysis {
+namespace {
+
+std::vector<task_set> uniform_clients(std::uint32_t n,
+                                      const rt_task& task,
+                                      std::uint32_t tasks_per_client = 1) {
+    std::vector<task_set> out(n);
+    for (auto& s : out) {
+        for (std::uint32_t i = 0; i < tasks_per_client; ++i) {
+            s.push_back(task);
+        }
+    }
+    return out;
+}
+
+TEST(tree_analysis, feasible_for_light_uniform_load) {
+    // 16 clients, each one task (200, 4): total U = 0.32.
+    const auto sel =
+        select_tree_interfaces(uniform_clients(16, {200, 4}));
+    EXPECT_TRUE(sel.feasible) << sel.failure;
+    EXPECT_LE(sel.root_bandwidth, 1.0 + 1e-9);
+    EXPECT_GT(sel.root_bandwidth, 0.32);
+}
+
+TEST(tree_analysis, levels_match_shape) {
+    const auto sel =
+        select_tree_interfaces(uniform_clients(16, {200, 4}));
+    ASSERT_EQ(sel.levels.size(), 2u);
+    EXPECT_EQ(sel.levels[0].size(), 1u);
+    EXPECT_EQ(sel.levels[1].size(), 4u);
+}
+
+TEST(tree_analysis, every_engaged_port_schedulable) {
+    const auto clients = uniform_clients(16, {300, 6}, 2);
+    const auto sel = select_tree_interfaces(clients);
+    ASSERT_TRUE(sel.feasible) << sel.failure;
+    // Leaf level: each port's interface must schedule its client's tasks.
+    for (std::uint32_t y = 0; y < 4; ++y) {
+        for (std::uint32_t p = 0; p < 4; ++p) {
+            const auto& iface = sel.port_interface(1, y, p);
+            ASSERT_TRUE(iface.has_value());
+            EXPECT_EQ(is_schedulable(clients[4 * y + p], *iface),
+                      sched_result::schedulable);
+        }
+    }
+}
+
+TEST(tree_analysis, parent_interfaces_schedule_child_servers) {
+    const auto clients = uniform_clients(16, {300, 6}, 2);
+    const auto sel = select_tree_interfaces(clients);
+    ASSERT_TRUE(sel.feasible) << sel.failure;
+    for (std::uint32_t p = 0; p < 4; ++p) {
+        const auto& iface = sel.port_interface(0, 0, p);
+        ASSERT_TRUE(iface.has_value());
+        task_set servers;
+        for (const auto& child_port : sel.levels[1][p].ports) {
+            ASSERT_TRUE(child_port.has_value());
+            if (child_port->budget > 0) {
+                servers.push_back({child_port->period, child_port->budget});
+            }
+        }
+        EXPECT_EQ(is_schedulable(servers, *iface),
+                  sched_result::schedulable);
+    }
+}
+
+TEST(tree_analysis, empty_clients_get_null_interfaces) {
+    auto clients = uniform_clients(16, {200, 4});
+    clients[5].clear();
+    const auto sel = select_tree_interfaces(clients);
+    ASSERT_TRUE(sel.feasible) << sel.failure;
+    const auto& iface = sel.port_interface(1, 1, 1); // client 5
+    ASSERT_TRUE(iface.has_value());
+    EXPECT_EQ(iface->budget, 0u);
+}
+
+TEST(tree_analysis, padded_clients_beyond_count_are_null) {
+    // 6 clients pad to a 16-capacity tree.
+    const auto sel = select_tree_interfaces(uniform_clients(6, {100, 5}));
+    ASSERT_TRUE(sel.feasible) << sel.failure;
+    const auto& unused = sel.port_interface(1, 2, 0); // client 8
+    ASSERT_TRUE(unused.has_value());
+    EXPECT_EQ(unused->budget, 0u);
+}
+
+TEST(tree_analysis, overload_reported_infeasible) {
+    // 16 clients x U=0.125 each = 2.0 total: the root must refuse.
+    const auto sel = select_tree_interfaces(uniform_clients(16, {40, 5}));
+    EXPECT_FALSE(sel.feasible);
+    EXPECT_FALSE(sel.failure.empty());
+}
+
+TEST(tree_analysis, sixty_four_client_tree) {
+    const auto sel =
+        select_tree_interfaces(uniform_clients(64, {800, 4}));
+    EXPECT_TRUE(sel.feasible) << sel.failure;
+    ASSERT_EQ(sel.levels.size(), 3u);
+    EXPECT_EQ(sel.levels[2].size(), 16u);
+}
+
+TEST(tree_analysis, realistic_random_workload_70pct) {
+    rng r(7);
+    auto sets =
+        workload::make_client_tasksets(r, 16, 0.70, 0.70);
+    std::vector<task_set> rt;
+    for (const auto& s : sets) rt.push_back(workload::to_rt_tasks(s));
+    const auto sel = select_tree_interfaces(rt);
+    EXPECT_TRUE(sel.feasible) << sel.failure;
+    EXPECT_LE(sel.root_bandwidth, 1.0 + 1e-9);
+}
+
+TEST(tree_analysis_update, incremental_matches_full_recompute) {
+    auto clients = uniform_clients(16, {200, 4});
+    auto sel = select_tree_interfaces(clients);
+    ASSERT_TRUE(sel.feasible);
+
+    auto clients_copy = clients;
+    update_client_tasks(sel, clients, 6, {{100, 8}});
+    clients_copy[6] = {{100, 8}};
+    const auto full = select_tree_interfaces(clients_copy);
+
+    ASSERT_EQ(sel.feasible, full.feasible);
+    for (std::uint32_t l = 0; l < sel.levels.size(); ++l) {
+        for (std::uint32_t y = 0; y < sel.levels[l].size(); ++y) {
+            for (std::uint32_t p = 0; p < k_se_fanin; ++p) {
+                EXPECT_EQ(sel.levels[l][y].ports[p],
+                          full.levels[l][y].ports[p])
+                    << "SE(" << l << "," << y << ") port " << p;
+            }
+        }
+    }
+}
+
+TEST(tree_analysis_update, touches_only_path_ses) {
+    auto clients = uniform_clients(64, {800, 4});
+    auto sel = select_tree_interfaces(clients);
+    ASSERT_TRUE(sel.feasible);
+    // The paper's property (Sec. 3.2): a task change updates only the SEs
+    // on that client's request path -- at most leaf_level+1 of them.
+    const auto changed =
+        update_client_tasks(sel, clients, 17, {{400, 8}});
+    EXPECT_LE(changed, sel.shape.leaf_level + 1);
+    EXPECT_GE(changed, 1u);
+}
+
+TEST(tree_analysis_update, off_path_interfaces_untouched) {
+    auto clients = uniform_clients(64, {800, 4});
+    auto sel = select_tree_interfaces(clients);
+    ASSERT_TRUE(sel.feasible);
+    const auto before = sel.levels;
+    update_client_tasks(sel, clients, 0, {{400, 8}});
+    // Client 0's path: SE(2,0) -> SE(1,0) -> SE(0,0). Everything else at
+    // the leaf/mid levels must be bit-identical.
+    for (std::uint32_t y = 1; y < 16; ++y) {
+        for (std::uint32_t p = 0; p < k_se_fanin; ++p) {
+            EXPECT_EQ(sel.levels[2][y].ports[p], before[2][y].ports[p]);
+        }
+    }
+    for (std::uint32_t y = 1; y < 4; ++y) {
+        for (std::uint32_t p = 0; p < k_se_fanin; ++p) {
+            EXPECT_EQ(sel.levels[1][y].ports[p], before[1][y].ports[p]);
+        }
+    }
+}
+
+TEST(tree_analysis_update, can_make_system_infeasible_and_back) {
+    auto clients = uniform_clients(16, {200, 4});
+    auto sel = select_tree_interfaces(clients);
+    ASSERT_TRUE(sel.feasible);
+    // Overload one client.
+    update_client_tasks(sel, clients, 3, {{10, 11}});
+    EXPECT_FALSE(sel.feasible);
+    // Restore.
+    update_client_tasks(sel, clients, 3, {{200, 4}});
+    EXPECT_TRUE(sel.feasible) << sel.failure;
+}
+
+} // namespace
+} // namespace bluescale::analysis

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "analysis/wcrt.hpp"
+
+namespace bluescale::analysis {
+namespace {
+
+TEST(inverse_sbf, zero_demand_is_zero) {
+    EXPECT_EQ(inverse_sbf(0, {10, 3}), 0u);
+}
+
+TEST(inverse_sbf, no_supply_when_budget_zero) {
+    EXPECT_EQ(inverse_sbf(1, {10, 0}), k_no_supply);
+    EXPECT_EQ(inverse_sbf(1, {0, 0}), k_no_supply);
+}
+
+TEST(inverse_sbf, dedicated_resource_is_identity) {
+    const resource_interface full{5, 5};
+    for (std::uint64_t k = 1; k <= 25; ++k) {
+        EXPECT_EQ(inverse_sbf(k, full), k);
+    }
+}
+
+TEST(inverse_sbf, first_unit_arrives_after_blackout) {
+    // (Pi=10, Theta=4): sbf becomes 1 at t = 2(Pi-Theta)+1 = 13.
+    EXPECT_EQ(inverse_sbf(1, {10, 4}), 13u);
+}
+
+class inverse_sbf_property
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::uint64_t>> {
+};
+
+TEST_P(inverse_sbf_property, is_exact_inverse) {
+    const auto [pi, theta] = GetParam();
+    const resource_interface r{pi, theta};
+    for (std::uint64_t k = 1; k <= 4 * theta + 2; ++k) {
+        const std::uint64_t t = inverse_sbf(k, r);
+        ASSERT_NE(t, k_no_supply);
+        EXPECT_GE(sbf(t, r), k) << "k=" << k;
+        ASSERT_GT(t, 0u);
+        EXPECT_LT(sbf(t - 1, r), k) << "k=" << k << " (not minimal)";
+    }
+}
+
+TEST_P(inverse_sbf_property, monotone_in_demand) {
+    const auto [pi, theta] = GetParam();
+    const resource_interface r{pi, theta};
+    std::uint64_t prev = 0;
+    for (std::uint64_t k = 1; k <= 3 * theta; ++k) {
+        const std::uint64_t t = inverse_sbf(k, r);
+        EXPECT_GE(t, prev);
+        prev = t;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    interfaces, inverse_sbf_property,
+    ::testing::Values(std::make_tuple(4u, 1u), std::make_tuple(5u, 2u),
+                      std::make_tuple(10u, 9u), std::make_tuple(16u, 5u),
+                      std::make_tuple(100u, 37u)));
+
+TEST(wcrt_bound, covers_every_level_of_the_path) {
+    std::vector<task_set> clients(16, task_set{{200, 4}});
+    const auto sel = select_tree_interfaces(clients);
+    ASSERT_TRUE(sel.feasible);
+    const auto bound = wcrt_bound(sel, 0, 8);
+    EXPECT_TRUE(bound.bounded);
+    EXPECT_EQ(bound.per_level_units.size(), 2u); // leaf + root
+    for (auto u : bound.per_level_units) EXPECT_GT(u, 0u);
+    EXPECT_GT(bound.memory_cycles, 0u);
+    EXPECT_GT(bound.total_cycles(4), 0u);
+}
+
+TEST(wcrt_bound, sixty_four_clients_three_levels) {
+    std::vector<task_set> clients(64, task_set{{800, 4}});
+    const auto sel = select_tree_interfaces(clients);
+    ASSERT_TRUE(sel.feasible);
+    const auto bound = wcrt_bound(sel, 63, 8);
+    EXPECT_TRUE(bound.bounded);
+    EXPECT_EQ(bound.per_level_units.size(), 3u);
+}
+
+TEST(wcrt_bound, unconfigured_port_reports_unbounded) {
+    std::vector<task_set> clients(16, task_set{{200, 4}});
+    clients[3].clear(); // zero-bandwidth port
+    const auto sel = select_tree_interfaces(clients);
+    ASSERT_TRUE(sel.feasible);
+    const auto bound = wcrt_bound(sel, 3, 8);
+    EXPECT_FALSE(bound.bounded);
+}
+
+TEST(wcrt_bound, deeper_buffers_mean_larger_bound) {
+    std::vector<task_set> clients(16, task_set{{200, 4}});
+    const auto sel = select_tree_interfaces(clients);
+    ASSERT_TRUE(sel.feasible);
+    const auto small = wcrt_bound(sel, 0, 4);
+    const auto large = wcrt_bound(sel, 0, 16);
+    EXPECT_LT(small.total_cycles(4), large.total_cycles(4));
+}
+
+TEST(wcrt_bound, higher_bandwidth_interface_shrinks_bound) {
+    // Same structure, heavier load -> wider interfaces -> faster drains.
+    std::vector<task_set> light(16, task_set{{800, 4}});
+    std::vector<task_set> heavy(16, task_set{{100, 4}});
+    const auto sel_light = select_tree_interfaces(light);
+    const auto sel_heavy = select_tree_interfaces(heavy);
+    ASSERT_TRUE(sel_light.feasible);
+    ASSERT_TRUE(sel_heavy.feasible);
+    const auto b_light = wcrt_bound(sel_light, 0, 8);
+    const auto b_heavy = wcrt_bound(sel_heavy, 0, 8);
+    EXPECT_LT(b_heavy.total_cycles(4), b_light.total_cycles(4));
+}
+
+} // namespace
+} // namespace bluescale::analysis

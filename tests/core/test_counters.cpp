@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "core/counters.hpp"
+
+namespace bluescale::core {
+namespace {
+
+TEST(countdown_counter, program_then_reload) {
+    countdown_counter c;
+    c.program(5);
+    EXPECT_EQ(c.value(), 0u); // reload required
+    c.reload();
+    EXPECT_EQ(c.value(), 5u);
+}
+
+TEST(countdown_counter, decrements_to_zero_and_saturates) {
+    countdown_counter c;
+    c.program(2);
+    c.reload();
+    c.decrement();
+    EXPECT_EQ(c.value(), 1u);
+    c.decrement();
+    EXPECT_EQ(c.value(), 0u);
+    c.decrement(); // saturating, not wrapping
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(countdown_counter, reprogram_takes_effect_at_reload) {
+    countdown_counter c;
+    c.program(3);
+    c.reload();
+    c.program(7); // current value untouched
+    EXPECT_EQ(c.value(), 3u);
+    c.reload();
+    EXPECT_EQ(c.value(), 7u);
+}
+
+TEST(server_task, unconfigured_is_disabled) {
+    server_task s;
+    EXPECT_FALSE(s.enabled());
+    EXPECT_FALSE(s.tick_unit());
+    EXPECT_FALSE(s.has_budget());
+}
+
+TEST(server_task, configure_loads_both_counters) {
+    server_task s;
+    s.configure(10, 3);
+    EXPECT_TRUE(s.enabled());
+    EXPECT_EQ(s.period(), 10u);
+    EXPECT_EQ(s.budget(), 3u);
+    EXPECT_EQ(s.budget_left(), 3u);
+    EXPECT_TRUE(s.has_budget());
+}
+
+TEST(server_task, zero_budget_port_is_disabled) {
+    server_task s;
+    s.configure(10, 0);
+    EXPECT_FALSE(s.enabled());
+    EXPECT_FALSE(s.has_budget());
+}
+
+TEST(server_task, period_boundary_replenishes_budget) {
+    server_task s;
+    s.configure(4, 2);
+    s.consume();
+    s.consume();
+    EXPECT_FALSE(s.has_budget());
+    // Three ticks: no reload yet.
+    EXPECT_FALSE(s.tick_unit());
+    EXPECT_FALSE(s.tick_unit());
+    EXPECT_FALSE(s.tick_unit());
+    EXPECT_FALSE(s.has_budget());
+    // Fourth tick wraps the period.
+    EXPECT_TRUE(s.tick_unit());
+    EXPECT_TRUE(s.has_budget());
+    EXPECT_EQ(s.budget_left(), 2u);
+}
+
+TEST(server_task, deadline_counts_down_within_period) {
+    server_task s;
+    s.configure(5, 1);
+    EXPECT_EQ(s.units_to_deadline(), 5u);
+    s.tick_unit();
+    EXPECT_EQ(s.units_to_deadline(), 4u);
+    s.tick_unit();
+    s.tick_unit();
+    s.tick_unit();
+    EXPECT_EQ(s.units_to_deadline(), 1u);
+    s.tick_unit(); // boundary
+    EXPECT_EQ(s.units_to_deadline(), 5u);
+}
+
+TEST(server_task, long_run_supply_equals_bandwidth) {
+    // Over k periods, a backlogged server consuming greedily forwards
+    // exactly k * Theta transactions.
+    server_task s;
+    s.configure(7, 3);
+    std::uint64_t consumed = 0;
+    for (int unit = 0; unit < 7 * 100; ++unit) {
+        if (s.has_budget()) {
+            s.consume();
+            ++consumed;
+        }
+        s.tick_unit();
+    }
+    EXPECT_EQ(consumed, 300u);
+}
+
+TEST(server_task, unused_budget_does_not_carry_over) {
+    server_task s;
+    s.configure(4, 3);
+    // Consume nothing in the first period.
+    for (int i = 0; i < 4; ++i) s.tick_unit();
+    EXPECT_EQ(s.budget_left(), 3u); // reloaded to Theta, not 6
+}
+
+} // namespace
+} // namespace bluescale::core

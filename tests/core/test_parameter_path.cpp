@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "core/parameter_path.hpp"
+
+namespace bluescale::core {
+namespace {
+
+std::vector<analysis::task_set> uniform_clients(std::uint32_t n,
+                                                analysis::rt_task task) {
+    return std::vector<analysis::task_set>(n, analysis::task_set{task});
+}
+
+TEST(parameter_path, full_reconfiguration_involves_every_se) {
+    const auto report =
+        model_full_reconfiguration(uniform_clients(16, {200, 4}));
+    EXPECT_TRUE(report.feasible);
+    EXPECT_EQ(report.ses_involved, 5u);
+    EXPECT_GT(report.total_cycles, 0u);
+    ASSERT_EQ(report.level_finish_cycles.size(), 2u);
+    // The root cannot finish before the leaves.
+    EXPECT_GE(report.level_finish_cycles[0],
+              report.level_finish_cycles[1]);
+}
+
+TEST(parameter_path, selection_matches_direct_analysis) {
+    const auto clients = uniform_clients(16, {200, 4});
+    const auto report = model_full_reconfiguration(clients);
+    const auto direct = analysis::select_tree_interfaces(clients);
+    ASSERT_TRUE(direct.feasible);
+    for (std::uint32_t l = 0; l < direct.levels.size(); ++l) {
+        for (std::uint32_t y = 0; y < direct.levels[l].size(); ++y) {
+            for (std::uint32_t p = 0; p < 4; ++p) {
+                EXPECT_EQ(report.selection.levels[l][y].ports[p],
+                          direct.levels[l][y].ports[p]);
+            }
+        }
+    }
+}
+
+TEST(parameter_path, levels_run_in_parallel) {
+    // 64 clients: 21 SEs. The critical path is 3 selector stages, not 21:
+    // the total must be far below the sum of all per-SE work.
+    const auto report =
+        model_full_reconfiguration(uniform_clients(64, {800, 4}));
+    EXPECT_TRUE(report.feasible);
+    EXPECT_EQ(report.ses_involved, 21u);
+    ASSERT_EQ(report.level_finish_cycles.size(), 3u);
+    // Leaf SEs all finish at the same cycle (identical work, parallel).
+    const auto leaf_finish = report.level_finish_cycles[2];
+    EXPECT_LT(leaf_finish, report.total_cycles);
+    // Rough parallelism check: total < 21/3 x the leaf stage.
+    EXPECT_LT(report.total_cycles, 7 * leaf_finish);
+}
+
+TEST(parameter_path, client_update_touches_only_the_path) {
+    const auto clients = uniform_clients(64, {800, 4});
+    auto base = analysis::select_tree_interfaces(clients);
+    ASSERT_TRUE(base.feasible);
+    const auto report = model_client_update(
+        base, clients, 17, analysis::task_set{{400, 8}});
+    EXPECT_TRUE(report.feasible);
+    EXPECT_EQ(report.ses_involved, 3u); // leaf, mid, root
+    EXPECT_GT(report.total_cycles, 0u);
+}
+
+TEST(parameter_path, client_update_cheaper_than_full) {
+    const auto clients = uniform_clients(64, {800, 4});
+    const auto full = model_full_reconfiguration(clients);
+    auto base = analysis::select_tree_interfaces(clients);
+    const auto update = model_client_update(
+        base, clients, 5, analysis::task_set{{400, 8}});
+    EXPECT_LT(update.ses_involved, full.ses_involved);
+}
+
+TEST(parameter_path, infeasible_overload_reported) {
+    const auto report =
+        model_full_reconfiguration(uniform_clients(16, {40, 5}));
+    EXPECT_FALSE(report.feasible);
+}
+
+TEST(parameter_path, update_selection_matches_incremental_analysis) {
+    auto clients = uniform_clients(16, {200, 4});
+    auto base = analysis::select_tree_interfaces(clients);
+    const auto report = model_client_update(
+        base, clients, 6, analysis::task_set{{100, 8}});
+
+    auto clients2 = uniform_clients(16, {200, 4});
+    auto expected = analysis::select_tree_interfaces(clients2);
+    analysis::update_client_tasks(expected, clients2, 6,
+                                  analysis::task_set{{100, 8}});
+    for (std::uint32_t l = 0; l < expected.levels.size(); ++l) {
+        for (std::uint32_t y = 0; y < expected.levels[l].size(); ++y) {
+            for (std::uint32_t p = 0; p < 4; ++p) {
+                EXPECT_EQ(report.selection.levels[l][y].ports[p],
+                          expected.levels[l][y].ports[p]);
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace bluescale::core

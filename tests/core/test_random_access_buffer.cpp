@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "core/random_access_buffer.hpp"
+
+namespace bluescale::core {
+namespace {
+
+mem_request req(request_id_t id, cycle_t deadline) {
+    mem_request r;
+    r.id = id;
+    r.level_deadline = deadline;
+    return r;
+}
+
+TEST(random_access_buffer, load_visible_after_commit) {
+    random_access_buffer buf(4);
+    buf.load(req(1, 100));
+    EXPECT_TRUE(buf.empty());
+    buf.commit();
+    EXPECT_EQ(buf.size(), 1u);
+}
+
+TEST(random_access_buffer, min_deadline_scans_all_entries) {
+    random_access_buffer buf(4);
+    buf.load(req(1, 300));
+    buf.load(req(2, 100));
+    buf.load(req(3, 200));
+    buf.commit();
+    ASSERT_TRUE(buf.min_deadline().has_value());
+    EXPECT_EQ(*buf.min_deadline(), 100u);
+}
+
+TEST(random_access_buffer, min_deadline_empty_is_nullopt) {
+    random_access_buffer buf(4);
+    EXPECT_FALSE(buf.min_deadline().has_value());
+}
+
+TEST(random_access_buffer, fetch_earliest_extracts_by_deadline) {
+    random_access_buffer buf(4);
+    buf.load(req(1, 300));
+    buf.load(req(2, 100));
+    buf.load(req(3, 200));
+    buf.commit();
+    EXPECT_EQ(buf.fetch_earliest().id, 2u);
+    EXPECT_EQ(buf.fetch_earliest().id, 3u);
+    EXPECT_EQ(buf.fetch_earliest().id, 1u);
+    EXPECT_TRUE(buf.empty());
+}
+
+TEST(random_access_buffer, ties_broken_by_load_order) {
+    random_access_buffer buf(4);
+    buf.load(req(1, 100));
+    buf.load(req(2, 100));
+    buf.commit();
+    EXPECT_EQ(buf.fetch_earliest().id, 1u);
+}
+
+TEST(random_access_buffer, capacity_respected) {
+    random_access_buffer buf(2);
+    buf.load(req(1, 1));
+    buf.load(req(2, 2));
+    EXPECT_FALSE(buf.can_load());
+    buf.commit();
+    EXPECT_FALSE(buf.can_load());
+    buf.fetch_earliest();
+    EXPECT_TRUE(buf.can_load());
+}
+
+TEST(random_access_buffer, charge_blocked_only_earlier_deadlines) {
+    random_access_buffer buf(4);
+    buf.load(req(1, 100));
+    buf.load(req(2, 300));
+    buf.commit();
+    buf.charge_blocked(/*granted_deadline=*/200);
+    // Only id 1 (deadline 100 < 200) is blocked by the grant.
+    const auto a = buf.fetch_earliest();
+    const auto b = buf.fetch_earliest();
+    EXPECT_EQ(a.id, 1u);
+    EXPECT_EQ(a.blocked_cycles, 1u);
+    EXPECT_EQ(b.blocked_cycles, 0u);
+}
+
+TEST(random_access_buffer, clear_drops_everything) {
+    random_access_buffer buf(4);
+    buf.load(req(1, 1));
+    buf.commit();
+    buf.load(req(2, 2)); // staged
+    buf.clear();
+    buf.commit();
+    EXPECT_TRUE(buf.empty());
+    EXPECT_TRUE(buf.can_load());
+}
+
+TEST(random_access_buffer, interleaved_load_fetch) {
+    random_access_buffer buf(4);
+    buf.load(req(1, 50));
+    buf.commit();
+    buf.load(req(2, 10)); // staged: not fetchable this cycle
+    EXPECT_EQ(*buf.min_deadline(), 50u);
+    EXPECT_EQ(buf.fetch_earliest().id, 1u);
+    buf.commit();
+    EXPECT_EQ(buf.fetch_earliest().id, 2u);
+}
+
+} // namespace
+} // namespace bluescale::core

@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/scale_element.hpp"
+
+namespace bluescale::core {
+namespace {
+
+mem_request req(request_id_t id, cycle_t deadline) {
+    mem_request r;
+    r.id = id;
+    r.level_deadline = deadline;
+    r.abs_deadline = deadline;
+    return r;
+}
+
+struct rig {
+    explicit rig(se_params params = {}) : se("SE", params) {
+        se.bind_sink([this] { return sink_open; },
+                     [this](mem_request r) { out.push_back(std::move(r)); });
+    }
+    void cycle(cycle_t& now, int cycles = 1) {
+        for (int i = 0; i < cycles; ++i) {
+            se.tick(now);
+            se.commit();
+            ++now;
+        }
+    }
+    scale_element se;
+    bool sink_open = true;
+    std::vector<mem_request> out;
+};
+
+TEST(scale_element, unconfigured_forwards_earliest_deadline) {
+    rig r;
+    cycle_t now = 0;
+    r.se.port_push(0, req(1, 300));
+    r.se.port_push(1, req(2, 100));
+    r.se.port_push(2, req(3, 200));
+    r.cycle(now, 4);
+    ASSERT_EQ(r.out.size(), 3u);
+    EXPECT_EQ(r.out[0].id, 2u);
+    EXPECT_EQ(r.out[1].id, 3u);
+    EXPECT_EQ(r.out[2].id, 1u);
+}
+
+TEST(scale_element, one_forward_per_cycle) {
+    rig r;
+    cycle_t now = 0;
+    for (int i = 0; i < 4; ++i) r.se.port_push(0, req(i, 100 + i));
+    r.cycle(now, 2);
+    EXPECT_EQ(r.out.size(), 1u); // loads commit at end of cycle 0
+    r.cycle(now, 3);
+    EXPECT_EQ(r.out.size(), 4u);
+}
+
+TEST(scale_element, respects_sink_backpressure) {
+    rig r;
+    r.sink_open = false;
+    cycle_t now = 0;
+    r.se.port_push(0, req(1, 10));
+    r.cycle(now, 5);
+    EXPECT_TRUE(r.out.empty());
+    r.sink_open = true;
+    r.cycle(now, 2);
+    EXPECT_EQ(r.out.size(), 1u);
+}
+
+TEST(scale_element, port_backpressure_at_buffer_depth) {
+    se_params p;
+    p.buffer_depth = 2;
+    rig r(p);
+    EXPECT_TRUE(r.se.port_can_accept(0));
+    r.se.port_push(0, req(1, 1));
+    r.se.port_push(0, req(2, 2));
+    EXPECT_FALSE(r.se.port_can_accept(0));
+    EXPECT_TRUE(r.se.port_can_accept(1));
+}
+
+TEST(scale_element, budgeted_mode_throttles_to_interface) {
+    // Port 0 gets (Pi=4, Theta=1): exactly one transaction per 4 units.
+    se_params p;
+    p.unit_cycles = 4;
+    p.work_conserving = false;
+    rig r(p);
+    r.se.configure_port(0, 4, 1);
+    cycle_t now = 0;
+    // Keep the buffer saturated for 64 units = 256 cycles.
+    for (int i = 0; i < 256; ++i) {
+        while (r.se.port_can_accept(0)) {
+            r.se.port_push(0, req(1000 + i, 10'000));
+        }
+        r.cycle(now);
+    }
+    // 64 units / 4 units per period = 16 periods -> 16 transactions.
+    EXPECT_NEAR(static_cast<double>(r.out.size()), 16.0, 1.0);
+}
+
+TEST(scale_element, work_conserving_fallback_uses_idle_capacity) {
+    se_params p;
+    p.unit_cycles = 4;
+    p.work_conserving = true;
+    rig r(p);
+    r.se.configure_port(0, 4, 1);
+    cycle_t now = 0;
+    for (int i = 0; i < 64; ++i) {
+        while (r.se.port_can_accept(0)) {
+            r.se.port_push(0, req(2000 + i, 10'000));
+        }
+        r.cycle(now);
+    }
+    // Fallback forwards every cycle once the budget is spent.
+    EXPECT_GT(r.out.size(), 50u);
+}
+
+TEST(scale_element, budgeted_grant_restamps_level_deadline) {
+    se_params p;
+    p.unit_cycles = 4;
+    rig r(p);
+    r.se.configure_port(0, 8, 2);
+    cycle_t now = 0;
+    r.se.port_push(0, req(1, 999'999));
+    r.cycle(now, 3);
+    ASSERT_EQ(r.out.size(), 1u);
+    // The forwarded request inherits the server job's deadline, which is
+    // bounded by the period in cycles -- far below the original stamp.
+    EXPECT_LE(r.out[0].level_deadline, 8u * 4u + 4u);
+    EXPECT_EQ(r.out[0].abs_deadline, 999'999u); // original preserved
+}
+
+TEST(scale_element, unconfigured_keeps_level_deadline) {
+    rig r;
+    cycle_t now = 0;
+    r.se.port_push(0, req(1, 777));
+    r.cycle(now, 3);
+    ASSERT_EQ(r.out.size(), 1u);
+    EXPECT_EQ(r.out[0].level_deadline, 777u);
+}
+
+TEST(scale_element, gedf_across_ports_with_budgets) {
+    se_params p;
+    p.unit_cycles = 1; // units == cycles for clarity
+    rig r(p);
+    r.se.configure_port(0, 100, 50);
+    r.se.configure_port(1, 10, 5);
+    cycle_t now = 0;
+    r.se.port_push(0, req(1, 5)); // earlier request deadline...
+    r.se.port_push(1, req(2, 500));
+    r.cycle(now, 3);
+    ASSERT_EQ(r.out.size(), 2u);
+    // ...but server deadlines rule the upper level: port 1 (10) < port 0
+    // (100), so request 2 forwards first (Algorithm 1's outer loop).
+    EXPECT_EQ(r.out[0].id, 2u);
+}
+
+TEST(scale_element, blocking_charged_across_all_buffers) {
+    se_params p;
+    p.unit_cycles = 1;
+    rig r(p);
+    r.se.configure_port(0, 2, 1);
+    r.se.configure_port(1, 100, 1);
+    cycle_t now = 0;
+    r.se.port_push(0, req(1, 900));  // later deadline, but its server fires
+    r.se.port_push(1, req(2, 5));    // earlier deadline, slower server
+    r.cycle(now, 4);
+    ASSERT_EQ(r.out.size(), 2u);
+    const auto& victim =
+        r.out[0].id == 2 ? r.out[1] : (r.out[0].id == 1 ? r.out[1] : r.out[0]);
+    // Request 2 (deadline 5) waited while request 1 (deadline 900) was
+    // granted at least once.
+    bool found = false;
+    for (const auto& o : r.out) {
+        if (o.id == 2 && o.blocked_cycles > 0) found = true;
+    }
+    EXPECT_TRUE(found);
+    (void)victim;
+}
+
+TEST(scale_element, counts_budgeted_vs_total_forwards) {
+    se_params p;
+    p.unit_cycles = 4;
+    rig r(p);
+    r.se.configure_port(0, 4, 1);
+    cycle_t now = 0;
+    for (int i = 0; i < 40; ++i) {
+        while (r.se.port_can_accept(0)) r.se.port_push(0, req(i, 10'000));
+        r.cycle(now);
+    }
+    EXPECT_EQ(r.se.forwarded(),
+              r.se.forwarded_budgeted() +
+                  (r.se.forwarded() - r.se.forwarded_budgeted()));
+    EXPECT_GT(r.se.forwarded(), r.se.forwarded_budgeted());
+    EXPECT_GT(r.se.forwarded_budgeted(), 0u);
+}
+
+TEST(scale_element, wait_stats_measure_queueing_time) {
+    rig r;
+    cycle_t now = 0;
+    // Block the sink for 10 cycles so the request demonstrably queues.
+    r.sink_open = false;
+    mem_request q = req(1, 100);
+    q.hop_arrival = 0;
+    r.se.port_push(0, q);
+    r.cycle(now, 10);
+    r.sink_open = true;
+    r.cycle(now, 2);
+    ASSERT_EQ(r.out.size(), 1u);
+    ASSERT_EQ(r.se.wait_stats().count(), 1u);
+    EXPECT_GE(r.se.wait_stats().mean(), 10.0);
+    // The forwarded request is re-stamped for the next hop.
+    EXPECT_GE(r.out[0].hop_arrival, 10u);
+}
+
+TEST(scale_element, wait_stats_near_zero_when_uncontended) {
+    rig r;
+    cycle_t now = 5;
+    mem_request q = req(1, 100);
+    q.hop_arrival = now;
+    r.se.port_push(0, q);
+    r.cycle(now, 3);
+    ASSERT_EQ(r.out.size(), 1u);
+    EXPECT_LE(r.se.wait_stats().mean(), 2.0);
+}
+
+TEST(scale_element, reset_clears_buffers_and_counters) {
+    rig r;
+    cycle_t now = 0;
+    r.se.port_push(0, req(1, 10));
+    r.cycle(now, 2);
+    r.se.reset();
+    EXPECT_EQ(r.se.forwarded(), 0u);
+    EXPECT_TRUE(r.se.buffer(0).empty());
+}
+
+} // namespace
+} // namespace bluescale::core

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "harness/factory.hpp"
+#include "harness/fig6_experiment.hpp"
+
+namespace bluescale::harness {
+namespace {
+
+fig6_config small_config() {
+    fig6_config cfg;
+    cfg.n_clients = 16;
+    cfg.trials = 2;
+    cfg.measure_cycles = 8'000;
+    cfg.seed = 99;
+    return cfg;
+}
+
+TEST(fig6, produces_per_trial_samples) {
+    const auto r = run_fig6(ic_kind::bluescale, small_config());
+    EXPECT_EQ(r.blocking_us.count(), 2u);
+    EXPECT_EQ(r.miss_ratio.count(), 2u);
+    EXPECT_EQ(r.n_clients, 16u);
+    EXPECT_GT(r.system_clock_mhz, 0.0);
+}
+
+TEST(fig6, bluescale_selection_feasible_at_paper_utilizations) {
+    const auto r = run_fig6(ic_kind::bluescale, small_config());
+    EXPECT_EQ(r.feasible_trials, 2u);
+}
+
+TEST(fig6, metrics_within_sane_ranges) {
+    for (ic_kind kind :
+         {ic_kind::bluescale, ic_kind::bluetree, ic_kind::gsmtree_tdm}) {
+        const auto r = run_fig6(kind, small_config());
+        EXPECT_GE(r.miss_ratio.min(), 0.0) << kind_name(kind);
+        EXPECT_LE(r.miss_ratio.max(), 1.0) << kind_name(kind);
+        EXPECT_GE(r.blocking_us.min(), 0.0) << kind_name(kind);
+        EXPECT_LE(r.blocking_us.mean(), r.worst_blocking_us.max())
+            << kind_name(kind);
+    }
+}
+
+TEST(fig6, deterministic_given_seed) {
+    const auto a = run_fig6(ic_kind::bluetree, small_config());
+    const auto b = run_fig6(ic_kind::bluetree, small_config());
+    EXPECT_EQ(a.blocking_us.mean(), b.blocking_us.mean());
+    EXPECT_EQ(a.miss_ratio.mean(), b.miss_ratio.mean());
+}
+
+TEST(fig6, different_seeds_differ) {
+    auto cfg = small_config();
+    const auto a = run_fig6(ic_kind::bluetree, cfg);
+    cfg.seed = 12345;
+    const auto b = run_fig6(ic_kind::bluetree, cfg);
+    EXPECT_NE(a.blocking_us.mean(), b.blocking_us.mean());
+}
+
+TEST(fig6, run_all_covers_six_designs) {
+    auto cfg = small_config();
+    cfg.trials = 1;
+    const auto all = run_fig6_all(cfg);
+    ASSERT_EQ(all.size(), 6u);
+    std::set<ic_kind> kinds;
+    for (const auto& r : all) kinds.insert(r.kind);
+    EXPECT_EQ(kinds.size(), 6u);
+}
+
+TEST(fig6, extended_kind_runs_through_harness) {
+    const auto r = run_fig6(ic_kind::axi_hyperconnect, small_config());
+    EXPECT_EQ(r.blocking_us.count(), 2u);
+    EXPECT_GE(r.miss_ratio.min(), 0.0);
+    EXPECT_LE(r.miss_ratio.max(), 1.0);
+}
+
+TEST(fig6, se_override_applies) {
+    auto cfg = small_config();
+    cfg.trials = 1;
+    core::se_params se;
+    se.buffer_depth = 4;
+    se.policy = core::server_policy::fixed_priority;
+    cfg.bluescale_se = se;
+    const auto r = run_fig6(ic_kind::bluescale, cfg);
+    EXPECT_EQ(r.blocking_us.count(), 1u); // just runs through
+}
+
+} // namespace
+} // namespace bluescale::harness

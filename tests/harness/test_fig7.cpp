@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "harness/fig7_experiment.hpp"
+
+namespace bluescale::harness {
+namespace {
+
+fig7_config small_config() {
+    fig7_config cfg;
+    cfg.n_processors = 16;
+    cfg.trials = 2;
+    cfg.measure_cycles = 15'000;
+    cfg.util_lo = 0.3;
+    cfg.util_hi = 0.5;
+    cfg.util_step = 0.2;
+    cfg.seed = 7;
+    return cfg;
+}
+
+TEST(fig7, sweep_covers_requested_points) {
+    const auto r = run_fig7(ic_kind::bluescale, small_config());
+    ASSERT_EQ(r.points.size(), 2u);
+    EXPECT_DOUBLE_EQ(r.points[0].target_utilization, 0.3);
+    EXPECT_DOUBLE_EQ(r.points[1].target_utilization, 0.5);
+}
+
+TEST(fig7, success_ratio_in_unit_range) {
+    for (ic_kind kind : {ic_kind::bluescale, ic_kind::bluetree}) {
+        const auto r = run_fig7(kind, small_config());
+        for (const auto& p : r.points) {
+            EXPECT_GE(p.success_ratio, 0.0);
+            EXPECT_LE(p.success_ratio, 1.0);
+            EXPECT_GE(p.app_miss_ratio, 0.0);
+            EXPECT_LE(p.app_miss_ratio, 1.0);
+        }
+    }
+}
+
+TEST(fig7, all_designs_succeed_at_low_utilization) {
+    auto cfg = small_config();
+    cfg.util_lo = cfg.util_hi = 0.3;
+    for (ic_kind kind : k_all_kinds) {
+        const auto r = run_fig7(kind, cfg);
+        ASSERT_EQ(r.points.size(), 1u);
+        EXPECT_EQ(r.points[0].success_ratio, 1.0) << kind_name(kind);
+    }
+}
+
+TEST(fig7, trial_deterministic_given_seed) {
+    const auto cfg = small_config();
+    double m1 = 0, m2 = 0;
+    const bool a = run_fig7_trial(ic_kind::bluetree, cfg, 0.4, 99, &m1);
+    const bool b = run_fig7_trial(ic_kind::bluetree, cfg, 0.4, 99, &m2);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(m1, m2);
+}
+
+TEST(fig7, run_all_covers_six_designs) {
+    auto cfg = small_config();
+    cfg.trials = 1;
+    cfg.util_lo = cfg.util_hi = 0.4;
+    const auto all = run_fig7_all(cfg);
+    ASSERT_EQ(all.size(), 6u);
+}
+
+TEST(fig7, sixty_four_core_configuration_runs) {
+    auto cfg = small_config();
+    cfg.n_processors = 64;
+    cfg.trials = 1;
+    cfg.util_lo = cfg.util_hi = 0.3;
+    const auto r = run_fig7(ic_kind::bluescale, cfg);
+    ASSERT_EQ(r.points.size(), 1u);
+    EXPECT_EQ(r.n_processors, 64u);
+}
+
+} // namespace
+} // namespace bluescale::harness

@@ -1,0 +1,108 @@
+// Cross-design properties of the measurement machinery itself: the
+// blocking-latency metric and the latency accounting must be mutually
+// consistent for every design, or Fig. 6's comparisons are meaningless.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "harness/factory.hpp"
+#include "mem/memory_controller.hpp"
+#include "sim/simulator.hpp"
+#include "workload/taskset_gen.hpp"
+#include "workload/traffic_generator.hpp"
+
+namespace bluescale {
+namespace {
+
+using harness::ic_build_options;
+using harness::ic_kind;
+using harness::k_extended_kinds;
+using harness::kind_name;
+using harness::make_interconnect;
+
+struct observed {
+    std::vector<mem_request> done;
+};
+
+observed run_design(ic_kind kind, std::uint64_t seed) {
+    const std::uint32_t n = 16;
+    rng r(seed);
+    auto tasksets = workload::make_client_tasksets(r, n, 0.75, 0.75);
+    ic_build_options opts;
+    opts.n_clients = n;
+    for (const auto& ts : tasksets) {
+        opts.client_utilizations.push_back(workload::utilization(ts));
+    }
+    auto ic = make_interconnect(kind, opts);
+    memory_controller mem;
+    ic->attach_memory(mem);
+
+    std::vector<std::unique_ptr<workload::traffic_generator>> clients;
+    for (std::uint32_t c = 0; c < n; ++c) {
+        clients.push_back(std::make_unique<workload::traffic_generator>(
+            c, tasksets[c], *ic, seed + c));
+    }
+    observed out;
+    ic->set_response_handler([&](mem_request&& req) {
+        out.done.push_back(req);
+        clients[req.client]->on_response(std::move(req));
+    });
+    simulator sim;
+    for (auto& c : clients) sim.add(*c);
+    sim.add(*ic);
+    sim.add(mem);
+    sim.run(20'000);
+    return out;
+}
+
+class metric_consistency : public ::testing::TestWithParam<ic_kind> {};
+
+TEST_P(metric_consistency, blocking_never_exceeds_total_latency) {
+    const auto obs = run_design(GetParam(), 4242);
+    ASSERT_GT(obs.done.size(), 200u) << kind_name(GetParam());
+    for (const auto& r : obs.done) {
+        EXPECT_LE(r.blocked_cycles, r.total_latency())
+            << kind_name(GetParam()) << " request " << r.id;
+    }
+}
+
+TEST_P(metric_consistency, timestamps_are_causally_ordered) {
+    const auto obs = run_design(GetParam(), 777);
+    for (const auto& r : obs.done) {
+        EXPECT_LE(r.issue_cycle, r.mem_start) << kind_name(GetParam());
+        EXPECT_LE(r.mem_start, r.mem_done) << kind_name(GetParam());
+        EXPECT_LE(r.mem_done, r.complete_cycle) << kind_name(GetParam());
+    }
+}
+
+TEST_P(metric_consistency, latency_includes_memory_service_floor) {
+    // Every transaction pays at least the row-hit service time.
+    const dram_timing t;
+    const auto obs = run_design(GetParam(), 99);
+    for (const auto& r : obs.done) {
+        EXPECT_GE(r.mem_done - r.mem_start, t.t_cas + t.t_burst)
+            << kind_name(GetParam());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(designs, metric_consistency,
+                         ::testing::ValuesIn(k_extended_kinds),
+                         [](const auto& info) {
+                             switch (info.param) {
+                             case ic_kind::axi_icrt: return "axi_icrt";
+                             case ic_kind::bluetree: return "bluetree";
+                             case ic_kind::bluetree_smooth:
+                                 return "bluetree_smooth";
+                             case ic_kind::gsmtree_tdm: return "gsmtree_tdm";
+                             case ic_kind::gsmtree_fbsp:
+                                 return "gsmtree_fbsp";
+                             case ic_kind::bluescale: return "bluescale";
+                             case ic_kind::axi_hyperconnect:
+                                 return "axi_hyperconnect";
+                             }
+                             return "unknown";
+                         });
+
+} // namespace
+} // namespace bluescale

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "interconnect/axi_hyperconnect.hpp"
+#include "mem/memory_controller.hpp"
+#include "sim/simulator.hpp"
+
+namespace bluescale {
+namespace {
+
+mem_request req(request_id_t id, client_id_t client, cycle_t deadline,
+                std::uint64_t addr = 0) {
+    mem_request r;
+    r.id = id;
+    r.client = client;
+    r.addr = addr;
+    r.abs_deadline = deadline;
+    r.level_deadline = deadline;
+    return r;
+}
+
+struct rig {
+    explicit rig(std::uint32_t n, axi_hyperconnect_config cfg = {})
+        : net(n, cfg) {
+        net.attach_memory(mem);
+        net.set_response_handler(
+            [this](mem_request&& r) { completed.push_back(std::move(r)); });
+        sim.add(net);
+        sim.add(mem);
+    }
+    void run_until_drained(cycle_t max = 20'000) {
+        sim.run_until([this] { return net.in_flight() == 0; }, max);
+    }
+    axi_hyperconnect net;
+    memory_controller mem;
+    std::vector<mem_request> completed;
+    simulator sim;
+};
+
+TEST(axi_hyperconnect, single_request_round_trip) {
+    rig r(4);
+    r.net.client_push(1, req(1, 1, 10'000));
+    r.run_until_drained();
+    ASSERT_EQ(r.completed.size(), 1u);
+    EXPECT_EQ(r.completed[0].id, 1u);
+}
+
+TEST(axi_hyperconnect, round_robin_fairness_under_saturation) {
+    axi_hyperconnect_config cfg;
+    cfg.queue_depth = 8;
+    rig r(2, cfg);
+    // Both clients saturate: grants must alternate, so completion
+    // interleaves regardless of deadlines.
+    for (int i = 0; i < 6; ++i) {
+        r.net.client_push(0, req(10 + i, 0, 100, 0));      // urgent
+        r.net.client_push(1, req(20 + i, 1, 1'000'000, 0)); // relaxed
+    }
+    r.run_until_drained();
+    ASSERT_EQ(r.completed.size(), 12u);
+    int flips = 0;
+    for (std::size_t i = 1; i < r.completed.size(); ++i) {
+        if (r.completed[i].client != r.completed[i - 1].client) ++flips;
+    }
+    EXPECT_GE(flips, 9) << "round robin should interleave grants";
+}
+
+TEST(axi_hyperconnect, outstanding_cap_bounds_a_flooding_client) {
+    axi_hyperconnect_config cfg;
+    cfg.max_outstanding_per_client = 2;
+    cfg.queue_depth = 8;
+    rig r(2, cfg);
+    for (int i = 0; i < 8; ++i) {
+        r.net.client_push(0, req(i, 0, 1'000'000, i * 64));
+    }
+    // Run a few cycles: no more than 2 of client 0's requests may be past
+    // the arbiter at once.
+    for (int i = 0; i < 12; ++i) {
+        r.sim.step();
+        EXPECT_LE(r.net.outstanding(0), 2u);
+    }
+    r.run_until_drained();
+    EXPECT_EQ(r.completed.size(), 8u);
+    EXPECT_EQ(r.net.outstanding(0), 0u);
+}
+
+TEST(axi_hyperconnect, credits_released_on_response) {
+    axi_hyperconnect_config cfg;
+    cfg.max_outstanding_per_client = 1;
+    rig r(2, cfg);
+    r.net.client_push(0, req(1, 0, 100'000));
+    r.net.client_push(0, req(2, 0, 100'000, 64));
+    r.run_until_drained();
+    // With credit 1 both still complete, strictly serialized.
+    ASSERT_EQ(r.completed.size(), 2u);
+    EXPECT_LT(r.completed[0].complete_cycle,
+              r.completed[1].complete_cycle);
+}
+
+TEST(axi_hyperconnect, blocking_charged_on_inversion) {
+    // Round robin is deadline-agnostic: when the pointer is past the
+    // urgent client, relaxed requests are granted while the urgent one
+    // waits -- blocking accrues. (Arriving mid-rotation matters: with the
+    // pointer at the urgent client it would be served immediately.)
+    axi_hyperconnect_config cfg;
+    cfg.queue_depth = 8;
+    rig r(4, cfg);
+    for (int i = 0; i < 4; ++i) {
+        for (client_id_t c = 1; c <= 3; ++c) {
+            r.net.client_push(c, req(20 + 10 * c + i, c, 1'000'000, 0));
+        }
+    }
+    r.sim.run(3); // rotation in flight, pointer past client 0
+    r.net.client_push(0, req(1, 0, 50, 0));
+    r.run_until_drained();
+    cycle_t blocked = 0;
+    for (const auto& c : r.completed) {
+        if (c.id == 1) blocked = c.blocked_cycles;
+    }
+    EXPECT_GT(blocked, 0u);
+}
+
+TEST(axi_hyperconnect, no_loss_under_sustained_load) {
+    rig r(8);
+    std::uint64_t pushed = 0;
+    for (cycle_t now = 0; now < 4000; ++now) {
+        for (client_id_t c = 0; c < 8; ++c) {
+            if (now % 32 == 4 * c && r.net.client_can_accept(c)) {
+                r.net.client_push(c, req(pushed++, c, now + 800,
+                                         pushed * 64));
+            }
+        }
+        r.sim.step();
+    }
+    r.run_until_drained(100'000);
+    EXPECT_EQ(r.completed.size(), pushed);
+}
+
+TEST(axi_hyperconnect, reset_restores_clean_state) {
+    rig r(4);
+    r.net.client_push(0, req(1, 0, 1000));
+    r.sim.run(2);
+    r.net.reset();
+    r.mem.reset();
+    EXPECT_EQ(r.net.in_flight(), 0u);
+    EXPECT_EQ(r.net.outstanding(0), 0u);
+    r.net.client_push(2, req(5, 2, 100'000));
+    r.run_until_drained();
+    ASSERT_EQ(r.completed.size(), 1u);
+    EXPECT_EQ(r.completed[0].id, 5u);
+}
+
+} // namespace
+} // namespace bluescale

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/fixed_queue.hpp"
+
+namespace bluescale {
+namespace {
+
+TEST(fixed_queue, starts_empty) {
+    fixed_queue<int> q(4);
+    EXPECT_TRUE(q.empty());
+    EXPECT_FALSE(q.full());
+    EXPECT_EQ(q.size(), 0u);
+    EXPECT_EQ(q.capacity(), 4u);
+    EXPECT_EQ(q.free_slots(), 4u);
+}
+
+TEST(fixed_queue, push_pop_fifo_order) {
+    fixed_queue<int> q(4);
+    q.push(1);
+    q.push(2);
+    q.push(3);
+    EXPECT_EQ(q.pop(), 1);
+    EXPECT_EQ(q.pop(), 2);
+    EXPECT_EQ(q.pop(), 3);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(fixed_queue, full_at_capacity) {
+    fixed_queue<int> q(2);
+    q.push(1);
+    EXPECT_FALSE(q.full());
+    q.push(2);
+    EXPECT_TRUE(q.full());
+    EXPECT_EQ(q.free_slots(), 0u);
+}
+
+TEST(fixed_queue, wraps_around) {
+    fixed_queue<int> q(3);
+    for (int round = 0; round < 10; ++round) {
+        q.push(round * 2);
+        q.push(round * 2 + 1);
+        EXPECT_EQ(q.pop(), round * 2);
+        EXPECT_EQ(q.pop(), round * 2 + 1);
+    }
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(fixed_queue, front_peeks_without_removing) {
+    fixed_queue<int> q(4);
+    q.push(42);
+    EXPECT_EQ(q.front(), 42);
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(fixed_queue, at_indexes_from_front) {
+    fixed_queue<int> q(4);
+    q.push(10);
+    q.push(20);
+    q.push(30);
+    q.pop(); // head moves; at() must follow
+    q.push(40);
+    EXPECT_EQ(q.at(0), 20);
+    EXPECT_EQ(q.at(1), 30);
+    EXPECT_EQ(q.at(2), 40);
+}
+
+TEST(fixed_queue, extract_middle_preserves_order) {
+    fixed_queue<int> q(5);
+    for (int i = 1; i <= 5; ++i) q.push(i);
+    EXPECT_EQ(q.extract(2), 3);
+    EXPECT_EQ(q.size(), 4u);
+    EXPECT_EQ(q.pop(), 1);
+    EXPECT_EQ(q.pop(), 2);
+    EXPECT_EQ(q.pop(), 4);
+    EXPECT_EQ(q.pop(), 5);
+}
+
+TEST(fixed_queue, extract_front_equals_pop) {
+    fixed_queue<int> q(3);
+    q.push(7);
+    q.push(8);
+    EXPECT_EQ(q.extract(0), 7);
+    EXPECT_EQ(q.front(), 8);
+}
+
+TEST(fixed_queue, extract_last) {
+    fixed_queue<int> q(3);
+    q.push(7);
+    q.push(8);
+    q.push(9);
+    EXPECT_EQ(q.extract(2), 9);
+    EXPECT_EQ(q.size(), 2u);
+    EXPECT_EQ(q.pop(), 7);
+    EXPECT_EQ(q.pop(), 8);
+}
+
+TEST(fixed_queue, extract_across_wraparound) {
+    fixed_queue<int> q(4);
+    q.push(1);
+    q.push(2);
+    q.push(3);
+    q.pop();
+    q.pop();
+    q.push(4);
+    q.push(5); // storage wraps here
+    EXPECT_EQ(q.extract(1), 4);
+    EXPECT_EQ(q.pop(), 3);
+    EXPECT_EQ(q.pop(), 5);
+}
+
+TEST(fixed_queue, clear_resets) {
+    fixed_queue<int> q(3);
+    q.push(1);
+    q.push(2);
+    q.clear();
+    EXPECT_TRUE(q.empty());
+    q.push(9);
+    EXPECT_EQ(q.front(), 9);
+}
+
+TEST(fixed_queue, move_only_types) {
+    fixed_queue<std::unique_ptr<int>> q(2);
+    q.push(std::make_unique<int>(5));
+    auto p = q.pop();
+    EXPECT_EQ(*p, 5);
+}
+
+} // namespace
+} // namespace bluescale

@@ -1,0 +1,51 @@
+#include <gtest/gtest.h>
+
+#include "sim/log.hpp"
+
+namespace bluescale {
+namespace {
+
+class log_test : public ::testing::Test {
+protected:
+    void TearDown() override { set_log_level(log_level::off); }
+};
+
+TEST_F(log_test, default_level_is_off) {
+    EXPECT_EQ(get_log_level(), log_level::off);
+}
+
+TEST_F(log_test, set_and_get_round_trip) {
+    set_log_level(log_level::trace);
+    EXPECT_EQ(get_log_level(), log_level::trace);
+    set_log_level(log_level::error);
+    EXPECT_EQ(get_log_level(), log_level::error);
+}
+
+TEST_F(log_test, suppressed_levels_do_not_crash) {
+    set_log_level(log_level::off);
+    log_line(log_level::error, 10, "suppressed");
+    log_line(log_level::trace, 20, "suppressed");
+    SUCCEED();
+}
+
+TEST_F(log_test, enabled_levels_do_not_crash) {
+    set_log_level(log_level::trace);
+    ::testing::internal::CaptureStderr();
+    log_line(log_level::info, 42, "hello");
+    const std::string out = ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(out.find("hello"), std::string::npos);
+    EXPECT_NE(out.find("42"), std::string::npos);
+}
+
+TEST_F(log_test, level_ordering_filters) {
+    set_log_level(log_level::error);
+    ::testing::internal::CaptureStderr();
+    log_line(log_level::info, 1, "filtered");
+    log_line(log_level::error, 2, "kept");
+    const std::string out = ::testing::internal::GetCapturedStderr();
+    EXPECT_EQ(out.find("filtered"), std::string::npos);
+    EXPECT_NE(out.find("kept"), std::string::npos);
+}
+
+} // namespace
+} // namespace bluescale

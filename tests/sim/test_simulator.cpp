@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/component.hpp"
+#include "sim/simulator.hpp"
+
+namespace bluescale {
+namespace {
+
+class recorder : public component {
+public:
+    recorder() : component("recorder") {}
+    void tick(cycle_t now) override { ticks.push_back(now); }
+    void commit() override { ++commits; }
+    std::vector<cycle_t> ticks;
+    int commits = 0;
+};
+
+TEST(simulator, run_advances_time) {
+    simulator sim;
+    EXPECT_EQ(sim.now(), 0u);
+    sim.run(10);
+    EXPECT_EQ(sim.now(), 10u);
+}
+
+TEST(simulator, components_tick_every_cycle_with_correct_time) {
+    simulator sim;
+    recorder r;
+    sim.add(r);
+    sim.run(5);
+    ASSERT_EQ(r.ticks.size(), 5u);
+    for (cycle_t i = 0; i < 5; ++i) EXPECT_EQ(r.ticks[i], i);
+}
+
+TEST(simulator, commit_called_once_per_cycle) {
+    simulator sim;
+    recorder r;
+    sim.add(r);
+    sim.run(7);
+    EXPECT_EQ(r.commits, 7);
+}
+
+TEST(simulator, all_components_tick_before_any_commit) {
+    // Verifies the two-phase contract: within one cycle, both components
+    // observe each other's pre-commit state.
+    class phase_checker : public component {
+    public:
+        phase_checker(int& tick_count, int& commit_count)
+            : component("pc"), ticks_(tick_count), commits_(commit_count) {}
+        void tick(cycle_t) override {
+            EXPECT_EQ(commits_, 0) << "commit ran before all ticks";
+            ++ticks_;
+        }
+        void commit() override {
+            EXPECT_EQ(ticks_, 2) << "not all components ticked yet";
+            ++commits_;
+        }
+
+    private:
+        int& ticks_;
+        int& commits_;
+    };
+    int ticks = 0, commits = 0;
+    phase_checker a(ticks, commits), b(ticks, commits);
+    simulator sim;
+    sim.add(a);
+    sim.add(b);
+    sim.step();
+    EXPECT_EQ(ticks, 2);
+    EXPECT_EQ(commits, 2);
+}
+
+TEST(simulator, run_until_predicate_fires) {
+    simulator sim;
+    recorder r;
+    sim.add(r);
+    const bool fired =
+        sim.run_until([&] { return r.ticks.size() >= 3; }, 100);
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(sim.now(), 3u);
+}
+
+TEST(simulator, run_until_honors_budget) {
+    simulator sim;
+    const bool fired = sim.run_until([] { return false; }, 20);
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(sim.now(), 20u);
+}
+
+TEST(simulator, run_until_checks_before_stepping) {
+    simulator sim;
+    const bool fired = sim.run_until([] { return true; }, 20);
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(sim.now(), 0u);
+}
+
+TEST(simulator, run_accumulates_across_calls) {
+    simulator sim;
+    sim.run(4);
+    sim.run(6);
+    EXPECT_EQ(sim.now(), 10u);
+}
+
+} // namespace
+} // namespace bluescale

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "stats/histogram.hpp"
+
+namespace bluescale::stats {
+namespace {
+
+TEST(histogram, bins_values_correctly) {
+    histogram h(0.0, 10.0, 5); // bins of width 2
+    h.add(0.0);
+    h.add(1.9);
+    h.add(2.0);
+    h.add(9.99);
+    EXPECT_EQ(h.bin(0), 2u);
+    EXPECT_EQ(h.bin(1), 1u);
+    EXPECT_EQ(h.bin(4), 1u);
+    EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(histogram, underflow_and_overflow) {
+    histogram h(0.0, 10.0, 5);
+    h.add(-0.1);
+    h.add(10.0); // hi edge is exclusive
+    h.add(100.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(histogram, bin_edges) {
+    histogram h(10.0, 20.0, 4);
+    EXPECT_DOUBLE_EQ(h.bin_lo(0), 10.0);
+    EXPECT_DOUBLE_EQ(h.bin_hi(0), 12.5);
+    EXPECT_DOUBLE_EQ(h.bin_lo(3), 17.5);
+    EXPECT_DOUBLE_EQ(h.bin_hi(3), 20.0);
+}
+
+TEST(histogram, value_on_inner_edge_goes_to_upper_bin) {
+    histogram h(0.0, 4.0, 4);
+    h.add(2.0);
+    EXPECT_EQ(h.bin(2), 1u);
+    EXPECT_EQ(h.bin(1), 0u);
+}
+
+TEST(histogram, negative_range) {
+    histogram h(-10.0, 0.0, 2);
+    h.add(-7.0);
+    h.add(-1.0);
+    EXPECT_EQ(h.bin(0), 1u);
+    EXPECT_EQ(h.bin(1), 1u);
+}
+
+TEST(histogram, to_string_renders_all_bins) {
+    histogram h(0.0, 2.0, 2);
+    h.add(0.5);
+    h.add(1.5);
+    h.add(1.6);
+    const std::string s = h.to_string(10);
+    // Two bin lines, each ending with a bar.
+    EXPECT_NE(s.find("#"), std::string::npos);
+    EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 2);
+}
+
+TEST(histogram, to_string_mentions_overflow) {
+    histogram h(0.0, 1.0, 1);
+    h.add(5.0);
+    EXPECT_NE(h.to_string().find("overflow 1"), std::string::npos);
+}
+
+} // namespace
+} // namespace bluescale::stats

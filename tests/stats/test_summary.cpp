@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/rng.hpp"
+#include "stats/summary.hpp"
+
+namespace bluescale::stats {
+namespace {
+
+TEST(running_summary, empty_is_all_zero) {
+    running_summary s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(running_summary, single_sample) {
+    running_summary s;
+    s.add(5.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_EQ(s.mean(), 5.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.min(), 5.0);
+    EXPECT_EQ(s.max(), 5.0);
+    EXPECT_EQ(s.sum(), 5.0);
+}
+
+TEST(running_summary, known_values) {
+    running_summary s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Sample variance with n-1 denominator: 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_EQ(s.min(), 2.0);
+    EXPECT_EQ(s.max(), 9.0);
+    EXPECT_EQ(s.sum(), 40.0);
+}
+
+TEST(running_summary, negative_values) {
+    running_summary s;
+    s.add(-3.0);
+    s.add(3.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.min(), -3.0);
+    EXPECT_EQ(s.max(), 3.0);
+}
+
+TEST(running_summary, welford_is_numerically_stable) {
+    // Large offset + small variance: naive sum-of-squares would lose all
+    // precision here.
+    running_summary s;
+    const double offset = 1e9;
+    for (int i = 0; i < 1000; ++i) s.add(offset + (i % 2));
+    EXPECT_NEAR(s.variance(), 0.2502502, 1e-4);
+}
+
+TEST(running_summary, merge_matches_sequential) {
+    rng r(31);
+    running_summary whole, part1, part2;
+    for (int i = 0; i < 500; ++i) {
+        const double v = r.uniform_real(-10, 10);
+        whole.add(v);
+        (i < 200 ? part1 : part2).add(v);
+    }
+    part1.merge(part2);
+    EXPECT_EQ(part1.count(), whole.count());
+    EXPECT_NEAR(part1.mean(), whole.mean(), 1e-9);
+    EXPECT_NEAR(part1.variance(), whole.variance(), 1e-9);
+    EXPECT_EQ(part1.min(), whole.min());
+    EXPECT_EQ(part1.max(), whole.max());
+}
+
+TEST(running_summary, merge_with_empty_is_identity) {
+    running_summary a, empty;
+    a.add(1.0);
+    a.add(2.0);
+    const double mean = a.mean();
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_EQ(a.mean(), mean);
+
+    running_summary b;
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_EQ(b.mean(), mean);
+}
+
+TEST(sample_set, percentile_of_known_sequence) {
+    sample_set s;
+    for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+    EXPECT_NEAR(s.percentile(0), 1.0, 1e-12);
+    EXPECT_NEAR(s.percentile(100), 100.0, 1e-12);
+    EXPECT_NEAR(s.percentile(50), 50.5, 1e-9);
+    EXPECT_NEAR(s.percentile(99), 99.01, 0.02);
+}
+
+TEST(sample_set, percentile_empty_is_zero) {
+    sample_set s;
+    EXPECT_EQ(s.percentile(50), 0.0);
+}
+
+TEST(sample_set, percentile_single_sample) {
+    sample_set s;
+    s.add(7.0);
+    EXPECT_EQ(s.percentile(0), 7.0);
+    EXPECT_EQ(s.percentile(50), 7.0);
+    EXPECT_EQ(s.percentile(100), 7.0);
+}
+
+TEST(sample_set, percentile_clamps_out_of_range) {
+    sample_set s;
+    s.add(1.0);
+    s.add(2.0);
+    EXPECT_EQ(s.percentile(-5), 1.0);
+    EXPECT_EQ(s.percentile(150), 2.0);
+}
+
+TEST(sample_set, add_after_percentile_query) {
+    sample_set s;
+    s.add(3.0);
+    s.add(1.0);
+    EXPECT_EQ(s.percentile(100), 3.0);
+    s.add(5.0); // must re-sort lazily
+    EXPECT_EQ(s.percentile(100), 5.0);
+    EXPECT_EQ(s.percentile(0), 1.0);
+}
+
+TEST(sample_set, mirrors_summary_stats) {
+    sample_set s;
+    for (double v : {1.0, 2.0, 3.0}) s.add(v);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 1.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 1.0);
+    EXPECT_EQ(s.min(), 1.0);
+    EXPECT_EQ(s.max(), 3.0);
+}
+
+} // namespace
+} // namespace bluescale::stats

@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include "stats/table.hpp"
+
+namespace bluescale::stats {
+namespace {
+
+TEST(table, renders_header_separator_rows) {
+    table t({"a", "bb"});
+    t.add_row({"1", "2"});
+    const std::string s = t.to_string();
+    // header + separator + one data row
+    EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 3);
+    EXPECT_NE(s.find("| a "), std::string::npos);
+    EXPECT_NE(s.find("| bb "), std::string::npos);
+}
+
+TEST(table, columns_align_to_widest_cell) {
+    table t({"x"});
+    t.add_row({"short"});
+    t.add_row({"a much longer cell"});
+    const std::string s = t.to_string();
+    // Every line must have the same length (aligned columns).
+    std::size_t prev = std::string::npos;
+    std::size_t pos = 0;
+    while (pos < s.size()) {
+        const std::size_t nl = s.find('\n', pos);
+        const std::size_t len = nl - pos;
+        if (prev != std::string::npos) EXPECT_EQ(len, prev);
+        prev = len;
+        pos = nl + 1;
+    }
+}
+
+TEST(table, empty_table_has_header_only) {
+    table t({"col"});
+    const std::string s = t.to_string();
+    EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 2); // header + separator
+}
+
+TEST(table, num_formats_precision) {
+    EXPECT_EQ(table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(table::num(3.14159, 0), "3");
+    EXPECT_EQ(table::num(-1.5, 1), "-1.5");
+}
+
+TEST(table, pct_formats_fraction) {
+    EXPECT_EQ(table::pct(0.5, 1), "50.0%");
+    EXPECT_EQ(table::pct(0.1234, 2), "12.34%");
+    EXPECT_EQ(table::pct(0.0, 0), "0%");
+}
+
+} // namespace
+} // namespace bluescale::stats

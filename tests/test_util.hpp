@@ -1,0 +1,54 @@
+// Shared test helpers.
+#pragma once
+
+#include <deque>
+
+#include "interconnect/interconnect.hpp"
+
+namespace bluescale::testing {
+
+/// Minimal interconnect: unbounded acceptance, completes every request a
+/// fixed number of cycles after injection, no memory behind it. Lets
+/// client models be tested in isolation.
+class loopback_interconnect : public interconnect {
+public:
+    explicit loopback_interconnect(std::uint32_t n_clients,
+                                   cycle_t latency = 10)
+        : interconnect("loopback", n_clients), latency_(latency) {}
+
+    [[nodiscard]] bool client_can_accept(client_id_t) const override {
+        return accepting_;
+    }
+
+    void client_push(client_id_t, mem_request r) override {
+        note_injected();
+        pending_.push_back({now_ + latency_, std::move(r)});
+    }
+
+    [[nodiscard]] std::uint32_t depth_of(client_id_t) const override {
+        return 1;
+    }
+
+    void tick(cycle_t now) override {
+        now_ = now;
+        while (!pending_.empty() && pending_.front().first <= now) {
+            mem_request r = std::move(pending_.front().second);
+            pending_.pop_front();
+            r.complete_cycle = now;
+            deliver_response_now(std::move(r));
+        }
+    }
+
+    /// Toggles acceptance to test client backpressure handling.
+    void set_accepting(bool accepting) { accepting_ = accepting; }
+
+    [[nodiscard]] std::size_t pending() const { return pending_.size(); }
+
+private:
+    cycle_t latency_;
+    cycle_t now_ = 0;
+    bool accepting_ = true;
+    std::deque<std::pair<cycle_t, mem_request>> pending_;
+};
+
+} // namespace bluescale::testing

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "workload/taskset_gen.hpp"
+
+namespace bluescale::workload {
+namespace {
+
+TEST(uunifast, sums_to_target) {
+    rng r(1);
+    for (int trial = 0; trial < 20; ++trial) {
+        const auto u = uunifast(r, 8, 0.75);
+        const double sum = std::accumulate(u.begin(), u.end(), 0.0);
+        EXPECT_NEAR(sum, 0.75, 1e-9);
+    }
+}
+
+TEST(uunifast, all_nonnegative) {
+    rng r(2);
+    for (int trial = 0; trial < 50; ++trial) {
+        for (double v : uunifast(r, 5, 0.9)) {
+            EXPECT_GE(v, 0.0);
+            EXPECT_LE(v, 0.9 + 1e-12);
+        }
+    }
+}
+
+TEST(uunifast, single_task_gets_everything) {
+    rng r(3);
+    const auto u = uunifast(r, 1, 0.42);
+    ASSERT_EQ(u.size(), 1u);
+    EXPECT_DOUBLE_EQ(u[0], 0.42);
+}
+
+TEST(uunifast, zero_tasks) {
+    rng r(4);
+    EXPECT_TRUE(uunifast(r, 0, 0.5).empty());
+}
+
+TEST(make_taskset, respects_count_and_period_range) {
+    rng r(5);
+    taskset_params p;
+    p.n_tasks = 6;
+    p.min_period_units = 50;
+    p.max_period_units = 500;
+    p.total_utilization = 0.3;
+    const auto ts = make_taskset(r, p);
+    ASSERT_EQ(ts.size(), 6u);
+    for (const auto& t : ts) {
+        EXPECT_GE(t.period_units, 50u);
+        EXPECT_GE(t.requests_per_job, 1u);
+        EXPECT_LE(t.requests_per_job, t.period_units);
+    }
+}
+
+TEST(make_taskset, realized_utilization_tracks_target) {
+    rng r(6);
+    taskset_params p;
+    p.n_tasks = 4;
+    p.total_utilization = 0.05;
+    double total = 0.0;
+    const int trials = 50;
+    for (int i = 0; i < trials; ++i) {
+        total += utilization(make_taskset(r, p));
+    }
+    EXPECT_NEAR(total / trials, 0.05, 0.015);
+}
+
+TEST(make_taskset, tiny_utilizations_stretch_periods) {
+    // The 64-client regression: per-task utilization so small that
+    // round(u*T) == 0 must not inflate realized utilization.
+    rng r(7);
+    taskset_params p;
+    p.n_tasks = 4;
+    p.total_utilization = 0.012; // ~0.003 per task
+    double total = 0.0;
+    const int trials = 100;
+    for (int i = 0; i < trials; ++i) {
+        total += utilization(make_taskset(r, p));
+    }
+    EXPECT_LT(total / trials, 0.02);
+}
+
+TEST(make_taskset, task_ids_unique_and_nonzero) {
+    rng r(8);
+    taskset_params p;
+    p.n_tasks = 8;
+    const auto ts = make_taskset(r, p);
+    std::set<task_id_t> ids;
+    for (const auto& t : ts) {
+        EXPECT_NE(t.id, 0);
+        ids.insert(t.id);
+    }
+    EXPECT_EQ(ids.size(), ts.size());
+}
+
+TEST(make_client_tasksets, total_utilization_in_range) {
+    rng r(9);
+    for (int i = 0; i < 10; ++i) {
+        const auto sets = make_client_tasksets(r, 16, 0.7, 0.9);
+        ASSERT_EQ(sets.size(), 16u);
+        double total = 0.0;
+        for (const auto& s : sets) total += utilization(s);
+        EXPECT_GT(total, 0.55);
+        EXPECT_LT(total, 1.0);
+    }
+}
+
+TEST(make_client_tasksets, sixty_four_clients_stay_under_one) {
+    rng r(10);
+    for (int i = 0; i < 10; ++i) {
+        const auto sets = make_client_tasksets(r, 64, 0.7, 0.9);
+        double total = 0.0;
+        for (const auto& s : sets) total += utilization(s);
+        EXPECT_LT(total, 1.0) << "trial " << i;
+    }
+}
+
+TEST(memory_task, conversions) {
+    memory_task t;
+    t.period_units = 100;
+    t.requests_per_job = 5;
+    EXPECT_EQ(t.period_cycles(4), 400u);
+    EXPECT_DOUBLE_EQ(t.utilization(), 0.05);
+    const auto rt = t.as_rt_task();
+    EXPECT_EQ(rt.period, 100u);
+    EXPECT_EQ(rt.wcet, 5u);
+}
+
+TEST(memory_task, to_rt_tasks_maps_all) {
+    rng r(11);
+    taskset_params p;
+    p.n_tasks = 5;
+    const auto ts = make_taskset(r, p);
+    const auto rt = to_rt_tasks(ts);
+    ASSERT_EQ(rt.size(), ts.size());
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+        EXPECT_EQ(rt[i].period, ts[i].period_units);
+        EXPECT_EQ(rt[i].wcet, ts[i].requests_per_job);
+    }
+}
+
+TEST(make_taskset, deterministic_given_seed) {
+    taskset_params p;
+    p.n_tasks = 4;
+    rng r1(42), r2(42);
+    const auto a = make_taskset(r1, p);
+    const auto b = make_taskset(r2, p);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].period_units, b[i].period_units);
+        EXPECT_EQ(a[i].requests_per_job, b[i].requests_per_job);
+        EXPECT_EQ(a[i].writes, b[i].writes);
+    }
+}
+
+} // namespace
+} // namespace bluescale::workload
