@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bluescale_ic.cpp" "src/core/CMakeFiles/bluescale_core.dir/bluescale_ic.cpp.o" "gcc" "src/core/CMakeFiles/bluescale_core.dir/bluescale_ic.cpp.o.d"
+  "/root/repo/src/core/interface_selector.cpp" "src/core/CMakeFiles/bluescale_core.dir/interface_selector.cpp.o" "gcc" "src/core/CMakeFiles/bluescale_core.dir/interface_selector.cpp.o.d"
+  "/root/repo/src/core/meshed_bluescale.cpp" "src/core/CMakeFiles/bluescale_core.dir/meshed_bluescale.cpp.o" "gcc" "src/core/CMakeFiles/bluescale_core.dir/meshed_bluescale.cpp.o.d"
+  "/root/repo/src/core/parameter_path.cpp" "src/core/CMakeFiles/bluescale_core.dir/parameter_path.cpp.o" "gcc" "src/core/CMakeFiles/bluescale_core.dir/parameter_path.cpp.o.d"
+  "/root/repo/src/core/scale_element.cpp" "src/core/CMakeFiles/bluescale_core.dir/scale_element.cpp.o" "gcc" "src/core/CMakeFiles/bluescale_core.dir/scale_element.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/bluescale_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/bluescale_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/bluescale_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/interconnect/CMakeFiles/bluescale_interconnect.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/bluescale_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

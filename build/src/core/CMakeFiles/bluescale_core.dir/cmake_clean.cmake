@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bluescale_core.dir/bluescale_ic.cpp.o"
+  "CMakeFiles/bluescale_core.dir/bluescale_ic.cpp.o.d"
+  "CMakeFiles/bluescale_core.dir/interface_selector.cpp.o"
+  "CMakeFiles/bluescale_core.dir/interface_selector.cpp.o.d"
+  "CMakeFiles/bluescale_core.dir/meshed_bluescale.cpp.o"
+  "CMakeFiles/bluescale_core.dir/meshed_bluescale.cpp.o.d"
+  "CMakeFiles/bluescale_core.dir/parameter_path.cpp.o"
+  "CMakeFiles/bluescale_core.dir/parameter_path.cpp.o.d"
+  "CMakeFiles/bluescale_core.dir/scale_element.cpp.o"
+  "CMakeFiles/bluescale_core.dir/scale_element.cpp.o.d"
+  "libbluescale_core.a"
+  "libbluescale_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bluescale_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
