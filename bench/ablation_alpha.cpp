@@ -4,10 +4,10 @@
 // halves off against each other, and that no alpha setting reaches
 // BlueScale's deadline-aware behaviour.
 //
-//   $ ./bench/ablation_alpha [trials] [measure_cycles]
+//   $ ./bench/ablation_alpha [--trials N] [--cycles N] [--threads N]
 #include <cstdio>
-#include <cstdlib>
 
+#include "harness/bench_cli.hpp"
 #include "harness/fig6_experiment.hpp"
 #include "stats/table.hpp"
 
@@ -15,10 +15,12 @@ using namespace bluescale;
 using namespace bluescale::harness;
 
 int main(int argc, char** argv) {
-    const std::uint32_t trials =
-        argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 8;
-    const cycle_t cycles =
-        argc > 2 ? static_cast<cycle_t>(std::atoll(argv[2])) : 60'000;
+    bench_options defaults;
+    defaults.trials = 8;
+    defaults.measure_cycles = 60'000;
+    const auto opts = parse_bench_cli(
+        argc, argv, defaults, {bench_arg::trials, bench_arg::cycles},
+        "Ablation A1: BlueTree blocking factor alpha");
 
     std::printf("Ablation A1: BlueTree blocking factor alpha "
                 "(16 clients, utilization 70-90%%)\n\n");
@@ -27,8 +29,9 @@ int main(int argc, char** argv) {
                     "miss ratio"});
     for (std::uint32_t alpha : {1u, 2u, 4u, 8u}) {
         fig6_config cfg;
-        cfg.trials = trials;
-        cfg.measure_cycles = cycles;
+        cfg.trials = opts.trials;
+        cfg.measure_cycles = opts.measure_cycles;
+        cfg.threads = opts.threads;
         cfg.bluetree_alpha = alpha;
         const auto r = run_fig6(ic_kind::bluetree, cfg);
         t.add_row({"BlueTree alpha=" + std::to_string(alpha),
@@ -38,8 +41,9 @@ int main(int argc, char** argv) {
     }
     {
         fig6_config cfg;
-        cfg.trials = trials;
-        cfg.measure_cycles = cycles;
+        cfg.trials = opts.trials;
+        cfg.measure_cycles = opts.measure_cycles;
+        cfg.threads = opts.threads;
         const auto r = run_fig6(ic_kind::bluescale, cfg);
         t.add_row({"BlueScale (reference)",
                    stats::table::num(r.blocking_us.mean(), 3),

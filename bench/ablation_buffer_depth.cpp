@@ -3,10 +3,10 @@
 // delta over BlueTree); this sweep measures what the depth buys in
 // blocking latency and deadline misses.
 //
-//   $ ./bench/ablation_buffer_depth [trials] [measure_cycles]
+//   $ ./bench/ablation_buffer_depth [--trials N] [--cycles N] [--threads N]
 #include <cstdio>
-#include <cstdlib>
 
+#include "harness/bench_cli.hpp"
 #include "harness/fig6_experiment.hpp"
 #include "stats/table.hpp"
 
@@ -14,10 +14,12 @@ using namespace bluescale;
 using namespace bluescale::harness;
 
 int main(int argc, char** argv) {
-    const std::uint32_t trials =
-        argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 8;
-    const cycle_t cycles =
-        argc > 2 ? static_cast<cycle_t>(std::atoll(argv[2])) : 60'000;
+    bench_options defaults;
+    defaults.trials = 8;
+    defaults.measure_cycles = 60'000;
+    const auto opts = parse_bench_cli(
+        argc, argv, defaults, {bench_arg::trials, bench_arg::cycles},
+        "Ablation A2: BlueScale random-access-buffer depth");
 
     std::printf("Ablation A2: BlueScale random-access-buffer depth "
                 "(16 clients, utilization 70-90%%)\n\n");
@@ -26,8 +28,9 @@ int main(int argc, char** argv) {
                     "miss ratio"});
     for (std::size_t depth : {2u, 4u, 8u, 16u, 32u}) {
         fig6_config cfg;
-        cfg.trials = trials;
-        cfg.measure_cycles = cycles;
+        cfg.trials = opts.trials;
+        cfg.measure_cycles = opts.measure_cycles;
+        cfg.threads = opts.threads;
         core::se_params se;
         se.buffer_depth = depth;
         cfg.bluescale_se = se;

@@ -5,13 +5,13 @@
 // per-channel scheduling. Reports sustained throughput and latency for a
 // saturating streaming workload.
 //
-//   $ ./bench/ablation_channels [measure_cycles]
+//   $ ./bench/ablation_channels [--cycles N]
 #include <cstdio>
-#include <cstdlib>
 #include <memory>
 #include <vector>
 
 #include "core/meshed_bluescale.hpp"
+#include "harness/bench_cli.hpp"
 #include "sim/simulator.hpp"
 #include "stats/summary.hpp"
 #include "stats/table.hpp"
@@ -19,8 +19,12 @@
 using namespace bluescale;
 
 int main(int argc, char** argv) {
-    const cycle_t cycles =
-        argc > 1 ? static_cast<cycle_t>(std::atoll(argv[1])) : 40'000;
+    harness::bench_options defaults;
+    defaults.measure_cycles = 40'000;
+    const auto opts = harness::parse_bench_cli(
+        argc, argv, defaults, {harness::bench_arg::cycles},
+        "Ablation A7: Meshed BlueScale channel count");
+    const cycle_t cycles = opts.measure_cycles;
     constexpr std::uint32_t n_clients = 16;
 
     std::printf("Ablation A7: Meshed BlueScale channel count under a "

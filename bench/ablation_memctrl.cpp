@@ -2,10 +2,10 @@
 // each interconnect. FR-FCFS trades a bounded amount of reordering for
 // bank-level parallelism; FCFS is strictly in-order.
 //
-//   $ ./bench/ablation_memctrl [trials] [measure_cycles]
+//   $ ./bench/ablation_memctrl [--trials N] [--cycles N] [--threads N]
 #include <cstdio>
-#include <cstdlib>
 
+#include "harness/bench_cli.hpp"
 #include "harness/fig6_experiment.hpp"
 #include "stats/table.hpp"
 
@@ -13,10 +13,12 @@ using namespace bluescale;
 using namespace bluescale::harness;
 
 int main(int argc, char** argv) {
-    const std::uint32_t trials =
-        argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 6;
-    const cycle_t cycles =
-        argc > 2 ? static_cast<cycle_t>(std::atoll(argv[2])) : 60'000;
+    bench_options defaults;
+    defaults.trials = 6;
+    defaults.measure_cycles = 60'000;
+    const auto opts = parse_bench_cli(
+        argc, argv, defaults, {bench_arg::trials, bench_arg::cycles},
+        "Ablation A4: memory controller policy x interconnect");
 
     std::printf("Ablation A4: memory controller policy x interconnect "
                 "(16 clients, utilization 70-90%%)\n\n");
@@ -28,8 +30,9 @@ int main(int argc, char** argv) {
         for (memctrl_policy policy :
              {memctrl_policy::fr_fcfs, memctrl_policy::fcfs}) {
             fig6_config cfg;
-            cfg.trials = trials;
-            cfg.measure_cycles = cycles;
+            cfg.trials = opts.trials;
+            cfg.measure_cycles = opts.measure_cycles;
+            cfg.threads = opts.threads;
             cfg.memctrl.policy = policy;
             const auto r = run_fig6(kind, cfg);
             t.add_row({kind_name(kind),
@@ -50,8 +53,9 @@ int main(int argc, char** argv) {
                          ic_kind::bluetree}) {
         for (bool refresh : {false, true}) {
             fig6_config cfg;
-            cfg.trials = trials;
-            cfg.measure_cycles = cycles;
+            cfg.trials = opts.trials;
+            cfg.measure_cycles = opts.measure_cycles;
+            cfg.threads = opts.threads;
             if (refresh) {
                 cfg.memctrl.timing.t_refi = 1560;
                 cfg.memctrl.timing.t_rfc = 44;

@@ -3,10 +3,10 @@
 // against fixed-priority servers, and shows what the work-conserving
 // slack-reclamation fallback contributes.
 //
-//   $ ./bench/ablation_server_policy [trials] [measure_cycles]
+//   $ ./bench/ablation_server_policy [--trials N] [--cycles N] [--threads N]
 #include <cstdio>
-#include <cstdlib>
 
+#include "harness/bench_cli.hpp"
 #include "harness/fig6_experiment.hpp"
 #include "stats/table.hpp"
 
@@ -14,10 +14,12 @@ using namespace bluescale;
 using namespace bluescale::harness;
 
 int main(int argc, char** argv) {
-    const std::uint32_t trials =
-        argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 8;
-    const cycle_t cycles =
-        argc > 2 ? static_cast<cycle_t>(std::atoll(argv[2])) : 60'000;
+    bench_options defaults;
+    defaults.trials = 8;
+    defaults.measure_cycles = 60'000;
+    const auto opts = parse_bench_cli(
+        argc, argv, defaults, {bench_arg::trials, bench_arg::cycles},
+        "Ablation A5: SE server-task policy");
 
     std::printf("Ablation A5: SE server-task policy "
                 "(16 clients, utilization 70-90%%)\n\n");
@@ -40,8 +42,9 @@ int main(int argc, char** argv) {
                     "miss ratio"});
     for (const auto& v : variants) {
         fig6_config cfg;
-        cfg.trials = trials;
-        cfg.measure_cycles = cycles;
+        cfg.trials = opts.trials;
+        cfg.measure_cycles = opts.measure_cycles;
+        cfg.threads = opts.threads;
         core::se_params se;
         se.policy = v.policy;
         se.work_conserving = v.work_conserving;

@@ -10,12 +10,13 @@
 // of the region -- evidence that the 64-client infeasibility seen in
 // wcrt_validation is a granularity artifact, not a structural limit.
 //
-//   $ ./bench/acceptance_ratio [trials]
+//   $ ./bench/acceptance_ratio [--trials N] [--threads N]
 #include <cstdio>
-#include <cstdlib>
 
 #include "analysis/tree_analysis.hpp"
+#include "harness/bench_cli.hpp"
 #include "sim/rng.hpp"
+#include "sim/trial_runner.hpp"
 #include "stats/table.hpp"
 #include "workload/taskset_gen.hpp"
 
@@ -23,14 +24,18 @@ using namespace bluescale;
 
 namespace {
 
-double acceptance(std::uint32_t n_clients, double utilization,
-                  std::uint32_t trials, std::uint64_t period_scale,
-                  double* mean_root_bw = nullptr,
+struct selection_outcome {
+    bool accepted = false;
+    double root_bandwidth = 0.0;
+};
+
+double acceptance(const sim::trial_runner& runner, std::uint32_t n_clients,
+                  double utilization, std::uint32_t trials,
+                  std::uint64_t period_scale, double* mean_root_bw = nullptr,
                   double bandwidth_tolerance = 0.0) {
-    std::uint32_t accepted = 0;
-    double bw_sum = 0.0;
-    std::uint32_t bw_count = 0;
-    for (std::uint32_t t = 0; t < trials; ++t) {
+    // The per-trial seed is a pure function of the trial counter, so the
+    // sweep parallelizes without changing any outcome.
+    const auto outcomes = runner.run(trials, [&](std::uint32_t t) {
         rng rand(9000 + t * 131 + n_clients);
         workload::taskset_params params;
         params.min_period_units = 40 * period_scale;
@@ -44,14 +49,18 @@ double acceptance(std::uint32_t n_clients, double utilization,
         analysis::selection_config cfg;
         cfg.bandwidth_tolerance = bandwidth_tolerance;
         const auto sel = analysis::select_tree_interfaces(rt, cfg);
-        if (sel.feasible) {
-            ++accepted;
-            bw_sum += sel.root_bandwidth;
-            ++bw_count;
-        }
+        return selection_outcome{sel.feasible, sel.root_bandwidth};
+    });
+
+    std::uint32_t accepted = 0;
+    double bw_sum = 0.0;
+    for (const auto& o : outcomes) {
+        if (!o.accepted) continue;
+        ++accepted;
+        bw_sum += o.root_bandwidth;
     }
     if (mean_root_bw != nullptr) {
-        *mean_root_bw = bw_count ? bw_sum / bw_count : 0.0;
+        *mean_root_bw = accepted ? bw_sum / accepted : 0.0;
     }
     return static_cast<double>(accepted) / trials;
 }
@@ -59,8 +68,12 @@ double acceptance(std::uint32_t n_clients, double utilization,
 } // namespace
 
 int main(int argc, char** argv) {
-    const std::uint32_t trials =
-        argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 20;
+    harness::bench_options defaults;
+    defaults.trials = 20;
+    const auto opts = harness::parse_bench_cli(
+        argc, argv, defaults, {harness::bench_arg::trials},
+        "Acceptance ratio of the whole-tree interface selection");
+    const sim::trial_runner runner(opts.threads);
 
     std::printf("Acceptance ratio of the whole-tree interface selection "
                 "(vs the centralized-EDF U<=1 bound)\n\n");
@@ -69,8 +82,8 @@ int main(int argc, char** argv) {
                     "root bw (64)", "centralized EDF"});
     for (double u = 0.5; u <= 0.95 + 1e-9; u += 0.1) {
         double bw16 = 0, bw64 = 0;
-        const double a16 = acceptance(16, u, trials, 1, &bw16);
-        const double a64 = acceptance(64, u, trials, 1, &bw64);
+        const double a16 = acceptance(runner, 16, u, opts.trials, 1, &bw16);
+        const double a64 = acceptance(runner, 64, u, opts.trials, 1, &bw64);
         t.add_row({stats::table::num(u, 2), stats::table::pct(a16, 0),
                    stats::table::num(bw16, 3), stats::table::pct(a64, 0),
                    stats::table::num(bw64, 3),
@@ -88,8 +101,10 @@ int main(int argc, char** argv) {
                     "root bw @U=0.70"});
     for (double tol : {0.0, 0.05, 0.10, 0.25}) {
         double bw70 = 0, unused = 0;
-        const double a70 = acceptance(64, 0.70, trials, 1, &bw70, tol);
-        const double a80 = acceptance(64, 0.80, trials, 1, &unused, tol);
+        const double a70 =
+            acceptance(runner, 64, 0.70, opts.trials, 1, &bw70, tol);
+        const double a80 =
+            acceptance(runner, 64, 0.80, opts.trials, 1, &unused, tol);
         q.add_row({stats::table::pct(tol, 0), stats::table::pct(a70, 0),
                    stats::table::pct(a80, 0),
                    stats::table::num(bw70, 3)});

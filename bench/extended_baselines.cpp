@@ -3,10 +3,10 @@
 // caps -- to the Fig. 6 synthetic-workload experiment, locating it
 // between the heuristic trees and the deadline-aware designs.
 //
-//   $ ./bench/extended_baselines [trials] [measure_cycles]
+//   $ ./bench/extended_baselines [--trials N] [--cycles N] [--threads N]
 #include <cstdio>
-#include <cstdlib>
 
+#include "harness/bench_cli.hpp"
 #include "harness/fig6_experiment.hpp"
 #include "stats/table.hpp"
 
@@ -14,18 +14,21 @@ using namespace bluescale;
 using namespace bluescale::harness;
 
 int main(int argc, char** argv) {
-    const std::uint32_t trials =
-        argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 8;
-    const cycle_t cycles =
-        argc > 2 ? static_cast<cycle_t>(std::atoll(argv[2])) : 60'000;
+    bench_options defaults;
+    defaults.trials = 8;
+    defaults.measure_cycles = 60'000;
+    const auto opts = parse_bench_cli(
+        argc, argv, defaults, {bench_arg::trials, bench_arg::cycles},
+        "Extended baselines: the paper's six plus AXI-HyperConnect");
 
     std::printf("Extended baselines: the paper's six plus "
                 "AXI-HyperConnect [15] (16 clients, utilization "
                 "70-90%%)\n\n");
 
     fig6_config cfg;
-    cfg.trials = trials;
-    cfg.measure_cycles = cycles;
+    cfg.trials = opts.trials;
+    cfg.measure_cycles = opts.measure_cycles;
+    cfg.threads = opts.threads;
 
     stats::table t({"design", "blocking lat (us)", "worst (us)",
                     "miss ratio"});

@@ -4,16 +4,17 @@
 // request priorities); for each of the six designs the harness reports
 // blocking latency and deadline miss ratio, with cross-trial variance.
 //
-//   $ ./bench/fig6_synthetic [trials] [measure_cycles] [out.csv]
+//   $ ./bench/fig6_synthetic [--trials N] [--cycles N] [--threads N]
+//                            [--seed N] [--csv out.csv]
 //
-// The optional CSV argument dumps one row per (scale, design) with the
-// raw aggregates for plotting.
+// (legacy positional form: fig6_synthetic [trials] [cycles] [out.csv])
+//
+// --csv dumps one row per (scale, design) with the raw aggregates for
+// plotting; the file is byte-identical for any --threads setting.
 #include <cstdio>
-#include <cstdlib>
-#include <memory>
 
+#include "harness/bench_cli.hpp"
 #include "harness/fig6_experiment.hpp"
-#include "stats/csv.hpp"
 #include "stats/table.hpp"
 
 using namespace bluescale;
@@ -21,17 +22,19 @@ using namespace bluescale::harness;
 
 namespace {
 
-void run_scale(std::uint32_t n_clients, std::uint32_t trials,
-               cycle_t cycles, stats::csv_writer* csv) {
+void run_scale(std::uint32_t n_clients, const bench_options& opts,
+               stats::csv_writer* csv) {
     fig6_config cfg;
     cfg.n_clients = n_clients;
-    cfg.trials = trials;
-    cfg.measure_cycles = cycles;
+    cfg.trials = opts.trials;
+    cfg.measure_cycles = opts.measure_cycles;
+    cfg.seed = opts.seed;
+    cfg.threads = opts.threads;
 
     std::printf("\n=== Fig. 6(%c): %u traffic generators, %u trials, "
                 "%llu cycles/trial, utilization 70-90%% ===\n",
-                n_clients == 16 ? 'a' : 'b', n_clients, trials,
-                static_cast<unsigned long long>(cycles));
+                n_clients == 16 ? 'a' : 'b', n_clients, cfg.trials,
+                static_cast<unsigned long long>(cfg.measure_cycles));
 
     stats::table t({"design", "blocking lat (us)", "+/- sd", "worst (us)",
                     "miss ratio", "+/- sd", "sys clk (MHz)"});
@@ -59,28 +62,21 @@ void run_scale(std::uint32_t n_clients, std::uint32_t trials,
 } // namespace
 
 int main(int argc, char** argv) {
-    const std::uint32_t trials =
-        argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 10;
-    const cycle_t cycles =
-        argc > 2 ? static_cast<cycle_t>(std::atoll(argv[2])) : 100'000;
+    bench_options defaults;
+    defaults.trials = 10;
+    defaults.measure_cycles = 100'000;
+    const auto opts = parse_bench_cli(
+        argc, argv, defaults,
+        {bench_arg::trials, bench_arg::cycles, bench_arg::csv},
+        "Fig. 6 reproduction: blocking latency and deadline miss ratio");
 
-    std::unique_ptr<stats::csv_writer> csv;
-    if (argc > 3) {
-        csv = std::make_unique<stats::csv_writer>(
-            argv[3],
-            std::vector<std::string>{"clients", "design", "blocking_us",
-                                     "blocking_sd", "worst_us",
-                                     "miss_ratio", "miss_sd",
-                                     "sys_clk_mhz"});
-        if (!csv->ok()) {
-            std::fprintf(stderr, "cannot write %s\n", argv[3]);
-            return 1;
-        }
-    }
+    const auto csv = open_bench_csv(
+        opts, {"clients", "design", "blocking_us", "blocking_sd",
+               "worst_us", "miss_ratio", "miss_sd", "sys_clk_mhz"});
 
     std::printf("Fig. 6 reproduction: blocking latency and deadline miss "
                 "ratio, six interconnects\n");
-    run_scale(16, trials, cycles, csv.get());
-    run_scale(64, trials, cycles, csv.get());
+    run_scale(16, opts, csv.get());
+    run_scale(64, opts, csv.get());
     return 0;
 }

@@ -4,13 +4,14 @@
 // reports the success ratio (trials without any app deadline miss) per
 // design across the utilization sweep.
 //
-//   $ ./bench/fig7_case_study [trials] [measure_cycles] [out.csv]
+//   $ ./bench/fig7_case_study [--trials N] [--cycles N] [--threads N]
+//                             [--seed N] [--csv out.csv]
+//
+// (legacy positional form: fig7_case_study [trials] [cycles] [out.csv])
 #include <cstdio>
-#include <cstdlib>
-#include <memory>
 
+#include "harness/bench_cli.hpp"
 #include "harness/fig7_experiment.hpp"
-#include "stats/csv.hpp"
 #include "stats/table.hpp"
 
 using namespace bluescale;
@@ -18,18 +19,20 @@ using namespace bluescale::harness;
 
 namespace {
 
-void run_scale(std::uint32_t n_processors, std::uint32_t trials,
-               cycle_t cycles, stats::csv_writer* csv) {
+void run_scale(std::uint32_t n_processors, const bench_options& opts,
+               stats::csv_writer* csv) {
     fig7_config cfg;
     cfg.n_processors = n_processors;
-    cfg.trials = trials;
-    cfg.measure_cycles = cycles;
+    cfg.trials = opts.trials;
+    cfg.measure_cycles = opts.measure_cycles;
+    cfg.seed = opts.seed;
+    cfg.threads = opts.threads;
 
     std::printf("\n=== Fig. 7(%c): %u-core system + %u DNN HAs, %u trials "
                 "x %llu cycles per point ===\n",
                 n_processors == 16 ? 'a' : 'b', n_processors,
-                cfg.n_accelerators, trials,
-                static_cast<unsigned long long>(cycles));
+                cfg.n_accelerators, cfg.trials,
+                static_cast<unsigned long long>(cfg.measure_cycles));
 
     const auto all = run_fig7_all(cfg);
 
@@ -59,27 +62,21 @@ void run_scale(std::uint32_t n_processors, std::uint32_t trials,
 } // namespace
 
 int main(int argc, char** argv) {
-    const std::uint32_t trials =
-        argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 8;
-    const cycle_t cycles =
-        argc > 2 ? static_cast<cycle_t>(std::atoll(argv[2])) : 60'000;
+    bench_options defaults;
+    defaults.trials = 8;
+    defaults.measure_cycles = 60'000;
+    const auto opts = parse_bench_cli(
+        argc, argv, defaults,
+        {bench_arg::trials, bench_arg::cycles, bench_arg::csv},
+        "Fig. 7 reproduction: case-study success ratio");
 
-    std::unique_ptr<stats::csv_writer> csv;
-    if (argc > 3) {
-        csv = std::make_unique<stats::csv_writer>(
-            argv[3], std::vector<std::string>{"processors", "design",
-                                              "target_utilization",
-                                              "success_ratio",
-                                              "app_miss_ratio"});
-        if (!csv->ok()) {
-            std::fprintf(stderr, "cannot write %s\n", argv[3]);
-            return 1;
-        }
-    }
+    const auto csv = open_bench_csv(
+        opts, {"processors", "design", "target_utilization",
+               "success_ratio", "app_miss_ratio"});
 
     std::printf("Fig. 7 reproduction: case-study success ratio, "
                 "six interconnects\n");
-    run_scale(16, trials, cycles, csv.get());
-    run_scale(64, trials, cycles, csv.get());
+    run_scale(16, opts, csv.get());
+    run_scale(64, opts, csv.get());
     return 0;
 }

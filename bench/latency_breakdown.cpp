@@ -4,14 +4,14 @@
 // (arrival-at-SE -> grant); this bench aggregates those per tree level,
 // alongside the memory controller's share, across the utilization range.
 //
-//   $ ./bench/latency_breakdown [measure_cycles]
+//   $ ./bench/latency_breakdown [--cycles N]
 #include <cstdio>
-#include <cstdlib>
 #include <memory>
 #include <vector>
 
 #include "analysis/tree_analysis.hpp"
 #include "core/bluescale_ic.hpp"
+#include "harness/bench_cli.hpp"
 #include "mem/memory_controller.hpp"
 #include "sim/simulator.hpp"
 #include "stats/table.hpp"
@@ -21,8 +21,12 @@
 using namespace bluescale;
 
 int main(int argc, char** argv) {
-    const cycle_t cycles =
-        argc > 1 ? static_cast<cycle_t>(std::atoll(argv[1])) : 80'000;
+    harness::bench_options defaults;
+    defaults.measure_cycles = 80'000;
+    const auto opts = harness::parse_bench_cli(
+        argc, argv, defaults, {harness::bench_arg::cycles},
+        "Per-level queueing breakdown inside BlueScale");
+    const cycle_t cycles = opts.measure_cycles;
     constexpr std::uint32_t n_clients = 64;
 
     std::printf("Per-level queueing breakdown inside BlueScale "

@@ -12,16 +12,17 @@
 // often infeasible even though the raw utilization fits -- the trials
 // column records this.
 //
-//   $ ./bench/wcrt_validation [trials] [measure_cycles]
+//   $ ./bench/wcrt_validation [--trials N] [--cycles N] [--threads N]
 #include <cstdio>
-#include <cstdlib>
 #include <memory>
 #include <vector>
 
 #include "analysis/wcrt.hpp"
 #include "core/bluescale_ic.hpp"
+#include "harness/bench_cli.hpp"
 #include "mem/memory_controller.hpp"
 #include "sim/simulator.hpp"
+#include "sim/trial_runner.hpp"
 #include "stats/table.hpp"
 #include "workload/taskset_gen.hpp"
 #include "workload/traffic_generator.hpp"
@@ -114,10 +115,14 @@ trial_result run_trial(std::uint32_t n_clients, double util_lo,
 } // namespace
 
 int main(int argc, char** argv) {
-    const std::uint32_t trials =
-        argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 10;
-    const cycle_t cycles =
-        argc > 2 ? static_cast<cycle_t>(std::atoll(argv[2])) : 80'000;
+    harness::bench_options defaults;
+    defaults.trials = 10;
+    defaults.measure_cycles = 80'000;
+    const auto opts = harness::parse_bench_cli(
+        argc, argv, defaults,
+        {harness::bench_arg::trials, harness::bench_arg::cycles},
+        "Analysis validation: feasible selection => zero misses");
+    const sim::trial_runner runner(opts.threads);
 
     std::printf("Analysis validation: feasible interface selection => "
                 "zero deadline misses (BlueScale)\n\n");
@@ -134,13 +139,17 @@ int main(int argc, char** argv) {
                     "missed/completed", "beyond margin",
                     "worst latency (cyc)", "drain bound (cyc)"});
     for (const auto& s : scales) {
+        const auto results =
+            runner.run(opts.trials, [&](std::uint32_t i) {
+                return run_trial(s.clients, s.util_lo, s.util_hi,
+                                 opts.measure_cycles, 7000 + i);
+            });
+
         std::uint32_t feasible = 0;
         std::uint64_t missed = 0, beyond = 0, completed = 0;
         double worst = 0.0;
         std::uint64_t bound = 0;
-        for (std::uint32_t i = 0; i < trials; ++i) {
-            const auto r = run_trial(s.clients, s.util_lo, s.util_hi,
-                                     cycles, 7000 + i);
+        for (const auto& r : results) {
             if (!r.feasible) continue;
             ++feasible;
             missed += r.missed;
@@ -152,7 +161,8 @@ int main(int argc, char** argv) {
         t.add_row({std::to_string(s.clients),
                    stats::table::num(s.util_lo, 2) + "-" +
                        stats::table::num(s.util_hi, 2),
-                   std::to_string(feasible) + "/" + std::to_string(trials),
+                   std::to_string(feasible) + "/" +
+                       std::to_string(opts.trials),
                    std::to_string(missed) + "/" + std::to_string(completed),
                    std::to_string(beyond),
                    stats::table::num(worst, 0), std::to_string(bound)});

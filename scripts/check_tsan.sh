@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Build the test suite under ThreadSanitizer and run the concurrency-
+# relevant tests (trial runner, parallel fig6/fig7 sweeps, testbench).
+# A clean run demonstrates the determinism contract is not hiding a data
+# race: trials share no mutable state, so TSan should stay silent.
+#
+#   $ scripts/check_tsan.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build_dir="${1:-build-tsan}"
+
+cmake -B "$build_dir" -S . -DBLUESCALE_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$build_dir" --target bluescale_tests -j"$(nproc)"
+
+"$build_dir/tests/bluescale_tests" \
+    --gtest_filter='trial_runner.*:rng_substream.*:testbench.*:fig6.parallel*:fig7.parallel*'
+
+echo "TSan check passed."

@@ -1,0 +1,120 @@
+#include "harness/bench_cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace bluescale::harness {
+
+namespace {
+
+[[noreturn]] void usage_and_exit(const char* argv0, const char* what,
+                                 const bench_options& defaults, int code) {
+    std::fprintf(
+        stderr,
+        "%s -- %s\n"
+        "usage: %s [--trials N] [--cycles N] [--threads N] [--seed N]"
+        " [--csv PATH]\n"
+        "  --trials N   trials per configuration (default %u)\n"
+        "  --cycles N   simulated cycles per trial (default %llu)\n"
+        "  --threads N  worker threads for the trial sweep; 0 = all cores"
+        " (default %u)\n"
+        "  --seed N     base RNG seed (default %llu)\n"
+        "  --csv PATH   also write machine-readable rows to PATH\n"
+        "Legacy positional arguments are still accepted where the driver"
+        " historically took them.\n",
+        argv0, what, argv0, defaults.trials,
+        static_cast<unsigned long long>(defaults.measure_cycles),
+        defaults.threads,
+        static_cast<unsigned long long>(defaults.seed));
+    std::exit(code);
+}
+
+std::uint64_t parse_u64(const char* argv0, const char* what,
+                        const bench_options& defaults, const char* flag,
+                        const char* text) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0') {
+        std::fprintf(stderr, "%s: %s expects a non-negative integer, got"
+                             " '%s'\n",
+                     argv0, flag, text);
+        usage_and_exit(argv0, what, defaults, 2);
+    }
+    return v;
+}
+
+} // namespace
+
+bench_options parse_bench_cli(int argc, char** argv,
+                              const bench_options& defaults,
+                              std::initializer_list<bench_arg> positional,
+                              const char* what) {
+    bench_options opts = defaults;
+    auto next_positional = positional.begin();
+
+    for (int i = 1; i < argc; ++i) {
+        const char* arg = argv[i];
+        const auto value = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: %s expects a value\n", argv[0],
+                             arg);
+                usage_and_exit(argv[0], what, defaults, 2);
+            }
+            return argv[++i];
+        };
+
+        if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+            usage_and_exit(argv[0], what, defaults, 0);
+        } else if (std::strcmp(arg, "--trials") == 0) {
+            opts.trials = static_cast<std::uint32_t>(
+                parse_u64(argv[0], what, defaults, arg, value()));
+        } else if (std::strcmp(arg, "--cycles") == 0) {
+            opts.measure_cycles = static_cast<cycle_t>(
+                parse_u64(argv[0], what, defaults, arg, value()));
+        } else if (std::strcmp(arg, "--threads") == 0) {
+            opts.threads = static_cast<unsigned>(
+                parse_u64(argv[0], what, defaults, arg, value()));
+        } else if (std::strcmp(arg, "--seed") == 0) {
+            opts.seed = parse_u64(argv[0], what, defaults, arg, value());
+        } else if (std::strcmp(arg, "--csv") == 0) {
+            opts.csv_path = value();
+        } else if (arg[0] == '-' && arg[1] != '\0') {
+            std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0], arg);
+            usage_and_exit(argv[0], what, defaults, 2);
+        } else if (next_positional != positional.end()) {
+            switch (*next_positional++) {
+            case bench_arg::trials:
+                opts.trials = static_cast<std::uint32_t>(parse_u64(
+                    argv[0], what, defaults, "[trials]", arg));
+                break;
+            case bench_arg::cycles:
+                opts.measure_cycles = static_cast<cycle_t>(parse_u64(
+                    argv[0], what, defaults, "[cycles]", arg));
+                break;
+            case bench_arg::csv:
+                opts.csv_path = arg;
+                break;
+            }
+        } else {
+            std::fprintf(stderr, "%s: unexpected argument '%s'\n", argv[0],
+                         arg);
+            usage_and_exit(argv[0], what, defaults, 2);
+        }
+    }
+    return opts;
+}
+
+std::unique_ptr<stats::csv_writer>
+open_bench_csv(const bench_options& opts, std::vector<std::string> headers) {
+    if (opts.csv_path.empty()) return nullptr;
+    auto csv = std::make_unique<stats::csv_writer>(opts.csv_path,
+                                                   std::move(headers));
+    if (!csv->ok()) {
+        std::fprintf(stderr, "cannot write %s\n", opts.csv_path.c_str());
+        std::exit(1);
+    }
+    return csv;
+}
+
+} // namespace bluescale::harness

@@ -1,0 +1,56 @@
+// Shared command-line handling for the bench/ drivers.
+//
+// Every driver historically rolled its own positional atoi() parsing;
+// this helper gives them one vocabulary:
+//
+//   --trials N    trials per configuration
+//   --cycles N    simulated cycles per trial
+//   --threads N   worker threads for the trial sweep (0 = all cores)
+//   --seed N      base RNG seed
+//   --csv PATH    also dump machine-readable rows to PATH
+//   --help        usage
+//
+// The historical positional forms (e.g. `fig6_synthetic 20 100000 out.csv`)
+// keep working: each driver declares which options its positionals used to
+// mean, in order.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+#include "stats/csv.hpp"
+
+namespace bluescale::harness {
+
+struct bench_options {
+    std::uint32_t trials = 10;
+    cycle_t measure_cycles = 100'000;
+    /// Worker threads for trial sweeps; 0 = all hardware threads.
+    unsigned threads = 1;
+    std::uint64_t seed = 1;
+    std::string csv_path; ///< empty = no CSV output
+};
+
+/// Legacy positional slots a driver may accept, in declaration order.
+enum class bench_arg : std::uint8_t { trials, cycles, csv };
+
+/// Parses the shared bench flags plus the driver's legacy positionals.
+/// `defaults` seeds the returned options (pass the bench's historical
+/// defaults). On --help or a malformed command line, prints usage for
+/// `what` and terminates the process (benches are leaf executables).
+[[nodiscard]] bench_options
+parse_bench_cli(int argc, char** argv, const bench_options& defaults,
+                std::initializer_list<bench_arg> positional,
+                const char* what);
+
+/// Opens the CSV sink when --csv was given: returns nullptr when no path
+/// was requested, and exits with a diagnostic when the file cannot be
+/// created (consistent across drivers).
+[[nodiscard]] std::unique_ptr<stats::csv_writer>
+open_bench_csv(const bench_options& opts, std::vector<std::string> headers);
+
+} // namespace bluescale::harness

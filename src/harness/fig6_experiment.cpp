@@ -2,8 +2,8 @@
 
 #include <memory>
 
-#include "core/bluescale_ic.hpp"
-#include "sim/simulator.hpp"
+#include "harness/testbench.hpp"
+#include "sim/trial_runner.hpp"
 #include "workload/traffic_generator.hpp"
 
 namespace bluescale::harness {
@@ -26,71 +26,50 @@ trial_metrics run_trial(ic_kind kind, const fig6_config& cfg,
     auto tasksets = workload::make_client_tasksets(
         workload_rng, cfg.n_clients, cfg.util_lo, cfg.util_hi, cfg.taskset);
 
-    std::vector<double> client_utils;
-    client_utils.reserve(tasksets.size());
-    for (const auto& ts : tasksets) {
-        client_utils.push_back(workload::utilization(ts));
-    }
-
-    trial_metrics out;
-
-    // BlueScale: resolve the interface selection for this workload.
-    analysis::tree_selection selection;
-    ic_build_options opts;
+    testbench_options opts;
     opts.n_clients = cfg.n_clients;
-    opts.unit_cycles = cfg.memctrl.initiation_interval;
-    opts.client_utilizations = client_utils;
+    opts.memctrl = cfg.memctrl;
     opts.bluetree_alpha = cfg.bluetree_alpha;
+    opts.bluescale_se = cfg.bluescale_se;
+    opts.client_utilizations.reserve(tasksets.size());
+    for (const auto& ts : tasksets) {
+        opts.client_utilizations.push_back(workload::utilization(ts));
+    }
+    std::vector<analysis::task_set> rt_sets;
     if (kind == ic_kind::bluescale) {
-        std::vector<analysis::task_set> rt_sets;
         rt_sets.reserve(tasksets.size());
         for (const auto& ts : tasksets) {
             rt_sets.push_back(workload::to_rt_tasks(ts));
         }
-        selection = analysis::select_tree_interfaces(rt_sets);
-        out.selection_feasible = selection.feasible;
-        opts.selection = &selection;
+        opts.rt_sets = &rt_sets;
     }
 
-    auto ic = make_interconnect(kind, opts);
-    if (kind == ic_kind::bluescale && cfg.bluescale_se.has_value()) {
-        // SE ablations rebuild the fabric with the override.
-        core::bluescale_config bs_cfg;
-        bs_cfg.se = *cfg.bluescale_se;
-        bs_cfg.se.unit_cycles = opts.unit_cycles;
-        auto bs = std::make_unique<core::bluescale_ic>(cfg.n_clients, bs_cfg);
-        if (selection.feasible) bs->configure(selection);
-        ic = std::move(bs);
-    }
-
-    memory_controller mem(cfg.memctrl);
-    ic->attach_memory(mem);
+    testbench tb(kind, opts);
 
     std::vector<std::unique_ptr<workload::traffic_generator>> clients;
     clients.reserve(cfg.n_clients);
     workload::traffic_gen_config tg_cfg;
-    tg_cfg.unit_cycles = cfg.memctrl.initiation_interval;
+    tg_cfg.unit_cycles = tb.unit_cycles();
     for (std::uint32_t c = 0; c < cfg.n_clients; ++c) {
         clients.push_back(std::make_unique<workload::traffic_generator>(
-            c, tasksets[c], *ic, trial_seed ^ (0x5851f42d4c957f2dull + c),
-            tg_cfg));
+            c, tasksets[c], tb.ic(),
+            trial_seed ^ (0x5851f42d4c957f2dull + c), tg_cfg));
+        auto* client = clients.back().get();
+        tb.add_client(c, *client, [client](mem_request&& r) {
+            client->on_response(std::move(r));
+        });
     }
-    ic->set_response_handler([&clients](mem_request&& r) {
-        clients[r.client]->on_response(std::move(r));
-    });
 
-    simulator sim;
-    for (auto& c : clients) sim.add(*c);
-    sim.add(*ic);
-    sim.add(mem);
-    sim.run(cfg.measure_cycles);
+    tb.run(cfg.measure_cycles);
 
+    trial_metrics out;
+    out.selection_feasible = tb.selection_feasible();
     stats::running_summary blocking;
     double worst = 0.0;
     std::uint64_t missed = 0;
     std::uint64_t accounted = 0;
     for (auto& c : clients) {
-        c->finalize(sim.now());
+        c->finalize(tb.now());
         const auto& s = c->stats();
         for (double b : s.blocking_cycles.samples()) {
             blocking.add(b);
@@ -117,8 +96,15 @@ fig6_result run_fig6(ic_kind kind, const fig6_config& cfg) {
         hwcost::system_clock_mhz(to_design(kind), cfg.n_clients);
     const double us_per_cycle = 1.0 / result.system_clock_mhz;
 
-    for (std::uint32_t t = 0; t < cfg.trials; ++t) {
-        const auto metrics = run_trial(kind, cfg, cfg.seed + t);
+    // Trials are independent (the per-trial seed is a pure function of
+    // the trial counter) and the runner returns them in trial order, so
+    // this aggregation is bit-identical for any thread count.
+    const sim::trial_runner runner(cfg.threads);
+    const auto per_trial =
+        runner.run(cfg.trials, [&](std::uint32_t t) {
+            return run_trial(kind, cfg, cfg.seed + t);
+        });
+    for (const auto& metrics : per_trial) {
         result.blocking_us.add(metrics.mean_blocking_cycles * us_per_cycle);
         result.worst_blocking_us.add(metrics.worst_blocking_cycles *
                                      us_per_cycle);

@@ -24,6 +24,9 @@ struct fig6_config {
     double util_lo = 0.70;              ///< interconnect utilization range
     double util_hi = 0.90;
     std::uint64_t seed = 1;
+    /// Worker threads for the trial sweep (0 = all hardware threads).
+    /// Results are bit-identical for any setting; see sim::trial_runner.
+    unsigned threads = 1;
     /// Paper setup: intensive traffic with tight implicit deadlines.
     workload::taskset_params taskset = {
         .n_tasks = 4,

@@ -2,8 +2,8 @@
 
 #include <memory>
 
-#include "core/bluescale_ic.hpp"
-#include "sim/simulator.hpp"
+#include "harness/testbench.hpp"
+#include "sim/trial_runner.hpp"
 #include "workload/automotive_profiles.hpp"
 #include "workload/dnn_accelerator.hpp"
 #include "workload/memory_task.hpp"
@@ -73,6 +73,15 @@ analysis::task_set memory_view_ha(const workload::dnn_config& cfg) {
              cfg.burst_requests}};
 }
 
+/// Seed for one (utilization, trial) cell. Depends on the utilization and
+/// the trial counter but not the design, so every design sees identical
+/// workloads.
+std::uint64_t fig7_trial_seed(const fig7_config& cfg, double utilization,
+                              std::uint32_t trial) {
+    return cfg.seed + trial * 1000003ull +
+           static_cast<std::uint64_t>(utilization * 1000.0) * 7919ull;
+}
+
 } // namespace
 
 bool run_fig7_trial(ic_kind kind, const fig7_config& cfg,
@@ -102,51 +111,41 @@ bool run_fig7_trial(ic_kind kind, const fig7_config& cfg,
         client_utils.push_back(analysis::utilization(rt_sets.back()));
     }
 
-    ic_build_options opts;
+    testbench_options opts;
     opts.n_clients = n_clients;
-    opts.unit_cycles = cfg.memctrl.initiation_interval;
-    opts.client_utilizations = client_utils;
+    opts.memctrl = cfg.memctrl;
     opts.bluetree_alpha = cfg.bluetree_alpha;
-    analysis::tree_selection selection;
-    if (kind == ic_kind::bluescale) {
-        selection = analysis::select_tree_interfaces(rt_sets);
-        opts.selection = &selection;
-    }
+    opts.client_utilizations = std::move(client_utils);
+    opts.rt_sets = &rt_sets;
 
-    auto ic = make_interconnect(kind, opts);
-    memory_controller mem(cfg.memctrl);
-    ic->attach_memory(mem);
+    testbench tb(kind, opts);
 
     std::vector<std::unique_ptr<workload::processor_client>> procs;
     for (std::uint32_t c = 0; c < cfg.n_processors; ++c) {
         procs.push_back(std::make_unique<workload::processor_client>(
-            c, per_proc[c], *ic, trial_seed ^ (0x9e3779b9ull * (c + 1))));
+            c, per_proc[c], tb.ic(), trial_seed ^ (0x9e3779b9ull * (c + 1))));
+        auto* proc = procs.back().get();
+        tb.add_client(c, *proc, [proc](mem_request&& r) {
+            proc->on_response(std::move(r));
+        });
     }
     std::vector<std::unique_ptr<workload::dnn_accelerator>> has;
     for (std::uint32_t h = 0; h < cfg.n_accelerators; ++h) {
         has.push_back(std::make_unique<workload::dnn_accelerator>(
-            cfg.n_processors + h, ha_cfg, *ic,
+            cfg.n_processors + h, ha_cfg, tb.ic(),
             trial_seed ^ (0x51ull * (h + 1))));
+        auto* ha = has.back().get();
+        tb.add_client(cfg.n_processors + h, *ha, [ha](mem_request&& r) {
+            ha->on_response(std::move(r));
+        });
     }
-    ic->set_response_handler([&](mem_request&& r) {
-        if (r.client < cfg.n_processors) {
-            procs[r.client]->on_response(std::move(r));
-        } else {
-            has[r.client - cfg.n_processors]->on_response(std::move(r));
-        }
-    });
 
-    simulator sim;
-    for (auto& p : procs) sim.add(*p);
-    for (auto& h : has) sim.add(*h);
-    sim.add(*ic);
-    sim.add(mem);
-    sim.run(cfg.measure_cycles);
+    tb.run(cfg.measure_cycles);
 
     bool success = true;
     std::uint64_t app_completed = 0, app_missed = 0;
     for (auto& p : procs) {
-        p->finalize(sim.now());
+        p->finalize(tb.now());
         if (p->app_deadline_missed()) success = false;
         for (auto cat : {workload::task_category::safety,
                          workload::task_category::function}) {
@@ -168,23 +167,42 @@ fig7_result run_fig7(ic_kind kind, const fig7_config& cfg) {
     fig7_result result;
     result.kind = kind;
     result.n_processors = cfg.n_processors;
+
+    std::vector<double> utilizations;
     for (double u = cfg.util_lo; u <= cfg.util_hi + 1e-9;
          u += cfg.util_step) {
+        utilizations.push_back(u);
+    }
+
+    // Flatten the (utilization, trial) grid into one sweep so the pool
+    // stays busy across point boundaries; cells are independent and come
+    // back in grid order, keeping aggregation order identical to the
+    // serial nested loop.
+    struct cell_metrics {
+        bool success = false;
+        double app_miss_ratio = 0.0;
+    };
+    const auto n_cells = static_cast<std::uint32_t>(utilizations.size()) *
+                         cfg.trials;
+    const sim::trial_runner runner(cfg.threads);
+    const auto cells = runner.run(n_cells, [&](std::uint32_t i) {
+        const double u = utilizations[i / cfg.trials];
+        const std::uint32_t t = i % cfg.trials;
+        cell_metrics m;
+        m.success = run_fig7_trial(kind, cfg, u, fig7_trial_seed(cfg, u, t),
+                                   &m.app_miss_ratio);
+        return m;
+    });
+
+    for (std::size_t p = 0; p < utilizations.size(); ++p) {
         fig7_point point;
-        point.target_utilization = u;
+        point.target_utilization = utilizations[p];
         std::uint32_t successes = 0;
         double miss_sum = 0.0;
         for (std::uint32_t t = 0; t < cfg.trials; ++t) {
-            // Seed depends on (utilization, trial) but not the design, so
-            // every design sees identical workloads.
-            const std::uint64_t trial_seed =
-                cfg.seed + t * 1000003ull +
-                static_cast<std::uint64_t>(u * 1000.0) * 7919ull;
-            double miss = 0.0;
-            if (run_fig7_trial(kind, cfg, u, trial_seed, &miss)) {
-                ++successes;
-            }
-            miss_sum += miss;
+            const auto& m = cells[p * cfg.trials + t];
+            if (m.success) ++successes;
+            miss_sum += m.app_miss_ratio;
         }
         point.success_ratio =
             static_cast<double>(successes) / cfg.trials;

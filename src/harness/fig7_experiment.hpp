@@ -20,6 +20,9 @@ struct fig7_config {
     std::uint32_t trials = 10;         ///< paper: 200
     cycle_t measure_cycles = 60'000;   ///< paper: 300 s wall-clock
     std::uint64_t seed = 1;
+    /// Worker threads for the (utilization x trial) sweep (0 = all
+    /// hardware threads). Results are bit-identical for any setting.
+    unsigned threads = 1;
     memctrl_config memctrl = {};
     std::uint32_t bluetree_alpha = 2;
     /// Multiplier on every task profile's memory demand. The default is

@@ -1,0 +1,63 @@
+#include "harness/testbench.hpp"
+
+#include "core/bluescale_ic.hpp"
+
+namespace bluescale::harness {
+
+testbench::testbench(ic_kind kind, const testbench_options& opts)
+    : kind_(kind),
+      unit_cycles_(opts.memctrl.initiation_interval),
+      mem_(opts.memctrl),
+      sinks_(opts.n_clients) {
+    ic_build_options build;
+    build.n_clients = opts.n_clients;
+    build.unit_cycles = unit_cycles_;
+    build.client_utilizations = opts.client_utilizations;
+    build.bluetree_alpha = opts.bluetree_alpha;
+    if (kind == ic_kind::bluescale && opts.rt_sets != nullptr) {
+        selection_ = analysis::select_tree_interfaces(*opts.rt_sets);
+        build.selection = &selection_;
+    }
+
+    ic_ = make_interconnect(kind, build);
+    if (kind == ic_kind::bluescale && opts.bluescale_se.has_value()) {
+        // SE ablations rebuild the fabric with the override.
+        core::bluescale_config bs_cfg;
+        bs_cfg.se = *opts.bluescale_se;
+        bs_cfg.se.unit_cycles = unit_cycles_;
+        auto bs = std::make_unique<core::bluescale_ic>(opts.n_clients, bs_cfg);
+        if (selection_.feasible) bs->configure(selection_);
+        ic_ = std::move(bs);
+    }
+
+    ic_->attach_memory(mem_);
+    ic_->set_response_handler([this](mem_request&& r) {
+        sinks_[r.client](std::move(r));
+    });
+}
+
+void testbench::add_client(client_id_t id, component& c,
+                           std::function<void(mem_request&&)> sink) {
+    sinks_.at(id) = std::move(sink);
+    sim_.add(c);
+}
+
+void testbench::arm() {
+    if (armed_) return;
+    sim_.add(*ic_);
+    sim_.add(mem_);
+    armed_ = true;
+}
+
+void testbench::run(cycle_t cycles) {
+    arm();
+    sim_.run(cycles);
+}
+
+bool testbench::run_until(const std::function<bool()>& done,
+                          cycle_t max_cycles) {
+    arm();
+    return sim_.run_until(done, max_cycles);
+}
+
+} // namespace bluescale::harness

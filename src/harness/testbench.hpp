@@ -1,0 +1,98 @@
+// Per-trial system assembly shared by every experiment driver.
+//
+// Each trial of each experiment builds the same stack: an optional
+// interface selection, the interconnect under test, the memory
+// controller behind it, and a simulator sequencing the lot. The
+// testbench owns that wiring once; experiments only construct their
+// clients (traffic generators, processor models, accelerators -- these
+// differ per figure) and register them. A testbench instance is
+// single-trial and single-threaded: parallel sweeps create one per
+// trial (see sim::trial_runner).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "analysis/tree_analysis.hpp"
+#include "core/scale_element.hpp"
+#include "harness/factory.hpp"
+#include "mem/memory_controller.hpp"
+#include "sim/simulator.hpp"
+
+namespace bluescale::harness {
+
+/// Options for assembling one trial's system under test.
+struct testbench_options {
+    std::uint32_t n_clients = 16;
+    memctrl_config memctrl = {};
+    /// BlueTree/BlueTree-Smooth blocking factor.
+    std::uint32_t bluetree_alpha = 2;
+    /// Optional SE parameter override for BlueScale (ablations). The SE
+    /// unit_cycles is forced to the memory controller's initiation
+    /// interval.
+    std::optional<core::se_params> bluescale_se;
+    /// Per-client utilizations for reservation-based designs
+    /// (GSMTree-FBSP weights, AXI-IC^RT regulation).
+    std::vector<double> client_utilizations;
+    /// Memory-demand view per client. When non-null and the kind is
+    /// BlueScale, drives the whole-tree interface selection; other kinds
+    /// ignore it.
+    const std::vector<analysis::task_set>* rt_sets = nullptr;
+};
+
+class testbench {
+public:
+    testbench(ic_kind kind, const testbench_options& opts);
+
+    testbench(const testbench&) = delete;
+    testbench& operator=(const testbench&) = delete;
+
+    [[nodiscard]] ic_kind kind() const { return kind_; }
+    [[nodiscard]] interconnect& ic() { return *ic_; }
+    [[nodiscard]] memory_controller& memctrl() { return mem_; }
+    [[nodiscard]] simulator& sim() { return sim_; }
+    [[nodiscard]] cycle_t now() const { return sim_.now(); }
+    /// Cycles per transaction time unit (the controller's initiation
+    /// interval) -- the granularity every client must issue at.
+    [[nodiscard]] std::uint32_t unit_cycles() const { return unit_cycles_; }
+
+    /// The resolved interface selection (BlueScale only; infeasible /
+    /// empty otherwise).
+    [[nodiscard]] const analysis::tree_selection& selection() const {
+        return selection_;
+    }
+    [[nodiscard]] bool selection_feasible() const {
+        return selection_.feasible;
+    }
+
+    /// Registers a client component and the sink that receives the
+    /// interconnect's responses addressed to `id`. Clients tick in
+    /// registration order, before the interconnect and the memory
+    /// controller.
+    void add_client(client_id_t id, component& c,
+                    std::function<void(mem_request&&)> sink);
+
+    /// Runs the assembled system for `cycles` more cycles. The first call
+    /// seals client registration.
+    void run(cycle_t cycles);
+
+    /// run() + predicate variant; see simulator::run_until.
+    bool run_until(const std::function<bool()>& done, cycle_t max_cycles);
+
+private:
+    void arm();
+
+    ic_kind kind_;
+    std::uint32_t unit_cycles_;
+    analysis::tree_selection selection_;
+    std::unique_ptr<interconnect> ic_;
+    memory_controller mem_;
+    simulator sim_;
+    std::vector<std::function<void(mem_request&&)>> sinks_;
+    bool armed_ = false;
+};
+
+} // namespace bluescale::harness

@@ -81,4 +81,19 @@ private:
     std::array<std::uint64_t, 4> state_{};
 };
 
+/// Counter-based stream derivation: a well-mixed seed for stream `index`
+/// anchored at `base`, via the splitmix64 finalizer. Nearby (base, index)
+/// pairs yield statistically independent generator states, so per-trial
+/// and per-client rngs can be seeded purely from their indices -- no
+/// generator state is shared or consumed across streams, which is what
+/// lets the trial runner execute trials in any order (or in parallel) and
+/// still reproduce the serial results bit-for-bit.
+[[nodiscard]] constexpr std::uint64_t substream(std::uint64_t base,
+                                                std::uint64_t index) {
+    std::uint64_t z = base + 0x9e3779b97f4a7c15ull * (index + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
 } // namespace bluescale

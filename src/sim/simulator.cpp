@@ -15,11 +15,14 @@ void simulator::run(cycle_t cycles) {
 
 bool simulator::run_until(const std::function<bool()>& done, cycle_t max_cycles) {
     const cycle_t end = now_ + max_cycles;
+    if (now_ >= end) return done(); // zero budget: evaluate once, don't step
     while (now_ < end) {
         if (done()) return true;
         step();
     }
-    return done();
+    // The predicate was already evaluated for every cycle in the budget;
+    // exhausting it means it never fired -- no extra evaluation here.
+    return false;
 }
 
 } // namespace bluescale

@@ -22,7 +22,9 @@ public:
     void run(cycle_t cycles);
 
     /// Runs until `done()` returns true or `max_cycles` elapse. Returns true
-    /// if the predicate fired.
+    /// if the predicate fired. The predicate is evaluated exactly once per
+    /// cycle in the budget, before that cycle's step (and exactly once when
+    /// the budget is zero); it is never re-evaluated on exhaustion.
     bool run_until(const std::function<bool()>& done, cycle_t max_cycles);
 
     /// Advances exactly one cycle.

@@ -1,0 +1,59 @@
+#include "sim/trial_runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace bluescale::sim {
+
+unsigned resolve_threads(unsigned requested) {
+    if (requested != 0) return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw != 0 ? hw : 1;
+}
+
+void for_each_trial(std::uint32_t n, unsigned threads,
+                    const std::function<void(std::uint32_t)>& fn) {
+    const unsigned workers =
+        std::min<unsigned>(resolve_threads(threads), std::max(n, 1u));
+    if (workers <= 1) {
+        for (std::uint32_t i = 0; i < n; ++i) fn(i);
+        return;
+    }
+
+    std::atomic<std::uint32_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+
+    const auto worker = [&] {
+        for (;;) {
+            if (failed.load(std::memory_order_acquire)) return;
+            const std::uint32_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n) return;
+            try {
+                fn(i);
+            } catch (...) {
+                {
+                    const std::lock_guard<std::mutex> lock(error_mutex);
+                    if (!first_error) {
+                        first_error = std::current_exception();
+                    }
+                }
+                failed.store(true, std::memory_order_release);
+                return;
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+    if (first_error) std::rethrow_exception(first_error);
+}
+
+} // namespace bluescale::sim

@@ -44,6 +44,11 @@ void running_summary::merge(const running_summary& other) {
     max_ = std::max(max_, other.max_);
 }
 
+void sample_set::merge(const sample_set& other) {
+    samples_.reserve(samples_.size() + other.samples_.size());
+    for (const double x : other.samples_) add(x);
+}
+
 double sample_set::percentile(double p) const {
     if (samples_.empty()) return 0.0;
     if (!sorted_) {

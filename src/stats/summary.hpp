@@ -55,6 +55,15 @@ public:
     /// p in [0, 100]. Returns 0 when empty.
     [[nodiscard]] double percentile(double p) const;
 
+    /// Appends every sample of `other`, in `other`'s current sample order,
+    /// exactly as if add() had been called for each. Merging per-trial
+    /// sets in trial order therefore produces a set bit-identical to one
+    /// filled by the serial trial loop (a Welford pairwise merge would
+    /// not -- float summation is order-sensitive). Note percentile()
+    /// sorts a set's samples in place, so merge sources before querying
+    /// percentiles when byte-stable ordering matters.
+    void merge(const sample_set& other);
+
     [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
 
 private:

@@ -72,6 +72,35 @@ TEST(fig6, extended_kind_runs_through_harness) {
     EXPECT_LE(r.miss_ratio.max(), 1.0);
 }
 
+TEST(fig6, parallel_trials_bit_identical_to_serial) {
+    // The execution-layer contract: aggregates are exactly equal (not
+    // just close) for any thread count, because per-trial results are
+    // merged in trial order.
+    auto cfg = small_config();
+    cfg.trials = 6;
+    for (ic_kind kind : {ic_kind::bluescale, ic_kind::bluetree}) {
+        cfg.threads = 1;
+        const auto serial = run_fig6(kind, cfg);
+        cfg.threads = 4;
+        const auto parallel = run_fig6(kind, cfg);
+
+        ASSERT_EQ(serial.blocking_us.count(), parallel.blocking_us.count());
+        EXPECT_EQ(serial.blocking_us.samples(),
+                  parallel.blocking_us.samples())
+            << kind_name(kind);
+        EXPECT_EQ(serial.worst_blocking_us.samples(),
+                  parallel.worst_blocking_us.samples())
+            << kind_name(kind);
+        EXPECT_EQ(serial.miss_ratio.samples(), parallel.miss_ratio.samples())
+            << kind_name(kind);
+        EXPECT_EQ(serial.blocking_us.mean(), parallel.blocking_us.mean());
+        EXPECT_EQ(serial.blocking_us.stddev(),
+                  parallel.blocking_us.stddev());
+        EXPECT_EQ(serial.miss_ratio.mean(), parallel.miss_ratio.mean());
+        EXPECT_EQ(serial.feasible_trials, parallel.feasible_trials);
+    }
+}
+
 TEST(fig6, se_override_applies) {
     auto cfg = small_config();
     cfg.trials = 1;

@@ -63,6 +63,28 @@ TEST(fig7, run_all_covers_six_designs) {
     ASSERT_EQ(all.size(), 6u);
 }
 
+TEST(fig7, parallel_sweep_bit_identical_to_serial) {
+    auto cfg = small_config();
+    cfg.trials = 3;
+    cfg.util_lo = 0.3;
+    cfg.util_hi = 0.5;
+    cfg.util_step = 0.2;
+    cfg.threads = 1;
+    const auto serial = run_fig7(ic_kind::bluescale, cfg);
+    cfg.threads = 4;
+    const auto parallel = run_fig7(ic_kind::bluescale, cfg);
+
+    ASSERT_EQ(serial.points.size(), parallel.points.size());
+    for (std::size_t i = 0; i < serial.points.size(); ++i) {
+        EXPECT_EQ(serial.points[i].target_utilization,
+                  parallel.points[i].target_utilization);
+        EXPECT_EQ(serial.points[i].success_ratio,
+                  parallel.points[i].success_ratio);
+        EXPECT_EQ(serial.points[i].app_miss_ratio,
+                  parallel.points[i].app_miss_ratio);
+    }
+}
+
 TEST(fig7, sixty_four_core_configuration_runs) {
     auto cfg = small_config();
     cfg.n_processors = 64;

@@ -95,6 +95,35 @@ TEST(simulator, run_until_checks_before_stepping) {
     EXPECT_EQ(sim.now(), 0u);
 }
 
+TEST(simulator, run_until_evaluates_predicate_once_per_cycle) {
+    // The predicate is checked exactly once per cycle in the budget --
+    // no double evaluation when the budget is exhausted.
+    simulator sim;
+    int evals = 0;
+    const bool fired = sim.run_until(
+        [&] {
+            ++evals;
+            return false;
+        },
+        20);
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(evals, 20);
+}
+
+TEST(simulator, run_until_zero_budget_checks_once) {
+    simulator sim;
+    int evals = 0;
+    const bool fired = sim.run_until(
+        [&] {
+            ++evals;
+            return true;
+        },
+        0);
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(evals, 1);
+    EXPECT_EQ(sim.now(), 0u);
+}
+
 TEST(simulator, run_accumulates_across_calls) {
     simulator sim;
     sim.run(4);

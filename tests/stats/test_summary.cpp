@@ -128,6 +128,41 @@ TEST(sample_set, add_after_percentile_query) {
     EXPECT_EQ(s.percentile(0), 1.0);
 }
 
+TEST(sample_set, merge_is_bit_identical_to_sequential_add) {
+    // merge() is defined as repeated add(), so merging per-trial sets in
+    // trial order must reproduce the serial accumulation exactly -- this
+    // is what makes parallel sweeps bit-identical to serial ones.
+    rng r(77);
+    sample_set whole, part1, part2;
+    for (int i = 0; i < 300; ++i) {
+        const double v = r.uniform_real(0, 1e6);
+        whole.add(v);
+        (i < 120 ? part1 : part2).add(v);
+    }
+    part1.merge(part2);
+    EXPECT_EQ(part1.count(), whole.count());
+    EXPECT_EQ(part1.samples(), whole.samples());
+    EXPECT_EQ(part1.mean(), whole.mean());
+    EXPECT_EQ(part1.variance(), whole.variance());
+    EXPECT_EQ(part1.stddev(), whole.stddev());
+    EXPECT_EQ(part1.min(), whole.min());
+    EXPECT_EQ(part1.max(), whole.max());
+    EXPECT_EQ(part1.percentile(90), whole.percentile(90));
+}
+
+TEST(sample_set, merge_with_empty_is_identity) {
+    sample_set a, empty;
+    a.add(4.0);
+    a.add(2.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_EQ(a.mean(), 3.0);
+
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 2u);
+    EXPECT_EQ(empty.samples(), a.samples());
+}
+
 TEST(sample_set, mirrors_summary_stats) {
     sample_set s;
     for (double v : {1.0, 2.0, 3.0}) s.add(v);
