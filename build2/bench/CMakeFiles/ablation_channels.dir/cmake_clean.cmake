@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_channels.dir/ablation_channels.cpp.o"
+  "CMakeFiles/ablation_channels.dir/ablation_channels.cpp.o.d"
+  "ablation_channels"
+  "ablation_channels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

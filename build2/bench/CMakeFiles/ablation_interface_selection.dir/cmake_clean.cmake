@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_interface_selection.dir/ablation_interface_selection.cpp.o"
+  "CMakeFiles/ablation_interface_selection.dir/ablation_interface_selection.cpp.o.d"
+  "ablation_interface_selection"
+  "ablation_interface_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_interface_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

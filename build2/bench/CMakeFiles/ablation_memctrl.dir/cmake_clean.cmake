@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_memctrl.dir/ablation_memctrl.cpp.o"
+  "CMakeFiles/ablation_memctrl.dir/ablation_memctrl.cpp.o.d"
+  "ablation_memctrl"
+  "ablation_memctrl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_memctrl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

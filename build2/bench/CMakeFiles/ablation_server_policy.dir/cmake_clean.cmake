@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_server_policy.dir/ablation_server_policy.cpp.o"
+  "CMakeFiles/ablation_server_policy.dir/ablation_server_policy.cpp.o.d"
+  "ablation_server_policy"
+  "ablation_server_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_server_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acceptance_ratio.dir/acceptance_ratio.cpp.o"
+  "CMakeFiles/acceptance_ratio.dir/acceptance_ratio.cpp.o.d"
+  "acceptance_ratio"
+  "acceptance_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acceptance_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extended_baselines.dir/extended_baselines.cpp.o"
+  "CMakeFiles/extended_baselines.dir/extended_baselines.cpp.o.d"
+  "extended_baselines"
+  "extended_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extended_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_synthetic.dir/fig6_synthetic.cpp.o"
+  "CMakeFiles/fig6_synthetic.dir/fig6_synthetic.cpp.o.d"
+  "fig6_synthetic"
+  "fig6_synthetic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_synthetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

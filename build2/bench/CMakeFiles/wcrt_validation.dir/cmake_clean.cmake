@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcrt_validation.dir/wcrt_validation.cpp.o"
+  "CMakeFiles/wcrt_validation.dir/wcrt_validation.cpp.o.d"
+  "wcrt_validation"
+  "wcrt_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcrt_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

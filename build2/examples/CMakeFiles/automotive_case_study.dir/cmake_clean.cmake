@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/automotive_case_study.dir/automotive_case_study.cpp.o"
+  "CMakeFiles/automotive_case_study.dir/automotive_case_study.cpp.o.d"
+  "automotive_case_study"
+  "automotive_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/automotive_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

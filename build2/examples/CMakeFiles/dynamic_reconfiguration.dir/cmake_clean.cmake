@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_reconfiguration.dir/dynamic_reconfiguration.cpp.o"
+  "CMakeFiles/dynamic_reconfiguration.dir/dynamic_reconfiguration.cpp.o.d"
+  "dynamic_reconfiguration"
+  "dynamic_reconfiguration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_reconfiguration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

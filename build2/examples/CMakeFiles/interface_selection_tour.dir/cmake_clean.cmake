@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interface_selection_tour.dir/interface_selection_tour.cpp.o"
+  "CMakeFiles/interface_selection_tour.dir/interface_selection_tour.cpp.o.d"
+  "interface_selection_tour"
+  "interface_selection_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interface_selection_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

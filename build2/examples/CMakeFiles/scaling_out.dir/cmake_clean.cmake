@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_out.dir/scaling_out.cpp.o"
+  "CMakeFiles/scaling_out.dir/scaling_out.cpp.o.d"
+  "scaling_out"
+  "scaling_out.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_out.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/demand_bound.cpp" "src/analysis/CMakeFiles/bluescale_analysis.dir/demand_bound.cpp.o" "gcc" "src/analysis/CMakeFiles/bluescale_analysis.dir/demand_bound.cpp.o.d"
+  "/root/repo/src/analysis/exact_test.cpp" "src/analysis/CMakeFiles/bluescale_analysis.dir/exact_test.cpp.o" "gcc" "src/analysis/CMakeFiles/bluescale_analysis.dir/exact_test.cpp.o.d"
+  "/root/repo/src/analysis/interface_selection.cpp" "src/analysis/CMakeFiles/bluescale_analysis.dir/interface_selection.cpp.o" "gcc" "src/analysis/CMakeFiles/bluescale_analysis.dir/interface_selection.cpp.o.d"
+  "/root/repo/src/analysis/periodic_resource.cpp" "src/analysis/CMakeFiles/bluescale_analysis.dir/periodic_resource.cpp.o" "gcc" "src/analysis/CMakeFiles/bluescale_analysis.dir/periodic_resource.cpp.o.d"
+  "/root/repo/src/analysis/schedulability.cpp" "src/analysis/CMakeFiles/bluescale_analysis.dir/schedulability.cpp.o" "gcc" "src/analysis/CMakeFiles/bluescale_analysis.dir/schedulability.cpp.o.d"
+  "/root/repo/src/analysis/tree_analysis.cpp" "src/analysis/CMakeFiles/bluescale_analysis.dir/tree_analysis.cpp.o" "gcc" "src/analysis/CMakeFiles/bluescale_analysis.dir/tree_analysis.cpp.o.d"
+  "/root/repo/src/analysis/wcrt.cpp" "src/analysis/CMakeFiles/bluescale_analysis.dir/wcrt.cpp.o" "gcc" "src/analysis/CMakeFiles/bluescale_analysis.dir/wcrt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

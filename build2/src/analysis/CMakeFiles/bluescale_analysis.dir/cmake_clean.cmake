@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bluescale_analysis.dir/demand_bound.cpp.o"
+  "CMakeFiles/bluescale_analysis.dir/demand_bound.cpp.o.d"
+  "CMakeFiles/bluescale_analysis.dir/exact_test.cpp.o"
+  "CMakeFiles/bluescale_analysis.dir/exact_test.cpp.o.d"
+  "CMakeFiles/bluescale_analysis.dir/interface_selection.cpp.o"
+  "CMakeFiles/bluescale_analysis.dir/interface_selection.cpp.o.d"
+  "CMakeFiles/bluescale_analysis.dir/periodic_resource.cpp.o"
+  "CMakeFiles/bluescale_analysis.dir/periodic_resource.cpp.o.d"
+  "CMakeFiles/bluescale_analysis.dir/schedulability.cpp.o"
+  "CMakeFiles/bluescale_analysis.dir/schedulability.cpp.o.d"
+  "CMakeFiles/bluescale_analysis.dir/tree_analysis.cpp.o"
+  "CMakeFiles/bluescale_analysis.dir/tree_analysis.cpp.o.d"
+  "CMakeFiles/bluescale_analysis.dir/wcrt.cpp.o"
+  "CMakeFiles/bluescale_analysis.dir/wcrt.cpp.o.d"
+  "libbluescale_analysis.a"
+  "libbluescale_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bluescale_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

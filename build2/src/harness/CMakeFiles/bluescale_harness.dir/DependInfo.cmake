@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/bench_cli.cpp" "src/harness/CMakeFiles/bluescale_harness.dir/bench_cli.cpp.o" "gcc" "src/harness/CMakeFiles/bluescale_harness.dir/bench_cli.cpp.o.d"
+  "/root/repo/src/harness/factory.cpp" "src/harness/CMakeFiles/bluescale_harness.dir/factory.cpp.o" "gcc" "src/harness/CMakeFiles/bluescale_harness.dir/factory.cpp.o.d"
+  "/root/repo/src/harness/fig6_experiment.cpp" "src/harness/CMakeFiles/bluescale_harness.dir/fig6_experiment.cpp.o" "gcc" "src/harness/CMakeFiles/bluescale_harness.dir/fig6_experiment.cpp.o.d"
+  "/root/repo/src/harness/fig7_experiment.cpp" "src/harness/CMakeFiles/bluescale_harness.dir/fig7_experiment.cpp.o" "gcc" "src/harness/CMakeFiles/bluescale_harness.dir/fig7_experiment.cpp.o.d"
+  "/root/repo/src/harness/testbench.cpp" "src/harness/CMakeFiles/bluescale_harness.dir/testbench.cpp.o" "gcc" "src/harness/CMakeFiles/bluescale_harness.dir/testbench.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/sim/CMakeFiles/bluescale_sim.dir/DependInfo.cmake"
+  "/root/repo/build2/src/mem/CMakeFiles/bluescale_mem.dir/DependInfo.cmake"
+  "/root/repo/build2/src/stats/CMakeFiles/bluescale_stats.dir/DependInfo.cmake"
+  "/root/repo/build2/src/analysis/CMakeFiles/bluescale_analysis.dir/DependInfo.cmake"
+  "/root/repo/build2/src/workload/CMakeFiles/bluescale_workload.dir/DependInfo.cmake"
+  "/root/repo/build2/src/interconnect/CMakeFiles/bluescale_interconnect.dir/DependInfo.cmake"
+  "/root/repo/build2/src/core/CMakeFiles/bluescale_core.dir/DependInfo.cmake"
+  "/root/repo/build2/src/hwcost/CMakeFiles/bluescale_hwcost.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

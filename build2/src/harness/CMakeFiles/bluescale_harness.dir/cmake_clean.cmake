@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bluescale_harness.dir/bench_cli.cpp.o"
+  "CMakeFiles/bluescale_harness.dir/bench_cli.cpp.o.d"
+  "CMakeFiles/bluescale_harness.dir/factory.cpp.o"
+  "CMakeFiles/bluescale_harness.dir/factory.cpp.o.d"
+  "CMakeFiles/bluescale_harness.dir/fig6_experiment.cpp.o"
+  "CMakeFiles/bluescale_harness.dir/fig6_experiment.cpp.o.d"
+  "CMakeFiles/bluescale_harness.dir/fig7_experiment.cpp.o"
+  "CMakeFiles/bluescale_harness.dir/fig7_experiment.cpp.o.d"
+  "CMakeFiles/bluescale_harness.dir/testbench.cpp.o"
+  "CMakeFiles/bluescale_harness.dir/testbench.cpp.o.d"
+  "libbluescale_harness.a"
+  "libbluescale_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bluescale_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

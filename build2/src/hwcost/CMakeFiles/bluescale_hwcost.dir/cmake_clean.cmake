@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bluescale_hwcost.dir/cost_model.cpp.o"
+  "CMakeFiles/bluescale_hwcost.dir/cost_model.cpp.o.d"
+  "libbluescale_hwcost.a"
+  "libbluescale_hwcost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bluescale_hwcost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

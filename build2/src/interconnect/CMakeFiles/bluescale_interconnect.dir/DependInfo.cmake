@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interconnect/axi_hyperconnect.cpp" "src/interconnect/CMakeFiles/bluescale_interconnect.dir/axi_hyperconnect.cpp.o" "gcc" "src/interconnect/CMakeFiles/bluescale_interconnect.dir/axi_hyperconnect.cpp.o.d"
+  "/root/repo/src/interconnect/axi_icrt.cpp" "src/interconnect/CMakeFiles/bluescale_interconnect.dir/axi_icrt.cpp.o" "gcc" "src/interconnect/CMakeFiles/bluescale_interconnect.dir/axi_icrt.cpp.o.d"
+  "/root/repo/src/interconnect/bluetree.cpp" "src/interconnect/CMakeFiles/bluescale_interconnect.dir/bluetree.cpp.o" "gcc" "src/interconnect/CMakeFiles/bluescale_interconnect.dir/bluetree.cpp.o.d"
+  "/root/repo/src/interconnect/gsmtree.cpp" "src/interconnect/CMakeFiles/bluescale_interconnect.dir/gsmtree.cpp.o" "gcc" "src/interconnect/CMakeFiles/bluescale_interconnect.dir/gsmtree.cpp.o.d"
+  "/root/repo/src/interconnect/interconnect.cpp" "src/interconnect/CMakeFiles/bluescale_interconnect.dir/interconnect.cpp.o" "gcc" "src/interconnect/CMakeFiles/bluescale_interconnect.dir/interconnect.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/sim/CMakeFiles/bluescale_sim.dir/DependInfo.cmake"
+  "/root/repo/build2/src/mem/CMakeFiles/bluescale_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

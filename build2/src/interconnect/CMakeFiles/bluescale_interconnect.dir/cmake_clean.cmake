@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bluescale_interconnect.dir/axi_hyperconnect.cpp.o"
+  "CMakeFiles/bluescale_interconnect.dir/axi_hyperconnect.cpp.o.d"
+  "CMakeFiles/bluescale_interconnect.dir/axi_icrt.cpp.o"
+  "CMakeFiles/bluescale_interconnect.dir/axi_icrt.cpp.o.d"
+  "CMakeFiles/bluescale_interconnect.dir/bluetree.cpp.o"
+  "CMakeFiles/bluescale_interconnect.dir/bluetree.cpp.o.d"
+  "CMakeFiles/bluescale_interconnect.dir/gsmtree.cpp.o"
+  "CMakeFiles/bluescale_interconnect.dir/gsmtree.cpp.o.d"
+  "CMakeFiles/bluescale_interconnect.dir/interconnect.cpp.o"
+  "CMakeFiles/bluescale_interconnect.dir/interconnect.cpp.o.d"
+  "libbluescale_interconnect.a"
+  "libbluescale_interconnect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bluescale_interconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

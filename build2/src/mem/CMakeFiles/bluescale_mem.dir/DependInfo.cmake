@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/dram_model.cpp" "src/mem/CMakeFiles/bluescale_mem.dir/dram_model.cpp.o" "gcc" "src/mem/CMakeFiles/bluescale_mem.dir/dram_model.cpp.o.d"
+  "/root/repo/src/mem/memory_controller.cpp" "src/mem/CMakeFiles/bluescale_mem.dir/memory_controller.cpp.o" "gcc" "src/mem/CMakeFiles/bluescale_mem.dir/memory_controller.cpp.o.d"
+  "/root/repo/src/mem/memory_subsystem.cpp" "src/mem/CMakeFiles/bluescale_mem.dir/memory_subsystem.cpp.o" "gcc" "src/mem/CMakeFiles/bluescale_mem.dir/memory_subsystem.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/sim/CMakeFiles/bluescale_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bluescale_mem.dir/dram_model.cpp.o"
+  "CMakeFiles/bluescale_mem.dir/dram_model.cpp.o.d"
+  "CMakeFiles/bluescale_mem.dir/memory_controller.cpp.o"
+  "CMakeFiles/bluescale_mem.dir/memory_controller.cpp.o.d"
+  "CMakeFiles/bluescale_mem.dir/memory_subsystem.cpp.o"
+  "CMakeFiles/bluescale_mem.dir/memory_subsystem.cpp.o.d"
+  "libbluescale_mem.a"
+  "libbluescale_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bluescale_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbluescale_mem.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bluescale_sim.dir/simulator.cpp.o"
+  "CMakeFiles/bluescale_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/bluescale_sim.dir/trial_runner.cpp.o"
+  "CMakeFiles/bluescale_sim.dir/trial_runner.cpp.o.d"
+  "libbluescale_sim.a"
+  "libbluescale_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bluescale_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

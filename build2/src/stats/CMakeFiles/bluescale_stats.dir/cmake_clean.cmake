@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bluescale_stats.dir/csv.cpp.o"
+  "CMakeFiles/bluescale_stats.dir/csv.cpp.o.d"
+  "CMakeFiles/bluescale_stats.dir/histogram.cpp.o"
+  "CMakeFiles/bluescale_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/bluescale_stats.dir/summary.cpp.o"
+  "CMakeFiles/bluescale_stats.dir/summary.cpp.o.d"
+  "CMakeFiles/bluescale_stats.dir/table.cpp.o"
+  "CMakeFiles/bluescale_stats.dir/table.cpp.o.d"
+  "libbluescale_stats.a"
+  "libbluescale_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bluescale_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

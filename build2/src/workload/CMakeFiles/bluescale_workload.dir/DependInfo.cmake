@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/automotive_profiles.cpp" "src/workload/CMakeFiles/bluescale_workload.dir/automotive_profiles.cpp.o" "gcc" "src/workload/CMakeFiles/bluescale_workload.dir/automotive_profiles.cpp.o.d"
+  "/root/repo/src/workload/dnn_accelerator.cpp" "src/workload/CMakeFiles/bluescale_workload.dir/dnn_accelerator.cpp.o" "gcc" "src/workload/CMakeFiles/bluescale_workload.dir/dnn_accelerator.cpp.o.d"
+  "/root/repo/src/workload/processor_client.cpp" "src/workload/CMakeFiles/bluescale_workload.dir/processor_client.cpp.o" "gcc" "src/workload/CMakeFiles/bluescale_workload.dir/processor_client.cpp.o.d"
+  "/root/repo/src/workload/taskset_gen.cpp" "src/workload/CMakeFiles/bluescale_workload.dir/taskset_gen.cpp.o" "gcc" "src/workload/CMakeFiles/bluescale_workload.dir/taskset_gen.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/workload/CMakeFiles/bluescale_workload.dir/trace.cpp.o" "gcc" "src/workload/CMakeFiles/bluescale_workload.dir/trace.cpp.o.d"
+  "/root/repo/src/workload/traffic_generator.cpp" "src/workload/CMakeFiles/bluescale_workload.dir/traffic_generator.cpp.o" "gcc" "src/workload/CMakeFiles/bluescale_workload.dir/traffic_generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/sim/CMakeFiles/bluescale_sim.dir/DependInfo.cmake"
+  "/root/repo/build2/src/mem/CMakeFiles/bluescale_mem.dir/DependInfo.cmake"
+  "/root/repo/build2/src/stats/CMakeFiles/bluescale_stats.dir/DependInfo.cmake"
+  "/root/repo/build2/src/analysis/CMakeFiles/bluescale_analysis.dir/DependInfo.cmake"
+  "/root/repo/build2/src/interconnect/CMakeFiles/bluescale_interconnect.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bluescale_workload.dir/automotive_profiles.cpp.o"
+  "CMakeFiles/bluescale_workload.dir/automotive_profiles.cpp.o.d"
+  "CMakeFiles/bluescale_workload.dir/dnn_accelerator.cpp.o"
+  "CMakeFiles/bluescale_workload.dir/dnn_accelerator.cpp.o.d"
+  "CMakeFiles/bluescale_workload.dir/processor_client.cpp.o"
+  "CMakeFiles/bluescale_workload.dir/processor_client.cpp.o.d"
+  "CMakeFiles/bluescale_workload.dir/taskset_gen.cpp.o"
+  "CMakeFiles/bluescale_workload.dir/taskset_gen.cpp.o.d"
+  "CMakeFiles/bluescale_workload.dir/trace.cpp.o"
+  "CMakeFiles/bluescale_workload.dir/trace.cpp.o.d"
+  "CMakeFiles/bluescale_workload.dir/traffic_generator.cpp.o"
+  "CMakeFiles/bluescale_workload.dir/traffic_generator.cpp.o.d"
+  "libbluescale_workload.a"
+  "libbluescale_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bluescale_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,75 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/test_demand_bound.cpp" "tests/CMakeFiles/bluescale_tests.dir/analysis/test_demand_bound.cpp.o" "gcc" "tests/CMakeFiles/bluescale_tests.dir/analysis/test_demand_bound.cpp.o.d"
+  "/root/repo/tests/analysis/test_exact_test.cpp" "tests/CMakeFiles/bluescale_tests.dir/analysis/test_exact_test.cpp.o" "gcc" "tests/CMakeFiles/bluescale_tests.dir/analysis/test_exact_test.cpp.o.d"
+  "/root/repo/tests/analysis/test_interface_selection.cpp" "tests/CMakeFiles/bluescale_tests.dir/analysis/test_interface_selection.cpp.o" "gcc" "tests/CMakeFiles/bluescale_tests.dir/analysis/test_interface_selection.cpp.o.d"
+  "/root/repo/tests/analysis/test_periodic_resource.cpp" "tests/CMakeFiles/bluescale_tests.dir/analysis/test_periodic_resource.cpp.o" "gcc" "tests/CMakeFiles/bluescale_tests.dir/analysis/test_periodic_resource.cpp.o.d"
+  "/root/repo/tests/analysis/test_quadtree.cpp" "tests/CMakeFiles/bluescale_tests.dir/analysis/test_quadtree.cpp.o" "gcc" "tests/CMakeFiles/bluescale_tests.dir/analysis/test_quadtree.cpp.o.d"
+  "/root/repo/tests/analysis/test_schedulability.cpp" "tests/CMakeFiles/bluescale_tests.dir/analysis/test_schedulability.cpp.o" "gcc" "tests/CMakeFiles/bluescale_tests.dir/analysis/test_schedulability.cpp.o.d"
+  "/root/repo/tests/analysis/test_tree_analysis.cpp" "tests/CMakeFiles/bluescale_tests.dir/analysis/test_tree_analysis.cpp.o" "gcc" "tests/CMakeFiles/bluescale_tests.dir/analysis/test_tree_analysis.cpp.o.d"
+  "/root/repo/tests/analysis/test_wcrt.cpp" "tests/CMakeFiles/bluescale_tests.dir/analysis/test_wcrt.cpp.o" "gcc" "tests/CMakeFiles/bluescale_tests.dir/analysis/test_wcrt.cpp.o.d"
+  "/root/repo/tests/core/test_bluescale_ic.cpp" "tests/CMakeFiles/bluescale_tests.dir/core/test_bluescale_ic.cpp.o" "gcc" "tests/CMakeFiles/bluescale_tests.dir/core/test_bluescale_ic.cpp.o.d"
+  "/root/repo/tests/core/test_counters.cpp" "tests/CMakeFiles/bluescale_tests.dir/core/test_counters.cpp.o" "gcc" "tests/CMakeFiles/bluescale_tests.dir/core/test_counters.cpp.o.d"
+  "/root/repo/tests/core/test_interface_selector.cpp" "tests/CMakeFiles/bluescale_tests.dir/core/test_interface_selector.cpp.o" "gcc" "tests/CMakeFiles/bluescale_tests.dir/core/test_interface_selector.cpp.o.d"
+  "/root/repo/tests/core/test_local_scheduler.cpp" "tests/CMakeFiles/bluescale_tests.dir/core/test_local_scheduler.cpp.o" "gcc" "tests/CMakeFiles/bluescale_tests.dir/core/test_local_scheduler.cpp.o.d"
+  "/root/repo/tests/core/test_meshed_bluescale.cpp" "tests/CMakeFiles/bluescale_tests.dir/core/test_meshed_bluescale.cpp.o" "gcc" "tests/CMakeFiles/bluescale_tests.dir/core/test_meshed_bluescale.cpp.o.d"
+  "/root/repo/tests/core/test_parameter_path.cpp" "tests/CMakeFiles/bluescale_tests.dir/core/test_parameter_path.cpp.o" "gcc" "tests/CMakeFiles/bluescale_tests.dir/core/test_parameter_path.cpp.o.d"
+  "/root/repo/tests/core/test_random_access_buffer.cpp" "tests/CMakeFiles/bluescale_tests.dir/core/test_random_access_buffer.cpp.o" "gcc" "tests/CMakeFiles/bluescale_tests.dir/core/test_random_access_buffer.cpp.o.d"
+  "/root/repo/tests/core/test_scale_element.cpp" "tests/CMakeFiles/bluescale_tests.dir/core/test_scale_element.cpp.o" "gcc" "tests/CMakeFiles/bluescale_tests.dir/core/test_scale_element.cpp.o.d"
+  "/root/repo/tests/harness/test_factory.cpp" "tests/CMakeFiles/bluescale_tests.dir/harness/test_factory.cpp.o" "gcc" "tests/CMakeFiles/bluescale_tests.dir/harness/test_factory.cpp.o.d"
+  "/root/repo/tests/harness/test_fig6.cpp" "tests/CMakeFiles/bluescale_tests.dir/harness/test_fig6.cpp.o" "gcc" "tests/CMakeFiles/bluescale_tests.dir/harness/test_fig6.cpp.o.d"
+  "/root/repo/tests/harness/test_fig7.cpp" "tests/CMakeFiles/bluescale_tests.dir/harness/test_fig7.cpp.o" "gcc" "tests/CMakeFiles/bluescale_tests.dir/harness/test_fig7.cpp.o.d"
+  "/root/repo/tests/harness/test_testbench.cpp" "tests/CMakeFiles/bluescale_tests.dir/harness/test_testbench.cpp.o" "gcc" "tests/CMakeFiles/bluescale_tests.dir/harness/test_testbench.cpp.o.d"
+  "/root/repo/tests/hwcost/test_cost_model.cpp" "tests/CMakeFiles/bluescale_tests.dir/hwcost/test_cost_model.cpp.o" "gcc" "tests/CMakeFiles/bluescale_tests.dir/hwcost/test_cost_model.cpp.o.d"
+  "/root/repo/tests/integration/test_end_to_end.cpp" "tests/CMakeFiles/bluescale_tests.dir/integration/test_end_to_end.cpp.o" "gcc" "tests/CMakeFiles/bluescale_tests.dir/integration/test_end_to_end.cpp.o.d"
+  "/root/repo/tests/integration/test_fault_injection.cpp" "tests/CMakeFiles/bluescale_tests.dir/integration/test_fault_injection.cpp.o" "gcc" "tests/CMakeFiles/bluescale_tests.dir/integration/test_fault_injection.cpp.o.d"
+  "/root/repo/tests/integration/test_metric_consistency.cpp" "tests/CMakeFiles/bluescale_tests.dir/integration/test_metric_consistency.cpp.o" "gcc" "tests/CMakeFiles/bluescale_tests.dir/integration/test_metric_consistency.cpp.o.d"
+  "/root/repo/tests/integration/test_supply_conformance.cpp" "tests/CMakeFiles/bluescale_tests.dir/integration/test_supply_conformance.cpp.o" "gcc" "tests/CMakeFiles/bluescale_tests.dir/integration/test_supply_conformance.cpp.o.d"
+  "/root/repo/tests/interconnect/test_axi_hyperconnect.cpp" "tests/CMakeFiles/bluescale_tests.dir/interconnect/test_axi_hyperconnect.cpp.o" "gcc" "tests/CMakeFiles/bluescale_tests.dir/interconnect/test_axi_hyperconnect.cpp.o.d"
+  "/root/repo/tests/interconnect/test_axi_icrt.cpp" "tests/CMakeFiles/bluescale_tests.dir/interconnect/test_axi_icrt.cpp.o" "gcc" "tests/CMakeFiles/bluescale_tests.dir/interconnect/test_axi_icrt.cpp.o.d"
+  "/root/repo/tests/interconnect/test_bluetree.cpp" "tests/CMakeFiles/bluescale_tests.dir/interconnect/test_bluetree.cpp.o" "gcc" "tests/CMakeFiles/bluescale_tests.dir/interconnect/test_bluetree.cpp.o.d"
+  "/root/repo/tests/interconnect/test_gsmtree.cpp" "tests/CMakeFiles/bluescale_tests.dir/interconnect/test_gsmtree.cpp.o" "gcc" "tests/CMakeFiles/bluescale_tests.dir/interconnect/test_gsmtree.cpp.o.d"
+  "/root/repo/tests/interconnect/test_interconnect_base.cpp" "tests/CMakeFiles/bluescale_tests.dir/interconnect/test_interconnect_base.cpp.o" "gcc" "tests/CMakeFiles/bluescale_tests.dir/interconnect/test_interconnect_base.cpp.o.d"
+  "/root/repo/tests/mem/test_dram_model.cpp" "tests/CMakeFiles/bluescale_tests.dir/mem/test_dram_model.cpp.o" "gcc" "tests/CMakeFiles/bluescale_tests.dir/mem/test_dram_model.cpp.o.d"
+  "/root/repo/tests/mem/test_memory_controller.cpp" "tests/CMakeFiles/bluescale_tests.dir/mem/test_memory_controller.cpp.o" "gcc" "tests/CMakeFiles/bluescale_tests.dir/mem/test_memory_controller.cpp.o.d"
+  "/root/repo/tests/mem/test_memory_subsystem.cpp" "tests/CMakeFiles/bluescale_tests.dir/mem/test_memory_subsystem.cpp.o" "gcc" "tests/CMakeFiles/bluescale_tests.dir/mem/test_memory_subsystem.cpp.o.d"
+  "/root/repo/tests/sim/test_fixed_queue.cpp" "tests/CMakeFiles/bluescale_tests.dir/sim/test_fixed_queue.cpp.o" "gcc" "tests/CMakeFiles/bluescale_tests.dir/sim/test_fixed_queue.cpp.o.d"
+  "/root/repo/tests/sim/test_latched_queue.cpp" "tests/CMakeFiles/bluescale_tests.dir/sim/test_latched_queue.cpp.o" "gcc" "tests/CMakeFiles/bluescale_tests.dir/sim/test_latched_queue.cpp.o.d"
+  "/root/repo/tests/sim/test_log.cpp" "tests/CMakeFiles/bluescale_tests.dir/sim/test_log.cpp.o" "gcc" "tests/CMakeFiles/bluescale_tests.dir/sim/test_log.cpp.o.d"
+  "/root/repo/tests/sim/test_rng.cpp" "tests/CMakeFiles/bluescale_tests.dir/sim/test_rng.cpp.o" "gcc" "tests/CMakeFiles/bluescale_tests.dir/sim/test_rng.cpp.o.d"
+  "/root/repo/tests/sim/test_simulator.cpp" "tests/CMakeFiles/bluescale_tests.dir/sim/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/bluescale_tests.dir/sim/test_simulator.cpp.o.d"
+  "/root/repo/tests/sim/test_trial_runner.cpp" "tests/CMakeFiles/bluescale_tests.dir/sim/test_trial_runner.cpp.o" "gcc" "tests/CMakeFiles/bluescale_tests.dir/sim/test_trial_runner.cpp.o.d"
+  "/root/repo/tests/stats/test_csv.cpp" "tests/CMakeFiles/bluescale_tests.dir/stats/test_csv.cpp.o" "gcc" "tests/CMakeFiles/bluescale_tests.dir/stats/test_csv.cpp.o.d"
+  "/root/repo/tests/stats/test_histogram.cpp" "tests/CMakeFiles/bluescale_tests.dir/stats/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/bluescale_tests.dir/stats/test_histogram.cpp.o.d"
+  "/root/repo/tests/stats/test_summary.cpp" "tests/CMakeFiles/bluescale_tests.dir/stats/test_summary.cpp.o" "gcc" "tests/CMakeFiles/bluescale_tests.dir/stats/test_summary.cpp.o.d"
+  "/root/repo/tests/stats/test_table.cpp" "tests/CMakeFiles/bluescale_tests.dir/stats/test_table.cpp.o" "gcc" "tests/CMakeFiles/bluescale_tests.dir/stats/test_table.cpp.o.d"
+  "/root/repo/tests/workload/test_dnn_accelerator.cpp" "tests/CMakeFiles/bluescale_tests.dir/workload/test_dnn_accelerator.cpp.o" "gcc" "tests/CMakeFiles/bluescale_tests.dir/workload/test_dnn_accelerator.cpp.o.d"
+  "/root/repo/tests/workload/test_processor_client.cpp" "tests/CMakeFiles/bluescale_tests.dir/workload/test_processor_client.cpp.o" "gcc" "tests/CMakeFiles/bluescale_tests.dir/workload/test_processor_client.cpp.o.d"
+  "/root/repo/tests/workload/test_taskset_gen.cpp" "tests/CMakeFiles/bluescale_tests.dir/workload/test_taskset_gen.cpp.o" "gcc" "tests/CMakeFiles/bluescale_tests.dir/workload/test_taskset_gen.cpp.o.d"
+  "/root/repo/tests/workload/test_trace.cpp" "tests/CMakeFiles/bluescale_tests.dir/workload/test_trace.cpp.o" "gcc" "tests/CMakeFiles/bluescale_tests.dir/workload/test_trace.cpp.o.d"
+  "/root/repo/tests/workload/test_traffic_generator.cpp" "tests/CMakeFiles/bluescale_tests.dir/workload/test_traffic_generator.cpp.o" "gcc" "tests/CMakeFiles/bluescale_tests.dir/workload/test_traffic_generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/harness/CMakeFiles/bluescale_harness.dir/DependInfo.cmake"
+  "/root/repo/build2/src/workload/CMakeFiles/bluescale_workload.dir/DependInfo.cmake"
+  "/root/repo/build2/src/core/CMakeFiles/bluescale_core.dir/DependInfo.cmake"
+  "/root/repo/build2/src/stats/CMakeFiles/bluescale_stats.dir/DependInfo.cmake"
+  "/root/repo/build2/src/analysis/CMakeFiles/bluescale_analysis.dir/DependInfo.cmake"
+  "/root/repo/build2/src/interconnect/CMakeFiles/bluescale_interconnect.dir/DependInfo.cmake"
+  "/root/repo/build2/src/mem/CMakeFiles/bluescale_mem.dir/DependInfo.cmake"
+  "/root/repo/build2/src/sim/CMakeFiles/bluescale_sim.dir/DependInfo.cmake"
+  "/root/repo/build2/src/hwcost/CMakeFiles/bluescale_hwcost.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
