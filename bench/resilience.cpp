@@ -1,0 +1,131 @@
+// Resilience under fault injection (robustness extension, not a paper
+// figure): sweeps a seed-driven fault campaign's intensity over the Fig. 6
+// synthetic workload and reports, per design, the deadline-miss ratio,
+// p99 and worst-case latency inflation relative to the healthy run,
+// recovery counter totals, and the mean time-to-recover of degraded
+// BlueScale elements.
+//
+//   $ ./bench/resilience [--trials N] [--cycles N] [--threads N]
+//                        [--seed N] [--csv out.csv]
+//
+// --csv dumps one row per (design, intensity) with the raw aggregates;
+// the file is byte-identical for any --threads setting.
+#include <cstdio>
+
+#include "harness/bench_cli.hpp"
+#include "harness/resilience_experiment.hpp"
+#include "stats/table.hpp"
+
+using namespace bluescale;
+using namespace bluescale::harness;
+
+namespace {
+
+constexpr double k_intensities[] = {0.0, 0.2, 0.5, 1.0};
+constexpr ic_kind k_designs[] = {ic_kind::bluetree,
+                                 ic_kind::bluetree_smooth,
+                                 ic_kind::bluescale};
+
+void run_design(ic_kind kind, const bench_options& opts,
+                stats::csv_writer* csv) {
+    std::printf("\n=== %s: fault-intensity sweep, %u trials, %llu "
+                "cycles/trial ===\n",
+                kind_name(kind), opts.trials,
+                static_cast<unsigned long long>(opts.measure_cycles));
+
+    stats::table t({"intensity", "miss ratio", "p99 (cyc)", "p99 infl",
+                    "worst (cyc)", "retries", "timeouts", "ecc", "drops",
+                    "degr/recov", "mean TTR"});
+    double healthy_p99 = 0.0;
+    double healthy_worst = 0.0;
+    for (double intensity : k_intensities) {
+        resilience_config cfg;
+        cfg.trials = opts.trials;
+        cfg.measure_cycles = opts.measure_cycles;
+        cfg.seed = opts.seed;
+        cfg.threads = opts.threads;
+        cfg.fault_intensity = intensity;
+
+        const resilience_result r = run_resilience(kind, cfg);
+        if (intensity == 0.0) {
+            healthy_p99 = r.p99_latency_cycles.mean();
+            healthy_worst = r.worst_latency_cycles.mean();
+        }
+        const double p99_inflation =
+            healthy_p99 == 0.0 ? 0.0
+                               : r.p99_latency_cycles.mean() / healthy_p99;
+        const double worst_inflation =
+            healthy_worst == 0.0
+                ? 0.0
+                : r.worst_latency_cycles.mean() / healthy_worst;
+
+        t.add_row({stats::table::num(intensity, 1),
+                   stats::table::pct(r.miss_ratio.mean(), 2),
+                   stats::table::num(r.p99_latency_cycles.mean(), 1),
+                   stats::table::num(p99_inflation, 2),
+                   stats::table::num(r.worst_latency_cycles.mean(), 1),
+                   std::to_string(r.retries), std::to_string(r.timeouts),
+                   std::to_string(r.ecc_retries),
+                   std::to_string(r.link_drops),
+                   std::to_string(r.degrade_events) + "/" +
+                       std::to_string(r.recovery_events),
+                   stats::table::num(r.time_to_recover_cycles.mean(), 0)});
+        if (csv != nullptr) {
+            csv->add_row(
+                {kind_name(kind), std::to_string(intensity),
+                 std::to_string(r.miss_ratio.mean()),
+                 std::to_string(r.miss_ratio.stddev()),
+                 std::to_string(r.p99_latency_cycles.mean()),
+                 std::to_string(p99_inflation),
+                 std::to_string(r.worst_latency_cycles.mean()),
+                 std::to_string(worst_inflation),
+                 std::to_string(r.injected_events),
+                 std::to_string(r.stall_windows),
+                 std::to_string(r.se_stall_cycles),
+                 std::to_string(r.link_drops),
+                 std::to_string(r.ecc_retries),
+                 std::to_string(r.uncorrected_errors),
+                 std::to_string(r.storm_cycles),
+                 std::to_string(r.retries), std::to_string(r.timeouts),
+                 std::to_string(r.retry_exhausted),
+                 std::to_string(r.stale_responses),
+                 std::to_string(r.failed_responses),
+                 std::to_string(r.degrade_events),
+                 std::to_string(r.recovery_events),
+                 std::to_string(r.degraded_se_cycles),
+                 std::to_string(r.time_to_recover_cycles.mean()),
+                 std::to_string(r.feasible_trials)});
+        }
+    }
+    t.print();
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    bench_options defaults;
+    defaults.trials = 10;
+    defaults.measure_cycles = 100'000;
+    const auto opts = parse_bench_cli(
+        argc, argv, defaults,
+        {bench_arg::trials, bench_arg::cycles, bench_arg::csv},
+        "Resilience: deadline misses and latency inflation under "
+        "fault-injection campaigns");
+
+    const auto csv = open_bench_csv(
+        opts,
+        {"design", "intensity", "miss_ratio", "miss_sd", "p99_cycles",
+         "p99_inflation", "worst_cycles", "worst_inflation",
+         "injected_events", "stall_windows", "se_stall_cycles",
+         "link_drops", "ecc_retries", "uncorrected_errors", "storm_cycles",
+         "retries", "timeouts", "retry_exhausted", "stale_responses",
+         "failed_responses", "degrade_events", "recovery_events",
+         "degraded_se_cycles", "mean_time_to_recover", "feasible_trials"});
+
+    std::printf("Resilience under fault injection: retry/timeout recovery "
+                "and graceful degradation\n");
+    for (ic_kind kind : k_designs) {
+        run_design(kind, opts, csv.get());
+    }
+    return 0;
+}

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Guard against re-committing generated build trees. A batch of build*/
+# artifacts was once committed by accident and later purged; .gitignore
+# now masks build*/, but an explicit `git add -f` would still slip
+# through review. This check fails when any tracked path lives under a
+# build*/ directory. It is wired into ctest (label: hygiene) and safe to
+# run standalone:
+#
+#   $ scripts/check_no_build_artifacts.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if ! git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
+    echo "check_no_build_artifacts: not a git checkout; skipping."
+    exit 0
+fi
+
+tracked=$(git ls-files | grep -E '^build[^/]*/' || true)
+if [[ -n "$tracked" ]]; then
+    echo "check_no_build_artifacts: tracked build artifacts detected:" >&2
+    echo "$tracked" | head -n 20 >&2
+    echo "(run: git rm -r --cached <dir> and keep build*/ in .gitignore)" >&2
+    exit 1
+fi
+
+echo "check_no_build_artifacts: no tracked build artifacts."

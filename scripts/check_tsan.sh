@@ -12,9 +12,15 @@ build_dir="${1:-build-tsan}"
 
 cmake -B "$build_dir" -S . -DBLUESCALE_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$build_dir" --target bluescale_tests -j"$(nproc)"
+cmake --build "$build_dir" --target bluescale_tests \
+    bluescale_resilience_tests -j"$(nproc)"
 
 "$build_dir/tests/bluescale_tests" \
     --gtest_filter='trial_runner.*:rng_substream.*:testbench.*:fig6.parallel*:fig7.parallel*'
+
+# Fault campaigns run inside parallel trial sweeps: the injection windows,
+# retry bookkeeping and health monitoring must all stay trial-local.
+"$build_dir/tests/bluescale_resilience_tests" \
+    --gtest_filter='resilience.*'
 
 echo "TSan check passed."

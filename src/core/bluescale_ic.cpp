@@ -32,10 +32,16 @@ bluescale_ic::bluescale_ic(std::uint32_t n_clients, bluescale_config cfg,
     }
 
     // Wire provider ports: SE(l, y) feeds port (y % 4) of SE(l-1, y/4);
-    // the root feeds the memory controller.
+    // the root feeds the memory controller. Each push first crosses the
+    // SE's provider link, which an injected link fault may eat.
+    link_faults_.resize(shape_.total_ses());
     levels_[0][0]->bind_sink([this] { return memory_can_accept(); },
                              [this](mem_request r) {
-                                 forward_to_memory(std::move(r));
+                                 if (link_faults_[0].active(now_)) {
+                                     note_dropped();
+                                     return;
+                                 }
+                                 forward_to_memory(now_, std::move(r));
                              });
     for (std::uint32_t l = 1; l <= depth; ++l) {
         for (std::uint32_t y = 0; y < levels_[l].size(); ++y) {
@@ -44,11 +50,37 @@ bluescale_ic::bluescale_ic(std::uint32_t n_clients, bluescale_config cfg,
                     .get();
             const std::uint32_t port =
                 analysis::quadtree_shape::parent_port(y);
+            const std::uint32_t link = se_linear_index(l, y);
             levels_[l][y]->bind_sink(
                 [parent, port] { return parent->port_can_accept(port); },
-                [parent, port](mem_request r) {
+                [this, parent, port, link](mem_request r) {
+                    if (link_faults_[link].active(now_)) {
+                        note_dropped();
+                        return;
+                    }
                     parent->port_push(port, std::move(r));
                 });
+        }
+    }
+}
+
+void bluescale_ic::inject_campaign(const sim::fault_campaign& campaign) {
+    const std::uint32_t n = shape_.total_ses();
+    std::vector<std::vector<sim::fault_event>> stall(n);
+    std::vector<std::vector<sim::fault_event>> drop(n);
+    for (const auto& e : campaign.events()) {
+        if (e.kind == sim::fault_kind::se_stall) {
+            stall[e.target % n].push_back(e);
+        } else if (e.kind == sim::fault_kind::link_drop) {
+            drop[e.target % n].push_back(e);
+        }
+    }
+    std::uint32_t idx = 0;
+    for (auto& level : levels_) {
+        for (auto& se : level) {
+            se->set_stall_faults(sim::fault_window(std::move(stall[idx])));
+            link_faults_[idx] = sim::fault_window(std::move(drop[idx]));
+            ++idx;
         }
     }
 }
@@ -115,6 +147,7 @@ void bluescale_ic::tick_response_network(cycle_t now) {
 }
 
 void bluescale_ic::tick(cycle_t now) {
+    now_ = now;
     for (auto& level : levels_) {
         for (auto& se : level) se->tick(now);
     }
@@ -137,6 +170,8 @@ void bluescale_ic::commit() {
 
 void bluescale_ic::reset() {
     interconnect::reset();
+    now_ = 0;
+    for (auto& w : link_faults_) w.reset();
     for (auto& level : levels_) {
         for (auto& se : level) se->reset();
     }

@@ -53,6 +53,24 @@ public:
     void commit() override;
     void reset() override;
 
+    /// Distributes a campaign over the fabric: se_stall events go to the
+    /// targeted SE's stall window, link_drop events to the targeted SE's
+    /// provider link (index 0 = root SE -> memory). Targets use the
+    /// level-major linear numbering of se_linear_index(); out-of-range
+    /// targets wrap modulo total_ses().
+    void inject_campaign(const sim::fault_campaign& campaign) override;
+
+    /// Level-major linear SE numbering shared by fault targeting and the
+    /// health monitor: root is 0, then level 1 left-to-right, and so on.
+    [[nodiscard]] std::uint32_t se_linear_index(std::uint32_t level,
+                                               std::uint32_t order) const {
+        std::uint32_t base = 0;
+        for (std::uint32_t l = 0; l < level; ++l) {
+            base += shape_.ses_at_level(l);
+        }
+        return base + order;
+    }
+
     [[nodiscard]] const analysis::quadtree_shape& shape() const {
         return shape_;
     }
@@ -90,6 +108,11 @@ private:
 
     bluescale_config cfg_;
     analysis::quadtree_shape shape_;
+    /// Clock latched at tick() entry so the SE sink lambdas (which have
+    /// no time argument) can evaluate link-fault windows.
+    cycle_t now_ = 0;
+    /// Per-SE provider-link drop windows, indexed by se_linear_index.
+    std::vector<sim::fault_window> link_faults_;
     /// levels_[l][y] owns SE(l, y); level 0 is the root.
     std::vector<std::vector<std::unique_ptr<scale_element>>> levels_;
     /// resp_q_[l][y]: responses waiting at SE(l, y)'s provider-side

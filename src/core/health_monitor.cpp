@@ -1,0 +1,76 @@
+#include "core/health_monitor.hpp"
+
+#include "core/bluescale_ic.hpp"
+
+namespace bluescale::core {
+
+health_monitor::health_monitor(bluescale_ic& fabric, health_config cfg)
+    : component("health_monitor"), fabric_(fabric), cfg_(cfg),
+      next_check_(cfg.check_period), state_(fabric.total_ses()) {}
+
+void health_monitor::tick(cycle_t now) {
+    if (now < next_check_) return;
+    next_check_ = now + cfg_.check_period;
+    check(now);
+}
+
+void health_monitor::check(cycle_t now) {
+    const auto& shape = fabric_.shape();
+    for (std::uint32_t level = 0; level <= shape.leaf_level; ++level) {
+        for (std::uint32_t order = 0; order < shape.ses_at_level(level);
+             ++order) {
+            scale_element& se = fabric_.se_at(level, order);
+            element_state& st =
+                state_[fabric_.se_linear_index(level, order)];
+            const std::uint64_t stalls = se.fault_stall_cycles();
+            const double ratio =
+                static_cast<double>(stalls - st.last_stall_cycles) /
+                static_cast<double>(cfg_.check_period);
+            st.last_stall_cycles = stalls;
+
+            if (!se.degraded()) {
+                if (ratio >= cfg_.stall_enter) {
+                    se.set_degraded(true);
+                    st.degraded_since = now;
+                    st.healthy_windows = 0;
+                    ++report_.degrade_events;
+                }
+                continue;
+            }
+            // Degraded: count consecutive quiet windows toward recovery.
+            if (ratio <= cfg_.stall_exit) {
+                if (++st.healthy_windows >= cfg_.recovery_windows) {
+                    se.set_degraded(false);
+                    st.healthy_windows = 0;
+                    ++report_.recovery_events;
+                    report_.time_to_recover.add(
+                        static_cast<double>(now - st.degraded_since));
+                }
+            } else {
+                st.healthy_windows = 0;
+            }
+        }
+    }
+}
+
+health_report health_monitor::report() const {
+    health_report out = report_;
+    out.degraded_se_cycles = 0;
+    const auto& shape = fabric_.shape();
+    for (std::uint32_t level = 0; level <= shape.leaf_level; ++level) {
+        for (std::uint32_t order = 0; order < shape.ses_at_level(level);
+             ++order) {
+            out.degraded_se_cycles +=
+                fabric_.se_at(level, order).degraded_cycles();
+        }
+    }
+    return out;
+}
+
+void health_monitor::reset() {
+    next_check_ = cfg_.check_period;
+    for (auto& st : state_) st = element_state{};
+    report_ = health_report{};
+}
+
+} // namespace bluescale::core

@@ -1,0 +1,78 @@
+// Health monitor (fault & recovery subsystem): a lightweight supervisor
+// that samples every Scale Element's stall counter on a fixed cadence and
+// flips unhealthy elements into degraded mode (work-conserving nested EDF,
+// see scale_element::set_degraded). Hysteresis -- a higher enter threshold
+// than exit threshold plus a required run of consecutive healthy windows --
+// keeps a marginal element from oscillating between modes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/component.hpp"
+#include "stats/summary.hpp"
+
+namespace bluescale::core {
+
+class bluescale_ic;
+
+struct health_config {
+    /// Cycles between health checks (one stall-ratio sample per window).
+    cycle_t check_period = 1024;
+    /// Stall-cycle ratio (stalled cycles / window) at or above which a
+    /// healthy element is degraded.
+    double stall_enter = 0.05;
+    /// Ratio at or below which a degraded element's window counts as
+    /// healthy. Must be below stall_enter for hysteresis.
+    double stall_exit = 0.01;
+    /// Consecutive healthy windows required before a degraded element is
+    /// restored to budgeted compositional mode.
+    std::uint32_t recovery_windows = 3;
+};
+
+/// Aggregate outcome of a trial's health supervision.
+struct health_report {
+    std::uint64_t degrade_events = 0;  ///< healthy -> degraded transitions
+    std::uint64_t recovery_events = 0; ///< degraded -> healthy transitions
+    /// Total SE-cycles spent degraded (summed over elements).
+    std::uint64_t degraded_se_cycles = 0;
+    /// Degrade -> recovery spans, in cycles (recovered episodes only).
+    stats::running_summary time_to_recover;
+};
+
+class health_monitor : public component {
+public:
+    health_monitor(bluescale_ic& fabric, health_config cfg = {});
+
+    void tick(cycle_t now) override;
+
+    /// Clears per-element tracking and the report (between trials).
+    void reset();
+
+    [[nodiscard]] const health_config& config() const { return cfg_; }
+    /// Report with degraded_se_cycles refreshed from the fabric.
+    [[nodiscard]] health_report report() const;
+    [[nodiscard]] std::uint64_t degrade_events() const {
+        return report_.degrade_events;
+    }
+    [[nodiscard]] std::uint64_t recovery_events() const {
+        return report_.recovery_events;
+    }
+
+private:
+    struct element_state {
+        std::uint64_t last_stall_cycles = 0;
+        std::uint32_t healthy_windows = 0;
+        cycle_t degraded_since = 0;
+    };
+
+    void check(cycle_t now);
+
+    bluescale_ic& fabric_;
+    health_config cfg_;
+    cycle_t next_check_;
+    std::vector<element_state> state_; ///< indexed by se_linear_index
+    health_report report_;
+};
+
+} // namespace bluescale::core

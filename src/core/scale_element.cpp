@@ -47,19 +47,30 @@ void scale_element::tick(cycle_t now) {
     // budgets before this cycle's scheduling decision.
     if (now % params_.unit_cycles == 0) sched_.tick_unit();
 
-    // Injected fault window: the element is stalled (counters keep
-    // running -- the supply lost to the fault is genuinely lost).
+    if (degraded_) ++degraded_cycles_;
+
+    // Injected fault window -- campaign-scheduled or the deprecated
+    // periodic knob -- stalls the element (counters keep running: the
+    // supply lost to the fault is genuinely lost).
+    bool stalled = stall_faults_.active(now);
     if (params_.fault_period != 0 &&
         now % params_.fault_period < params_.fault_duration) {
+        stalled = true;
+    }
+    if (stalled) {
         ++fault_stall_cycles_;
         return;
     }
 
     if (!sink_ready_()) return;
 
-    bool budgeted = true;
-    std::optional<std::uint32_t> pick = sched_.pick_budgeted(buffers_);
-    if (!pick && (params_.work_conserving || !sched_.configured())) {
+    // Degraded mode suspends the budgeted servers entirely: pure
+    // work-conserving nested EDF until the health monitor recovers us.
+    bool budgeted = !degraded_;
+    std::optional<std::uint32_t> pick;
+    if (!degraded_) pick = sched_.pick_budgeted(buffers_);
+    if (!pick &&
+        (degraded_ || params_.work_conserving || !sched_.configured())) {
         pick = pick_fallback();
         budgeted = false;
     }
@@ -98,9 +109,12 @@ void scale_element::commit() {
 void scale_element::reset() {
     for (auto& buf : buffers_) buf.clear();
     sched_.reset_counters();
+    stall_faults_.reset();
+    degraded_ = false;
     forwarded_ = 0;
     forwarded_budgeted_ = 0;
     fault_stall_cycles_ = 0;
+    degraded_cycles_ = 0;
     wait_stats_ = {};
 }
 

@@ -14,6 +14,7 @@
 #include "core/random_access_buffer.hpp"
 #include "mem/request.hpp"
 #include "sim/component.hpp"
+#include "sim/fault.hpp"
 #include "stats/summary.hpp"
 
 namespace bluescale::core {
@@ -29,9 +30,14 @@ struct se_params {
     /// an SE with no configured interfaces (pure nested EDF).
     bool work_conserving = true;
     server_policy policy = server_policy::gedf;
-    /// Failure injection: every `fault_period` cycles the SE stalls for
-    /// `fault_duration` cycles (forwards nothing; buffers still accept).
-    /// Models transient upsets / resynchronization events. 0 = healthy.
+    /// DEPRECATED failure injection (pre-campaign shim): every
+    /// `fault_period` cycles the SE stalls for `fault_duration` cycles
+    /// (forwards nothing; buffers still accept). 0 = healthy. New code
+    /// should schedule sim::fault_campaign se_stall events and apply them
+    /// via set_stall_faults() -- the campaign path is reproducible under
+    /// parallel trial sweeps and composes with the other fault kinds.
+    /// Both paths feed the same fault_stall_cycles() counter, so existing
+    /// ablations keep working unchanged.
     cycle_t fault_period = 0;
     cycle_t fault_duration = 0;
 };
@@ -67,6 +73,27 @@ public:
     /// Drops buffered requests and restarts counters (between trials).
     void reset();
 
+    /// Campaign-driven stall schedule (fault_kind::se_stall slice for
+    /// this element). Supersedes the legacy se_params periodic knob; both
+    /// stall the element identically and share the stall counter.
+    void set_stall_faults(sim::fault_window w) { stall_faults_ = std::move(w); }
+
+    /// Degraded mode (graceful degradation): the budgeted compositional
+    /// servers are bypassed and the SE runs pure work-conserving nested
+    /// EDF. Forwarded requests keep their incoming level deadline -- the
+    /// (Pi, Theta) guarantee is suspended, but no supply is wasted while
+    /// the element is unhealthy. Flipped by core::health_monitor.
+    void set_degraded(bool on) { degraded_ = on; }
+    [[nodiscard]] bool degraded() const { return degraded_; }
+    /// Cycles this element has spent in degraded mode.
+    [[nodiscard]] std::uint64_t degraded_cycles() const {
+        return degraded_cycles_;
+    }
+    /// Campaign stall windows entered so far (injected-fault counter).
+    [[nodiscard]] std::uint64_t stall_windows_entered() const {
+        return stall_faults_.activations();
+    }
+
     [[nodiscard]] const local_scheduler& scheduler() const { return sched_; }
     [[nodiscard]] const random_access_buffer& buffer(std::uint32_t p) const {
         return buffers_[p];
@@ -97,9 +124,12 @@ private:
     local_scheduler sched_;
     sink_ready_fn sink_ready_;
     sink_push_fn sink_push_;
+    sim::fault_window stall_faults_;
+    bool degraded_ = false;
     std::uint64_t forwarded_ = 0;
     std::uint64_t forwarded_budgeted_ = 0;
     std::uint64_t fault_stall_cycles_ = 0;
+    std::uint64_t degraded_cycles_ = 0;
     stats::running_summary wait_stats_;
 };
 

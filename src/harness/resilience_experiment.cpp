@@ -1,0 +1,195 @@
+#include "harness/resilience_experiment.hpp"
+
+#include <memory>
+
+#include "analysis/quadtree.hpp"
+#include "core/bluescale_ic.hpp"
+#include "harness/testbench.hpp"
+#include "sim/fault.hpp"
+#include "sim/trial_runner.hpp"
+#include "workload/traffic_generator.hpp"
+
+namespace bluescale::harness {
+
+namespace {
+
+/// One simulated trial of one design under one fault schedule.
+struct trial_metrics {
+    double miss_ratio = 0.0;
+    double p99_latency = 0.0;
+    double worst_latency = 0.0;
+    double mean_time_to_recover = 0.0;
+    bool any_recovery = false;
+    bool selection_feasible = false;
+
+    std::uint64_t injected_events = 0;
+    std::uint64_t stall_windows = 0;
+    std::uint64_t se_stall_cycles = 0;
+    std::uint64_t link_drops = 0;
+    std::uint64_t ecc_retries = 0;
+    std::uint64_t uncorrected_errors = 0;
+    std::uint64_t storm_cycles = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t retry_exhausted = 0;
+    std::uint64_t stale_responses = 0;
+    std::uint64_t failed_responses = 0;
+    std::uint64_t degrade_events = 0;
+    std::uint64_t recovery_events = 0;
+    std::uint64_t degraded_se_cycles = 0;
+};
+
+trial_metrics run_trial(ic_kind kind, const resilience_config& cfg,
+                        std::uint64_t trial_seed) {
+    rng workload_rng(trial_seed);
+
+    // Identical workload per design at the same trial seed.
+    auto tasksets = workload::make_client_tasksets(
+        workload_rng, cfg.n_clients, cfg.util_lo, cfg.util_hi, cfg.taskset);
+
+    // Identical fault schedule per design too: the campaign is a pure
+    // function of the trial seed, targeted at the BlueScale-sized SE
+    // population (baselines collapse link/stall targets onto what they
+    // have -- see interconnect::inject_campaign).
+    sim::fault_campaign_config fc;
+    fc.seed = substream(trial_seed, 0xFA171ull);
+    fc.horizon = cfg.measure_cycles;
+    fc.events_per_kcycle = cfg.fault_intensity;
+    fc.n_elements =
+        analysis::make_quadtree_shape(cfg.n_clients).total_ses();
+    const sim::fault_campaign campaign(fc);
+
+    testbench_options opts;
+    opts.n_clients = cfg.n_clients;
+    opts.memctrl = cfg.memctrl;
+    opts.bluetree_alpha = cfg.bluetree_alpha;
+    opts.faults = campaign.empty() ? nullptr : &campaign;
+    if (cfg.enable_health) opts.health = cfg.health;
+    opts.client_utilizations.reserve(tasksets.size());
+    for (const auto& ts : tasksets) {
+        opts.client_utilizations.push_back(workload::utilization(ts));
+    }
+    std::vector<analysis::task_set> rt_sets;
+    if (kind == ic_kind::bluescale) {
+        rt_sets.reserve(tasksets.size());
+        for (const auto& ts : tasksets) {
+            rt_sets.push_back(workload::to_rt_tasks(ts));
+        }
+        opts.rt_sets = &rt_sets;
+    }
+
+    testbench tb(kind, opts);
+
+    std::vector<std::unique_ptr<workload::traffic_generator>> clients;
+    clients.reserve(cfg.n_clients);
+    workload::traffic_gen_config tg_cfg;
+    tg_cfg.unit_cycles = tb.unit_cycles();
+    tg_cfg.retry_timeout_cycles = cfg.retry_timeout_cycles;
+    tg_cfg.max_retries = cfg.max_retries;
+    for (std::uint32_t c = 0; c < cfg.n_clients; ++c) {
+        clients.push_back(std::make_unique<workload::traffic_generator>(
+            c, tasksets[c], tb.ic(), substream(trial_seed, c), tg_cfg));
+        auto* client = clients.back().get();
+        tb.add_client(c, *client, [client](mem_request&& r) {
+            client->on_response(std::move(r));
+        });
+    }
+
+    tb.run(cfg.measure_cycles);
+
+    trial_metrics out;
+    out.selection_feasible = tb.selection_feasible();
+    out.injected_events = campaign.size();
+
+    stats::sample_set latency;
+    std::uint64_t missed = 0;
+    std::uint64_t accounted = 0;
+    for (auto& c : clients) {
+        c->finalize(tb.now());
+        const auto& s = c->stats();
+        for (double l : s.latency_cycles.samples()) latency.add(l);
+        missed += s.missed;
+        accounted += s.completed + s.abandoned;
+        out.retries += s.retries;
+        out.timeouts += s.timeouts;
+        out.retry_exhausted += s.retry_exhausted;
+        out.stale_responses += s.stale_responses;
+        out.failed_responses += s.failed_responses;
+    }
+    out.miss_ratio = accounted == 0 ? 0.0
+                                    : static_cast<double>(missed) /
+                                          static_cast<double>(accounted);
+    out.p99_latency = latency.percentile(99.0);
+    out.worst_latency = latency.max();
+
+    out.link_drops = tb.ic().link_dropped();
+    out.ecc_retries = tb.memctrl().ecc_retries();
+    out.uncorrected_errors = tb.memctrl().uncorrected_errors();
+    out.storm_cycles = tb.memctrl().storm_cycles();
+
+    if (auto* bs = dynamic_cast<core::bluescale_ic*>(&tb.ic())) {
+        const auto& shape = bs->shape();
+        for (std::uint32_t l = 0; l <= shape.leaf_level; ++l) {
+            for (std::uint32_t y = 0; y < shape.ses_at_level(l); ++y) {
+                out.se_stall_cycles += bs->se_at(l, y).fault_stall_cycles();
+                out.stall_windows += bs->se_at(l, y).stall_windows_entered();
+            }
+        }
+    }
+    if (const auto* mon = tb.health()) {
+        const auto report = mon->report();
+        out.degrade_events = report.degrade_events;
+        out.recovery_events = report.recovery_events;
+        out.degraded_se_cycles = report.degraded_se_cycles;
+        if (report.time_to_recover.count() > 0) {
+            out.mean_time_to_recover = report.time_to_recover.mean();
+            out.any_recovery = true;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+resilience_result run_resilience(ic_kind kind,
+                                 const resilience_config& cfg) {
+    resilience_result result;
+    result.kind = kind;
+    result.fault_intensity = cfg.fault_intensity;
+    result.n_clients = cfg.n_clients;
+
+    // Trials are independent (the per-trial seed is a pure function of
+    // the trial counter) and the runner returns them in trial order, so
+    // this aggregation is bit-identical for any thread count.
+    const sim::trial_runner runner(cfg.threads);
+    const auto per_trial = runner.run(cfg.trials, [&](std::uint32_t t) {
+        return run_trial(kind, cfg, cfg.seed + t);
+    });
+    for (const auto& m : per_trial) {
+        result.miss_ratio.add(m.miss_ratio);
+        result.p99_latency_cycles.add(m.p99_latency);
+        result.worst_latency_cycles.add(m.worst_latency);
+        if (m.any_recovery) {
+            result.time_to_recover_cycles.add(m.mean_time_to_recover);
+        }
+        if (m.selection_feasible) ++result.feasible_trials;
+        result.injected_events += m.injected_events;
+        result.stall_windows += m.stall_windows;
+        result.se_stall_cycles += m.se_stall_cycles;
+        result.link_drops += m.link_drops;
+        result.ecc_retries += m.ecc_retries;
+        result.uncorrected_errors += m.uncorrected_errors;
+        result.storm_cycles += m.storm_cycles;
+        result.retries += m.retries;
+        result.timeouts += m.timeouts;
+        result.retry_exhausted += m.retry_exhausted;
+        result.stale_responses += m.stale_responses;
+        result.failed_responses += m.failed_responses;
+        result.degrade_events += m.degrade_events;
+        result.recovery_events += m.recovery_events;
+        result.degraded_se_cycles += m.degraded_se_cycles;
+    }
+    return result;
+}
+
+} // namespace bluescale::harness

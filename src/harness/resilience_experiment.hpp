@@ -1,0 +1,93 @@
+// Fault-injection resilience experiment (robustness extension, not a
+// paper figure): the Fig. 6 synthetic workload under a seed-driven
+// sim::fault_campaign of SE stalls, link drops, DRAM transient errors and
+// controller backpressure storms. Clients recover with bounded
+// retry/timeout reissue; the BlueScale fabric additionally degrades
+// unhealthy elements to work-conserving mode under a core::health_monitor.
+// Metrics: deadline-miss ratio, p99 / worst latency inflation, recovery
+// counter totals, and mean time-to-recover, per design and fault
+// intensity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/health_monitor.hpp"
+#include "harness/factory.hpp"
+#include "mem/memory_controller.hpp"
+#include "stats/summary.hpp"
+#include "workload/taskset_gen.hpp"
+
+namespace bluescale::harness {
+
+struct resilience_config {
+    std::uint32_t n_clients = 16;
+    std::uint32_t trials = 20;
+    cycle_t measure_cycles = 100'000;
+    double util_lo = 0.70;
+    double util_hi = 0.90;
+    std::uint64_t seed = 1;
+    /// Worker threads for the trial sweep (0 = all hardware threads).
+    /// Results are bit-identical for any setting; see sim::trial_runner.
+    unsigned threads = 1;
+    workload::taskset_params taskset = {
+        .n_tasks = 4,
+        .total_utilization = 0.05, // overridden per trial by util_lo/hi
+        .min_period_units = 40,
+        .max_period_units = 600,
+        .write_fraction = 0.3,
+    };
+    memctrl_config memctrl = {};
+    std::uint32_t bluetree_alpha = 2;
+
+    /// Expected injected fault events per 1000 cycles (0 = healthy run;
+    /// the campaign seed is a substream of the trial seed, so every
+    /// design sees the identical fault schedule at the same trial).
+    double fault_intensity = 0.5;
+    /// Client-side recovery (workload::traffic_gen_config): reissue a
+    /// request unanswered for this long, with exponential backoff.
+    cycle_t retry_timeout_cycles = 2048;
+    std::uint32_t max_retries = 3;
+    /// Fabric supervision (BlueScale only; baselines have no elements to
+    /// degrade). Disabled when enable_health is false.
+    bool enable_health = true;
+    core::health_config health = {};
+};
+
+struct resilience_result {
+    ic_kind kind{};
+    double fault_intensity = 0.0;
+    std::uint32_t n_clients = 0;
+    std::uint32_t feasible_trials = 0;
+
+    // Per-trial samples (cross-trial mean/sd available via sample_set).
+    stats::sample_set miss_ratio;            ///< in [0, 1]
+    stats::sample_set p99_latency_cycles;    ///< per-trial p99 latency
+    stats::sample_set worst_latency_cycles;  ///< per-trial max latency
+    stats::sample_set time_to_recover_cycles; ///< per-trial mean span
+
+    // Counter totals summed over trials.
+    std::uint64_t injected_events = 0;  ///< campaign events scheduled
+    std::uint64_t stall_windows = 0;    ///< SE stall windows entered
+    std::uint64_t se_stall_cycles = 0;
+    std::uint64_t link_drops = 0;
+    std::uint64_t ecc_retries = 0;
+    std::uint64_t uncorrected_errors = 0;
+    std::uint64_t storm_cycles = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t retry_exhausted = 0;
+    std::uint64_t stale_responses = 0;
+    std::uint64_t failed_responses = 0;
+    std::uint64_t degrade_events = 0;
+    std::uint64_t recovery_events = 0;
+    std::uint64_t degraded_se_cycles = 0;
+};
+
+/// Runs `cfg.trials` trials of one design at cfg.fault_intensity. Every
+/// design sees identical per-trial workloads AND fault schedules (both
+/// are pure functions of the trial seed).
+[[nodiscard]] resilience_result run_resilience(ic_kind kind,
+                                               const resilience_config& cfg);
+
+} // namespace bluescale::harness

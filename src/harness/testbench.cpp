@@ -34,6 +34,19 @@ testbench::testbench(ic_kind kind, const testbench_options& opts)
     ic_->set_response_handler([this](mem_request&& r) {
         sinks_[r.client](std::move(r));
     });
+
+    if (opts.faults != nullptr) {
+        ic_->inject_campaign(*opts.faults);
+        mem_.inject_campaign(*opts.faults);
+    }
+    if (opts.health.has_value()) {
+        // Only the BlueScale fabric has elements to supervise; baselines
+        // run the same campaign without graceful degradation.
+        if (auto* bs = dynamic_cast<core::bluescale_ic*>(ic_.get())) {
+            monitor_ =
+                std::make_unique<core::health_monitor>(*bs, *opts.health);
+        }
+    }
 }
 
 void testbench::add_client(client_id_t id, component& c,
@@ -46,6 +59,9 @@ void testbench::arm() {
     if (armed_) return;
     sim_.add(*ic_);
     sim_.add(mem_);
+    // The monitor ticks last so each check window sees the cycle's final
+    // stall counters.
+    if (monitor_) sim_.add(*monitor_);
     armed_ = true;
 }
 

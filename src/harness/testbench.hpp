@@ -17,8 +17,10 @@
 #include <vector>
 
 #include "analysis/tree_analysis.hpp"
+#include "core/health_monitor.hpp"
 #include "core/scale_element.hpp"
 #include "harness/factory.hpp"
+#include "sim/fault.hpp"
 #include "mem/memory_controller.hpp"
 #include "sim/simulator.hpp"
 
@@ -41,6 +43,14 @@ struct testbench_options {
     /// BlueScale, drives the whole-tree interface selection; other kinds
     /// ignore it.
     const std::vector<analysis::task_set>* rt_sets = nullptr;
+    /// Fault campaign injected into the interconnect and the memory
+    /// controller before the trial starts (nullptr = healthy run). The
+    /// campaign object must outlive the testbench.
+    const sim::fault_campaign* faults = nullptr;
+    /// When set and the kind is BlueScale, a core::health_monitor
+    /// supervises the fabric and drives degraded-mode transitions.
+    /// Ignored (no SEs to supervise) for the baseline interconnects.
+    std::optional<core::health_config> health;
 };
 
 class testbench {
@@ -68,6 +78,13 @@ public:
         return selection_.feasible;
     }
 
+    /// The fabric's health monitor, or nullptr when none was requested
+    /// (or the kind has no SE fabric to supervise).
+    [[nodiscard]] core::health_monitor* health() { return monitor_.get(); }
+    [[nodiscard]] const core::health_monitor* health() const {
+        return monitor_.get();
+    }
+
     /// Registers a client component and the sink that receives the
     /// interconnect's responses addressed to `id`. Clients tick in
     /// registration order, before the interconnect and the memory
@@ -89,6 +106,7 @@ private:
     std::uint32_t unit_cycles_;
     analysis::tree_selection selection_;
     std::unique_ptr<interconnect> ic_;
+    std::unique_ptr<core::health_monitor> monitor_;
     memory_controller mem_;
     simulator sim_;
     std::vector<std::function<void(mem_request&&)>> sinks_;

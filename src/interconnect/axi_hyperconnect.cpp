@@ -54,7 +54,7 @@ void axi_hyperconnect::tick(cycle_t now) {
 
     while (!pipeline_.empty() && pipeline_.front().first <= now &&
            memory_can_accept()) {
-        forward_to_memory(std::move(pipeline_.front().second));
+        forward_to_memory(now, std::move(pipeline_.front().second));
         pipeline_.pop_front();
     }
 

@@ -69,18 +69,18 @@ bool bluetree::sink_can_accept(const node& n) const {
         .can_push();
 }
 
-void bluetree::sink_push(node& n, mem_request r) {
+void bluetree::sink_push(node& n, cycle_t now, mem_request r) {
     if (n.out) {
         n.out->push(std::move(r));
     } else if (n.parent < 0) {
-        forward_to_memory(std::move(r));
+        forward_to_memory(now, std::move(r));
     } else {
         nodes_[static_cast<std::size_t>(n.parent)].in[n.parent_port].push(
             std::move(r));
     }
 }
 
-void bluetree::arbitrate(node& n) {
+void bluetree::arbitrate(node& n, cycle_t now) {
     if (!sink_can_accept(n)) return;
     const bool hp = !n.in[0].empty();
     const bool lp = !n.in[1].empty();
@@ -100,7 +100,7 @@ void bluetree::arbitrate(node& n) {
     mem_request granted = n.in[pick].pop();
     charge_blocked(n.in[0], granted.level_deadline);
     charge_blocked(n.in[1], granted.level_deadline);
-    sink_push(n, std::move(granted));
+    sink_push(n, now, std::move(granted));
 }
 
 void bluetree::tick(cycle_t now) {
@@ -116,14 +116,14 @@ void bluetree::tick(cycle_t now) {
         if (!parent_ok) continue;
         mem_request r = n.out->pop();
         if (n.parent < 0) {
-            forward_to_memory(std::move(r));
+            forward_to_memory(now, std::move(r));
         } else {
             nodes_[static_cast<std::size_t>(n.parent)]
                 .in[n.parent_port]
                 .push(std::move(r));
         }
     }
-    for (auto& n : nodes_) arbitrate(n);
+    for (auto& n : nodes_) arbitrate(n, now);
 
     drain_memory_responses(now);
     deliver_due_responses(now);

@@ -69,8 +69,8 @@ private:
 
     /// True if the node's downstream sink can take one request.
     [[nodiscard]] bool sink_can_accept(const node& n) const;
-    void sink_push(node& n, mem_request r);
-    void arbitrate(node& n);
+    void sink_push(node& n, cycle_t now, mem_request r);
+    void arbitrate(node& n, cycle_t now);
 
     bluetree_config cfg_;
     std::uint32_t padded_clients_;

@@ -115,7 +115,7 @@ void gsmtree::tick(cycle_t now) {
     // Pipeline exit: hand requests that reached the root to the memory.
     while (!pipeline_.empty() && pipeline_.front().first <= now &&
            memory_can_accept()) {
-        forward_to_memory(std::move(pipeline_.front().second));
+        forward_to_memory(now, std::move(pipeline_.front().second));
         pipeline_.pop_front();
     }
 

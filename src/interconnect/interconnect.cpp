@@ -50,10 +50,20 @@ void interconnect::deliver_response_now(mem_request r) {
     if (on_response_) on_response_(std::move(r));
 }
 
+void interconnect::inject_campaign(const sim::fault_campaign& campaign) {
+    // Single-choke-point designs: every link_drop target collapses onto
+    // the root link, so the total injected fault load matches what a
+    // distributed fabric would see.
+    root_link_faults_ =
+        sim::fault_window(campaign.slice_all(sim::fault_kind::link_drop));
+}
+
 void interconnect::reset() {
     while (!response_line_.empty()) response_line_.pop();
+    root_link_faults_.reset();
     in_flight_ = 0;
     forwarded_ = 0;
+    link_dropped_ = 0;
     response_seq_ = 0;
 }
 

@@ -13,6 +13,7 @@
 #include "mem/memory_controller.hpp"
 #include "mem/request.hpp"
 #include "sim/component.hpp"
+#include "sim/fault.hpp"
 #include "sim/latched_queue.hpp"
 
 namespace bluescale {
@@ -50,6 +51,19 @@ public:
     [[nodiscard]] std::uint64_t forwarded_to_memory() const {
         return forwarded_;
     }
+    /// Requests eaten by link transient faults (never delivered; the
+    /// issuing client recovers via retry/timeout or abandons at trial
+    /// end).
+    [[nodiscard]] std::uint64_t link_dropped() const { return link_dropped_; }
+
+    /// Applies a fault campaign's link_drop slice to this design's
+    /// injection points. The base maps every link_drop event, whatever
+    /// its target, onto the single root link into the memory controller
+    /// (the choke point every design shares); BlueScale overrides this to
+    /// distribute targets over its SE parent links. se_stall events are
+    /// fabric-internal and ignored here; dram_error/backpressure_storm
+    /// belong to memory_controller::inject_campaign.
+    virtual void inject_campaign(const sim::fault_campaign& campaign);
 
     /// Drops all queued state between trials (derived classes extend).
     virtual void reset();
@@ -65,12 +79,25 @@ protected:
     [[nodiscard]] bool memory_can_accept() const {
         return mem_ != nullptr && mem_->can_accept();
     }
-    void forward_to_memory(mem_request r) {
+    /// Hands a request over the root link. During an injected link fault
+    /// the request is silently eaten (the client's retry/timeout recovery
+    /// is the only way it comes back).
+    void forward_to_memory(cycle_t now, mem_request r) {
+        if (root_link_faults_.active(now)) {
+            note_dropped();
+            return;
+        }
         ++forwarded_;
         mem_->push(std::move(r));
     }
 
     void note_injected() { ++in_flight_; }
+    /// A request died inside the fabric: it will never produce a
+    /// response, so it leaves the in-flight population here.
+    void note_dropped() {
+        --in_flight_;
+        ++link_dropped_;
+    }
 
     /// Direct memory-response access for interconnects that model the
     /// response path themselves (instead of the delay line below).
@@ -112,11 +139,13 @@ private:
     std::uint32_t n_clients_;
     memory_controller* mem_ = nullptr;
     response_handler on_response_;
+    sim::fault_window root_link_faults_;
     std::priority_queue<pending_response, std::vector<pending_response>,
                         later_due>
         response_line_;
     std::uint64_t in_flight_ = 0;
     std::uint64_t forwarded_ = 0;
+    std::uint64_t link_dropped_ = 0;
     std::uint64_t response_seq_ = 0;
 };
 

@@ -41,12 +41,36 @@ int memory_controller::choose(cycle_t now) const {
 }
 
 void memory_controller::tick(cycle_t now) {
-    // Retire finished transactions into the response queue.
+    // Injected backpressure storm: refuse new work for the window.
+    storm_active_ = storm_faults_.active(now);
+    if (storm_active_) ++storm_cycles_;
+
+    // Retire finished transactions into the response queue. A completion
+    // inside an injected DRAM-error window is corrupted: the first hit
+    // re-services the transaction transparently (ECC scrub + reissue); a
+    // corrupted retry is delivered failed, for the client to recover.
     while (!in_flight_.empty() && in_flight_.top().done <= now &&
            out_q_.can_push()) {
         auto& top = const_cast<completion&>(in_flight_.top());
+        const bool corrupted = error_faults_.active(now);
+        if (corrupted && !top.ecc_retried) {
+            mem_request retry = std::move(top.req);
+            in_flight_.pop();
+            ++ecc_retries_;
+            const std::uint32_t latency =
+                std::max<std::uint32_t>(1, dram_.access(retry));
+            bank_busy_until_[dram_.bank_of(retry.addr)] = std::max(
+                bank_busy_until_[dram_.bank_of(retry.addr)], now + latency);
+            in_flight_.push(
+                {now + latency, completion_seq_++, std::move(retry), true});
+            continue;
+        }
         mem_request r = std::move(top.req);
         in_flight_.pop();
+        if (corrupted) {
+            r.failed = true;
+            ++uncorrected_errors_;
+        }
         r.mem_done = now;
         out_q_.push(std::move(r));
         ++serviced_;
@@ -92,14 +116,27 @@ void memory_controller::commit() {
     out_q_.commit();
 }
 
+void memory_controller::inject_campaign(const sim::fault_campaign& campaign) {
+    error_faults_ =
+        sim::fault_window(campaign.slice_all(sim::fault_kind::dram_error));
+    storm_faults_ = sim::fault_window(
+        campaign.slice_all(sim::fault_kind::backpressure_storm));
+}
+
 void memory_controller::reset() {
     in_q_.clear();
     out_q_.clear();
     while (!in_flight_.empty()) in_flight_.pop();
     for (auto& b : bank_busy_until_) b = 0;
+    error_faults_.reset();
+    storm_faults_.reset();
+    storm_active_ = false;
     next_start_ = 0;
     head_bypasses_ = 0;
     serviced_ = 0;
+    ecc_retries_ = 0;
+    uncorrected_errors_ = 0;
+    storm_cycles_ = 0;
     dram_.reset();
 }
 

@@ -15,6 +15,7 @@
 #include "mem/dram_model.hpp"
 #include "mem/request.hpp"
 #include "sim/component.hpp"
+#include "sim/fault.hpp"
 #include "sim/latched_queue.hpp"
 
 namespace bluescale {
@@ -42,7 +43,11 @@ public:
     explicit memory_controller(memctrl_config cfg = {});
 
     // --- request side (interconnect root pushes here) -------------------
-    [[nodiscard]] bool can_accept() const { return in_q_.can_push(); }
+    /// False while the request queue is full or an injected backpressure
+    /// storm has the controller refusing new work.
+    [[nodiscard]] bool can_accept() const {
+        return !storm_active_ && in_q_.can_push();
+    }
     void push(mem_request r) { in_q_.push(std::move(r)); }
 
     // --- response side (interconnect root drains these) -----------------
@@ -55,9 +60,24 @@ public:
     /// Drops queued/in-flight state between trials.
     void reset();
 
+    /// Consumes the campaign kinds owned by the memory side: dram_error
+    /// windows corrupt completing transactions (one transparent ECC-style
+    /// retry, then a failed response) and backpressure_storm windows make
+    /// can_accept() refuse new work.
+    void inject_campaign(const sim::fault_campaign& campaign);
+
     [[nodiscard]] const dram_model& dram() const { return dram_; }
     [[nodiscard]] const memctrl_config& config() const { return cfg_; }
     [[nodiscard]] std::uint64_t serviced() const { return serviced_; }
+    /// Transactions transparently re-serviced after a transient error.
+    [[nodiscard]] std::uint64_t ecc_retries() const { return ecc_retries_; }
+    /// Responses delivered with mem_request::failed set (retry also hit
+    /// an error window; the client must recover).
+    [[nodiscard]] std::uint64_t uncorrected_errors() const {
+        return uncorrected_errors_;
+    }
+    /// Cycles spent refusing work inside backpressure storms.
+    [[nodiscard]] std::uint64_t storm_cycles() const { return storm_cycles_; }
     /// True when no transaction is queued or in flight.
     [[nodiscard]] bool idle() const {
         return in_flight_.empty() && in_q_.empty();
@@ -75,6 +95,7 @@ private:
         cycle_t done;
         std::uint64_t seq;
         mem_request req;
+        bool ecc_retried = false; ///< one transparent retry already spent
     };
     struct later_done {
         bool operator()(const completion& a, const completion& b) const {
@@ -89,8 +110,14 @@ private:
     std::priority_queue<completion, std::vector<completion>, later_done>
         in_flight_;
     std::vector<cycle_t> bank_busy_until_;
+    sim::fault_window error_faults_;
+    sim::fault_window storm_faults_;
+    bool storm_active_ = false;
     cycle_t next_start_ = 0;
     std::uint64_t serviced_ = 0;
+    std::uint64_t ecc_retries_ = 0;
+    std::uint64_t uncorrected_errors_ = 0;
+    std::uint64_t storm_cycles_ = 0;
     std::uint64_t completion_seq_ = 0;
 };
 

@@ -22,8 +22,19 @@ struct mem_request {
     std::uint64_t addr = 0;
     mem_op op = mem_op::read;
 
-    /// Cycle the client issued the request.
+    /// Cycle the client issued the request. Retried transactions keep
+    /// the first attempt's issue cycle, so total_latency() measures the
+    /// true issue -> usable-response time across recovery.
     cycle_t issue_cycle = 0;
+
+    /// Reissue ordinal under retry recovery: 0 for the first attempt,
+    /// k for the k-th reissue (saturates at 255).
+    std::uint8_t attempt = 0;
+
+    /// Set by the memory controller when a DRAM transient error survived
+    /// the ECC-style retry: the payload is invalid and the client must
+    /// reissue (or abandon) the transaction.
+    bool failed = false;
 
     /// Task-level absolute deadline (release + period under implicit
     /// deadlines). Used for deadline-miss accounting and for EDF ordering

@@ -33,6 +33,21 @@ struct client_stats {
     /// grant the constant memory/response-path overhead the analysis
     /// abstracts away; 0 by default, making this equal to `missed`).
     std::uint64_t missed_beyond_margin = 0;
+
+    // --- retry/timeout recovery (fault campaigns) ----------------------
+    /// Reissues injected after a timeout expiry or a failed response.
+    /// Not counted in `issued`, so issued == completed + abandoned still
+    /// holds for a converged healthy run.
+    std::uint64_t retries = 0;
+    /// Response-timeout expiries observed (each either triggers a retry
+    /// or, once attempts are exhausted, gives the request up).
+    std::uint64_t timeouts = 0;
+    /// Responses that arrived flagged failed (uncorrected DRAM errors).
+    std::uint64_t failed_responses = 0;
+    /// Requests given up after max_retries attempts (also `abandoned`).
+    std::uint64_t retry_exhausted = 0;
+    /// Late responses for attempts already superseded by a reissue.
+    std::uint64_t stale_responses = 0;
 };
 
 } // namespace bluescale::workload

@@ -6,9 +6,10 @@
 namespace bluescale::workload {
 
 processor_client::processor_client(client_id_t id, compute_task_set tasks,
-                                   interconnect& net, std::uint64_t seed)
+                                   interconnect& net, std::uint64_t seed,
+                                   processor_retry_config retry)
     : component("processor_" + std::to_string(id)), id_(id),
-      tasks_(std::move(tasks)), net_(net), rng_(seed),
+      tasks_(std::move(tasks)), net_(net), rng_(seed), retry_(retry),
       next_release_(tasks_.size(), 0),
       next_request_id_((static_cast<request_id_t>(id) << 40) | 1u) {}
 
@@ -50,10 +51,6 @@ void processor_client::finish_job(cycle_t now) {
 }
 
 void processor_client::issue_request(cycle_t now) {
-    if (!net_.client_can_accept(id_)) {
-        request_pending_issue_ = true;
-        return;
-    }
     const compute_task& t = tasks_[running_->task_index];
     mem_request r;
     r.id = next_request_id_++;
@@ -69,10 +66,54 @@ void processor_client::issue_request(cycle_t now) {
     r.hop_arrival = now;
     r.abs_deadline = running_->deadline;
     r.level_deadline = running_->deadline;
-    ++requests_issued_;
-    net_.client_push(id_, std::move(r));
-    request_pending_issue_ = false;
+    pending_req_ = std::move(r);
+    attempts_ = 0;
+    awaited_id_ = 0;
     stalled_ = true;
+    push_pending(now);
+}
+
+void processor_client::push_pending(cycle_t now) {
+    if (!net_.client_can_accept(id_)) {
+        request_pending_issue_ = true;
+        return;
+    }
+    request_pending_issue_ = false;
+    // A first attempt that waited on a full port starts its latency clock
+    // at the actual push; retries keep the original issue_cycle so their
+    // latency spans the recovery.
+    if (attempts_ == 0 && awaited_id_ == 0) pending_req_.issue_cycle = now;
+    pending_req_.hop_arrival = now;
+    awaited_id_ = pending_req_.id;
+    stall_timeout_at_ = retry_.timeout_cycles != 0
+                            ? now + retry_.timeout_cycles
+                            : k_cycle_never;
+    ++requests_issued_;
+    mem_request out = pending_req_;
+    net_.client_push(id_, std::move(out));
+}
+
+void processor_client::handle_stall_timeout(cycle_t now) {
+    ++retry_stats_.timeouts;
+    if (attempts_ >= retry_.max_retries) {
+        // Retry budget spent: abort the access so the core makes progress
+        // (a real system would fault to a software handler; here the job
+        // resumes compute with degraded data). A late response for the
+        // abandoned id is dropped as stale.
+        ++retry_stats_.aborted;
+        stalled_ = false;
+        request_pending_issue_ = false;
+        awaited_id_ = 0;
+        stall_timeout_at_ = k_cycle_never;
+        return;
+    }
+    ++attempts_;
+    ++retry_stats_.retries;
+    pending_req_.id = next_request_id_++;
+    pending_req_.attempt =
+        static_cast<std::uint8_t>(std::min<std::uint32_t>(attempts_, 255));
+    awaited_id_ = 0; // old attempt superseded even if the port is full
+    push_pending(now);
 }
 
 void processor_client::tick(cycle_t now) {
@@ -95,9 +136,15 @@ void processor_client::tick(cycle_t now) {
     }
 
     if (stalled_) {
-        // Either the port was full (retry the issue) or we await the
-        // response (on_response clears the stall).
-        if (request_pending_issue_) issue_request(now);
+        // Either the port was full (retry the push) or we await the
+        // response (on_response clears the stall). With recovery enabled,
+        // an overdue response triggers a reissue or, past the retry
+        // budget, an abort that unblocks the core.
+        if (request_pending_issue_) {
+            push_pending(now);
+        } else if (retry_.timeout_cycles != 0 && now >= stall_timeout_at_) {
+            handle_stall_timeout(now);
+        }
         return;
     }
 
@@ -122,8 +169,25 @@ void processor_client::tick(cycle_t now) {
 
 void processor_client::on_response(mem_request&& r) {
     assert(r.client == id_);
+    if (!stalled_ || r.id != awaited_id_) {
+        // A reissue or abort already superseded this attempt.
+        ++retry_stats_.stale_responses;
+        return;
+    }
+    if (r.failed) {
+        // Uncorrected DRAM error. With recovery configured, expire the
+        // timeout window so the next tick reissues (or aborts) without
+        // waiting out the rest of it; otherwise unblock as before (the
+        // legacy model never inspected the payload).
+        ++retry_stats_.failed_responses;
+        if (retry_.timeout_cycles != 0) {
+            stall_timeout_at_ = r.complete_cycle;
+            return;
+        }
+    }
     stalled_ = false;
-    (void)r;
+    awaited_id_ = 0;
+    stall_timeout_at_ = k_cycle_never;
 }
 
 void processor_client::finalize(cycle_t end_cycle) {

@@ -1,5 +1,6 @@
 #include "workload/traffic_generator.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace bluescale::workload {
@@ -54,13 +55,57 @@ int traffic_generator::pick_edf_task() const {
     return best;
 }
 
+cycle_t traffic_generator::backoff_window(std::uint32_t attempts) const {
+    cycle_t window = cfg_.retry_timeout_cycles;
+    const std::uint32_t mult = std::max<std::uint32_t>(
+        1, cfg_.retry_backoff_mult);
+    for (std::uint32_t a = 0; a < attempts; ++a) window *= mult;
+    return window;
+}
+
+bool traffic_generator::try_reissue(cycle_t now) {
+    for (auto it = outstanding_.begin(); it != outstanding_.end(); ++it) {
+        outstanding_req& o = it->second;
+        if (o.exhausted || o.timeout_at > now) continue;
+        ++stats_.timeouts;
+        if (o.attempts >= cfg_.max_retries) {
+            // Budget spent: stop reissuing, but keep the entry -- the
+            // response may merely be slow, and finalize() abandons it
+            // otherwise.
+            o.exhausted = true;
+            o.timeout_at = k_cycle_never;
+            ++stats_.retry_exhausted;
+            continue;
+        }
+        // Reissue under a fresh id; the old id is forgotten, so its
+        // response (if the request was slow rather than lost) is stale.
+        outstanding_req fresh = o;
+        outstanding_.erase(it);
+        ++fresh.attempts;
+        fresh.req.id = next_request_id_++;
+        fresh.req.attempt = static_cast<std::uint8_t>(
+            std::min<std::uint32_t>(fresh.attempts, 255));
+        fresh.req.hop_arrival = now;
+        fresh.timeout_at = now + backoff_window(fresh.attempts);
+        mem_request r = fresh.req;
+        outstanding_.emplace(r.id, std::move(fresh));
+        ++stats_.retries;
+        net_.client_push(id_, std::move(r));
+        return true;
+    }
+    return false;
+}
+
 void traffic_generator::tick(cycle_t now) {
     if (stopped_) return;
     release_jobs(now);
 
-    // Issue at most one request per cycle (client port width), EDF-first.
-    if (outstanding() >= cfg_.max_outstanding) return;
+    // Issue at most one request per cycle (client port width). Recovery
+    // reissues go first: a timed-out request is already late, so it
+    // outranks new work for the slot.
     if (!net_.client_can_accept(id_)) return;
+    if (cfg_.retry_timeout_cycles != 0 && try_reissue(now)) return;
+    if (outstanding() >= cfg_.max_outstanding) return;
     const int which = pick_edf_task();
     if (which < 0) return;
 
@@ -81,7 +126,12 @@ void traffic_generator::tick(cycle_t now) {
     r.abs_deadline = job.deadline;
     r.level_deadline = job.deadline; // leaf-level arbitration priority
 
-    outstanding_deadline_.emplace(r.id, r.abs_deadline);
+    outstanding_req o;
+    o.req = r;
+    if (cfg_.retry_timeout_cycles != 0) {
+        o.timeout_at = now + cfg_.retry_timeout_cycles;
+    }
+    outstanding_.emplace(r.id, std::move(o));
     ++stats_.issued;
     net_.client_push(id_, std::move(r));
 
@@ -91,7 +141,33 @@ void traffic_generator::tick(cycle_t now) {
 
 void traffic_generator::on_response(mem_request&& r) {
     assert(r.client == id_);
-    outstanding_deadline_.erase(r.id);
+    auto it = outstanding_.find(r.id);
+    if (it == outstanding_.end()) {
+        // A reissue superseded this attempt before its response landed.
+        ++stats_.stale_responses;
+        return;
+    }
+    if (r.failed) {
+        // Uncorrected DRAM error: the payload is unusable. With recovery
+        // configured and budget left, expire the timeout so the next
+        // tick's reissue path retries immediately; otherwise give up.
+        ++stats_.failed_responses;
+        outstanding_req& o = it->second;
+        if (cfg_.retry_timeout_cycles != 0 && !o.exhausted &&
+            o.attempts < cfg_.max_retries) {
+            o.timeout_at = r.complete_cycle;
+            return;
+        }
+        if (cfg_.retry_timeout_cycles != 0 && !o.exhausted) {
+            ++stats_.retry_exhausted;
+        }
+        ++stats_.missed;
+        ++stats_.abandoned;
+        ++stats_.missed_beyond_margin;
+        outstanding_.erase(it);
+        return;
+    }
+    outstanding_.erase(it);
     ++stats_.completed;
     if (!r.met_deadline()) ++stats_.missed;
     if (r.complete_cycle > r.abs_deadline + cfg_.validation_margin_cycles) {
@@ -111,7 +187,8 @@ std::uint64_t traffic_generator::backlog() const {
 
 void traffic_generator::finalize(cycle_t end_cycle) {
     // In-flight requests that can no longer meet their deadline.
-    for (const auto& [id, deadline] : outstanding_deadline_) {
+    for (const auto& [id, o] : outstanding_) {
+        const cycle_t deadline = o.req.abs_deadline;
         if (deadline < end_cycle) {
             ++stats_.missed;
             ++stats_.abandoned;

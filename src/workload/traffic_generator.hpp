@@ -5,7 +5,7 @@
 
 #include <cstdint>
 #include <deque>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "interconnect/interconnect.hpp"
@@ -27,6 +27,19 @@ struct traffic_gen_config {
     std::uint64_t cache_line_bytes = 64;
     /// Allowance for client_stats::missed_beyond_margin (see there).
     cycle_t validation_margin_cycles = 0;
+
+    // --- retry/timeout recovery (fault campaigns) ----------------------
+    /// When non-zero, a request unanswered for this many cycles is
+    /// reissued under a fresh id; the superseded response, if it ever
+    /// arrives, is dropped as stale. 0 disables recovery (a lost request
+    /// stays outstanding until finalize() abandons it).
+    cycle_t retry_timeout_cycles = 0;
+    /// Reissue budget per request; past it the request is given up
+    /// (counted retry_exhausted + abandoned).
+    std::uint32_t max_retries = 0;
+    /// Timeout window multiplier per attempt (exponential backoff keeps
+    /// retry storms from amplifying congestion-induced slowness).
+    std::uint32_t retry_backoff_mult = 2;
 };
 
 class traffic_generator : public component {
@@ -54,7 +67,7 @@ public:
     /// Released but not yet issued requests.
     [[nodiscard]] std::uint64_t backlog() const;
     [[nodiscard]] std::uint32_t outstanding() const {
-        return static_cast<std::uint32_t>(outstanding_deadline_.size());
+        return static_cast<std::uint32_t>(outstanding_.size());
     }
 
 private:
@@ -72,10 +85,22 @@ private:
         std::deque<pending_job> jobs;
     };
 
+    /// One in-flight transaction, with everything a reissue needs.
+    struct outstanding_req {
+        mem_request req; ///< last-issued copy (keeps the first issue_cycle)
+        cycle_t timeout_at = k_cycle_never;
+        std::uint32_t attempts = 0; ///< reissues so far
+        bool exhausted = false;     ///< retry budget spent; await or abandon
+    };
+
     void release_jobs(cycle_t now);
     /// Index of the task whose head job has the earliest deadline;
     /// -1 when nothing is pending.
     [[nodiscard]] int pick_edf_task() const;
+    /// Reissues the oldest timed-out request, if any. Returns true when
+    /// the cycle's issue slot was consumed.
+    bool try_reissue(cycle_t now);
+    [[nodiscard]] cycle_t backoff_window(std::uint32_t attempts) const;
 
     client_id_t id_;
     memory_task_set tasks_;
@@ -83,7 +108,9 @@ private:
     rng rng_;
     traffic_gen_config cfg_;
     std::vector<task_state> state_;
-    std::unordered_map<request_id_t, cycle_t> outstanding_deadline_;
+    /// Keyed by request id; ids are monotonic per client, so iteration
+    /// order == issue order (deterministic timeout scanning).
+    std::map<request_id_t, outstanding_req> outstanding_;
     client_stats stats_;
     request_id_t next_request_id_;
     bool stopped_ = false;

@@ -1,7 +1,9 @@
-// Failure injection: transient SE stalls (se_params::fault_period /
-// fault_duration) must degrade performance gracefully -- no lost or
-// duplicated transactions, bounded extra latency -- and a healthy system
-// must be unaffected by a zero-fault configuration.
+// Failure injection: transient SE stalls -- via the deprecated periodic
+// knob (se_params::fault_period / fault_duration) or a scripted
+// sim::fault_campaign -- must degrade performance gracefully: no lost or
+// duplicated transactions, bounded extra latency, faults contained to the
+// targeted subtree, and a healthy system unaffected by a zero-fault
+// configuration.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -9,6 +11,7 @@
 
 #include "core/bluescale_ic.hpp"
 #include "mem/memory_controller.hpp"
+#include "sim/fault.hpp"
 #include "sim/simulator.hpp"
 #include "workload/taskset_gen.hpp"
 #include "workload/traffic_generator.hpp"
@@ -110,6 +113,65 @@ TEST(fault_injection, heavy_faults_cause_misses_light_ones_do_not) {
     heavy.fault_duration = 60; // 60% downtime: capacity below demand
     const auto bad = run(heavy, 0.6, 30'000, /*drain=*/false);
     EXPECT_GT(bad.missed, 0u);
+}
+
+// A campaign stalling ONE leaf SE must not consume the supply guaranteed
+// to clients behind the other leaves: faults are contained to the faulted
+// element's subtree. Clients 0-3 sit behind SE(1, 0) (campaign linear
+// index 1); clients 4-15 must finish every request on time.
+TEST(fault_injection, campaign_faults_are_isolated_to_targeted_subtree) {
+    constexpr std::uint32_t n = 16;
+    constexpr cycle_t run_cycles = 30'000;
+    rng r(4242);
+    auto tasksets = workload::make_client_tasksets(r, n, 0.3, 0.3);
+    bluescale_ic fabric(n);
+    memory_controller mem;
+    fabric.attach_memory(mem);
+
+    // Bounded campaign: 20% stall duty on the targeted leaf SE, quiet
+    // everywhere else, over the measurement window only.
+    std::vector<sim::fault_event> events;
+    for (cycle_t start = 0; start + 1000 <= run_cycles; start += 1000) {
+        events.push_back(
+            {sim::fault_kind::se_stall, /*target=*/1, start, 200});
+    }
+    const sim::fault_campaign campaign(std::move(events));
+    fabric.inject_campaign(campaign);
+
+    std::vector<std::unique_ptr<workload::traffic_generator>> clients;
+    for (std::uint32_t c = 0; c < n; ++c) {
+        clients.push_back(std::make_unique<workload::traffic_generator>(
+            c, tasksets[c], fabric, 10 + c));
+    }
+    fabric.set_response_handler([&](mem_request&& req) {
+        clients[req.client]->on_response(std::move(req));
+    });
+    simulator sim;
+    for (auto& c : clients) sim.add(*c);
+    sim.add(fabric);
+    sim.add(mem);
+    sim.run(run_cycles);
+    for (auto& c : clients) c->stop();
+    sim.run_until([&] { return fabric.in_flight() == 0; }, 200'000);
+
+    // The campaign actually bit the targeted element...
+    EXPECT_GT(fabric.se_at(1, 0).fault_stall_cycles(), 0u);
+    EXPECT_GT(fabric.se_at(1, 0).stall_windows_entered(), 0u);
+    // ...and nothing else.
+    EXPECT_EQ(fabric.se_at(0, 0).fault_stall_cycles(), 0u);
+    for (std::uint32_t y = 1; y < 4; ++y) {
+        EXPECT_EQ(fabric.se_at(1, y).fault_stall_cycles(), 0u) << y;
+    }
+
+    for (std::uint32_t c = 0; c < n; ++c) {
+        clients[c]->finalize(sim.now());
+        const auto& s = clients[c]->stats();
+        EXPECT_EQ(s.completed, s.issued) << "client " << c;
+        if (c >= 4) {
+            // Healthy subtrees keep their guaranteed supply: no misses.
+            EXPECT_EQ(s.missed, 0u) << "client " << c;
+        }
+    }
 }
 
 TEST(fault_injection, fault_cycles_match_duty_cycle) {

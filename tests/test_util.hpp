@@ -22,6 +22,17 @@ public:
 
     void client_push(client_id_t, mem_request r) override {
         note_injected();
+        if (drop_remaining_ > 0) {
+            // A lost request: injected but never answered (models a link
+            // eating it; exercises client timeout recovery).
+            --drop_remaining_;
+            note_dropped();
+            return;
+        }
+        if (fail_remaining_ > 0) {
+            --fail_remaining_;
+            r.failed = true;
+        }
         pending_.push_back({now_ + latency_, std::move(r)});
     }
 
@@ -42,12 +53,20 @@ public:
     /// Toggles acceptance to test client backpressure handling.
     void set_accepting(bool accepting) { accepting_ = accepting; }
 
+    /// The next `n` pushed requests are silently eaten (never answered).
+    void drop_next(std::uint32_t n) { drop_remaining_ = n; }
+    /// The next `n` pushed requests complete with `failed = true`
+    /// (uncorrected-error responses).
+    void fail_next(std::uint32_t n) { fail_remaining_ = n; }
+
     [[nodiscard]] std::size_t pending() const { return pending_.size(); }
 
 private:
     cycle_t latency_;
     cycle_t now_ = 0;
     bool accepting_ = true;
+    std::uint32_t drop_remaining_ = 0;
+    std::uint32_t fail_remaining_ = 0;
     std::deque<std::pair<cycle_t, mem_request>> pending_;
 };
 

@@ -1,0 +1,220 @@
+// Client-side retry/timeout recovery edge cases, driven through the
+// loopback interconnect's drop/fail controls: lost requests are reissued
+// after the timeout (with exponential backoff), exhausted budgets give
+// the request up, a response racing its own timeout expiry loses (the
+// client tick runs before delivery), and failed responses retry.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "../test_util.hpp"
+#include "sim/simulator.hpp"
+#include "workload/processor_client.hpp"
+#include "workload/traffic_generator.hpp"
+
+namespace bluescale::workload {
+namespace {
+
+using bluescale::testing::loopback_interconnect;
+
+memory_task task(task_id_t id, std::uint64_t period_units,
+                 std::uint32_t requests) {
+    memory_task t;
+    t.id = id;
+    t.period_units = period_units;
+    t.requests_per_job = requests;
+    return t;
+}
+
+struct rig {
+    explicit rig(memory_task_set tasks, traffic_gen_config cfg,
+                 cycle_t loopback_latency = 10)
+        : net(1, loopback_latency),
+          gen(0, std::move(tasks), net, /*seed=*/7, cfg) {
+        net.set_response_handler(
+            [this](mem_request&& r) { gen.on_response(std::move(r)); });
+        sim.add(gen);
+        sim.add(net);
+    }
+    loopback_interconnect net;
+    traffic_generator gen;
+    simulator sim;
+};
+
+traffic_gen_config retry_config(cycle_t timeout, std::uint32_t retries,
+                                std::uint32_t backoff = 2) {
+    traffic_gen_config cfg;
+    cfg.retry_timeout_cycles = timeout;
+    cfg.max_retries = retries;
+    cfg.retry_backoff_mult = backoff;
+    return cfg;
+}
+
+TEST(retry, dropped_request_reissued_and_completed) {
+    rig r({task(1, 250, 1)}, retry_config(/*timeout=*/50, /*retries=*/3));
+    r.net.drop_next(1);
+    r.sim.run(1000);
+    EXPECT_EQ(r.gen.stats().issued, 1u);
+    EXPECT_EQ(r.gen.stats().timeouts, 1u);
+    EXPECT_EQ(r.gen.stats().retries, 1u);
+    EXPECT_EQ(r.gen.stats().completed, 1u);
+    EXPECT_EQ(r.gen.stats().retry_exhausted, 0u);
+    EXPECT_EQ(r.gen.outstanding(), 0u);
+}
+
+TEST(retry, latency_of_retried_request_spans_recovery) {
+    rig r({task(1, 500, 1)}, retry_config(100, 3), /*latency=*/10);
+    r.net.drop_next(1);
+    r.sim.run(2000);
+    ASSERT_EQ(r.gen.stats().completed, 1u);
+    // Issued at 0, reissued at 100, completed at ~110: the sample keeps
+    // the first attempt's issue cycle, so it spans the full recovery
+    // (far beyond the loopback's 10-cycle service latency).
+    EXPECT_GE(r.gen.stats().latency_cycles.max(), 100.0);
+}
+
+TEST(retry, exhausted_budget_gives_request_up) {
+    rig r({task(1, 2500, 1)}, retry_config(50, /*retries=*/2));
+    r.net.drop_next(3); // first attempt + both retries lost
+    r.sim.run(10'000);
+    // Timeouts: two expiries trigger retries, the third exhausts.
+    EXPECT_EQ(r.gen.stats().retries, 2u);
+    EXPECT_EQ(r.gen.stats().timeouts, 3u);
+    EXPECT_EQ(r.gen.stats().retry_exhausted, 1u);
+    EXPECT_EQ(r.gen.stats().completed, 0u);
+    // The exhausted request stays outstanding until finalize() counts it
+    // (end past the job's implicit deadline of 10'000 cycles).
+    r.gen.finalize(10'500);
+    EXPECT_EQ(r.gen.stats().abandoned, 1u);
+    EXPECT_EQ(r.gen.stats().missed, 1u);
+}
+
+TEST(retry, backoff_doubles_each_window) {
+    // timeout 50, backoff x2: expiries at 50, then 50+100=150, then
+    // 150+200=350 (exhaustion). All three attempts are dropped.
+    rig r({task(1, 2500, 1)}, retry_config(50, 2, /*backoff=*/2));
+    r.net.drop_next(3);
+    r.sim.run(149);
+    EXPECT_EQ(r.gen.stats().retries, 1u); // second expiry not yet due
+    r.sim.run(100);
+    EXPECT_EQ(r.gen.stats().retries, 2u);
+    EXPECT_EQ(r.gen.stats().retry_exhausted, 0u);
+    r.sim.run(200);
+    EXPECT_EQ(r.gen.stats().retry_exhausted, 1u);
+}
+
+TEST(retry, response_exactly_at_timeout_loses_the_race) {
+    // Loopback latency == timeout: the response lands the same cycle the
+    // timeout expires. Clients tick before the interconnect delivers, so
+    // the reissue wins and the original response is dropped as stale.
+    rig r({task(1, 500, 1)}, retry_config(/*timeout=*/10, 3),
+          /*latency=*/10);
+    r.sim.run(2000);
+    EXPECT_EQ(r.gen.stats().timeouts, 1u);
+    EXPECT_EQ(r.gen.stats().retries, 1u);
+    EXPECT_EQ(r.gen.stats().stale_responses, 1u);
+    EXPECT_EQ(r.gen.stats().completed, 1u); // the reissue completes
+}
+
+TEST(retry, response_inside_timeout_window_needs_no_recovery) {
+    rig r({task(1, 500, 1)}, retry_config(/*timeout=*/11, 3),
+          /*latency=*/10);
+    r.sim.run(2000);
+    EXPECT_EQ(r.gen.stats().timeouts, 0u);
+    EXPECT_EQ(r.gen.stats().retries, 0u);
+    EXPECT_EQ(r.gen.stats().stale_responses, 0u);
+    EXPECT_EQ(r.gen.stats().completed, 1u);
+}
+
+TEST(retry, failed_response_retries_then_succeeds) {
+    rig r({task(1, 250, 1)}, retry_config(50, 3));
+    r.net.fail_next(1);
+    r.sim.run(1000);
+    EXPECT_EQ(r.gen.stats().failed_responses, 1u);
+    EXPECT_EQ(r.gen.stats().retries, 1u);
+    EXPECT_EQ(r.gen.stats().completed, 1u);
+}
+
+TEST(retry, persistent_failures_exhaust_budget) {
+    rig r({task(1, 2500, 1)}, retry_config(50, /*retries=*/2));
+    r.net.fail_next(3);
+    r.sim.run(10'000);
+    EXPECT_EQ(r.gen.stats().failed_responses, 3u);
+    EXPECT_EQ(r.gen.stats().retries, 2u);
+    EXPECT_EQ(r.gen.stats().retry_exhausted, 1u);
+    EXPECT_EQ(r.gen.stats().completed, 0u);
+    EXPECT_EQ(r.gen.stats().abandoned, 1u);
+    EXPECT_EQ(r.gen.outstanding(), 0u);
+}
+
+TEST(retry, disabled_recovery_leaves_lost_request_outstanding) {
+    rig r({task(1, 250, 1)}, traffic_gen_config{});
+    r.net.drop_next(1);
+    r.sim.run(900); // one release; its implicit deadline is cycle 1000
+    EXPECT_EQ(r.gen.stats().timeouts, 0u);
+    EXPECT_EQ(r.gen.stats().retries, 0u);
+    EXPECT_EQ(r.gen.stats().completed, 0u);
+    EXPECT_EQ(r.gen.outstanding(), 1u);
+    r.gen.finalize(2000);
+    EXPECT_EQ(r.gen.stats().abandoned, 1u);
+}
+
+// --- processor_client (blocking cache-miss path) ------------------------
+
+compute_task_set one_compute_task() {
+    compute_task t;
+    t.id = 1;
+    t.category = task_category::function;
+    t.period = 2000;
+    t.compute_cycles = 40;
+    t.mem_requests = 2;
+    return {t};
+}
+
+struct proc_rig {
+    explicit proc_rig(processor_retry_config retry,
+                      cycle_t loopback_latency = 10)
+        : net(1, loopback_latency),
+          cpu(0, one_compute_task(), net, /*seed=*/5, retry) {
+        net.set_response_handler(
+            [this](mem_request&& r) { cpu.on_response(std::move(r)); });
+        sim.add(cpu);
+        sim.add(net);
+    }
+    loopback_interconnect net;
+    processor_client cpu;
+    simulator sim;
+};
+
+TEST(retry, stalled_core_reissues_after_timeout) {
+    proc_rig r({.timeout_cycles = 50, .max_retries = 3});
+    r.net.drop_next(1);
+    r.sim.run(2000);
+    EXPECT_EQ(r.cpu.retry_stats().timeouts, 1u);
+    EXPECT_EQ(r.cpu.retry_stats().retries, 1u);
+    EXPECT_EQ(r.cpu.retry_stats().aborted, 0u);
+    EXPECT_GT(r.cpu.stats(task_category::function).completed, 0u);
+}
+
+TEST(retry, aborted_access_unblocks_the_core) {
+    proc_rig r({.timeout_cycles = 20, .max_retries = 2});
+    // Eat everything: every access must eventually abort, yet the core
+    // keeps finishing jobs instead of hanging forever.
+    r.net.drop_next(1'000'000);
+    r.sim.run(4000);
+    EXPECT_GT(r.cpu.retry_stats().aborted, 0u);
+    EXPECT_EQ(r.cpu.retry_stats().retries,
+              2 * r.cpu.retry_stats().aborted);
+    EXPECT_GT(r.cpu.stats(task_category::function).completed, 0u);
+}
+
+TEST(retry, blocking_core_without_recovery_hangs_on_loss) {
+    proc_rig r({}); // timeout 0: legacy wait-forever semantics
+    r.net.drop_next(1);
+    r.sim.run(4000);
+    EXPECT_EQ(r.cpu.retry_stats().timeouts, 0u);
+    EXPECT_EQ(r.cpu.stats(task_category::function).completed, 0u);
+}
+
+} // namespace
+} // namespace bluescale::workload
