@@ -1,0 +1,127 @@
+// Runtime admission control and transactional reconfiguration
+// (robustness extension, not a paper figure): sweeps the request rate of
+// a seed-driven reconfiguration schedule (client task-set scale-ups and
+// -downs, joins, leaves) over the Fig. 6 synthetic workload and reports,
+// per design, the admission ratio by outcome, the modeled
+// reconfiguration latency, deadline misses during transitions, and
+// overload shed/restore activity. BlueScale routes every request through
+// the online Sec. 5 admission test with transactional commit; the
+// BlueTree baseline applies every change unconditionally with zero
+// latency.
+//
+//   $ ./bench/reconfig [--trials N] [--cycles N] [--threads N]
+//                      [--seed N] [--csv out.csv]
+//
+// --csv dumps one row per (design, rate) with the raw aggregates; the
+// file is byte-identical for any --threads setting.
+#include <cstdio>
+
+#include "harness/bench_cli.hpp"
+#include "harness/reconfig_experiment.hpp"
+#include "stats/table.hpp"
+
+using namespace bluescale;
+using namespace bluescale::harness;
+
+namespace {
+
+/// Reconfiguration requests per 1000 cycles.
+constexpr double k_rates[] = {0.05, 0.2, 0.5};
+constexpr ic_kind k_designs[] = {ic_kind::bluetree, ic_kind::bluescale};
+
+void run_design(ic_kind kind, const bench_options& opts,
+                stats::csv_writer* csv) {
+    std::printf("\n=== %s: request-rate sweep, %u trials, %llu "
+                "cycles/trial ===\n",
+                kind_name(kind), opts.trials,
+                static_cast<unsigned long long>(opts.measure_cycles));
+
+    stats::table t({"rate", "submitted", "admit%", "commit", "rollbk",
+                    "rej inf/over/haz", "lat (cyc)", "trans miss",
+                    "miss ratio", "hard miss", "BE miss", "shed/rest"});
+    for (double rate : k_rates) {
+        reconfig_exp_config cfg;
+        cfg.trials = opts.trials;
+        cfg.measure_cycles = opts.measure_cycles;
+        cfg.seed = opts.seed;
+        cfg.threads = opts.threads;
+        cfg.events_per_kcycle = rate;
+
+        const reconfig_result r = run_reconfig(kind, cfg);
+        t.add_row({stats::table::num(rate, 2),
+                   std::to_string(r.submitted + r.applied_unchecked),
+                   stats::table::pct(r.admission_ratio(), 1),
+                   std::to_string(r.committed),
+                   std::to_string(r.rolled_back),
+                   std::to_string(r.rejected_infeasible) + "/" +
+                       std::to_string(r.rejected_overutilized) + "/" +
+                       std::to_string(r.rejected_path_hazard),
+                   stats::table::num(r.reconfig_latency_cycles.mean(), 0),
+                   std::to_string(r.transition_misses),
+                   stats::table::pct(r.miss_ratio.mean(), 2),
+                   std::to_string(r.hard_misses),
+                   std::to_string(r.best_effort_misses),
+                   std::to_string(r.shed_events) + "/" +
+                       std::to_string(r.restore_events)});
+        if (csv != nullptr) {
+            csv->add_row(
+                {kind_name(kind), std::to_string(rate),
+                 std::to_string(r.submitted),
+                 std::to_string(r.applied_unchecked),
+                 std::to_string(r.admitted), std::to_string(r.committed),
+                 std::to_string(r.rolled_back),
+                 std::to_string(r.rejected_infeasible),
+                 std::to_string(r.rejected_overutilized),
+                 std::to_string(r.rejected_path_hazard),
+                 std::to_string(r.admission_ratio()),
+                 std::to_string(r.reconfig_latency_cycles.mean()),
+                 std::to_string(r.reconfig_latency_cycles.max()),
+                 std::to_string(r.transition_misses),
+                 std::to_string(r.miss_ratio.mean()),
+                 std::to_string(r.miss_ratio.stddev()),
+                 std::to_string(r.hard_misses),
+                 std::to_string(r.best_effort_misses),
+                 std::to_string(r.live_reconfigurations),
+                 std::to_string(r.windows_checked),
+                 std::to_string(r.violating_windows),
+                 std::to_string(r.supply_shortfall_alarms),
+                 std::to_string(r.shed_events),
+                 std::to_string(r.restore_events),
+                 std::to_string(r.shed_client_cycles),
+                 std::to_string(r.shed_deferrals),
+                 std::to_string(r.feasible_trials)});
+        }
+    }
+    t.print();
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    bench_options defaults;
+    defaults.trials = 10;
+    defaults.measure_cycles = 100'000;
+    const auto opts = parse_bench_cli(
+        argc, argv, defaults,
+        {bench_arg::trials, bench_arg::cycles, bench_arg::csv},
+        "Reconfig: online admission control, transactional (Pi, Theta) "
+        "reconfiguration and overload shedding");
+
+    const auto csv = open_bench_csv(
+        opts,
+        {"design", "rate", "submitted", "applied_unchecked", "admitted",
+         "committed", "rolled_back", "rejected_infeasible",
+         "rejected_overutilized", "rejected_path_hazard", "admission_ratio",
+         "mean_latency_cycles", "max_latency_cycles", "transition_misses",
+         "miss_ratio", "miss_sd", "hard_misses", "best_effort_misses",
+         "live_reconfigurations", "windows_checked", "violating_windows",
+         "supply_shortfall_alarms", "shed_events", "restore_events",
+         "shed_client_cycles", "shed_deferrals", "feasible_trials"});
+
+    std::printf("Runtime admission control and transactional "
+                "reconfiguration under churn\n");
+    for (ic_kind kind : k_designs) {
+        run_design(kind, opts, csv.get());
+    }
+    return 0;
+}

@@ -1,18 +1,22 @@
-// Dynamic reconfiguration (paper Sec. 3.2, third property): when tasks
-// join or leave one client, only the server tasks on that client's
-// request path are re-parameterized -- every other SE keeps running
-// untouched. This example changes a live system's workload mid-run,
-// reselects the affected interfaces, reprograms the fabric, and shows
-// (a) how few SEs changed and (b) that deadlines keep being met.
+// Dynamic reconfiguration (paper Sec. 3.2, third property), driven
+// through the runtime admission-control subsystem: a live system's
+// workload change is SUBMITTED to core::reconfig_manager, which runs the
+// Sec. 5 admission test online over the request path only, stages the
+// new (Pi, Theta) set for the parameter-path propagation latency, and
+// commits it transactionally -- traffic keeps flowing on the old
+// parameters until the commit instant. An infeasible request is rejected
+// with a structured reason and zero perturbation.
 //
 //   $ ./examples/dynamic_reconfiguration
 #include <cstdio>
+#include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "analysis/tree_analysis.hpp"
 #include "core/bluescale_ic.hpp"
-#include "core/interface_selector.hpp"
+#include "core/reconfig_manager.hpp"
 #include "mem/memory_controller.hpp"
 #include "sim/simulator.hpp"
 #include "workload/taskset_gen.hpp"
@@ -27,6 +31,22 @@ std::uint64_t total_missed(
     std::uint64_t n = 0;
     for (const auto& c : cs) n += c->stats().missed;
     return n;
+}
+
+void print_record(const core::admission_record& rec) {
+    std::printf("  request %llu (client %u): %s",
+                static_cast<unsigned long long>(rec.id), rec.client,
+                core::admission_outcome_name(rec.outcome));
+    if (rec.outcome == core::admission_outcome::committed) {
+        std::printf(" -- %u SEs re-parameterized (request path only), "
+                    "%llu cycles staging latency, root bandwidth %.3f",
+                    rec.ses_involved,
+                    static_cast<unsigned long long>(rec.latency_cycles),
+                    rec.root_bandwidth);
+    } else if (!rec.detail.empty()) {
+        std::printf(" -- %s", rec.detail.c_str());
+    }
+    std::printf("\n");
 }
 
 } // namespace
@@ -61,13 +81,30 @@ int main() {
         clients[r.client]->on_response(std::move(r));
     });
 
+    // The manager owns the committed selection from here on; the resolve
+    // hook swaps the client's live task set at exactly the commit
+    // instant (a rejected or rolled-back request swaps nothing).
+    core::reconfig_manager mgr(fabric, selection, rt);
+    std::map<std::uint64_t, workload::memory_task_set> staged;
+    mgr.set_resolve_hook([&](const core::admission_record& rec,
+                             const analysis::task_set&) {
+        auto it = staged.find(rec.id);
+        if (rec.outcome == core::admission_outcome::committed &&
+            it != staged.end()) {
+            clients[rec.client]->reconfigure_tasks(std::move(it->second),
+                                                   rec.resolved_at);
+        }
+        if (it != staged.end()) staged.erase(it);
+    });
+
     simulator sim;
     for (auto& c : clients) sim.add(*c);
     sim.add(fabric);
     sim.add(mem);
+    sim.add(mgr);
 
     sim.run(50'000);
-    std::printf("phase 1 (50k cycles): %llu missed deadlines\n",
+    std::printf("phase 1 (50k cycles): %llu missed deadlines\n\n",
                 static_cast<unsigned long long>(total_missed(clients)));
 
     // --- workload change on client 17: a heavier task set joins --------
@@ -76,33 +113,36 @@ int main() {
     heavier.total_utilization = 0.03; // tripled demand for this client
     rng change_rng(99);
     auto new_tasks = workload::make_taskset(change_rng, heavier);
+    const std::uint64_t ok_id =
+        mgr.submit(17, workload::to_rt_tasks(new_tasks));
+    staged.emplace(ok_id, new_tasks);
 
-    const std::uint32_t changed = analysis::update_client_tasks(
-        selection, rt, 17, workload::to_rt_tasks(new_tasks));
-    std::printf("\nclient 17 workload changed: %u of %u SEs "
-                "re-parameterized (request path only), selection %s\n",
-                changed, selection.shape.total_ses(),
-                selection.feasible ? "feasible" : "infeasible");
-
-    // Reprogram the live fabric (the paper's parameter path delivers the
-    // new (Pi, Theta) values without stopping traffic) and swap the
-    // client's task set.
-    fabric.configure(selection);
-    // Model the interface-selector FSM cost of the change:
-    core::interface_selector sel_model(16);
-    for (const auto& t : rt[17]) {
-        sel_model.load_task(1, 1, static_cast<std::uint32_t>(t.period),
-                            static_cast<std::uint32_t>(t.wcet));
-    }
-    const auto cost = sel_model.select(selection.root_bandwidth);
-    std::printf("estimated interface-selector FSM time for the change: "
-                "%llu cycles\n",
-                static_cast<unsigned long long>(cost.estimated_cycles));
+    // --- and one absurd request: 150% of the whole fabric for client 3.
+    workload::taskset_params absurd;
+    absurd.n_tasks = 4;
+    absurd.total_utilization = 1.5;
+    rng absurd_rng(100);
+    const std::uint64_t bad_id = mgr.submit(
+        3, workload::to_rt_tasks(workload::make_taskset(absurd_rng,
+                                                        absurd)));
 
     const std::uint64_t missed_before = total_missed(clients);
     sim.run(50'000);
-    std::printf("\nphase 2 (50k cycles after reconfiguration): %llu new "
-                "missed deadlines\n",
+
+    std::printf("admission decisions (online, Sec. 5 test over the "
+                "request path):\n");
+    print_record(mgr.record(ok_id));
+    print_record(mgr.record(bad_id));
+    std::printf("manager: %llu submitted, %llu admitted, %llu committed, "
+                "%llu rejected, %llu rolled back\n",
+                static_cast<unsigned long long>(mgr.stats().submitted),
+                static_cast<unsigned long long>(mgr.stats().admitted),
+                static_cast<unsigned long long>(mgr.stats().committed),
+                static_cast<unsigned long long>(mgr.stats().rejected),
+                static_cast<unsigned long long>(mgr.stats().rolled_back));
+
+    std::printf("\nphase 2 (50k cycles spanning the reconfiguration): "
+                "%llu new missed deadlines\n",
                 static_cast<unsigned long long>(total_missed(clients) -
                                                 missed_before));
     std::printf("memory transactions serviced: %llu\n",

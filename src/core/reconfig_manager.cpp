@@ -1,0 +1,234 @@
+#include "core/reconfig_manager.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "core/bluescale_ic.hpp"
+
+namespace bluescale::core {
+
+const char* admission_outcome_name(admission_outcome o) {
+    switch (o) {
+    case admission_outcome::pending: return "pending";
+    case admission_outcome::rejected_infeasible: return "rejected_infeasible";
+    case admission_outcome::rejected_overutilized:
+        return "rejected_overutilized";
+    case admission_outcome::rejected_path_hazard:
+        return "rejected_path_hazard";
+    case admission_outcome::staged: return "staged";
+    case admission_outcome::committed: return "committed";
+    case admission_outcome::rolled_back: return "rolled_back";
+    }
+    return "?";
+}
+
+reconfig_manager::reconfig_manager(bluescale_ic& fabric,
+                                   analysis::tree_selection committed,
+                                   std::vector<analysis::task_set> tasks,
+                                   reconfig_config cfg)
+    : component("reconfig_manager"), fabric_(fabric), cfg_(std::move(cfg)),
+      committed_(std::move(committed)), client_tasks_(std::move(tasks)) {
+    assert(committed_.shape.leaf_level == fabric_.shape().leaf_level);
+}
+
+std::uint64_t reconfig_manager::submit(std::uint32_t client,
+                                       analysis::task_set tasks) {
+    assert(client < committed_.shape.padded_clients);
+    admission_record rec;
+    rec.id = records_.size();
+    rec.client = client;
+    rec.submitted_at = now_;
+    records_.push_back(rec);
+    queue_.push_back({rec.id, client, std::move(tasks)});
+    ++stats_.submitted;
+    return rec.id;
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>>
+reconfig_manager::request_path(std::uint32_t client) const {
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> path;
+    const auto& shape = committed_.shape;
+    std::uint32_t order = shape.leaf_se_of_client(client);
+    for (std::uint32_t l = shape.leaf_level;; --l) {
+        path.emplace_back(l, order);
+        if (l == 0) break;
+        order = analysis::quadtree_shape::parent_order(order);
+    }
+    return path;
+}
+
+bool reconfig_manager::path_hazard(std::uint32_t client,
+                                   std::string* why) const {
+    for (const auto& [l, y] : request_path(client)) {
+        const scale_element& se = fabric_.se_at(l, y);
+        if (se.degraded() || se.stalled_now()) {
+            if (why != nullptr) {
+                *why = std::string(se.degraded() ? "degraded" : "stalled") +
+                       " SE(" + std::to_string(l) + "," + std::to_string(y) +
+                       ") on the request path";
+            }
+            return true;
+        }
+    }
+    return false;
+}
+
+void reconfig_manager::resolve(admission_record& rec,
+                               const analysis::task_set& tasks) {
+    records_[rec.id] = rec;
+    if (on_resolve_) on_resolve_(records_[rec.id], tasks);
+}
+
+void reconfig_manager::start_admission(queued_request req, cycle_t now) {
+    admission_record rec = records_[req.id];
+    rec.decided_at = now;
+
+    // Admission-time hazard gate: reconfiguring through an unhealthy path
+    // is refused outright (the selector FSMs on that path cannot be
+    // trusted to deliver).
+    std::string hazard;
+    if (cfg_.reject_degraded_path && path_hazard(req.client, &hazard)) {
+        rec.outcome = admission_outcome::rejected_path_hazard;
+        rec.detail = hazard;
+        rec.resolved_at = now;
+        ++stats_.rejected;
+        resolve(rec, req.tasks);
+        return;
+    }
+
+    // Sec. 5 admission test, incremental: only the request path
+    // recomputes. model_client_update copies the committed state, so a
+    // rejection leaves it byte-identical.
+    auto report = model_client_update(committed_, client_tasks_, req.client,
+                                      req.tasks, cfg_.selection, cfg_.costs);
+    rec.latency_cycles = report.total_cycles;
+    rec.ses_involved = report.ses_involved;
+    rec.root_bandwidth = report.selection.root_bandwidth;
+
+    if (!report.feasible) {
+        rec.outcome = report.selection.root_bandwidth > 1.0 + 1e-9
+                          ? admission_outcome::rejected_overutilized
+                          : admission_outcome::rejected_infeasible;
+        rec.detail = report.selection.failure.empty()
+                         ? "no feasible interface on the request path"
+                         : report.selection.failure;
+        rec.resolved_at = now;
+        ++stats_.rejected;
+        resolve(rec, req.tasks);
+        return;
+    }
+
+    // Stage: the new selection becomes live only after the parameter
+    // path's propagation latency has elapsed.
+    staged_selection_ = std::move(report.selection);
+    staged_tasks_ = client_tasks_;
+    if (req.client >= staged_tasks_.size()) {
+        staged_tasks_.resize(req.client + 1);
+    }
+    staged_tasks_[req.client] = std::move(req.tasks);
+    staging_ = true;
+    staging_id_ = rec.id;
+    commit_at_ = now + report.total_cycles;
+    rec.outcome = admission_outcome::staged;
+    ++stats_.admitted;
+    stats_.reconfig_latency.add(static_cast<double>(report.total_cycles));
+    records_[rec.id] = rec;
+}
+
+void reconfig_manager::roll_back(cycle_t now, std::string why,
+                                 bool fabric_touched) {
+    // Restore the previous committed (Pi, Theta) everywhere. When the
+    // fabric was never reprogrammed the configure is a no-op re-assertion
+    // of the committed parameters, kept unconditional so a rollback always
+    // leaves the fabric provably in the committed state.
+    if (fabric_touched) fabric_.configure(committed_);
+    admission_record rec = records_[staging_id_];
+    rec.outcome = admission_outcome::rolled_back;
+    rec.detail = std::move(why);
+    rec.resolved_at = now;
+    ++stats_.rolled_back;
+    staging_ = false;
+    const analysis::task_set& tasks =
+        rec.client < client_tasks_.size() ? client_tasks_[rec.client]
+                                          : analysis::task_set{};
+    resolve(rec, tasks);
+    staged_selection_ = {};
+    staged_tasks_.clear();
+}
+
+void reconfig_manager::commit(cycle_t now) {
+    admission_record rec = records_[staging_id_];
+    // The parameter path has delivered: reprogram the fabric's servers.
+    fabric_.configure(staged_selection_);
+
+    // Commit-instant hazard: a fault window or degradation overlapping the
+    // moment the new parameters land invalidates the distributed delivery
+    // -- restore the prior selection everywhere.
+    std::string hazard;
+    if (path_hazard(rec.client, &hazard)) {
+        roll_back(now, "commit hazard: " + hazard, /*fabric_touched=*/true);
+        return;
+    }
+
+    committed_ = std::move(staged_selection_);
+    client_tasks_ = std::move(staged_tasks_);
+    staging_ = false;
+    staged_selection_ = {};
+    staged_tasks_.clear();
+    rec.outcome = admission_outcome::committed;
+    rec.resolved_at = now;
+    ++stats_.committed;
+    const std::uint32_t c = rec.client;
+    resolve(rec, c < client_tasks_.size() ? client_tasks_[c]
+                                          : analysis::task_set{});
+}
+
+void reconfig_manager::tick(cycle_t now) {
+    now_ = now;
+    if (staging_) {
+        // At the commit instant the fabric is reprogrammed first and the
+        // hazard check runs after (commit()): a fault window landing
+        // exactly then forces the fabric-restoring rollback path.
+        if (now >= commit_at_) {
+            commit(now);
+            return;
+        }
+        // Mid-flight hazard watch: a request-path SE going degraded or
+        // stalled while the selectors are recomputing aborts the
+        // transaction before it can land.
+        std::string hazard;
+        if (path_hazard(records_[staging_id_].client, &hazard)) {
+            roll_back(now, "staging hazard: " + std::move(hazard),
+                      /*fabric_touched=*/false);
+        }
+        return;
+    }
+    if (!queue_.empty()) {
+        queued_request req = std::move(queue_.front());
+        queue_.pop_front();
+        start_admission(std::move(req), now);
+    }
+}
+
+void reconfig_manager::donate_client_budget(std::uint32_t client) {
+    const auto& shape = committed_.shape;
+    fabric_
+        .se_at(shape.leaf_level, shape.leaf_se_of_client(client))
+        .configure_port(shape.leaf_port_of_client(client), 0, 0);
+}
+
+void reconfig_manager::restore_client_budget(std::uint32_t client) {
+    const auto& shape = committed_.shape;
+    const std::uint32_t order = shape.leaf_se_of_client(client);
+    const std::uint32_t port = shape.leaf_port_of_client(client);
+    const auto& iface = committed_.levels[shape.leaf_level][order].ports[port];
+    if (iface && iface->budget > 0) {
+        fabric_.se_at(shape.leaf_level, order)
+            .configure_port(port, static_cast<std::uint32_t>(iface->period),
+                            static_cast<std::uint32_t>(iface->budget));
+    } else {
+        fabric_.se_at(shape.leaf_level, order).configure_port(port, 0, 0);
+    }
+}
+
+} // namespace bluescale::core

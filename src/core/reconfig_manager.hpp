@@ -1,0 +1,202 @@
+// Runtime admission control and transactional (Pi, Theta) reconfiguration
+// (paper Sec. 3.2, third property, promoted from an offline model to a
+// guarded runtime subsystem).
+//
+// The manager accepts client join/leave/task-change requests mid-
+// simulation and runs the Sec. 5 admission test online, reusing the
+// incremental request-path reselection (core::model_client_update): only
+// the SEs between the changed client and the root recompute. An
+// infeasible request is REJECTED with a structured reason and zero
+// perturbation of the running system -- the committed selection, the
+// fabric's programmed servers, and every other client are untouched, so a
+// rejected run is bit-identical to one where the request never arrived.
+//
+// A feasible request is applied TRANSACTIONALLY:
+//
+//   idle -> staging -> committed
+//                 \-> rolled_back
+//
+// The new (Pi, Theta) set is staged and takes effect only after the
+// parameter-path-modeled propagation latency has elapsed in simulated
+// time (the distributed selector FSMs are recomputing during the staging
+// window; traffic keeps flowing on the old parameters). If a mid-flight
+// hazard fires -- the health monitor flips a request-path SE into
+// degraded mode, or an injected fault window overlaps the commit instant
+// -- the transaction rolls back: the fabric is reprogrammed with the
+// previous committed selection everywhere and the request is reported
+// rolled_back. Requests queue FIFO; one transaction is in flight at a
+// time.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/tree_analysis.hpp"
+#include "core/parameter_path.hpp"
+#include "sim/component.hpp"
+#include "stats/summary.hpp"
+
+namespace bluescale::core {
+
+class bluescale_ic;
+
+/// Lifecycle of one admission request, also the structured reject reason.
+enum class admission_outcome : std::uint8_t {
+    /// Queued; the admission test has not run yet.
+    pending,
+    /// Rejected: some request-path SE port has no feasible interface for
+    /// the new demand.
+    rejected_infeasible,
+    /// Rejected: the new selection would over-utilize the root resource.
+    rejected_overutilized,
+    /// Rejected: a request-path SE was degraded or stalled when the
+    /// admission test ran (reconfig_config::reject_degraded_path).
+    rejected_path_hazard,
+    /// Admitted; the new selection is propagating (commit pending).
+    staged,
+    /// The new (Pi, Theta) set is live.
+    committed,
+    /// A hazard fired during staging or at commit; the previous committed
+    /// selection was restored everywhere.
+    rolled_back,
+};
+
+[[nodiscard]] const char* admission_outcome_name(admission_outcome o);
+
+struct reconfig_config {
+    analysis::selection_config selection = {};
+    reconfig_costs costs = {};
+    /// Run the admission-time hazard check: reject a request outright when
+    /// a request-path SE is already degraded or stalled (otherwise the
+    /// request stages and takes its chances with a mid-flight rollback).
+    bool reject_degraded_path = true;
+};
+
+/// Full audit record of one request, kept for every submission.
+struct admission_record {
+    std::uint64_t id = 0;
+    std::uint32_t client = 0;
+    admission_outcome outcome = admission_outcome::pending;
+    /// Failure/hazard reason for rejected or rolled-back requests.
+    std::string detail;
+    cycle_t submitted_at = 0;
+    /// Cycle the admission test ran.
+    cycle_t decided_at = 0;
+    /// Cycle the transaction left the staging state (commit or rollback).
+    cycle_t resolved_at = 0;
+    /// Modeled parameter-path propagation latency (staging duration).
+    std::uint64_t latency_cycles = 0;
+    /// SEs on the recomputed request path.
+    std::uint32_t ses_involved = 0;
+    /// Root bandwidth of the candidate selection.
+    double root_bandwidth = 0.0;
+};
+
+struct reconfig_manager_stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t admitted = 0;   ///< passed the admission test (staged)
+    std::uint64_t rejected = 0;
+    std::uint64_t committed = 0;
+    std::uint64_t rolled_back = 0;
+    /// Modeled propagation latency of admitted requests, in cycles.
+    stats::running_summary reconfig_latency;
+};
+
+class reconfig_manager : public component {
+public:
+    /// Fired when a request resolves (committed, rejected or rolled
+    /// back); the harness uses the commit notification to swap the
+    /// client's live workload at exactly the commit instant.
+    using resolve_hook =
+        std::function<void(const admission_record&,
+                           const analysis::task_set& tasks)>;
+
+    reconfig_manager(bluescale_ic& fabric,
+                     analysis::tree_selection committed,
+                     std::vector<analysis::task_set> client_tasks,
+                     reconfig_config cfg = {});
+
+    /// Queues a task-change request for `client` (empty set = leave; a
+    /// previously empty client = join). Returns the request id; the
+    /// admission test runs at the manager's next tick. Thread-safety: the
+    /// manager is trial-local, like every other component.
+    std::uint64_t submit(std::uint32_t client, analysis::task_set tasks);
+
+    void tick(cycle_t now) override;
+
+    void set_resolve_hook(resolve_hook h) { on_resolve_ = std::move(h); }
+
+    /// Overload-shedding budget donation: disables the client's leaf
+    /// server (Pi, Theta) -> (0, 0) so its slack flows to the admitted
+    /// clients; the shed client's requests ride work-conserving slack
+    /// only. The committed selection is NOT changed -- restore reprograms
+    /// the port from it.
+    void donate_client_budget(std::uint32_t client);
+    void restore_client_budget(std::uint32_t client);
+
+    /// True while a transaction is staged (commit pending).
+    [[nodiscard]] bool staging() const { return staging_; }
+    /// Requests submitted but not yet resolved (queued + staged).
+    [[nodiscard]] std::size_t backlog() const {
+        return queue_.size() + (staging_ ? 1 : 0);
+    }
+
+    [[nodiscard]] const analysis::tree_selection& committed() const {
+        return committed_;
+    }
+    [[nodiscard]] const std::vector<analysis::task_set>& client_tasks()
+        const {
+        return client_tasks_;
+    }
+    [[nodiscard]] const reconfig_manager_stats& stats() const {
+        return stats_;
+    }
+    [[nodiscard]] const std::vector<admission_record>& records() const {
+        return records_;
+    }
+    [[nodiscard]] const admission_record& record(std::uint64_t id) const {
+        return records_[id];
+    }
+
+private:
+    struct queued_request {
+        std::uint64_t id = 0;
+        std::uint32_t client = 0;
+        analysis::task_set tasks;
+    };
+
+    /// (level, order) of every SE on `client`'s request path, leaf first.
+    [[nodiscard]] std::vector<std::pair<std::uint32_t, std::uint32_t>>
+    request_path(std::uint32_t client) const;
+    /// A path SE is degraded or inside an injected stall window.
+    [[nodiscard]] bool path_hazard(std::uint32_t client,
+                                   std::string* why) const;
+
+    void start_admission(queued_request req, cycle_t now);
+    void commit(cycle_t now);
+    void roll_back(cycle_t now, std::string why, bool fabric_touched);
+    void resolve(admission_record& rec, const analysis::task_set& tasks);
+
+    bluescale_ic& fabric_;
+    reconfig_config cfg_;
+    analysis::tree_selection committed_;
+    std::vector<analysis::task_set> client_tasks_;
+
+    /// Clock latched at tick() so submit() can stamp submission times.
+    cycle_t now_ = 0;
+    std::deque<queued_request> queue_;
+    bool staging_ = false;
+    std::uint64_t staging_id_ = 0;
+    cycle_t commit_at_ = 0;
+    analysis::tree_selection staged_selection_;
+    std::vector<analysis::task_set> staged_tasks_;
+
+    reconfig_manager_stats stats_;
+    std::vector<admission_record> records_;
+    resolve_hook on_resolve_;
+};
+
+} // namespace bluescale::core

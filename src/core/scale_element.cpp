@@ -49,15 +49,18 @@ void scale_element::tick(cycle_t now) {
 
     if (degraded_) ++degraded_cycles_;
 
-    // Injected fault window -- campaign-scheduled or the deprecated
-    // periodic knob -- stalls the element (counters keep running: the
-    // supply lost to the fault is genuinely lost).
-    bool stalled = stall_faults_.active(now);
-    if (params_.fault_period != 0 &&
-        now % params_.fault_period < params_.fault_duration) {
-        stalled = true;
+    // Per-port demand accounting for the supply-conformance watchdog: a
+    // port is backlogged while its buffer holds work, stalled or not --
+    // supply lost to a fault is still owed to the backlogged port.
+    for (std::uint32_t p = 0; p < k_se_ports; ++p) {
+        if (!buffers_[p].empty()) ++port_backlogged_cycles_[p];
     }
-    if (stalled) {
+
+    // Injected campaign stall window: the element forwards nothing
+    // (counters keep running: the supply lost to the fault is genuinely
+    // lost).
+    stalled_now_ = stall_faults_.active(now);
+    if (stalled_now_) {
         ++fault_stall_cycles_;
         return;
     }
@@ -99,6 +102,7 @@ void scale_element::tick(cycle_t now) {
     }
 
     ++forwarded_;
+    ++port_forwarded_[*pick];
     sink_push_(std::move(granted));
 }
 
@@ -111,8 +115,11 @@ void scale_element::reset() {
     sched_.reset_counters();
     stall_faults_.reset();
     degraded_ = false;
+    stalled_now_ = false;
     forwarded_ = 0;
     forwarded_budgeted_ = 0;
+    port_forwarded_.fill(0);
+    port_backlogged_cycles_.fill(0);
     fault_stall_cycles_ = 0;
     degraded_cycles_ = 0;
     wait_stats_ = {};

@@ -30,16 +30,6 @@ struct se_params {
     /// an SE with no configured interfaces (pure nested EDF).
     bool work_conserving = true;
     server_policy policy = server_policy::gedf;
-    /// DEPRECATED failure injection (pre-campaign shim): every
-    /// `fault_period` cycles the SE stalls for `fault_duration` cycles
-    /// (forwards nothing; buffers still accept). 0 = healthy. New code
-    /// should schedule sim::fault_campaign se_stall events and apply them
-    /// via set_stall_faults() -- the campaign path is reproducible under
-    /// parallel trial sweeps and composes with the other fault kinds.
-    /// Both paths feed the same fault_stall_cycles() counter, so existing
-    /// ablations keep working unchanged.
-    cycle_t fault_period = 0;
-    cycle_t fault_duration = 0;
 };
 
 class scale_element : public component {
@@ -74,9 +64,14 @@ public:
     void reset();
 
     /// Campaign-driven stall schedule (fault_kind::se_stall slice for
-    /// this element). Supersedes the legacy se_params periodic knob; both
-    /// stall the element identically and share the stall counter.
+    /// this element). The only failure-injection path since the legacy
+    /// se_params periodic knob was removed: campaigns are reproducible
+    /// under parallel trial sweeps and compose with the other fault kinds.
     void set_stall_faults(sim::fault_window w) { stall_faults_ = std::move(w); }
+    /// Was the element inside an injected stall window at its last tick?
+    /// Hazard probe for the reconfiguration manager: a (Pi, Theta) commit
+    /// that lands on a stalled element is rolled back.
+    [[nodiscard]] bool stalled_now() const { return stalled_now_; }
 
     /// Degraded mode (graceful degradation): the budgeted compositional
     /// servers are bypassed and the SE runs pure work-conserving nested
@@ -102,6 +97,20 @@ public:
     [[nodiscard]] std::uint64_t forwarded_budgeted() const {
         return forwarded_budgeted_;
     }
+    /// Requests forwarded on behalf of one local client port (budgeted or
+    /// slack). The supply watchdog differences this over sliding windows
+    /// against the port's sbf(Pi, Theta) guarantee.
+    [[nodiscard]] std::uint64_t port_forwarded(std::uint32_t port) const {
+        return port_forwarded_[port];
+    }
+    /// Cycles the port's buffer held at least one request (the port was
+    /// demanding supply). A window counts toward supply conformance only
+    /// when the port was backlogged throughout -- sbf guarantees service
+    /// to pending work, not to an idle client.
+    [[nodiscard]] std::uint64_t port_backlogged_cycles(std::uint32_t port)
+        const {
+        return port_backlogged_cycles_[port];
+    }
     [[nodiscard]] const se_params& params() const { return params_; }
 
     /// Queueing time (arrival at this SE -> grant) of forwarded requests.
@@ -109,7 +118,7 @@ public:
         return wait_stats_;
     }
 
-    /// Cycles lost to injected faults (see se_params::fault_period).
+    /// Cycles lost to injected stall faults.
     [[nodiscard]] std::uint64_t fault_stall_cycles() const {
         return fault_stall_cycles_;
     }
@@ -126,8 +135,11 @@ private:
     sink_push_fn sink_push_;
     sim::fault_window stall_faults_;
     bool degraded_ = false;
+    bool stalled_now_ = false;
     std::uint64_t forwarded_ = 0;
     std::uint64_t forwarded_budgeted_ = 0;
+    std::array<std::uint64_t, k_se_ports> port_forwarded_{};
+    std::array<std::uint64_t, k_se_ports> port_backlogged_cycles_{};
     std::uint64_t fault_stall_cycles_ = 0;
     std::uint64_t degraded_cycles_ = 0;
     stats::running_summary wait_stats_;

@@ -1,0 +1,131 @@
+// Runtime-reconfiguration experiment (robustness extension, not a paper
+// figure): the Fig. 6 synthetic workload plus a seed-driven
+// sim::reconfig_schedule of client task-set changes (scale-ups/downs,
+// joins, leaves) submitted mid-simulation. BlueScale routes every change
+// through core::reconfig_manager -- the Sec. 5 admission test online,
+// transactional staging over the parameter-path latency, rollback on
+// hazards -- while a core::supply_watchdog polices delivered supply and
+// sheds best-effort clients under sustained overload. The BlueTree
+// baseline applies every change unconditionally with zero latency (no
+// admission control to refuse an infeasible one).
+//
+// Metrics: admission ratio by outcome, modeled reconfiguration latency,
+// deadline misses during transitions, shed/restore counts and per-class
+// miss totals, per design.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/health_monitor.hpp"
+#include "core/reconfig_manager.hpp"
+#include "core/supply_watchdog.hpp"
+#include "harness/factory.hpp"
+#include "mem/memory_controller.hpp"
+#include "sim/reconfig_schedule.hpp"
+#include "stats/summary.hpp"
+#include "workload/taskset_gen.hpp"
+
+namespace bluescale::harness {
+
+struct reconfig_exp_config {
+    std::uint32_t n_clients = 16;
+    std::uint32_t trials = 20;
+    cycle_t measure_cycles = 100'000;
+    double util_lo = 0.70;
+    double util_hi = 0.90;
+    std::uint64_t seed = 1;
+    /// Worker threads for the trial sweep (0 = all hardware threads).
+    /// Results are bit-identical for any setting; see sim::trial_runner.
+    unsigned threads = 1;
+    workload::taskset_params taskset = {
+        .n_tasks = 4,
+        .total_utilization = 0.05, // overridden per trial by util_lo/hi
+        .min_period_units = 40,
+        .max_period_units = 600,
+        .write_fraction = 0.3,
+    };
+    memctrl_config memctrl = {};
+    std::uint32_t bluetree_alpha = 2;
+
+    /// Expected reconfiguration requests per 1000 cycles. The schedule
+    /// seed is a substream of the trial seed, so every design sees the
+    /// identical request sequence at the same trial; action weights and
+    /// magnitudes come from `schedule` (seed/horizon/n_clients are
+    /// overridden per trial).
+    double events_per_kcycle = 0.2;
+    sim::reconfig_schedule_config schedule = {};
+    /// Requests are scheduled after this many cycles (lets the initial
+    /// selection settle before churn starts).
+    cycle_t reconfig_warmup = 5'000;
+
+    /// Admission-control / transaction policy (BlueScale only).
+    core::reconfig_config reconfig = {};
+    /// Online supply-conformance watchdog (BlueScale only).
+    bool enable_watchdog = true;
+    core::watchdog_config watchdog = {};
+    /// The LAST this-many client ids are best-effort (sheddable); the
+    /// rest are hard real-time and keep their contracts under overload.
+    std::uint32_t best_effort_clients = 4;
+
+    /// Optional concurrent fault campaign (0 = healthy run), to exercise
+    /// hazard rollbacks; same substream convention as the resilience
+    /// experiment.
+    double fault_intensity = 0.0;
+    cycle_t retry_timeout_cycles = 2048;
+    std::uint32_t max_retries = 3;
+    bool enable_health = true;
+    core::health_config health = {};
+};
+
+struct reconfig_result {
+    ic_kind kind{};
+    std::uint32_t n_clients = 0;
+    std::uint32_t trials = 0;
+    std::uint32_t feasible_trials = 0;
+
+    // --- admission control (BlueScale; zero for baselines) -------------
+    std::uint64_t submitted = 0;
+    std::uint64_t admitted = 0; ///< passed the admission test (staged)
+    std::uint64_t committed = 0;
+    std::uint64_t rolled_back = 0;
+    std::uint64_t rejected_infeasible = 0;
+    std::uint64_t rejected_overutilized = 0;
+    std::uint64_t rejected_path_hazard = 0;
+    /// Modeled parameter-path propagation latency of admitted requests.
+    stats::sample_set reconfig_latency_cycles;
+    /// Deadline misses accrued between a request's submission and its
+    /// resolution (the transition window).
+    std::uint64_t transition_misses = 0;
+    /// Unconditional zero-latency applications (baselines only).
+    std::uint64_t applied_unchecked = 0;
+
+    // --- watchdog / overload shedding (BlueScale only) ------------------
+    std::uint64_t windows_checked = 0;
+    std::uint64_t violating_windows = 0;
+    std::uint64_t supply_shortfall_alarms = 0;
+    std::uint64_t shed_events = 0;
+    std::uint64_t restore_events = 0;
+    std::uint64_t shed_client_cycles = 0;
+
+    // --- per-class outcome ----------------------------------------------
+    stats::sample_set miss_ratio; ///< per-trial, all clients
+    std::uint64_t hard_misses = 0;
+    std::uint64_t best_effort_misses = 0;
+    std::uint64_t shed_deferrals = 0;
+    std::uint64_t live_reconfigurations = 0; ///< task-set swaps applied
+
+    [[nodiscard]] double admission_ratio() const {
+        return submitted == 0 ? 0.0
+                              : static_cast<double>(admitted) /
+                                    static_cast<double>(submitted);
+    }
+};
+
+/// Runs `cfg.trials` trials of one design under the same per-trial
+/// workloads and reconfiguration schedules (both pure functions of the
+/// trial seed, so designs are compared on identical request sequences).
+[[nodiscard]] reconfig_result run_reconfig(ic_kind kind,
+                                           const reconfig_exp_config& cfg);
+
+} // namespace bluescale::harness

@@ -39,12 +39,35 @@ testbench::testbench(ic_kind kind, const testbench_options& opts)
         ic_->inject_campaign(*opts.faults);
         mem_.inject_campaign(*opts.faults);
     }
-    if (opts.health.has_value()) {
+    if (auto* bs = dynamic_cast<core::bluescale_ic*>(ic_.get())) {
         // Only the BlueScale fabric has elements to supervise; baselines
         // run the same campaign without graceful degradation.
-        if (auto* bs = dynamic_cast<core::bluescale_ic*>(ic_.get())) {
+        if (opts.health.has_value()) {
             monitor_ =
                 std::make_unique<core::health_monitor>(*bs, *opts.health);
+        }
+        if (opts.reconfig.has_value() && opts.rt_sets != nullptr) {
+            reconfig_ = std::make_unique<core::reconfig_manager>(
+                *bs, selection_, *opts.rt_sets, *opts.reconfig);
+        }
+        if (opts.watchdog.has_value()) {
+            // The watchdog polices whatever selection is live: the
+            // manager's committed copy when runtime reconfiguration is
+            // on (updated in place at commits), else the static one.
+            const analysis::tree_selection* live =
+                reconfig_ ? &reconfig_->committed() : &selection_;
+            watchdog_ = std::make_unique<core::supply_watchdog>(
+                *bs, live, *opts.watchdog);
+            if (reconfig_) {
+                watchdog_->set_donate_hook(
+                    [this](std::uint32_t client, bool shed) {
+                        if (shed) {
+                            reconfig_->donate_client_budget(client);
+                        } else {
+                            reconfig_->restore_client_budget(client);
+                        }
+                    });
+            }
         }
     }
 }
@@ -60,8 +83,12 @@ void testbench::arm() {
     sim_.add(*ic_);
     sim_.add(mem_);
     // The monitor ticks last so each check window sees the cycle's final
-    // stall counters.
+    // stall counters; the manager after it so admission-time hazard
+    // checks observe the freshest degraded/stall state; the watchdog
+    // last of all so its windows close on the cycle's final counters.
     if (monitor_) sim_.add(*monitor_);
+    if (reconfig_) sim_.add(*reconfig_);
+    if (watchdog_) sim_.add(*watchdog_);
     armed_ = true;
 }
 

@@ -18,7 +18,9 @@
 
 #include "analysis/tree_analysis.hpp"
 #include "core/health_monitor.hpp"
+#include "core/reconfig_manager.hpp"
 #include "core/scale_element.hpp"
+#include "core/supply_watchdog.hpp"
 #include "harness/factory.hpp"
 #include "sim/fault.hpp"
 #include "mem/memory_controller.hpp"
@@ -51,6 +53,15 @@ struct testbench_options {
     /// supervises the fabric and drives degraded-mode transitions.
     /// Ignored (no SEs to supervise) for the baseline interconnects.
     std::optional<core::health_config> health;
+    /// When set and the kind is BlueScale, a core::reconfig_manager
+    /// accepts runtime admission requests against the resolved selection
+    /// (requires rt_sets). Ignored for the baseline interconnects.
+    std::optional<core::reconfig_config> reconfig;
+    /// When set and the kind is BlueScale, a core::supply_watchdog
+    /// polices per-SE supply conformance online and (when configured)
+    /// sheds best-effort clients under sustained overload. Ignored for
+    /// the baseline interconnects.
+    std::optional<core::watchdog_config> watchdog;
 };
 
 class testbench {
@@ -85,6 +96,24 @@ public:
         return monitor_.get();
     }
 
+    /// The runtime admission/reconfiguration manager, or nullptr when
+    /// none was requested (or the kind has no BlueScale fabric).
+    [[nodiscard]] core::reconfig_manager* reconfig() {
+        return reconfig_.get();
+    }
+    [[nodiscard]] const core::reconfig_manager* reconfig() const {
+        return reconfig_.get();
+    }
+
+    /// The online supply-conformance watchdog, or nullptr when none was
+    /// requested (or the kind has no BlueScale fabric).
+    [[nodiscard]] core::supply_watchdog* watchdog() {
+        return watchdog_.get();
+    }
+    [[nodiscard]] const core::supply_watchdog* watchdog() const {
+        return watchdog_.get();
+    }
+
     /// Registers a client component and the sink that receives the
     /// interconnect's responses addressed to `id`. Clients tick in
     /// registration order, before the interconnect and the memory
@@ -107,6 +136,8 @@ private:
     analysis::tree_selection selection_;
     std::unique_ptr<interconnect> ic_;
     std::unique_ptr<core::health_monitor> monitor_;
+    std::unique_ptr<core::reconfig_manager> reconfig_;
+    std::unique_ptr<core::supply_watchdog> watchdog_;
     memory_controller mem_;
     simulator sim_;
     std::vector<std::function<void(mem_request&&)>> sinks_;

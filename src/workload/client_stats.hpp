@@ -48,6 +48,15 @@ struct client_stats {
     std::uint64_t retry_exhausted = 0;
     /// Late responses for attempts already superseded by a reissue.
     std::uint64_t stale_responses = 0;
+
+    // --- overload shedding / runtime reconfiguration -------------------
+    /// Cycles spent throttled by the supply watchdog's overload shedding.
+    std::uint64_t shed_cycles = 0;
+    /// Shed cycles with released-but-unissued work pending (deferred
+    /// issue opportunities).
+    std::uint64_t shed_deferrals = 0;
+    /// Live task-set swaps applied at reconfiguration commits.
+    std::uint64_t reconfigurations = 0;
 };
 
 } // namespace bluescale::workload

@@ -100,6 +100,15 @@ void traffic_generator::tick(cycle_t now) {
     if (stopped_) return;
     release_jobs(now);
 
+    // Overload shedding: the client goes fully quiet -- no new work, no
+    // recovery reissues -- so the fabric drains. Released jobs still age
+    // toward their deadlines and are charged to this client.
+    if (shed_) {
+        ++stats_.shed_cycles;
+        if (backlog() > 0) ++stats_.shed_deferrals;
+        return;
+    }
+
     // Issue at most one request per cycle (client port width). Recovery
     // reissues go first: a timed-out request is already late, so it
     // outranks new work for the slot.
@@ -175,6 +184,14 @@ void traffic_generator::on_response(mem_request&& r) {
     }
     stats_.latency_cycles.add(static_cast<double>(r.total_latency()));
     stats_.blocking_cycles.add(static_cast<double>(r.blocked_cycles));
+}
+
+void traffic_generator::reconfigure_tasks(memory_task_set tasks,
+                                          cycle_t now) {
+    tasks_ = std::move(tasks);
+    state_.assign(tasks_.size(), task_state{});
+    for (auto& ts : state_) ts.next_release = now;
+    ++stats_.reconfigurations;
 }
 
 std::uint64_t traffic_generator::backlog() const {

@@ -61,6 +61,21 @@ public:
     /// requests still complete normally.
     void stop() { stopped_ = true; }
 
+    /// Overload-shedding throttle (core::supply_watchdog): while shed,
+    /// jobs keep releasing (and keep their deadlines -- a shed best-effort
+    /// client absorbs the misses) but no new requests are issued. Retry
+    /// reissues of in-flight requests still go out, so recovery of work
+    /// already in the fabric is not orphaned.
+    void set_shed(bool on) { shed_ = on; }
+    [[nodiscard]] bool shed() const { return shed_; }
+
+    /// Live workload change at a reconfiguration commit: swaps the task
+    /// set, restarts release schedules at `now`, and drops released-but-
+    /// unissued jobs of the old set (they were never issued, so the
+    /// issued == completed + abandoned invariant is unaffected).
+    /// In-flight requests complete under the old accounting.
+    void reconfigure_tasks(memory_task_set tasks, cycle_t now);
+
     [[nodiscard]] const client_stats& stats() const { return stats_; }
     [[nodiscard]] client_id_t id() const { return id_; }
     [[nodiscard]] const memory_task_set& tasks() const { return tasks_; }
@@ -114,6 +129,7 @@ private:
     client_stats stats_;
     request_id_t next_request_id_;
     bool stopped_ = false;
+    bool shed_ = false;
 };
 
 } // namespace bluescale::workload

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "core/parameter_path.hpp"
 
 namespace bluescale::core {
@@ -76,6 +80,85 @@ TEST(parameter_path, infeasible_overload_reported) {
     const auto report =
         model_full_reconfiguration(uniform_clients(16, {40, 5}));
     EXPECT_FALSE(report.feasible);
+}
+
+TEST(parameter_path, infeasible_update_leaves_committed_selection_intact) {
+    const auto clients = uniform_clients(16, {200, 4});
+    const auto base = analysis::select_tree_interfaces(clients);
+    ASSERT_TRUE(base.feasible);
+    const auto snapshot = base;
+
+    // A demand no interface can serve: the update must fail...
+    const auto report = model_client_update(
+        base, clients, 3, analysis::task_set{{40, 39}});
+    EXPECT_FALSE(report.feasible);
+
+    // ...and the caller's committed selection is byte-identical (the
+    // model works on copies; this is what makes reconfig_manager's
+    // reject-with-zero-perturbation guarantee possible).
+    for (std::uint32_t l = 0; l < snapshot.levels.size(); ++l) {
+        for (std::uint32_t y = 0; y < snapshot.levels[l].size(); ++y) {
+            for (std::uint32_t p = 0; p < 4; ++p) {
+                EXPECT_EQ(base.levels[l][y].ports[p],
+                          snapshot.levels[l][y].ports[p]);
+            }
+        }
+    }
+}
+
+TEST(parameter_path, update_recomputes_exactly_the_leaf_to_root_path) {
+    // 64 clients, 3 levels: the path is leaf + mid + root = leaf_level+1
+    // SEs, and every off-path SE keeps its previous interfaces.
+    const auto clients = uniform_clients(64, {800, 4});
+    const auto base = analysis::select_tree_interfaces(clients);
+    ASSERT_TRUE(base.feasible);
+    const std::uint32_t client = 17;
+    const auto report = model_client_update(
+        base, clients, client, analysis::task_set{{400, 8}});
+    ASSERT_TRUE(report.feasible);
+    EXPECT_EQ(report.ses_involved, base.shape.leaf_level + 1);
+
+    // Walk the path: (level, order) pairs from the changed client's leaf
+    // up to the root.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> path;
+    std::uint32_t order = base.shape.leaf_se_of_client(client);
+    for (std::uint32_t l = base.shape.leaf_level;; --l) {
+        path.emplace_back(l, order);
+        if (l == 0) break;
+        order = analysis::quadtree_shape::parent_order(order);
+    }
+    for (std::uint32_t l = 0; l < base.levels.size(); ++l) {
+        for (std::uint32_t y = 0; y < base.levels[l].size(); ++y) {
+            const bool on_path =
+                std::find(path.begin(), path.end(),
+                          std::make_pair(l, y)) != path.end();
+            if (on_path) continue;
+            for (std::uint32_t p = 0; p < 4; ++p) {
+                EXPECT_EQ(report.selection.levels[l][y].ports[p],
+                          base.levels[l][y].ports[p])
+                    << "off-path SE(" << l << "," << y << ") port " << p;
+            }
+        }
+    }
+}
+
+TEST(parameter_path, zero_task_update_removes_the_client) {
+    const auto clients = uniform_clients(16, {100, 4});
+    const auto base = analysis::select_tree_interfaces(clients);
+    ASSERT_TRUE(base.feasible);
+
+    // Client 9 leaves: the update stays feasible, frees its leaf port and
+    // lowers the root bandwidth.
+    const auto report =
+        model_client_update(base, clients, 9, analysis::task_set{});
+    ASSERT_TRUE(report.feasible);
+    const auto& shape = base.shape;
+    const auto& leaf_port =
+        report.selection.levels[shape.leaf_level]
+            [shape.leaf_se_of_client(9)]
+                .ports[shape.leaf_port_of_client(9)];
+    EXPECT_TRUE(!leaf_port || leaf_port->budget == 0);
+    EXPECT_LT(report.selection.root_bandwidth, base.root_bandwidth);
 }
 
 TEST(parameter_path, update_selection_matches_incremental_analysis) {

@@ -1,6 +1,5 @@
-// Failure injection: transient SE stalls -- via the deprecated periodic
-// knob (se_params::fault_period / fault_duration) or a scripted
-// sim::fault_campaign -- must degrade performance gracefully: no lost or
+// Failure injection: transient SE stalls scripted through a
+// sim::fault_campaign must degrade performance gracefully: no lost or
 // duplicated transactions, bounded extra latency, faults contained to the
 // targeted subtree, and a healthy system unaffected by a zero-fault
 // configuration.
@@ -27,16 +26,30 @@ struct run_result {
     std::uint64_t fault_cycles = 0;
 };
 
-run_result run(se_params se, double util, cycle_t cycles,
-               bool drain = true) {
+/// Periodic stall windows of `duration` cycles every `period` cycles on
+/// every SE of the 16-client tree (5 elements: root + 4 leaves) -- the
+/// scripted-campaign equivalent of the old se_params periodic fault knob.
+sim::fault_campaign periodic_stalls(cycle_t period, cycle_t duration,
+                                    cycle_t horizon) {
+    std::vector<sim::fault_event> events;
+    for (std::uint32_t se = 0; se < 5; ++se) {
+        for (cycle_t start = 0; start < horizon; start += period) {
+            events.push_back(
+                {sim::fault_kind::se_stall, se, start, duration});
+        }
+    }
+    return sim::fault_campaign(std::move(events));
+}
+
+run_result run(const sim::fault_campaign& campaign, double util,
+               cycle_t cycles, bool drain = true) {
     constexpr std::uint32_t n = 16;
     rng r(31337);
     auto tasksets = workload::make_client_tasksets(r, n, util, util);
-    bluescale_config cfg;
-    cfg.se = se;
-    bluescale_ic fabric(n, cfg);
+    bluescale_ic fabric(n);
     memory_controller mem;
     fabric.attach_memory(mem);
+    fabric.inject_campaign(campaign);
     std::vector<std::unique_ptr<workload::traffic_generator>> clients;
     for (std::uint32_t c = 0; c < n; ++c) {
         clients.push_back(std::make_unique<workload::traffic_generator>(
@@ -77,40 +90,36 @@ run_result run(se_params se, double util, cycle_t cycles,
 }
 
 TEST(fault_injection, conservation_holds_under_faults) {
-    se_params faulty;
-    faulty.fault_period = 500;
-    faulty.fault_duration = 50; // 10% downtime on every SE
-    const auto r = run(faulty, 0.5, 20'000);
+    // 10% downtime on every SE over the measurement window.
+    const auto campaign = periodic_stalls(500, 50, 20'000);
+    const auto r = run(campaign, 0.5, 20'000);
     EXPECT_EQ(r.completed, r.issued);
     EXPECT_GT(r.fault_cycles, 0u);
 }
 
 TEST(fault_injection, zero_fault_config_records_no_stalls) {
-    const auto r = run(se_params{}, 0.5, 10'000);
+    const auto r = run(sim::fault_campaign{}, 0.5, 10'000);
     EXPECT_EQ(r.fault_cycles, 0u);
 }
 
 TEST(fault_injection, latency_degrades_with_fault_duty) {
-    const auto healthy = run(se_params{}, 0.6, 20'000);
-    se_params faulty;
-    faulty.fault_period = 200;
-    faulty.fault_duration = 40; // 20% downtime
-    const auto injured = run(faulty, 0.6, 20'000);
+    const auto healthy = run(sim::fault_campaign{}, 0.6, 20'000);
+    // 20% downtime.
+    const auto campaign = periodic_stalls(200, 40, 20'000);
+    const auto injured = run(campaign, 0.6, 20'000);
     EXPECT_GT(injured.mean_latency, healthy.mean_latency);
 }
 
 TEST(fault_injection, heavy_faults_cause_misses_light_ones_do_not) {
-    se_params light;
-    light.fault_period = 2000;
-    light.fault_duration = 20; // 1% downtime: mostly absorbed by headroom
+    // 1% downtime: mostly absorbed by headroom.
+    const auto light = periodic_stalls(2000, 20, 30'000);
     const auto ok = run(light, 0.4, 30'000);
     // Faults consume supply the analysis assumed, so an occasional
     // tight-deadline request may slip -- but not more than ~0.1%.
     EXPECT_LE(ok.missed, ok.completed / 1000);
 
-    se_params heavy;
-    heavy.fault_period = 100;
-    heavy.fault_duration = 60; // 60% downtime: capacity below demand
+    // 60% downtime: capacity below demand.
+    const auto heavy = periodic_stalls(100, 60, 30'000);
     const auto bad = run(heavy, 0.6, 30'000, /*drain=*/false);
     EXPECT_GT(bad.missed, 0u);
 }
@@ -175,10 +184,8 @@ TEST(fault_injection, campaign_faults_are_isolated_to_targeted_subtree) {
 }
 
 TEST(fault_injection, fault_cycles_match_duty_cycle) {
-    se_params faulty;
-    faulty.fault_period = 100;
-    faulty.fault_duration = 25;
-    const auto r = run(faulty, 0.3, 20'000, /*drain=*/false);
+    const auto campaign = periodic_stalls(100, 25, 20'000);
+    const auto r = run(campaign, 0.3, 20'000, /*drain=*/false);
     // 5 SEs x 20000 cycles x 25% duty.
     EXPECT_NEAR(static_cast<double>(r.fault_cycles), 5 * 20'000 * 0.25,
                 5 * 20'000 * 0.01);
