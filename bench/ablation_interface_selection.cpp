@@ -30,10 +30,10 @@ struct selection_trial {
 };
 
 selection_trial run_trial(std::uint32_t n_tasks, std::uint32_t trial) {
-    rng rand(1000 + trial);
+    rng gen(1000 + trial);
     workload::taskset_params params;
     params.n_tasks = n_tasks;
-    auto sets = workload::make_client_tasksets(rand, 16, 0.8, 0.8, params);
+    auto sets = workload::make_client_tasksets(gen, 16, 0.8, 0.8, params);
     std::vector<analysis::task_set> rt;
     for (const auto& s : sets) {
         rt.push_back(workload::to_rt_tasks(s));

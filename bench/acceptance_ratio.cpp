@@ -36,12 +36,12 @@ double acceptance(const sim::trial_runner& runner, std::uint32_t n_clients,
     // The per-trial seed is a pure function of the trial counter, so the
     // sweep parallelizes without changing any outcome.
     const auto outcomes = runner.run(trials, [&](std::uint32_t t) {
-        rng rand(9000 + t * 131 + n_clients);
+        rng gen(9000 + t * 131 + n_clients);
         workload::taskset_params params;
         params.min_period_units = 40 * period_scale;
         params.max_period_units = 600 * period_scale;
         auto sets = workload::make_client_tasksets(
-            rand, n_clients, utilization, utilization, params);
+            gen, n_clients, utilization, utilization, params);
         std::vector<analysis::task_set> rt;
         for (const auto& s : sets) {
             rt.push_back(workload::to_rt_tasks(s));

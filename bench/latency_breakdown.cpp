@@ -36,8 +36,8 @@ int main(int argc, char** argv) {
                     "root wait (cyc)", "memory (cyc)",
                     "end-to-end (cyc)"});
     for (double util : {0.3, 0.5, 0.7, 0.85}) {
-        rng rand(2024);
-        auto tasksets = workload::make_client_tasksets(rand, n_clients,
+        rng gen(2024);
+        auto tasksets = workload::make_client_tasksets(gen, n_clients,
                                                        util, util);
         std::vector<analysis::task_set> rt;
         for (const auto& ts : tasksets) {

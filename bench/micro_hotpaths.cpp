@@ -20,11 +20,11 @@ using namespace bluescale;
 void bm_random_access_buffer_fetch(benchmark::State& state) {
     const auto depth = static_cast<std::size_t>(state.range(0));
     core::random_access_buffer buf(depth);
-    rng rand(1);
+    rng gen(1);
     for (auto _ : state) {
         while (buf.can_load()) {
             mem_request r;
-            r.level_deadline = rand.uniform_u64(0, 1000);
+            r.level_deadline = gen.uniform_u64(0, 1000);
             buf.load(r);
         }
         buf.commit();
@@ -43,13 +43,13 @@ void bm_scale_element_tick(benchmark::State& state) {
     for (std::uint32_t p = 0; p < 4; ++p) se.configure_port(p, 8, 2);
     std::uint64_t sunk = 0;
     se.bind_sink([] { return true; }, [&](mem_request) { ++sunk; });
-    rng rand(2);
+    rng gen(2);
     cycle_t now = 0;
     for (auto _ : state) {
         for (std::uint32_t p = 0; p < 4; ++p) {
             if (se.port_can_accept(p)) {
                 mem_request r;
-                r.level_deadline = now + rand.uniform_u64(10, 500);
+                r.level_deadline = now + gen.uniform_u64(10, 500);
                 se.port_push(p, r);
             }
         }
@@ -64,7 +64,7 @@ BENCHMARK(bm_scale_element_tick);
 
 void bm_memory_controller_tick(benchmark::State& state) {
     memory_controller mc;
-    rng rand(3);
+    rng gen(3);
     std::uint64_t seq = 0;
     cycle_t now = 0;
     for (auto _ : state) {
@@ -96,11 +96,11 @@ BENCHMARK(bm_sbf);
 
 void bm_dbf_taskset(benchmark::State& state) {
     const auto n = static_cast<std::uint32_t>(state.range(0));
-    rng rand(4);
+    rng gen(4);
     analysis::task_set tasks;
     for (std::uint32_t i = 0; i < n; ++i) {
-        const std::uint64_t period = rand.uniform_u64(50, 2000);
-        tasks.push_back({period, rand.uniform_u64(1, period / 4)});
+        const std::uint64_t period = gen.uniform_u64(50, 2000);
+        tasks.push_back({period, gen.uniform_u64(1, period / 4)});
     }
     std::uint64_t t = 1;
     for (auto _ : state) {
@@ -111,11 +111,11 @@ void bm_dbf_taskset(benchmark::State& state) {
 BENCHMARK(bm_dbf_taskset)->Arg(4)->Arg(16)->Arg(64);
 
 void bm_schedulability_test(benchmark::State& state) {
-    rng rand(5);
+    rng gen(5);
     analysis::task_set tasks;
     for (int i = 0; i < 8; ++i) {
-        const std::uint64_t period = rand.uniform_u64(100, 2000);
-        tasks.push_back({period, rand.uniform_u64(1, period / 16)});
+        const std::uint64_t period = gen.uniform_u64(100, 2000);
+        tasks.push_back({period, gen.uniform_u64(1, period / 16)});
     }
     const analysis::resource_interface iface{64, 24};
     for (auto _ : state) {
@@ -125,11 +125,11 @@ void bm_schedulability_test(benchmark::State& state) {
 BENCHMARK(bm_schedulability_test);
 
 void bm_select_interface(benchmark::State& state) {
-    rng rand(6);
+    rng gen(6);
     analysis::task_set tasks;
     for (int i = 0; i < 4; ++i) {
-        const std::uint64_t period = rand.uniform_u64(100, 1000);
-        tasks.push_back({period, rand.uniform_u64(1, period / 16)});
+        const std::uint64_t period = gen.uniform_u64(100, 1000);
+        tasks.push_back({period, gen.uniform_u64(1, period / 16)});
     }
     for (auto _ : state) {
         benchmark::DoNotOptimize(
@@ -139,8 +139,8 @@ void bm_select_interface(benchmark::State& state) {
 BENCHMARK(bm_select_interface);
 
 void bm_tree_selection_16_clients(benchmark::State& state) {
-    rng rand(7);
-    auto sets = workload::make_client_tasksets(rand, 16, 0.8, 0.8);
+    rng gen(7);
+    auto sets = workload::make_client_tasksets(gen, 16, 0.8, 0.8);
     std::vector<analysis::task_set> rt;
     for (const auto& s : sets) rt.push_back(workload::to_rt_tasks(s));
     for (auto _ : state) {

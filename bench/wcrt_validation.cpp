@@ -43,11 +43,11 @@ struct trial_result {
 trial_result run_trial(std::uint32_t n_clients, double util_lo,
                        double util_hi, cycle_t cycles,
                        std::uint64_t seed) {
-    rng rand(seed);
+    rng gen(seed);
     workload::taskset_params params;
     params.min_period_units = 40;
     params.max_period_units = 600;
-    auto tasksets = workload::make_client_tasksets(rand, n_clients,
+    auto tasksets = workload::make_client_tasksets(gen, n_clients,
                                                    util_lo, util_hi);
     std::vector<analysis::task_set> rt;
     for (const auto& ts : tasksets) {

@@ -27,11 +27,11 @@ int main(int argc, char** argv) {
     constexpr std::uint32_t n_clients = n_processors + n_has;
     constexpr std::uint32_t unit_cycles = 4;
 
-    rng rand(2022);
+    rng gen(2022);
 
     // 1. Build the software: 20 automotive tasks spread round-robin over
     //    the processors, topped up with interference tasks.
-    auto app = workload::make_case_study_tasks(rand, n_processors);
+    auto app = workload::make_case_study_tasks(gen, n_processors);
     std::vector<workload::compute_task_set> per_proc(n_processors);
     for (std::size_t i = 0; i < app.size(); ++i) {
         per_proc[i % n_processors].push_back(app[i]);
@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
     for (auto& tasks : per_proc) {
         double u = workload::compute_utilization(tasks);
         while (u + 0.02 < target_util) {
-            auto t = workload::make_interference_task(rand, next_id++,
+            auto t = workload::make_interference_task(gen, next_id++,
                                                       0.1);
             u += t.compute_utilization();
             tasks.push_back(std::move(t));
@@ -58,8 +58,9 @@ int main(int argc, char** argv) {
     ha_cfg.bandwidth_share = 1.0 / n_clients;
     for (std::uint32_t h = 0; h < n_has; ++h) {
         rt[n_processors + h].push_back(
-            {static_cast<std::uint64_t>(ha_cfg.burst_requests) /
-                 ha_cfg.bandwidth_share,
+            {static_cast<std::uint64_t>(
+                 static_cast<double>(ha_cfg.burst_requests) /
+                 ha_cfg.bandwidth_share),
              ha_cfg.burst_requests});
     }
     const auto selection = analysis::select_tree_interfaces(rt);

@@ -53,10 +53,10 @@ void print_record(const core::admission_record& rec) {
 
 int main() {
     constexpr std::uint32_t n_clients = 64;
-    rng rand(7);
+    rng gen(7);
 
     // Moderate load so there is headroom for the workload change.
-    auto tasksets = workload::make_client_tasksets(rand, n_clients, 0.6,
+    auto tasksets = workload::make_client_tasksets(gen, n_clients, 0.6,
                                                    0.6);
     std::vector<analysis::task_set> rt;
     for (const auto& ts : tasksets) {

@@ -26,8 +26,8 @@ int main(int argc, char** argv) {
     // 1. Generate a random real-time workload: each client runs a few
     //    periodic tasks; together they demand `total_util` of the memory
     //    system's throughput.
-    rng rand(42);
-    auto tasksets = workload::make_client_tasksets(rand, n_clients,
+    rng gen(42);
+    auto tasksets = workload::make_client_tasksets(gen, n_clients,
                                                    total_util, total_util);
 
     // 2. Resolve the interface selection problems bottom-up (Sec. 5):

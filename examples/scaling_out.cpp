@@ -30,8 +30,8 @@ struct scale_result {
 
 scale_result run_scale(std::uint32_t n_clients, double total_util,
                        cycle_t cycles) {
-    rng rand(77);
-    auto tasksets = workload::make_client_tasksets(rand, n_clients,
+    rng gen(77);
+    auto tasksets = workload::make_client_tasksets(gen, n_clients,
                                                    total_util, total_util);
     core::bluescale_ic fabric(n_clients);
     memory_controller mem;
@@ -98,9 +98,9 @@ int main() {
     // over independent channels.
     std::printf("\n256 clients at 140%% of one channel's capacity:\n");
     for (std::uint32_t channels : {1u, 2u}) {
-        rng rand(99);
+        rng gen(99);
         auto tasksets =
-            workload::make_client_tasksets(rand, 256, 1.4, 1.4);
+            workload::make_client_tasksets(gen, 256, 1.4, 1.4);
         core::meshed_config cfg;
         cfg.channels = channels;
         cfg.interleave_bytes = 64;

@@ -26,8 +26,8 @@ constexpr cycle_t k_cycles = 30'000;
 /// Phase 1: run a synthetic workload on BlueScale and record every
 /// completed transaction.
 workload::trace record_phase(double utilization) {
-    rng rand(31);
-    auto tasksets = workload::make_client_tasksets(rand, k_clients,
+    rng gen(31);
+    auto tasksets = workload::make_client_tasksets(gen, k_clients,
                                                    utilization, utilization);
     core::bluescale_ic fabric(k_clients);
     memory_controller mem;

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Static-analysis gate, runnable locally exactly like check_tsan.sh /
+# check_asan_ubsan.sh:
+#   1. builds with the hardened warning profile (BLUESCALE_WERROR=ON:
+#      -Wall -Wextra -Wpedantic -Wshadow -Wconversion, all -Werror);
+#   2. runs detlint (the project's determinism & real-time-safety lint)
+#      over src/, bench/ and examples/ -- zero unsuppressed findings is
+#      the merge bar;
+#   3. if clang-tidy is installed, runs the curated .clang-tidy profile
+#      against compile_commands.json (skipped with a notice otherwise, so
+#      the script stays usable in minimal containers).
+#
+#   $ scripts/check_detlint.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build_dir="${1:-build-lint}"
+
+cmake -B "$build_dir" -S . -DBLUESCALE_WERROR=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$build_dir" -j"$(nproc)"
+
+"$build_dir/tools/detlint/detlint" src bench examples
+
+"$build_dir/tests/bluescale_lint_tests" --gtest_brief=1
+
+if command -v clang-tidy >/dev/null 2>&1; then
+    # clang-tidy reads the check list from .clang-tidy at the repo root;
+    # compile_commands.json is always exported (see top CMakeLists.txt).
+    mapfile -t sources < <(find src bench examples -name '*.cpp' | sort)
+    if command -v run-clang-tidy >/dev/null 2>&1; then
+        run-clang-tidy -quiet -p "$build_dir" "${sources[@]}"
+    else
+        clang-tidy -quiet -p "$build_dir" "${sources[@]}"
+    fi
+else
+    echo "clang-tidy not installed; skipping the clang-tidy pass" \
+         "(detlint + BLUESCALE_WERROR still enforced)."
+fi
+
+echo "detlint check passed."

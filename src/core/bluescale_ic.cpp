@@ -50,11 +50,11 @@ bluescale_ic::bluescale_ic(std::uint32_t n_clients, bluescale_config cfg,
                     .get();
             const std::uint32_t port =
                 analysis::quadtree_shape::parent_port(y);
-            const std::uint32_t link = se_linear_index(l, y);
+            const std::uint32_t link_idx = se_linear_index(l, y);
             levels_[l][y]->bind_sink(
                 [parent, port] { return parent->port_can_accept(port); },
-                [this, parent, port, link](mem_request r) {
-                    if (link_faults_[link].active(now_)) {
+                [this, parent, port, link_idx](mem_request r) {
+                    if (link_faults_[link_idx].active(now_)) {
                         note_dropped();
                         return;
                     }

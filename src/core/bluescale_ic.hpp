@@ -98,9 +98,9 @@ private:
     [[nodiscard]] std::uint32_t
     response_port(std::uint32_t level, client_id_t c) const {
         std::uint32_t shift = shape_.leaf_level - level;
-        std::uint32_t div = 1;
-        while (shift-- > 0) div *= analysis::k_se_fanin;
-        return (c / div) % analysis::k_se_fanin;
+        std::uint32_t divisor = 1;
+        while (shift-- > 0) divisor *= analysis::k_se_fanin;
+        return (c / divisor) % analysis::k_se_fanin;
     }
 
     /// Demux-network step: move responses one SE hop toward the clients.

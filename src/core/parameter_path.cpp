@@ -157,13 +157,13 @@ model_client_update(analysis::tree_selection selection,
 
     // Serial wave up the request path: each selector reloads the changed
     // entries, recomputes the single affected port, and forwards.
-    std::uint64_t clock = 0;
+    std::uint64_t wave_cycles = 0;
     std::uint32_t order = shape.leaf_se_of_client(client);
     std::uint32_t port = shape.leaf_port_of_client(client);
-    clock += clients[client].size() * costs.cycles_per_entry;
-    clock += selection_cycles(clients[client], u_level, cfg, costs,
+    wave_cycles += clients[client].size() * costs.cycles_per_entry;
+    wave_cycles += selection_cycles(clients[client], u_level, cfg, costs,
                               &selection.levels[depth][order].ports[port]);
-    report.level_finish_cycles[depth] = clock;
+    report.level_finish_cycles[depth] = wave_cycles;
     ++report.ses_involved;
 
     for (std::uint32_t l = depth; l-- > 0;) {
@@ -176,14 +176,14 @@ model_client_update(analysis::tree_selection selection,
         port = quadtree_shape::parent_port(child);
         const task_set tasks =
             child_server_tasks(selection.levels[l + 1][child]);
-        clock += tasks.size() * costs.cycles_per_entry;
-        clock += selection_cycles(tasks, u_children, cfg, costs,
+        wave_cycles += tasks.size() * costs.cycles_per_entry;
+        wave_cycles += selection_cycles(tasks, u_children, cfg, costs,
                                   &selection.levels[l][order].ports[port]);
-        report.level_finish_cycles[l] = clock;
+        report.level_finish_cycles[l] = wave_cycles;
         ++report.ses_involved;
     }
 
-    report.total_cycles = clock;
+    report.total_cycles = wave_cycles;
     selection.root_bandwidth = selection.levels[0][0].total_bandwidth();
     selection.failure.clear();
     selection.feasible = selection.root_bandwidth <= 1.0 + 1e-9;

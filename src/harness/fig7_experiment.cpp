@@ -16,11 +16,11 @@ namespace {
 /// Builds each processor's task set: the 20 app tasks spread round-robin
 /// plus interference tasks topping utilization up to the target.
 std::vector<workload::compute_task_set>
-build_processor_tasks(rng& rand, std::uint32_t n_processors,
+build_processor_tasks(rng& gen, std::uint32_t n_processors,
                       double target_utilization, double mem_scale) {
     std::vector<workload::compute_task_set> per_proc(n_processors);
     const auto app =
-        workload::make_case_study_tasks(rand, n_processors, mem_scale);
+        workload::make_case_study_tasks(gen, n_processors, mem_scale);
     for (std::size_t i = 0; i < app.size(); ++i) {
         per_proc[i % n_processors].push_back(app[i]);
     }
@@ -29,10 +29,10 @@ build_processor_tasks(rng& rand, std::uint32_t n_processors,
         double u = workload::compute_utilization(tasks);
         while (u < target_utilization) {
             const double chunk = std::min(target_utilization - u,
-                                          rand.uniform_real(0.05, 0.15));
+                                          gen.uniform_real(0.05, 0.15));
             if (chunk < 0.01) break;
             tasks.push_back(workload::make_interference_task(
-                rand, next_id++, chunk, mem_scale));
+                gen, next_id++, chunk, mem_scale));
             u += chunk;
         }
     }
@@ -87,11 +87,11 @@ std::uint64_t fig7_trial_seed(const fig7_config& cfg, double utilization,
 bool run_fig7_trial(ic_kind kind, const fig7_config& cfg,
                     double target_utilization, std::uint64_t trial_seed,
                     double* app_miss_ratio) {
-    rng rand(trial_seed);
+    rng gen(trial_seed);
     const std::uint32_t n_clients = cfg.n_processors + cfg.n_accelerators;
 
     const auto per_proc =
-        build_processor_tasks(rand, cfg.n_processors, target_utilization,
+        build_processor_tasks(gen, cfg.n_processors, target_utilization,
                               cfg.mem_intensity_scale);
 
     workload::dnn_config ha_cfg;

@@ -88,7 +88,7 @@ compute_task_set automotive_function_tasks() {
     return fixed_profile_set(k_function_profiles, 10);
 }
 
-compute_task_set make_case_study_tasks(rng& rand,
+compute_task_set make_case_study_tasks(rng& gen,
                                        std::uint32_t n_processors,
                                        double mem_intensity_scale) {
     compute_task_set out;
@@ -98,11 +98,11 @@ compute_task_set make_case_study_tasks(rng& rand,
         for (std::size_t i = 0; i < count; ++i) {
             // Random period, log-uniform 4k..40k cycles; compute
             // utilization ~25 +/- 10% of the hosting processor.
-            const double log_period = rand.uniform_real(std::log(4000.0),
+            const double log_period = gen.uniform_real(std::log(4000.0),
                                                         std::log(40000.0));
             const auto period = static_cast<cycle_t>(
                 std::llround(std::exp(log_period)));
-            const double util = rand.uniform_real(0.15, 0.35);
+            const double util = gen.uniform_real(0.15, 0.35);
             out.push_back(from_profile(profiles[i], next_id++, period,
                                        util, mem_intensity_scale));
         }
@@ -112,13 +112,13 @@ compute_task_set make_case_study_tasks(rng& rand,
     return out;
 }
 
-compute_task make_interference_task(rng& rand, task_id_t id,
+compute_task make_interference_task(rng& gen, task_id_t id,
                                     double utilization,
                                     double mem_intensity_scale) {
     profile p{"eembc_interference", task_category::interference,
-              rand.uniform_real(2.0, 20.0)};
+              gen.uniform_real(2.0, 20.0)};
     const double log_period =
-        rand.uniform_real(std::log(2000.0), std::log(20000.0));
+        gen.uniform_real(std::log(2000.0), std::log(20000.0));
     const auto period =
         static_cast<cycle_t>(std::llround(std::exp(log_period)));
     return from_profile(p, id, period, utilization, mem_intensity_scale);

@@ -30,13 +30,13 @@ namespace bluescale::workload {
 /// `mem_intensity_scale` multiplies every profile's memory demand
 /// (calibration knob for how memory-bound the case study is).
 [[nodiscard]] compute_task_set
-make_case_study_tasks(rng& rand, std::uint32_t n_processors,
+make_case_study_tasks(rng& gen, std::uint32_t n_processors,
                       double mem_intensity_scale = 1.0);
 
 /// EEMBC-like interference task raising one processor's utilization by
 /// `utilization`; memory intensity varied by the generator.
 [[nodiscard]] compute_task
-make_interference_task(rng& rand, task_id_t id, double utilization,
+make_interference_task(rng& gen, task_id_t id, double utilization,
                        double mem_intensity_scale = 1.0);
 
 } // namespace bluescale::workload

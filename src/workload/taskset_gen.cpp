@@ -18,13 +18,13 @@ analysis::task_set to_rt_tasks(const memory_task_set& tasks) {
     return out;
 }
 
-std::vector<double> uunifast(rng& rand, std::uint32_t n,
+std::vector<double> uunifast(rng& gen, std::uint32_t n,
                              double total_utilization) {
     std::vector<double> u(n);
     double sum = total_utilization;
     for (std::uint32_t i = 0; i + 1 < n; ++i) {
         const double next =
-            sum * std::pow(rand.uniform_unit(),
+            sum * std::pow(gen.uniform_unit(),
                            1.0 / static_cast<double>(n - i - 1));
         u[i] = sum - next;
         sum = next;
@@ -33,12 +33,12 @@ std::vector<double> uunifast(rng& rand, std::uint32_t n,
     return u;
 }
 
-memory_task_set make_taskset(rng& rand, const taskset_params& params) {
+memory_task_set make_taskset(rng& gen, const taskset_params& params) {
     memory_task_set tasks;
     if (params.n_tasks == 0) return tasks;
 
     const auto utils =
-        uunifast(rand, params.n_tasks, params.total_utilization);
+        uunifast(gen, params.n_tasks, params.total_utilization);
     const double log_lo = std::log(static_cast<double>(params.min_period_units));
     const double log_hi = std::log(static_cast<double>(params.max_period_units));
 
@@ -46,7 +46,7 @@ memory_task_set make_taskset(rng& rand, const taskset_params& params) {
     for (std::uint32_t i = 0; i < params.n_tasks; ++i) {
         memory_task t;
         t.id = static_cast<task_id_t>(i + 1);
-        const double log_period = rand.uniform_real(log_lo, log_hi);
+        const double log_period = gen.uniform_real(log_lo, log_hi);
         t.period_units =
             std::max<std::uint64_t>(1,
                                     static_cast<std::uint64_t>(
@@ -69,24 +69,24 @@ memory_task_set make_taskset(rng& rand, const taskset_params& params) {
         // A job can never demand more than its period supplies.
         t.requests_per_job = static_cast<std::uint32_t>(
             std::min<std::uint64_t>(t.requests_per_job, t.period_units));
-        t.writes = rand.uniform_unit() < params.write_fraction;
+        t.writes = gen.uniform_unit() < params.write_fraction;
         tasks.push_back(t);
     }
     return tasks;
 }
 
 std::vector<memory_task_set>
-make_client_tasksets(rng& rand, std::uint32_t n_clients,
+make_client_tasksets(rng& gen, std::uint32_t n_clients,
                      double lo_total_utilization,
                      double hi_total_utilization,
                      const taskset_params& per_client_template) {
     const double total =
-        rand.uniform_real(lo_total_utilization, hi_total_utilization);
+        gen.uniform_real(lo_total_utilization, hi_total_utilization);
     // Random (UUniFast) split across clients: real systems have heavy and
     // light clients, which is exactly what deadline-agnostic arbitration
     // handles poorly. Cap any one client at 4x its fair share so a single
     // leaf port is never structurally overloaded.
-    auto shares = uunifast(rand, n_clients, total);
+    auto shares = uunifast(gen, n_clients, total);
     const double cap = 4.0 * total / static_cast<double>(n_clients);
     double spill = 0.0;
     for (auto& s : shares) {
@@ -104,7 +104,7 @@ make_client_tasksets(rng& rand, std::uint32_t n_clients,
     for (std::uint32_t c = 0; c < n_clients; ++c) {
         taskset_params p = per_client_template;
         p.total_utilization = shares[c];
-        sets.push_back(make_taskset(rand, p));
+        sets.push_back(make_taskset(gen, p));
     }
     return sets;
 }

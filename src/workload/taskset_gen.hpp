@@ -22,21 +22,21 @@ struct taskset_params {
 
 /// UUniFast (Bini & Buttazzo): draws n utilizations that sum to U,
 /// uniformly over the valid simplex.
-[[nodiscard]] std::vector<double> uunifast(rng& rand, std::uint32_t n,
+[[nodiscard]] std::vector<double> uunifast(rng& gen, std::uint32_t n,
                                            double total_utilization);
 
 /// Generates one client's task set. Periods are log-uniform in
 /// [min, max] units; each task's request count is u_i * T_i rounded to at
 /// least one transaction, so the achieved utilization can deviate slightly
 /// from the target (use `utilization()` for the realized value).
-[[nodiscard]] memory_task_set make_taskset(rng& rand,
+[[nodiscard]] memory_task_set make_taskset(rng& gen,
                                            const taskset_params& params);
 
 /// Generates task sets for `n_clients` clients whose *combined* utilization
 /// is drawn uniformly in [lo, hi] (the paper's 70-90% interconnect
 /// utilization), split evenly across clients.
 [[nodiscard]] std::vector<memory_task_set>
-make_client_tasksets(rng& rand, std::uint32_t n_clients,
+make_client_tasksets(rng& gen, std::uint32_t n_clients,
                      double lo_total_utilization,
                      double hi_total_utilization,
                      const taskset_params& per_client_template = {});

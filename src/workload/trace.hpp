@@ -7,8 +7,8 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "interconnect/interconnect.hpp"
@@ -63,7 +63,10 @@ private:
     trace records_; ///< this client's slice, issue-cycle ordered
     interconnect& net_;
     std::size_t next_ = 0;
-    std::unordered_map<request_id_t, cycle_t> outstanding_deadline_;
+    // finalize() iterates this into stats_.missed/abandoned, so the
+    // container must have a deterministic order (detlint: unordered-iter).
+    // An ordered map also keeps any future per-request reporting stable.
+    std::map<request_id_t, cycle_t> outstanding_deadline_;
     client_stats stats_;
     request_id_t next_request_id_;
 };

@@ -132,8 +132,8 @@ TEST(bluescale_ic, configured_fabric_still_delivers_everything) {
     for (cycle_t now = 0; now < 8000; ++now) {
         for (client_id_t c = 0; c < 16; ++c) {
             if (now % 800 == c * 50 && r.net.client_can_accept(c)) {
-                r.net.client_push(
-                    c, req(pushed++, c, now + 2000, pushed * 64));
+                const std::uint64_t id = pushed++;
+                r.net.client_push(c, req(id, c, now + 2000, id * 64));
             }
         }
         r.sim.step();
@@ -148,8 +148,8 @@ TEST(bluescale_ic, no_loss_under_saturating_load) {
     for (cycle_t now = 0; now < 4000; ++now) {
         for (client_id_t c = 0; c < 16; ++c) {
             if (r.net.client_can_accept(c) && pushed < 2000) {
-                r.net.client_push(
-                    c, req(pushed++, c, now + 100'000, pushed * 64));
+                const std::uint64_t id = pushed++;
+                r.net.client_push(c, req(id, c, now + 100'000, id * 64));
             }
         }
         r.sim.step();
@@ -195,8 +195,8 @@ TEST(bluescale_ic, ideal_and_demux_models_agree_at_low_rate) {
         for (cycle_t now = 0; now < 4000; ++now) {
             const client_id_t c = static_cast<client_id_t>(now / 64 % 16);
             if (now % 64 == 0 && r.net.client_can_accept(c)) {
-                r.net.client_push(c, req(pushed++, c, now + 100'000,
-                                         pushed * 64));
+                const std::uint64_t id = pushed++;
+                r.net.client_push(c, req(id, c, now + 100'000, id * 64));
             }
             r.sim.step();
         }

@@ -45,8 +45,8 @@ struct system_rig {
             clients.push_back(std::make_unique<workload::traffic_generator>(
                 c, tasksets[c], *net, seed * 1000 + c));
         }
-        net->set_response_handler([this](mem_request&& r) {
-            clients[r.client]->on_response(std::move(r));
+        net->set_response_handler([this](mem_request&& resp) {
+            clients[resp.client]->on_response(std::move(resp));
         });
         for (auto& c : clients) sim.add(*c);
         sim.add(*net);
@@ -111,8 +111,8 @@ TEST_P(end_to_end, sixty_four_clients_functional) {
 
 INSTANTIATE_TEST_SUITE_P(designs, end_to_end,
                          ::testing::ValuesIn(k_all_kinds),
-                         [](const auto& info) {
-                             switch (info.param) {
+                         [](const auto& pinfo) {
+                             switch (pinfo.param) {
                              case ic_kind::axi_icrt: return "axi_icrt";
                              case ic_kind::bluetree: return "bluetree";
                              case ic_kind::bluetree_smooth:
@@ -121,6 +121,8 @@ INSTANTIATE_TEST_SUITE_P(designs, end_to_end,
                              case ic_kind::gsmtree_fbsp:
                                  return "gsmtree_fbsp";
                              case ic_kind::bluescale: return "bluescale";
+                             case ic_kind::axi_hyperconnect:
+                                 return "axi_hyperconnect";
                              }
                              return "unknown";
                          });

@@ -88,8 +88,8 @@ TEST_P(metric_consistency, latency_includes_memory_service_floor) {
 
 INSTANTIATE_TEST_SUITE_P(designs, metric_consistency,
                          ::testing::ValuesIn(k_extended_kinds),
-                         [](const auto& info) {
-                             switch (info.param) {
+                         [](const auto& pinfo) {
+                             switch (pinfo.param) {
                              case ic_kind::axi_icrt: return "axi_icrt";
                              case ic_kind::bluetree: return "bluetree";
                              case ic_kind::bluetree_smooth:

@@ -126,8 +126,8 @@ TEST(axi_hyperconnect, no_loss_under_sustained_load) {
     for (cycle_t now = 0; now < 4000; ++now) {
         for (client_id_t c = 0; c < 8; ++c) {
             if (now % 32 == 4 * c && r.net.client_can_accept(c)) {
-                r.net.client_push(c, req(pushed++, c, now + 800,
-                                         pushed * 64));
+                const std::uint64_t id = pushed++;
+                r.net.client_push(c, req(id, c, now + 800, id * 64));
             }
         }
         r.sim.step();

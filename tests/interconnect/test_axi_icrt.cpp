@@ -84,7 +84,8 @@ TEST(axi_icrt, regulation_throttles_greedy_client) {
     std::uint64_t pushed = 0;
     for (cycle_t now = 0; now < 640; ++now) {
         if (r.net.client_can_accept(0)) {
-            r.net.client_push(0, req(pushed++, 0, 1'000'000, pushed * 64));
+            const std::uint64_t id = pushed++;
+            r.net.client_push(0, req(id, 0, 1'000'000, id * 64));
         }
         r.sim.step();
     }
@@ -100,7 +101,8 @@ TEST(axi_icrt, unregulated_clients_unthrottled) {
     std::uint64_t pushed = 0;
     for (cycle_t now = 0; now < 640; ++now) {
         if (r.net.client_can_accept(0)) {
-            r.net.client_push(0, req(pushed++, 0, 1'000'000, pushed * 64));
+            const std::uint64_t id = pushed++;
+            r.net.client_push(0, req(id, 0, 1'000'000, id * 64));
         }
         r.sim.step();
     }
@@ -144,8 +146,8 @@ TEST(axi_icrt, no_loss_under_sustained_load) {
     for (cycle_t now = 0; now < 4000; ++now) {
         for (client_id_t c = 0; c < 8; ++c) {
             if (now % 64 == 8 * c && r.net.client_can_accept(c)) {
-                r.net.client_push(c,
-                                  req(pushed++, c, now + 500, pushed * 64));
+                const std::uint64_t id = pushed++;
+                r.net.client_push(c, req(id, c, now + 500, id * 64));
             }
         }
         r.sim.step();

@@ -93,8 +93,8 @@ TEST(bluetree, no_requests_lost_under_sustained_load) {
     for (cycle_t now = 0; now < 3000; ++now) {
         for (client_id_t c = 0; c < 8; ++c) {
             if (now % 16 == c * 2 && r.net.client_can_accept(c)) {
-                r.net.client_push(
-                    c, req(pushed++, c, now + 400, pushed * 64));
+                const std::uint64_t id = pushed++;
+                r.net.client_push(c, req(id, c, now + 400, id * 64));
             }
         }
         r.sim.step();

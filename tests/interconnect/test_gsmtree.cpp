@@ -156,7 +156,9 @@ TEST(gsmtree, blocking_charged_against_earlier_deadlines) {
     // may or may not be blocked depending on admission phase; the metric
     // must never be charged to the LATE-deadline request though.
     for (const auto& c : r.completed) {
-        if (c.id == 2) EXPECT_EQ(c.blocked_cycles, 0u);
+        if (c.id == 2) {
+            EXPECT_EQ(c.blocked_cycles, 0u);
+        }
     }
     (void)blocked0;
 }
@@ -167,8 +169,8 @@ TEST(gsmtree, no_loss_under_sustained_load) {
     for (cycle_t now = 0; now < 4000; ++now) {
         for (client_id_t c = 0; c < 4; ++c) {
             if (now % 32 == 8 * c && r.net.client_can_accept(c)) {
-                r.net.client_push(c,
-                                  req(pushed++, c, now + 1000, pushed * 64));
+                const std::uint64_t id = pushed++;
+                r.net.client_push(c, req(id, c, now + 1000, id * 64));
             }
         }
         r.sim.step();

@@ -110,8 +110,8 @@ TEST_P(base_fuzz, different_seeds_diverge) {
 
 INSTANTIATE_TEST_SUITE_P(designs, base_fuzz,
                          ::testing::ValuesIn(k_all_kinds),
-                         [](const auto& info) {
-                             switch (info.param) {
+                         [](const auto& pinfo) {
+                             switch (pinfo.param) {
                              case ic_kind::axi_icrt: return "axi_icrt";
                              case ic_kind::bluetree: return "bluetree";
                              case ic_kind::bluetree_smooth:
@@ -120,6 +120,8 @@ INSTANTIATE_TEST_SUITE_P(designs, base_fuzz,
                              case ic_kind::gsmtree_fbsp:
                                  return "gsmtree_fbsp";
                              case ic_kind::bluescale: return "bluescale";
+                             case ic_kind::axi_hyperconnect:
+                                 return "axi_hyperconnect";
                              }
                              return "unknown";
                          });

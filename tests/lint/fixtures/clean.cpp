@@ -1,0 +1,20 @@
+// Fixture: idiomatic BlueScale code that must produce zero findings --
+// seeded rng, integral cycle math, explicit casts at the stats boundary,
+// ordered containers.
+#include <cstdint>
+#include <map>
+
+using cycle_t = std::uint64_t;
+
+struct rng {
+    explicit rng(std::uint64_t seed) : state_(seed) {}
+    std::uint64_t next() { return state_ += 0x9e3779b97f4a7c15ull; }
+    std::uint64_t state_;
+};
+
+double mean_latency(const std::map<std::uint64_t, cycle_t>& done) {
+    cycle_t total = 0;
+    for (const auto& [id, latency] : done) total += latency;
+    if (done.empty()) return 0.0;
+    return static_cast<double>(total) / static_cast<double>(done.size());
+}

@@ -1,0 +1,6 @@
+// Fixture: real-valued scaling of a cycle counter (rule float-cycle).
+#include <cstdint>
+
+using cycle_t = std::uint64_t;
+
+cycle_t padded_deadline(cycle_t deadline) { return deadline * 1.5; }

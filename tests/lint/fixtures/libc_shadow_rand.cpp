@@ -1,0 +1,10 @@
+// Fixture: a declaration named after a libc function (rule libc-shadow).
+struct rng {
+    explicit rng(unsigned long long) {}
+    unsigned long long next() { return 4; }
+};
+
+unsigned long long draw(unsigned long long trial_seed) {
+    rng rand(trial_seed);
+    return rand.next();
+}

@@ -1,0 +1,8 @@
+// Fixture: classic ifndef guard instead of #pragma once
+// (rule include-guard).
+#ifndef BLUESCALE_FIXTURE_MISSING_PRAGMA_ONCE_HPP
+#define BLUESCALE_FIXTURE_MISSING_PRAGMA_ONCE_HPP
+
+inline int answer() { return 42; }
+
+#endif

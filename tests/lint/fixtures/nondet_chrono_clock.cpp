@@ -1,0 +1,6 @@
+// Fixture: chrono clocks are banned (rule nondet-source).
+#include <chrono>
+
+long long ticks() {
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,4 @@
+// Fixture: environment reads are banned (rule nondet-source).
+#include <cstdlib>
+
+const char* lookup() { return getenv("BLUESCALE_MODE"); }

@@ -1,0 +1,4 @@
+// Fixture: libc rand() is banned (rule nondet-source).
+#include <cstdlib>
+
+int noisy_value() { return std::rand() % 7; }

@@ -1,0 +1,7 @@
+// Fixture: hardware entropy is banned (rule nondet-source).
+#include <random>
+
+unsigned seed_from_hardware() {
+    std::random_device dev;
+    return dev();
+}

@@ -1,0 +1,4 @@
+// Fixture: wall-clock time() is banned (rule nondet-source).
+#include <ctime>
+
+long stamp() { return time(nullptr); }

@@ -1,0 +1,8 @@
+// Fixture: float/cycle mix silenced inline.
+#include <cstdint>
+
+using cycle_t = std::uint64_t;
+
+cycle_t padded_deadline(cycle_t deadline) {
+    return deadline * 1.5; // detlint:allow(float-cycle): fixture only
+}

@@ -1,0 +1,3 @@
+// Fixture: missing guard silenced file-wide.
+// detlint:allow-file(include-guard): generated-header fixture
+inline int answer() { return 42; }

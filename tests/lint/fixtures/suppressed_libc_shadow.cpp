@@ -1,0 +1,11 @@
+// Fixture: libc shadowing silenced file-wide.
+// detlint:allow-file(libc-shadow): fixture exercises file-wide allows
+struct rng {
+    explicit rng(unsigned long long) {}
+    unsigned long long next() { return 4; }
+};
+
+unsigned long long draw(unsigned long long trial_seed) {
+    rng rand(trial_seed);
+    return rand.next();
+}

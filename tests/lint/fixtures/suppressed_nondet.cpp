@@ -1,0 +1,8 @@
+// Fixture: same finding as nondet_rand_call.cpp, silenced by an
+// annotated suppression.
+#include <cstdlib>
+
+int noisy_value() {
+    return std::rand() % 7; // detlint:allow(nondet-source): fixture proves
+                            // suppression works; never do this in src/
+}

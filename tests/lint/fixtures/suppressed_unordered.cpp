@@ -1,0 +1,12 @@
+// Fixture: unordered iteration silenced with a justification comment on
+// the preceding line.
+#include <cstdint>
+#include <unordered_map>
+
+std::uint64_t total(const std::unordered_map<int, std::uint64_t>& by_id) {
+    std::uint64_t sum = 0;
+    std::unordered_map<int, std::uint64_t> tally = by_id;
+    // detlint:allow(unordered-iter): sum is order-independent commutative
+    for (const auto& [id, v] : tally) sum += v;
+    return sum;
+}

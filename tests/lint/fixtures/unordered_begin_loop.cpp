@@ -1,0 +1,9 @@
+// Fixture: explicit iterator walk of an unordered container
+// (rule unordered-iter).
+#include <unordered_set>
+
+int first_or_zero(const std::unordered_set<int>& pool) {
+    std::unordered_set<int> live = pool;
+    auto it = live.begin();
+    return it == live.end() ? 0 : *it;
+}

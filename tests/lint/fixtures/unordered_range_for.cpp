@@ -1,0 +1,10 @@
+// Fixture: range-for over an unordered container (rule unordered-iter).
+#include <cstdint>
+#include <unordered_map>
+
+std::uint64_t total(const std::unordered_map<int, std::uint64_t>& by_id) {
+    std::uint64_t sum = 0;
+    std::unordered_map<int, std::uint64_t> tally = by_id;
+    for (const auto& [id, v] : tally) sum += v;
+    return sum;
+}

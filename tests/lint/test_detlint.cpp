@@ -1,0 +1,248 @@
+// detlint's own test suite: every fixture under tests/lint/fixtures/
+// violates exactly one rule and must be flagged with that rule id;
+// the suppressed_* twins carry a detlint:allow and must scan clean.
+// A second group drives the engine on in-memory sources to pin down the
+// subtler contracts (cross-file member facts, suppression placement,
+// rule filtering) that the fixtures can't express one file at a time.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "engine.hpp"
+
+namespace {
+
+using detlint::scan_options;
+using detlint::scan_result;
+
+std::string fixture(const std::string& name) {
+    return std::string(DETLINT_FIXTURE_DIR) + "/" + name;
+}
+
+scan_result scan_fixture(const std::string& name) {
+    return detlint::scan_files({fixture(name)}, scan_options{});
+}
+
+void expect_only_rule(const scan_result& r, const std::string& rule) {
+    ASSERT_FALSE(r.findings.empty()) << "expected a " << rule << " finding";
+    for (const auto& f : r.findings) {
+        EXPECT_EQ(f.rule, rule) << f.path << ":" << f.line << " " << f.message;
+        EXPECT_GT(f.line, 0u);
+    }
+    EXPECT_TRUE(r.suppressed.empty());
+}
+
+struct seeded_case {
+    const char* file;
+    const char* rule;
+};
+
+constexpr seeded_case k_seeded[] = {
+    {"nondet_random_device.cpp", "nondet-source"},
+    {"nondet_rand_call.cpp", "nondet-source"},
+    {"nondet_time_call.cpp", "nondet-source"},
+    {"nondet_chrono_clock.cpp", "nondet-source"},
+    {"nondet_getenv.cpp", "nondet-source"},
+    {"unordered_range_for.cpp", "unordered-iter"},
+    {"unordered_begin_loop.cpp", "unordered-iter"},
+    {"float_cycle_mix.cpp", "float-cycle"},
+    {"libc_shadow_rand.cpp", "libc-shadow"},
+    {"missing_pragma_once.hpp", "include-guard"},
+};
+
+TEST(detlint_fixtures, each_seeded_violation_is_flagged_with_its_rule) {
+    for (const auto& c : k_seeded) {
+        SCOPED_TRACE(c.file);
+        expect_only_rule(scan_fixture(c.file), c.rule);
+    }
+}
+
+TEST(detlint_fixtures, allow_annotations_silence_each_rule) {
+    const char* suppressed[] = {
+        "suppressed_nondet.cpp",    "suppressed_unordered.cpp",
+        "suppressed_float_cycle.cpp", "suppressed_libc_shadow.cpp",
+        "suppressed_include_guard.hpp",
+    };
+    for (const auto* name : suppressed) {
+        SCOPED_TRACE(name);
+        const scan_result r = scan_fixture(name);
+        EXPECT_TRUE(r.findings.empty())
+            << r.findings.front().message << " (line "
+            << r.findings.front().line << ")";
+        EXPECT_FALSE(r.suppressed.empty())
+            << "the seeded violation disappeared -- fixture is stale";
+    }
+}
+
+TEST(detlint_fixtures, no_suppress_mode_reports_allowed_findings) {
+    scan_options opts;
+    opts.ignore_suppressions = true;
+    const scan_result r =
+        detlint::scan_files({fixture("suppressed_nondet.cpp")}, opts);
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings.front().rule, "nondet-source");
+}
+
+TEST(detlint_fixtures, clean_idiomatic_code_has_zero_findings) {
+    const scan_result r = scan_fixture("clean.cpp");
+    EXPECT_TRUE(r.findings.empty())
+        << r.findings.front().rule << ": " << r.findings.front().message;
+}
+
+TEST(detlint_fixtures, whole_directory_scan_is_deterministic) {
+    const auto files =
+        detlint::collect_files({std::string(DETLINT_FIXTURE_DIR)});
+    ASSERT_GE(files.size(), 16u);
+    EXPECT_TRUE(std::is_sorted(files.begin(), files.end()));
+    const scan_result a = detlint::scan_files(files, scan_options{});
+    const scan_result b = detlint::scan_files(files, scan_options{});
+    ASSERT_EQ(a.findings.size(), b.findings.size());
+    for (std::size_t i = 0; i < a.findings.size(); ++i) {
+        EXPECT_EQ(a.findings[i].path, b.findings[i].path);
+        EXPECT_EQ(a.findings[i].line, b.findings[i].line);
+        EXPECT_EQ(a.findings[i].rule, b.findings[i].rule);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine contracts on in-memory sources
+
+scan_result scan_two(const std::string& hpp, const std::string& cpp) {
+    return detlint::scan_sources(
+        {{"fake/widget.hpp", hpp}, {"fake/widget.cpp", cpp}},
+        scan_options{});
+}
+
+TEST(detlint_engine, header_member_facts_reach_the_cpp) {
+    // The live bug class this rule exists for: the member is declared
+    // unordered in the header, the nondeterministic iteration sits in the
+    // .cpp. Per-file analysis would miss it.
+    const scan_result r = scan_two(
+        "#pragma once\n"
+        "#include <unordered_map>\n"
+        "struct widget {\n"
+        "    std::unordered_map<int, long> outstanding_;\n"
+        "};\n",
+        "#include \"widget.hpp\"\n"
+        "long drain(widget& w) {\n"
+        "    long sum = 0;\n"
+        "    for (const auto& [k, v] : w.outstanding_) sum += v;\n"
+        "    return sum;\n"
+        "}\n");
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings.front().rule, "unordered-iter");
+    EXPECT_EQ(r.findings.front().path, "fake/widget.cpp");
+    EXPECT_EQ(r.findings.front().line, 4u);
+}
+
+TEST(detlint_engine, cycle_member_facts_reach_the_cpp) {
+    const scan_result r = scan_two(
+        "#pragma once\n"
+        "using cycle_t = unsigned long long;\n"
+        "struct widget { cycle_t horizon_ = 0; };\n",
+        "#include \"widget.hpp\"\n"
+        "void stretch(widget& w) { w.horizon_ = w.horizon_ * 1.25; }\n");
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings.front().rule, "float-cycle");
+    EXPECT_EQ(r.findings.front().path, "fake/widget.cpp");
+}
+
+TEST(detlint_engine, generic_local_names_do_not_leak_across_files) {
+    // `p` is double in one file and a cycle counter in another; neither
+    // file mixes types internally, so neither may be flagged.
+    const scan_result r = detlint::scan_sources(
+        {{"fake/a.cpp", "double scale(double p) { return p * 2.0; }\n"},
+         {"fake/b.cpp",
+          "using cycle_t = unsigned long long;\n"
+          "cycle_t twice(cycle_t p) { return p * 2; }\n"}},
+        scan_options{});
+    EXPECT_TRUE(r.findings.empty())
+        << r.findings.front().message;
+}
+
+TEST(detlint_engine, static_cast_boundary_is_the_sanctioned_idiom) {
+    const scan_result r = detlint::scan_sources(
+        {{"fake/a.cpp",
+          "using cycle_t = unsigned long long;\n"
+          "double to_us(cycle_t n_cycles, double us_per_cycle) {\n"
+          "    return static_cast<double>(n_cycles) * us_per_cycle;\n"
+          "}\n"}},
+        scan_options{});
+    EXPECT_TRUE(r.findings.empty()) << r.findings.front().message;
+}
+
+TEST(detlint_engine, analysis_and_hwcost_may_do_real_arithmetic) {
+    const std::string body =
+        "using cycle_t = unsigned long long;\n"
+        "double sbf(cycle_t window) { return window * 0.5; }\n";
+    const scan_result flagged = detlint::scan_sources(
+        {{"src/sim/foo.cpp", body}}, scan_options{});
+    ASSERT_EQ(flagged.findings.size(), 1u);
+    EXPECT_EQ(flagged.findings.front().rule, "float-cycle");
+    const scan_result exempt = detlint::scan_sources(
+        {{"src/analysis/foo.cpp", body}, {"src/hwcost/bar.cpp", body}},
+        scan_options{});
+    EXPECT_TRUE(exempt.findings.empty());
+}
+
+TEST(detlint_engine, rule_filter_restricts_the_run) {
+    scan_options opts;
+    opts.rules.insert("include-guard");
+    const scan_result r = detlint::scan_files(
+        {fixture("nondet_rand_call.cpp"), fixture("missing_pragma_once.hpp")},
+        opts);
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings.front().rule, "include-guard");
+}
+
+TEST(detlint_engine, declarations_are_not_confused_with_calls) {
+    // `rng rand(seed)` is a shadowing declaration, not a call to rand();
+    // `std::rand()` is a call, not a declaration.
+    const scan_result r = detlint::scan_sources(
+        {{"fake/a.cpp",
+          "struct rng { explicit rng(int) {} };\n"
+          "void f(int seed) { rng rand(seed); }\n"
+          "int g() { return std::rand(); }\n"}},
+        scan_options{});
+    ASSERT_EQ(r.findings.size(), 2u);
+    EXPECT_EQ(r.findings[0].line, 2u);
+    EXPECT_EQ(r.findings[0].rule, "libc-shadow");
+    EXPECT_EQ(r.findings[1].line, 3u);
+    EXPECT_EQ(r.findings[1].rule, "nondet-source");
+}
+
+TEST(detlint_engine, member_access_is_not_a_libc_shadow) {
+    const scan_result r = detlint::scan_sources(
+        {{"fake/a.cpp",
+          "struct stats { unsigned long completed; };\n"
+          "unsigned long f(const stats& s) { return s.completed + 1; }\n"
+          "struct cfg { double time_scale; };\n"
+          "double g(const cfg& c) { return c.time_scale; }\n"}},
+        scan_options{});
+    EXPECT_TRUE(r.findings.empty()) << r.findings.front().message;
+}
+
+TEST(detlint_engine, pragma_once_header_is_clean) {
+    const scan_result r = detlint::scan_sources(
+        {{"fake/a.hpp",
+          "// leading comment is fine\n"
+          "#pragma once\n"
+          "#include <vector>\n"
+          "inline int f() { return 1; }\n"}},
+        scan_options{});
+    EXPECT_TRUE(r.findings.empty()) << r.findings.front().message;
+}
+
+TEST(detlint_engine, suppression_must_name_the_right_rule) {
+    // An allow for a different rule does not silence the finding.
+    const scan_result r = detlint::scan_sources(
+        {{"fake/a.cpp",
+          "#include <cstdlib>\n"
+          "int f() { return std::rand(); } // detlint:allow(float-cycle)\n"}},
+        scan_options{});
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings.front().rule, "nondet-source");
+}
+
+} // namespace

@@ -26,7 +26,9 @@ TEST(table, columns_align_to_widest_cell) {
     while (pos < s.size()) {
         const std::size_t nl = s.find('\n', pos);
         const std::size_t len = nl - pos;
-        if (prev != std::string::npos) EXPECT_EQ(len, prev);
+        if (prev != std::string::npos) {
+            EXPECT_EQ(len, prev);
+        }
         prev = len;
         pos = nl + 1;
     }

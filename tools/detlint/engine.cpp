@@ -1,0 +1,153 @@
+#include "engine.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+namespace detlint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+[[nodiscard]] bool lintable(const fs::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".hpp" ||
+           ext == ".h" || ext == ".hh" || ext == ".hxx";
+}
+
+/// Per-file suppression table parsed from `detlint:allow(...)` comments.
+struct suppressions {
+    std::set<std::string> file_wide;
+    std::map<std::uint32_t, std::set<std::string>> by_line;
+
+    [[nodiscard]] bool covers(const finding& f) const {
+        if (file_wide.count(f.rule) != 0 || file_wide.count("*") != 0) {
+            return true;
+        }
+        const auto it = by_line.find(f.line);
+        if (it == by_line.end()) return false;
+        return it->second.count(f.rule) != 0 || it->second.count("*") != 0;
+    }
+};
+
+/// Parses one comment body for `detlint:allow(...)` / `allow-file(...)`.
+/// Grammar:  detlint:allow(rule[,rule...])[: justification]
+void parse_allow(const comment& com, suppressions& sup) {
+    const std::string& s = com.text;
+    std::size_t pos = 0;
+    while ((pos = s.find("detlint:allow", pos)) != std::string::npos) {
+        std::size_t p = pos + std::string("detlint:allow").size();
+        bool file_wide = false;
+        if (s.compare(p, 5, "-file") == 0) {
+            file_wide = true;
+            p += 5;
+        }
+        if (p >= s.size() || s[p] != '(') {
+            pos = p;
+            continue;
+        }
+        const std::size_t close = s.find(')', p);
+        if (close == std::string::npos) break;
+        std::string list = s.substr(p + 1, close - p - 1);
+        std::replace(list.begin(), list.end(), ',', ' ');
+        std::istringstream iss(list);
+        std::string rule;
+        while (iss >> rule) {
+            if (file_wide) {
+                sup.file_wide.insert(rule);
+            } else if (com.own_line) {
+                // A standalone comment blesses the line after it (block
+                // comments: the line after their last line).
+                sup.by_line[com.last_line + 1].insert(rule);
+            } else {
+                sup.by_line[com.first_line].insert(rule);
+            }
+        }
+        pos = close;
+    }
+}
+
+[[nodiscard]] suppressions parse_suppressions(const lexed_file& file) {
+    suppressions sup;
+    for (const comment& com : file.comments) parse_allow(com, sup);
+    return sup;
+}
+
+[[nodiscard]] scan_result run(const std::vector<lexed_file>& lexed,
+                              const scan_options& opts) {
+    tree_context ctx;
+    for (const lexed_file& f : lexed) collect(f, ctx);
+    scan_result result;
+    result.files_scanned = lexed.size();
+    for (const lexed_file& f : lexed) {
+        std::vector<finding> raw;
+        check(f, ctx, opts.rules, raw);
+        const suppressions sup = parse_suppressions(f);
+        for (finding& fd : raw) {
+            if (!opts.ignore_suppressions && sup.covers(fd)) {
+                result.suppressed.push_back(std::move(fd));
+            } else {
+                result.findings.push_back(std::move(fd));
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace
+
+std::vector<std::string>
+collect_files(const std::vector<std::string>& paths) {
+    std::vector<std::string> files;
+    for (const std::string& p : paths) {
+        const fs::path path(p);
+        if (fs::is_directory(path)) {
+            for (const auto& entry :
+                 fs::recursive_directory_iterator(path)) {
+                if (entry.is_regular_file() && lintable(entry.path())) {
+                    files.push_back(entry.path().string());
+                }
+            }
+        } else if (fs::is_regular_file(path)) {
+            files.push_back(path.string());
+        }
+    }
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+    return files;
+}
+
+scan_result scan_files(const std::vector<std::string>& files,
+                       const scan_options& opts) {
+    std::vector<lexed_file> lexed;
+    lexed.reserve(files.size());
+    for (const std::string& path : files) {
+        std::ifstream in(path, std::ios::binary);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        lexed.push_back(lex(path, buf.str()));
+    }
+    return run(lexed, opts);
+}
+
+scan_result
+scan_sources(const std::vector<std::pair<std::string, std::string>>& sources,
+             const scan_options& opts) {
+    std::vector<lexed_file> lexed;
+    lexed.reserve(sources.size());
+    for (const auto& [path, text] : sources) lexed.push_back(lex(path, text));
+    return run(lexed, opts);
+}
+
+void print_findings(std::ostream& out, const std::vector<finding>& findings) {
+    for (const finding& f : findings) {
+        out << f.path << ":" << f.line << ": [" << f.rule << "] " << f.message
+            << "\n";
+    }
+}
+
+} // namespace detlint

@@ -1,0 +1,46 @@
+// detlint engine: walks the requested paths, runs the two rule phases,
+// applies `// detlint:allow(<rule>)` suppressions and reports findings.
+#pragma once
+
+#include <iosfwd>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace detlint {
+
+struct scan_options {
+    /// Rule ids to run; empty = all rules.
+    std::set<std::string> rules;
+    /// When true, suppressed findings are reported too (fixture debugging).
+    bool ignore_suppressions = false;
+};
+
+struct scan_result {
+    std::vector<finding> findings;   ///< unsuppressed (reported) findings
+    std::vector<finding> suppressed; ///< silenced by detlint:allow
+    std::size_t files_scanned = 0;
+};
+
+/// Expands `paths` (files or directories, recursed for C++ sources) into a
+/// sorted file list. Sorting keeps reports byte-identical run to run --
+/// directory iteration order is as unspecified as the containers detlint
+/// polices.
+[[nodiscard]] std::vector<std::string>
+collect_files(const std::vector<std::string>& paths);
+
+/// Lints `files` (two-phase: collect facts, then check).
+[[nodiscard]] scan_result scan_files(const std::vector<std::string>& files,
+                                     const scan_options& opts);
+
+/// Lints in-memory source text (used by the fixture tests).
+[[nodiscard]] scan_result
+scan_sources(const std::vector<std::pair<std::string, std::string>>& sources,
+             const scan_options& opts);
+
+/// Prints findings as `file:line: [rule-id] message`, one per line.
+void print_findings(std::ostream& out, const std::vector<finding>& findings);
+
+} // namespace detlint

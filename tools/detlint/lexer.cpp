@@ -1,0 +1,306 @@
+#include "lexer.hpp"
+
+#include <array>
+#include <cctype>
+#include <string_view>
+
+namespace detlint {
+
+namespace {
+
+[[nodiscard]] bool ident_start(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+[[nodiscard]] bool ident_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+[[nodiscard]] bool digit(char c) {
+    return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+// Multi-character punctuators detlint's rules care about. Longest match
+// first; anything else falls back to a single-character token.
+constexpr std::array<std::string_view, 22> k_multi_punct = {
+    "<<=", ">>=", "...", "->*", "::", "->", "++", "--", "<<", ">>",
+    "<=",  ">=",  "==",  "!=",  "&&", "||", "+=", "-=", "*=", "/=",
+    "%=",  "^=",
+};
+
+class cursor {
+public:
+    explicit cursor(const std::string& text) : text_(text) {}
+
+    [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+    [[nodiscard]] char peek(std::size_t ahead = 0) const {
+        return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+    }
+    [[nodiscard]] std::uint32_t line() const { return line_; }
+    [[nodiscard]] std::size_t pos() const { return pos_; }
+    [[nodiscard]] bool at_line_start() const { return only_ws_on_line_; }
+
+    char advance() {
+        const char c = text_[pos_++];
+        if (c == '\n') {
+            ++line_;
+            only_ws_on_line_ = true;
+        } else if (std::isspace(static_cast<unsigned char>(c)) == 0) {
+            only_ws_on_line_ = false;
+        }
+        return c;
+    }
+
+    [[nodiscard]] std::string_view slice(std::size_t from) const {
+        return std::string_view(text_).substr(from, pos_ - from);
+    }
+
+private:
+    const std::string& text_;
+    std::size_t pos_ = 0;
+    std::uint32_t line_ = 1;
+    bool only_ws_on_line_ = true;
+};
+
+void lex_line_comment(cursor& c, lexed_file& out, bool own_line) {
+    comment com;
+    com.first_line = com.last_line = c.line();
+    com.own_line = own_line;
+    c.advance(); // '/'
+    c.advance(); // '/'
+    const std::size_t start = c.pos();
+    while (!c.eof() && c.peek() != '\n') c.advance();
+    com.text = std::string(c.slice(start));
+    out.comments.push_back(std::move(com));
+}
+
+void lex_string(cursor& c, lexed_file& out) {
+    token t;
+    t.kind = tok_kind::string_lit;
+    t.line = c.line();
+    // Raw string literal: R"delim( ... )delim"
+    if (c.peek() == 'R' && c.peek(1) == '"') {
+        c.advance(); // R
+        c.advance(); // "
+        std::string delim;
+        while (!c.eof() && c.peek() != '(') delim += c.advance();
+        if (!c.eof()) c.advance(); // '('
+        const std::string close = ")" + delim + "\"";
+        std::string body;
+        while (!c.eof()) {
+            bool at_close = c.peek() == ')';
+            for (std::size_t i = 0; at_close && i < close.size(); ++i) {
+                if (c.peek(i) != close[i]) at_close = false;
+            }
+            if (at_close) {
+                for (std::size_t i = 0; i < close.size(); ++i) c.advance();
+                break;
+            }
+            body += c.advance();
+        }
+        t.text = std::move(body);
+        out.tokens.push_back(std::move(t));
+        return;
+    }
+    c.advance(); // opening quote
+    std::string body;
+    while (!c.eof() && c.peek() != '"' && c.peek() != '\n') {
+        if (c.peek() == '\\') {
+            body += c.advance();
+            if (!c.eof()) body += c.advance();
+            continue;
+        }
+        body += c.advance();
+    }
+    if (!c.eof() && c.peek() == '"') c.advance();
+    t.text = std::move(body);
+    out.tokens.push_back(std::move(t));
+}
+
+void lex_char(cursor& c, lexed_file& out) {
+    token t;
+    t.kind = tok_kind::char_lit;
+    t.line = c.line();
+    c.advance(); // opening quote
+    std::string body;
+    while (!c.eof() && c.peek() != '\'' && c.peek() != '\n') {
+        if (c.peek() == '\\') {
+            body += c.advance();
+            if (!c.eof()) body += c.advance();
+            continue;
+        }
+        body += c.advance();
+    }
+    if (!c.eof() && c.peek() == '\'') c.advance();
+    t.text = std::move(body);
+    out.tokens.push_back(std::move(t));
+}
+
+void lex_number(cursor& c, lexed_file& out) {
+    token t;
+    t.kind = tok_kind::number;
+    t.line = c.line();
+    const std::size_t start = c.pos();
+    const bool hex = c.peek() == '0' && (c.peek(1) == 'x' || c.peek(1) == 'X');
+    bool is_float = false;
+    while (!c.eof()) {
+        const char ch = c.peek();
+        if (digit(ch) || ch == '\'' || ident_char(ch)) {
+            if (!hex && (ch == 'e' || ch == 'E') &&
+                (c.peek(1) == '+' || c.peek(1) == '-')) {
+                is_float = true;
+                c.advance(); // e
+                c.advance(); // sign
+                continue;
+            }
+            if (hex && (ch == 'p' || ch == 'P') &&
+                (c.peek(1) == '+' || c.peek(1) == '-')) {
+                is_float = true;
+                c.advance();
+                c.advance();
+                continue;
+            }
+            if (!hex && (ch == 'f' || ch == 'F')) is_float = true;
+            if (!hex && (ch == 'e' || ch == 'E')) is_float = true;
+            c.advance();
+            continue;
+        }
+        if (ch == '.') {
+            is_float = true;
+            c.advance();
+            continue;
+        }
+        break;
+    }
+    t.text = std::string(c.slice(start));
+    // Hex floats require a 'p' exponent; 0x1f is an integer.
+    t.is_float = hex ? t.text.find('p') != std::string::npos ||
+                           t.text.find('P') != std::string::npos
+                     : is_float;
+    out.tokens.push_back(std::move(t));
+}
+
+void lex_pp_directive(cursor& c, lexed_file& out) {
+    token t;
+    t.kind = tok_kind::pp_directive;
+    t.line = c.line();
+    std::string text;
+    while (!c.eof() && c.peek() != '\n') {
+        if (c.peek() == '\\' && c.peek(1) == '\n') {
+            c.advance();
+            c.advance();
+            text += ' ';
+            continue;
+        }
+        // A comment ends the directive's interesting text.
+        if (c.peek() == '/' && (c.peek(1) == '/' || c.peek(1) == '*')) break;
+        text += c.advance();
+    }
+    // Normalize interior whitespace runs so rules can string-match.
+    std::string norm;
+    bool ws = false;
+    for (const char ch : text) {
+        if (std::isspace(static_cast<unsigned char>(ch)) != 0) {
+            ws = true;
+            continue;
+        }
+        if (ws && !norm.empty()) norm += ' ';
+        ws = false;
+        norm += ch;
+    }
+    t.text = std::move(norm);
+    out.tokens.push_back(std::move(t));
+}
+
+} // namespace
+
+lexed_file lex(std::string path, const std::string& text) {
+    lexed_file out;
+    out.path = std::move(path);
+    cursor c(text);
+    while (!c.eof()) {
+        const char ch = c.peek();
+        if (ch == '/' && c.peek(1) == '/') {
+            lex_line_comment(c, out, c.at_line_start());
+            continue;
+        }
+        if (ch == '/' && c.peek(1) == '*') {
+            const bool own = c.at_line_start();
+            // Re-lex block comments with correct body capture.
+            comment com;
+            com.first_line = c.line();
+            com.own_line = own;
+            c.advance();
+            c.advance();
+            const std::size_t start = c.pos();
+            std::size_t len = 0;
+            while (!c.eof() && !(c.peek() == '*' && c.peek(1) == '/')) {
+                c.advance();
+                ++len;
+            }
+            com.text = text.substr(start, len);
+            if (!c.eof()) {
+                c.advance();
+                c.advance();
+            }
+            com.last_line = c.line();
+            out.comments.push_back(std::move(com));
+            continue;
+        }
+        if (ch == '#' && c.at_line_start()) {
+            lex_pp_directive(c, out);
+            continue;
+        }
+        if (ch == '"' || (ch == 'R' && c.peek(1) == '"')) {
+            lex_string(c, out);
+            continue;
+        }
+        if (ch == '\'') {
+            lex_char(c, out);
+            continue;
+        }
+        if (digit(ch) || (ch == '.' && digit(c.peek(1)))) {
+            lex_number(c, out);
+            continue;
+        }
+        if (ident_start(ch)) {
+            token t;
+            t.kind = tok_kind::identifier;
+            t.line = c.line();
+            const std::size_t start = c.pos();
+            while (!c.eof() && ident_char(c.peek())) c.advance();
+            t.text = std::string(c.slice(start));
+            out.tokens.push_back(std::move(t));
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(ch)) != 0) {
+            c.advance();
+            continue;
+        }
+        token t;
+        t.kind = tok_kind::punct;
+        t.line = c.line();
+        bool matched = false;
+        for (const auto mp : k_multi_punct) {
+            bool ok = true;
+            for (std::size_t i = 0; i < mp.size(); ++i) {
+                if (c.peek(i) != mp[i]) {
+                    ok = false;
+                    break;
+                }
+            }
+            if (ok) {
+                for (std::size_t i = 0; i < mp.size(); ++i) c.advance();
+                t.text = std::string(mp);
+                matched = true;
+                break;
+            }
+        }
+        if (!matched) t.text = std::string(1, c.advance());
+        out.tokens.push_back(std::move(t));
+    }
+    out.n_lines = c.line();
+    return out;
+}
+
+} // namespace detlint

@@ -1,0 +1,51 @@
+// Lightweight C++ tokenizer for detlint.
+//
+// This is deliberately NOT a conforming C++ lexer: detlint's rules only
+// need identifiers, literals, punctuation and comments with accurate line
+// numbers. Preprocessor directives are captured as single tokens (so
+// `#pragma once` is visible to the include-guard rule without dragging a
+// preprocessor in), and comments are kept on the side so the suppression
+// parser can find `detlint:allow(...)` annotations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace detlint {
+
+enum class tok_kind : std::uint8_t {
+    identifier,
+    number,
+    string_lit,
+    char_lit,
+    punct,
+    pp_directive, ///< one token per directive, text without continuations
+};
+
+struct token {
+    tok_kind kind = tok_kind::punct;
+    std::string text;
+    std::uint32_t line = 0; ///< 1-based line of the token's first character
+    bool is_float = false;  ///< numbers only: has '.', exponent or f suffix
+};
+
+struct comment {
+    std::uint32_t first_line = 0;
+    std::uint32_t last_line = 0; ///< == first_line for `//` comments
+    bool own_line = false;       ///< only whitespace precedes it on its line
+    std::string text;            ///< body without the comment markers
+};
+
+struct lexed_file {
+    std::string path;
+    std::vector<token> tokens; ///< comments excluded, source order
+    std::vector<comment> comments;
+    std::uint32_t n_lines = 0;
+};
+
+/// Tokenizes `text` (the contents of `path`). Never throws on malformed
+/// input: unterminated literals/comments simply end at EOF.
+[[nodiscard]] lexed_file lex(std::string path, const std::string& text);
+
+} // namespace detlint

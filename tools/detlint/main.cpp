@@ -1,0 +1,100 @@
+// detlint -- BlueScale's determinism & real-time-safety lint.
+//
+//   $ detlint [options] <file-or-dir>...
+//
+// Scans C++ sources for project-specific hazards that no generic compiler
+// warning catches: nondeterminism sources (wall clocks, unseeded entropy),
+// unordered-container iteration feeding deterministic output, lossy
+// float/cycle arithmetic, libc-shadowing identifiers and missing include
+// guards. Exit status: 0 = clean, 1 = unsuppressed findings, 2 = usage or
+// I/O error.
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "engine.hpp"
+
+namespace {
+
+void usage(std::ostream& out) {
+    out << "usage: detlint [options] <file-or-dir>...\n"
+           "  --rules=<id,...>  run only the listed rules\n"
+           "  --list-rules      print the rule catalogue and exit\n"
+           "  --no-suppress     report findings even when detlint:allow'd\n"
+           "  --quiet           suppress the summary line on stderr\n"
+           "suppress a finding with  // detlint:allow(<rule>): reason\n"
+           "(same line or the line above; detlint:allow-file(<rule>) for a "
+           "whole file)\n";
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    detlint::scan_options opts;
+    std::vector<std::string> paths;
+    bool quiet = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--list-rules") {
+            for (const auto& r : detlint::all_rules()) {
+                std::cout << r.id << "\n    " << r.summary << "\n";
+            }
+            return 0;
+        }
+        if (arg == "--no-suppress") {
+            opts.ignore_suppressions = true;
+            continue;
+        }
+        if (arg == "--quiet") {
+            quiet = true;
+            continue;
+        }
+        if (arg.rfind("--rules=", 0) == 0) {
+            std::string list = arg.substr(std::strlen("--rules="));
+            std::size_t start = 0;
+            while (start <= list.size()) {
+                const std::size_t comma = list.find(',', start);
+                const std::string id =
+                    list.substr(start, comma == std::string::npos
+                                           ? std::string::npos
+                                           : comma - start);
+                if (!id.empty()) {
+                    if (!detlint::known_rule(id)) {
+                        std::cerr << "detlint: unknown rule '" << id
+                                  << "' (see --list-rules)\n";
+                        return 2;
+                    }
+                    opts.rules.insert(id);
+                }
+                if (comma == std::string::npos) break;
+                start = comma + 1;
+            }
+            continue;
+        }
+        if (arg.rfind("--", 0) == 0) {
+            std::cerr << "detlint: unknown option '" << arg << "'\n";
+            usage(std::cerr);
+            return 2;
+        }
+        paths.push_back(arg);
+    }
+    if (paths.empty()) {
+        usage(std::cerr);
+        return 2;
+    }
+
+    const std::vector<std::string> files = detlint::collect_files(paths);
+    if (files.empty()) {
+        std::cerr << "detlint: no C++ sources under the given paths\n";
+        return 2;
+    }
+    const detlint::scan_result result = detlint::scan_files(files, opts);
+    detlint::print_findings(std::cout, result.findings);
+    if (!quiet) {
+        std::cerr << "detlint: " << result.files_scanned << " file(s), "
+                  << result.findings.size() << " finding(s), "
+                  << result.suppressed.size() << " suppressed\n";
+    }
+    return result.findings.empty() ? 0 : 1;
+}

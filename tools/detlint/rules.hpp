@@ -1,0 +1,73 @@
+// detlint rule registry: the project-specific determinism and
+// real-time-safety invariants checked at lint time.
+//
+// Rules run in two phases so cross-file facts (e.g. "this member was
+// declared std::unordered_map in the header") are visible when the .cpp
+// that iterates it is checked:
+//   1. collect(): every file contributes declared-name facts to a shared
+//      tree_context;
+//   2. check(): every file is scanned against the rules, consulting the
+//      completed context.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace detlint {
+
+struct finding {
+    std::string path;
+    std::uint32_t line = 0;
+    std::string rule;
+    std::string message;
+};
+
+/// Declared-name type facts for one scope (the whole tree for members,
+/// one file for locals/parameters).
+struct typed_names {
+    std::set<std::string> cycle;   ///< declared cycle_t
+    std::set<std::string> flt;     ///< declared double/float
+    std::set<std::string> integer; ///< declared with an integer type
+};
+
+/// Facts gathered over the whole scanned tree before checking starts.
+///
+/// Member names (trailing underscore, the project's style) are tracked
+/// globally so a header's declaration informs the .cpp that uses it;
+/// locals and parameters are tracked per file -- generic names like `p`
+/// or `hi` mean different things in different files, and cross-file
+/// pooling of those would drown the float-cycle rule in false positives.
+struct tree_context {
+    /// Names declared with std::unordered_{map,set,multimap,multiset} type.
+    std::set<std::string> unordered_names;
+    typed_names members;
+    std::map<std::string, typed_names> locals_by_file;
+};
+
+struct rule_info {
+    const char* id;
+    const char* summary;
+};
+
+/// The rule catalogue, in reporting order.
+[[nodiscard]] const std::vector<rule_info>& all_rules();
+
+/// True if `id` names a known rule.
+[[nodiscard]] bool known_rule(const std::string& id);
+
+/// Phase 1: harvest declared-name facts from one file.
+void collect(const lexed_file& file, tree_context& ctx);
+
+/// Phase 2: append findings for one file. Only rules whose id is in
+/// `enabled` run (empty set = all rules). Findings are appended in token
+/// order, so output is deterministic for a fixed file order.
+void check(const lexed_file& file, const tree_context& ctx,
+           const std::set<std::string>& enabled,
+           std::vector<finding>& out);
+
+} // namespace detlint
