@@ -6,11 +6,16 @@
 //
 //   $ ./bench/fig6_synthetic [--trials N] [--cycles N] [--threads N]
 //                            [--seed N] [--csv out.csv]
+//                            [--metrics out.csv] [--trace out.json]
 //
 // (legacy positional form: fig6_synthetic [trials] [cycles] [out.csv])
 //
 // --csv dumps one row per (scale, design) with the raw aggregates for
 // plotting; the file is byte-identical for any --threads setting.
+// --metrics dumps the BlueScale design's merged obs::registry snapshot
+// and --trace its trial-0 event trace (.json = chrome://tracing), both
+// at the 16-generator scale; the metrics file is likewise byte-identical
+// for any --threads setting.
 #include <cstdio>
 
 #include "harness/bench_cli.hpp"
@@ -23,13 +28,16 @@ using namespace bluescale::harness;
 namespace {
 
 void run_scale(std::uint32_t n_clients, const bench_options& opts,
-               stats::csv_writer* csv) {
+               stats::csv_writer* csv, bool export_obs) {
     fig6_config cfg;
     cfg.n_clients = n_clients;
     cfg.trials = opts.trials;
     cfg.measure_cycles = opts.measure_cycles;
     cfg.seed = opts.seed;
     cfg.threads = opts.threads;
+    cfg.collect_metrics = export_obs && !opts.metrics_path.empty();
+    cfg.collect_trace = export_obs && !opts.trace_path.empty();
+    cfg.profile = opts.profile;
 
     std::printf("\n=== Fig. 6(%c): %u traffic generators, %u trials, "
                 "%llu cycles/trial, utilization 70-90%% ===\n",
@@ -38,6 +46,8 @@ void run_scale(std::uint32_t n_clients, const bench_options& opts,
 
     stats::table t({"design", "blocking lat (us)", "+/- sd", "worst (us)",
                     "miss ratio", "+/- sd", "sys clk (MHz)"});
+    stats::table prof_t({"design", "sim Mcyc/s", "sim wall (s)",
+                         "sweep wall (s)"});
     for (const auto& r : run_fig6_all(cfg)) {
         t.add_row({kind_name(r.kind),
                    stats::table::num(r.blocking_us.mean(), 3),
@@ -55,8 +65,31 @@ void run_scale(std::uint32_t n_clients, const bench_options& opts,
                           std::to_string(r.miss_ratio.stddev()),
                           std::to_string(r.system_clock_mhz)});
         }
+        if (r.kind == ic_kind::bluescale) {
+            if (cfg.collect_metrics) write_bench_metrics(opts, r.metrics);
+            if (cfg.collect_trace) write_bench_trace(opts, r.trace);
+        }
+        if (opts.profile) {
+            const auto count = [&r](const char* name) {
+                const obs::metric_value* v = r.profile.find(name);
+                return v == nullptr ? 0.0 : static_cast<double>(v->count);
+            };
+            const double sim_s = count("profile/sim/wall_ns") * 1e-9;
+            const double mcyc = count("profile/sim/cycles") * 1e-6;
+            prof_t.add_row(
+                {kind_name(r.kind),
+                 stats::table::num(sim_s == 0.0 ? 0.0 : mcyc / sim_s, 2),
+                 stats::table::num(sim_s, 2),
+                 stats::table::num(count("profile/sweep/wall_ns") * 1e-9,
+                                   2)});
+        }
     }
     t.print();
+    if (opts.profile) {
+        std::printf("\nsimulator profile (wall clock, nondeterministic; "
+                    "see obs::k_metric_profile):\n");
+        prof_t.print();
+    }
 }
 
 } // namespace
@@ -76,7 +109,7 @@ int main(int argc, char** argv) {
 
     std::printf("Fig. 6 reproduction: blocking latency and deadline miss "
                 "ratio, six interconnects\n");
-    run_scale(16, opts, csv.get());
-    run_scale(64, opts, csv.get());
+    run_scale(16, opts, csv.get(), /*export_obs=*/true);
+    run_scale(64, opts, csv.get(), /*export_obs=*/false);
     return 0;
 }

@@ -1,8 +1,10 @@
 // Latency breakdown (extension experiment A11 in DESIGN.md): where does a
 // memory transaction's time go inside a configured BlueScale fabric?
-// Every SE records the queueing time of each request it forwards
-// (arrival-at-SE -> grant); this bench aggregates those per tree level,
-// alongside the memory controller's share, across the utilization range.
+// Every request carries a compact per-hop stamp vector (RAB admission,
+// per-level server grant -- see obs::hop_stamps); this bench reads those
+// attribution stamps straight off completed responses and aggregates them
+// per tree level, alongside the memory controller's share, across the
+// utilization range.
 //
 //   $ ./bench/latency_breakdown [--cycles N]
 #include <cstdio>
@@ -13,6 +15,7 @@
 #include "core/bluescale_ic.hpp"
 #include "harness/bench_cli.hpp"
 #include "mem/memory_controller.hpp"
+#include "obs/hop_stamps.hpp"
 #include "sim/simulator.hpp"
 #include "stats/table.hpp"
 #include "workload/taskset_gen.hpp"
@@ -51,14 +54,31 @@ int main(int argc, char** argv) {
         fabric.attach_memory(mem);
 
         std::vector<std::unique_ptr<workload::traffic_generator>> clients;
+        const std::uint32_t depth = fabric.shape().leaf_level;
+        std::vector<stats::running_summary> per_level(depth + 1);
         stats::running_summary mem_time, end_to_end;
         for (std::uint32_t c = 0; c < n_clients; ++c) {
             clients.push_back(
                 std::make_unique<workload::traffic_generator>(
                     c, tasksets[c], fabric, 300 + c));
         }
+        // Per-hop attribution off the response's stamp vector: the wait at
+        // level l runs from arrival (grant at level l+1, plus the one-cycle
+        // hop; RAB admission at the leaf) to the level-l grant, and the
+        // memory stage from the root grant's handoff to mem_done.
         fabric.set_response_handler([&](mem_request&& r) {
-            mem_time.add(static_cast<double>(r.mem_done - r.hop_arrival));
+            const obs::hop_stamps& h = r.hops;
+            for (std::uint32_t l = 0; l <= depth; ++l) {
+                if (!h.granted_at(l)) continue;
+                const cycle_t arrived =
+                    l == depth ? h.rab_admit : h.grant_at(l + 1) + 1;
+                per_level[l].add(
+                    static_cast<double>(h.grant_at(l) - arrived));
+            }
+            if (h.granted_at(0)) {
+                mem_time.add(
+                    static_cast<double>(r.mem_done - (h.grant_at(0) + 1)));
+            }
             end_to_end.add(static_cast<double>(r.total_latency()));
             clients[r.client]->on_response(std::move(r));
         });
@@ -69,15 +89,6 @@ int main(int argc, char** argv) {
         sim.add(mem);
         sim.run(cycles);
 
-        // Aggregate SE wait stats per level (root = level 0).
-        const std::uint32_t depth = fabric.shape().leaf_level;
-        std::vector<stats::running_summary> per_level(depth + 1);
-        for (std::uint32_t l = 0; l <= depth; ++l) {
-            for (std::uint32_t y = 0; y < fabric.shape().ses_at_level(l);
-                 ++y) {
-                per_level[l].merge(fabric.se_at(l, y).wait_stats());
-            }
-        }
         t.add_row({stats::table::num(util, 2),
                    stats::table::num(per_level[depth].mean(), 1),
                    stats::table::num(per_level[1].mean(), 1),

@@ -11,13 +11,22 @@
 //
 //   $ ./bench/reconfig [--trials N] [--cycles N] [--threads N]
 //                      [--seed N] [--csv out.csv]
+//                      [--metrics out.csv] [--trace out.json]
 //
-// --csv dumps one row per (design, rate) with the raw aggregates; the
-// file is byte-identical for any --threads setting.
+// --csv dumps one row per (design, rate) with the raw aggregates (cells
+// rendered through obs::metric_cells off the experiment's metric
+// snapshot); the file is byte-identical for any --threads setting.
+// --metrics dumps the BlueScale design's merged per-trial obs::registry
+// snapshot and --trace its trial-0 event trace, both at the highest
+// request rate; the metrics file is likewise byte-identical for any
+// --threads setting.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "harness/bench_cli.hpp"
 #include "harness/reconfig_experiment.hpp"
+#include "obs/registry.hpp"
 #include "stats/table.hpp"
 
 using namespace bluescale;
@@ -46,8 +55,16 @@ void run_design(ic_kind kind, const bench_options& opts,
         cfg.seed = opts.seed;
         cfg.threads = opts.threads;
         cfg.events_per_kcycle = rate;
+        // Obs exports cover the BlueScale design at the highest request
+        // rate (the most eventful run on a timeline).
+        const bool export_obs =
+            kind == ic_kind::bluescale && rate == k_rates[2];
+        cfg.collect_metrics = export_obs && !opts.metrics_path.empty();
+        cfg.collect_trace = export_obs && !opts.trace_path.empty();
 
         const reconfig_result r = run_reconfig(kind, cfg);
+        if (cfg.collect_metrics) write_bench_metrics(opts, r.metrics);
+        if (cfg.collect_trace) write_bench_trace(opts, r.trace);
         t.add_row({stats::table::num(rate, 2),
                    std::to_string(r.submitted + r.applied_unchecked),
                    stats::table::pct(r.admission_ratio(), 1),
@@ -64,32 +81,40 @@ void run_design(ic_kind kind, const bench_options& opts,
                    std::to_string(r.shed_events) + "/" +
                        std::to_string(r.restore_events)});
         if (csv != nullptr) {
-            csv->add_row(
-                {kind_name(kind), std::to_string(rate),
-                 std::to_string(r.submitted),
-                 std::to_string(r.applied_unchecked),
-                 std::to_string(r.admitted), std::to_string(r.committed),
-                 std::to_string(r.rolled_back),
-                 std::to_string(r.rejected_infeasible),
-                 std::to_string(r.rejected_overutilized),
-                 std::to_string(r.rejected_path_hazard),
-                 std::to_string(r.admission_ratio()),
-                 std::to_string(r.reconfig_latency_cycles.mean()),
-                 std::to_string(r.reconfig_latency_cycles.max()),
-                 std::to_string(r.transition_misses),
-                 std::to_string(r.miss_ratio.mean()),
-                 std::to_string(r.miss_ratio.stddev()),
-                 std::to_string(r.hard_misses),
-                 std::to_string(r.best_effort_misses),
-                 std::to_string(r.live_reconfigurations),
-                 std::to_string(r.windows_checked),
-                 std::to_string(r.violating_windows),
-                 std::to_string(r.supply_shortfall_alarms),
-                 std::to_string(r.shed_events),
-                 std::to_string(r.restore_events),
-                 std::to_string(r.shed_client_cycles),
-                 std::to_string(r.shed_deferrals),
-                 std::to_string(r.feasible_trials)});
+            // Raw aggregate cells come off the experiment's metric
+            // snapshot through the one exporter path; only the design
+            // key and the sweep coordinate are composed here.
+            std::vector<std::string> row{kind_name(kind),
+                                         std::to_string(rate)};
+            for (auto& cell : obs::metric_cells(
+                     r.totals,
+                     {"reconfig_exp/submitted",
+                      "reconfig_exp/applied_unchecked",
+                      "reconfig_exp/admitted", "reconfig_exp/committed",
+                      "reconfig_exp/rolled_back",
+                      "reconfig_exp/rejected_infeasible",
+                      "reconfig_exp/rejected_overutilized",
+                      "reconfig_exp/rejected_path_hazard",
+                      "reconfig_exp/admission_ratio",
+                      "reconfig_exp/latency_cycles",
+                      "reconfig_exp/latency_cycles:max",
+                      "reconfig_exp/transition_misses",
+                      "reconfig_exp/miss_ratio",
+                      "reconfig_exp/miss_ratio:sd",
+                      "reconfig_exp/hard_misses",
+                      "reconfig_exp/best_effort_misses",
+                      "reconfig_exp/live_reconfigurations",
+                      "reconfig_exp/windows_checked",
+                      "reconfig_exp/violating_windows",
+                      "reconfig_exp/supply_shortfall_alarms",
+                      "reconfig_exp/shed_events",
+                      "reconfig_exp/restore_events",
+                      "reconfig_exp/shed_client_cycles",
+                      "reconfig_exp/shed_deferrals",
+                      "reconfig_exp/feasible_trials"})) {
+                row.push_back(std::move(cell));
+            }
+            csv->add_row(row);
         }
     }
     t.print();

@@ -7,13 +7,22 @@
 //
 //   $ ./bench/resilience [--trials N] [--cycles N] [--threads N]
 //                        [--seed N] [--csv out.csv]
+//                        [--metrics out.csv] [--trace out.json]
 //
-// --csv dumps one row per (design, intensity) with the raw aggregates;
-// the file is byte-identical for any --threads setting.
+// --csv dumps one row per (design, intensity) with the raw aggregates
+// (cells rendered through obs::metric_cells off the experiment's metric
+// snapshot); the file is byte-identical for any --threads setting.
+// --metrics dumps the BlueScale design's merged per-trial obs::registry
+// snapshot and --trace its trial-0 event trace, both at the highest
+// fault intensity; the metrics file is likewise byte-identical for any
+// --threads setting.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "harness/bench_cli.hpp"
 #include "harness/resilience_experiment.hpp"
+#include "obs/registry.hpp"
 #include "stats/table.hpp"
 
 using namespace bluescale;
@@ -45,8 +54,16 @@ void run_design(ic_kind kind, const bench_options& opts,
         cfg.seed = opts.seed;
         cfg.threads = opts.threads;
         cfg.fault_intensity = intensity;
+        // Obs exports cover the BlueScale design at the highest intensity
+        // (the most eventful run on a timeline).
+        const bool export_obs = kind == ic_kind::bluescale &&
+                                intensity == k_intensities[3];
+        cfg.collect_metrics = export_obs && !opts.metrics_path.empty();
+        cfg.collect_trace = export_obs && !opts.trace_path.empty();
 
         const resilience_result r = run_resilience(kind, cfg);
+        if (cfg.collect_metrics) write_bench_metrics(opts, r.metrics);
+        if (cfg.collect_trace) write_bench_trace(opts, r.trace);
         if (intensity == 0.0) {
             healthy_p99 = r.p99_latency_cycles.mean();
             healthy_worst = r.worst_latency_cycles.mean();
@@ -71,30 +88,37 @@ void run_design(ic_kind kind, const bench_options& opts,
                        std::to_string(r.recovery_events),
                    stats::table::num(r.time_to_recover_cycles.mean(), 0)});
         if (csv != nullptr) {
-            csv->add_row(
-                {kind_name(kind), std::to_string(intensity),
-                 std::to_string(r.miss_ratio.mean()),
-                 std::to_string(r.miss_ratio.stddev()),
-                 std::to_string(r.p99_latency_cycles.mean()),
-                 std::to_string(p99_inflation),
-                 std::to_string(r.worst_latency_cycles.mean()),
-                 std::to_string(worst_inflation),
-                 std::to_string(r.injected_events),
-                 std::to_string(r.stall_windows),
-                 std::to_string(r.se_stall_cycles),
-                 std::to_string(r.link_drops),
-                 std::to_string(r.ecc_retries),
-                 std::to_string(r.uncorrected_errors),
-                 std::to_string(r.storm_cycles),
-                 std::to_string(r.retries), std::to_string(r.timeouts),
-                 std::to_string(r.retry_exhausted),
-                 std::to_string(r.stale_responses),
-                 std::to_string(r.failed_responses),
-                 std::to_string(r.degrade_events),
-                 std::to_string(r.recovery_events),
-                 std::to_string(r.degraded_se_cycles),
-                 std::to_string(r.time_to_recover_cycles.mean()),
-                 std::to_string(r.feasible_trials)});
+            // Raw aggregate cells come off the experiment's metric
+            // snapshot through the one exporter path; only the design
+            // key, the sweep coordinate and the cross-run inflation
+            // ratios are composed here.
+            std::vector<std::string> row{kind_name(kind),
+                                         std::to_string(intensity)};
+            const auto append = [&](std::vector<std::string> names) {
+                for (auto& cell : obs::metric_cells(r.totals, names)) {
+                    row.push_back(std::move(cell));
+                }
+            };
+            append({"resilience/miss_ratio", "resilience/miss_ratio:sd",
+                    "resilience/p99_latency_cycles"});
+            row.push_back(std::to_string(p99_inflation));
+            append({"resilience/worst_latency_cycles"});
+            row.push_back(std::to_string(worst_inflation));
+            append({"resilience/injected_events",
+                    "resilience/stall_windows",
+                    "resilience/se_stall_cycles", "resilience/link_drops",
+                    "resilience/ecc_retries",
+                    "resilience/uncorrected_errors",
+                    "resilience/storm_cycles", "resilience/retries",
+                    "resilience/timeouts", "resilience/retry_exhausted",
+                    "resilience/stale_responses",
+                    "resilience/failed_responses",
+                    "resilience/degrade_events",
+                    "resilience/recovery_events",
+                    "resilience/degraded_se_cycles",
+                    "resilience/time_to_recover_cycles",
+                    "resilience/feasible_trials"});
+            csv->add_row(row);
         }
     }
     t.print();

@@ -95,12 +95,12 @@ trial_result run_trial(std::uint32_t n_clients, double util_lo,
     mm.initiation_interval = mem.config().initiation_interval;
     for (std::uint32_t c = 0; c < n_clients; ++c) {
         clients[c]->finalize(sim.now());
-        out.missed += clients[c]->stats().missed;
+        out.missed += clients[c]->stats().missed();
         out.missed_beyond_margin +=
-            clients[c]->stats().missed_beyond_margin;
-        out.completed += clients[c]->stats().completed;
+            clients[c]->stats().missed_beyond_margin();
+        out.completed += clients[c]->stats().completed();
         out.worst_observed = std::max(
-            out.worst_observed, clients[c]->stats().latency_cycles.max());
+            out.worst_observed, clients[c]->stats().latency_cycles().max());
         const auto bound = analysis::wcrt_bound(
             selection, c, bs_cfg.se.buffer_depth, mm);
         if (bound.bounded) {

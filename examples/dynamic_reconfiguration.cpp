@@ -29,7 +29,7 @@ namespace {
 std::uint64_t total_missed(
     const std::vector<std::unique_ptr<workload::traffic_generator>>& cs) {
     std::uint64_t n = 0;
-    for (const auto& c : cs) n += c->stats().missed;
+    for (const auto& c : cs) n += c->stats().missed();
     return n;
 }
 

@@ -91,14 +91,14 @@ int main(int argc, char** argv) {
     for (auto& c : clients) {
         c->finalize(sim.now());
         const auto& s = c->stats();
-        missed += s.missed;
-        completed += s.completed;
-        report.add_row({std::to_string(c->id()), std::to_string(s.issued),
-                        std::to_string(s.completed),
-                        std::to_string(s.missed),
-                        stats::table::num(s.latency_cycles.mean(), 1),
-                        stats::table::num(s.latency_cycles.percentile(99), 1),
-                        stats::table::num(s.blocking_cycles.mean(), 2)});
+        missed += s.missed();
+        completed += s.completed();
+        report.add_row({std::to_string(c->id()), std::to_string(s.issued()),
+                        std::to_string(s.completed()),
+                        std::to_string(s.missed()),
+                        stats::table::num(s.latency_cycles().mean(), 1),
+                        stats::table::num(s.latency_cycles().percentile(99), 1),
+                        stats::table::num(s.blocking_cycles().mean(), 2)});
     }
     report.print();
     std::printf("\nmemory transactions serviced: %llu (row hit rate %.1f%%)\n",

@@ -54,9 +54,9 @@ scale_result run_scale(std::uint32_t n_clients, double total_util,
     stats::running_summary latency;
     for (auto& c : clients) {
         c->finalize(sim.now());
-        out.completed += c->stats().completed;
-        out.missed += c->stats().missed;
-        for (double v : c->stats().latency_cycles.samples()) {
+        out.completed += c->stats().completed();
+        out.missed += c->stats().missed();
+        for (double v : c->stats().latency_cycles().samples()) {
             latency.add(v);
         }
     }

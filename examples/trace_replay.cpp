@@ -77,10 +77,10 @@ std::pair<double, std::uint64_t> replay_phase(Net& net,
     std::uint64_t missed = 0;
     for (auto& p : players) {
         p->finalize(sim.now());
-        for (double v : p->stats().latency_cycles.samples()) {
+        for (double v : p->stats().latency_cycles().samples()) {
             latency.add(v);
         }
-        missed += p->stats().missed;
+        missed += p->stats().missed();
     }
     return {latency.mean(), missed};
 }

@@ -17,6 +17,7 @@ bluescale_ic::bluescale_ic(std::uint32_t n_clients, bluescale_config cfg,
             levels_[l].push_back(std::make_unique<scale_element>(
                 "SE(" + std::to_string(l) + "," + std::to_string(y) + ")",
                 cfg_.se));
+            levels_[l].back()->set_tree_level(l);
         }
     }
 
@@ -81,6 +82,18 @@ void bluescale_ic::inject_campaign(const sim::fault_campaign& campaign) {
             se->set_stall_faults(sim::fault_window(std::move(stall[idx])));
             link_faults_[idx] = sim::fault_window(std::move(drop[idx]));
             ++idx;
+        }
+    }
+}
+
+void bluescale_ic::bind_observability(obs::registry& reg,
+                                      obs::trace_sink& sink) {
+    for (std::uint32_t l = 0; l <= shape_.leaf_level; ++l) {
+        for (std::uint32_t y = 0; y < shape_.ses_at_level(l); ++y) {
+            const std::string prefix =
+                "se." + std::to_string(l) + "." + std::to_string(y);
+            levels_[l][y]->bind_observability(
+                reg, prefix, sink.register_component(prefix));
         }
     }
 }

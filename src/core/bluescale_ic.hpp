@@ -13,6 +13,8 @@
 #include "analysis/quadtree.hpp"
 #include "analysis/tree_analysis.hpp"
 #include "core/scale_element.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "interconnect/interconnect.hpp"
 
 namespace bluescale::core {
@@ -52,6 +54,11 @@ public:
     void tick(cycle_t now) override;
     void commit() override;
     void reset() override;
+
+    /// Re-homes every SE's counters into `reg` ("se.<level>.<order>/...")
+    /// and registers one trace stream per element; call before the trial
+    /// starts.
+    void bind_observability(obs::registry& reg, obs::trace_sink& sink);
 
     /// Distributes a campaign over the fabric: se_stall events go to the
     /// targeted SE's stall window, link_drop events to the targeted SE's

@@ -6,7 +6,18 @@ namespace bluescale::core {
 
 health_monitor::health_monitor(bluescale_ic& fabric, health_config cfg)
     : component("health_monitor"), fabric_(fabric), cfg_(cfg),
-      next_check_(cfg.check_period), state_(fabric.total_ses()) {}
+      next_check_(cfg.check_period), state_(fabric.total_ses()),
+      own_(std::make_unique<obs::registry>()) {
+    bind_observability(*own_, obs::tracer{});
+}
+
+void health_monitor::bind_observability(obs::registry& reg,
+                                        obs::tracer tracer) {
+    degrade_events_ = reg.make_counter("health/degrade_events");
+    recovery_events_ = reg.make_counter("health/recovery_events");
+    time_to_recover_ = reg.make_sample("health/time_to_recover_cycles");
+    trace_ = tracer;
+}
 
 void health_monitor::tick(cycle_t now) {
     if (now < next_check_) return;
@@ -33,7 +44,7 @@ void health_monitor::check(cycle_t now) {
                     se.set_degraded(true);
                     st.degraded_since = now;
                     st.healthy_windows = 0;
-                    ++report_.degrade_events;
+                    degrade_events_.inc();
                 }
                 continue;
             }
@@ -42,8 +53,8 @@ void health_monitor::check(cycle_t now) {
                 if (++st.healthy_windows >= cfg_.recovery_windows) {
                     se.set_degraded(false);
                     st.healthy_windows = 0;
-                    ++report_.recovery_events;
-                    report_.time_to_recover.add(
+                    recovery_events_.inc();
+                    time_to_recover_.add(
                         static_cast<double>(now - st.degraded_since));
                 }
             } else {
@@ -54,8 +65,10 @@ void health_monitor::check(cycle_t now) {
 }
 
 health_report health_monitor::report() const {
-    health_report out = report_;
-    out.degraded_se_cycles = 0;
+    health_report out;
+    out.degrade_events = degrade_events_.value();
+    out.recovery_events = recovery_events_.value();
+    out.time_to_recover = time_to_recover_.values();
     const auto& shape = fabric_.shape();
     for (std::uint32_t level = 0; level <= shape.leaf_level; ++level) {
         for (std::uint32_t order = 0; order < shape.ses_at_level(level);
@@ -70,7 +83,9 @@ health_report health_monitor::report() const {
 void health_monitor::reset() {
     next_check_ = cfg_.check_period;
     for (auto& st : state_) st = element_state{};
-    report_ = health_report{};
+    degrade_events_.reset();
+    recovery_events_.reset();
+    time_to_recover_.reset();
 }
 
 } // namespace bluescale::core

@@ -7,8 +7,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "sim/component.hpp"
 #include "stats/summary.hpp"
 
@@ -30,14 +33,15 @@ struct health_config {
     std::uint32_t recovery_windows = 3;
 };
 
-/// Aggregate outcome of a trial's health supervision.
+/// Aggregate outcome of a trial's health supervision (values read out of
+/// obs handles; a result type, not mutable storage).
 struct health_report {
     std::uint64_t degrade_events = 0;  ///< healthy -> degraded transitions
     std::uint64_t recovery_events = 0; ///< degraded -> healthy transitions
     /// Total SE-cycles spent degraded (summed over elements).
     std::uint64_t degraded_se_cycles = 0;
     /// Degrade -> recovery spans, in cycles (recovered episodes only).
-    stats::running_summary time_to_recover;
+    stats::sample_set time_to_recover;
 };
 
 class health_monitor : public component {
@@ -46,6 +50,10 @@ public:
 
     void tick(cycle_t now) override;
 
+    /// Re-homes the supervision counters into `reg` under "health/..."
+    /// and attaches the trace stream; call before the trial starts.
+    void bind_observability(obs::registry& reg, obs::tracer tracer);
+
     /// Clears per-element tracking and the report (between trials).
     void reset();
 
@@ -53,10 +61,10 @@ public:
     /// Report with degraded_se_cycles refreshed from the fabric.
     [[nodiscard]] health_report report() const;
     [[nodiscard]] std::uint64_t degrade_events() const {
-        return report_.degrade_events;
+        return degrade_events_.value();
     }
     [[nodiscard]] std::uint64_t recovery_events() const {
-        return report_.recovery_events;
+        return recovery_events_.value();
     }
 
 private:
@@ -72,7 +80,13 @@ private:
     health_config cfg_;
     cycle_t next_check_;
     std::vector<element_state> state_; ///< indexed by se_linear_index
-    health_report report_;
+    /// Fallback registry for unbound instances (bind_observability
+    /// re-homes the handles).
+    std::unique_ptr<obs::registry> own_;
+    obs::counter degrade_events_;
+    obs::counter recovery_events_;
+    obs::sample time_to_recover_;
+    obs::tracer trace_;
 };
 
 } // namespace bluescale::core

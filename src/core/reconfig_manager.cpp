@@ -27,8 +27,21 @@ reconfig_manager::reconfig_manager(bluescale_ic& fabric,
                                    std::vector<analysis::task_set> tasks,
                                    reconfig_config cfg)
     : component("reconfig_manager"), fabric_(fabric), cfg_(std::move(cfg)),
-      committed_(std::move(committed)), client_tasks_(std::move(tasks)) {
+      committed_(std::move(committed)), client_tasks_(std::move(tasks)),
+      own_(std::make_unique<obs::registry>()) {
+    bind_observability(*own_, obs::tracer{});
     assert(committed_.shape.leaf_level == fabric_.shape().leaf_level);
+}
+
+void reconfig_manager::bind_observability(obs::registry& reg,
+                                          obs::tracer tracer) {
+    submitted_ = reg.make_counter("reconfig/submitted");
+    admitted_ = reg.make_counter("reconfig/admitted");
+    rejected_ = reg.make_counter("reconfig/rejected");
+    committed_count_ = reg.make_counter("reconfig/committed");
+    rolled_back_ = reg.make_counter("reconfig/rolled_back");
+    reconfig_latency_ = reg.make_sample("reconfig/latency_cycles");
+    trace_ = tracer;
 }
 
 std::uint64_t reconfig_manager::submit(std::uint32_t client,
@@ -40,7 +53,7 @@ std::uint64_t reconfig_manager::submit(std::uint32_t client,
     rec.submitted_at = now_;
     records_.push_back(rec);
     queue_.push_back({rec.id, client, std::move(tasks)});
-    ++stats_.submitted;
+    submitted_.inc();
     return rec.id;
 }
 
@@ -91,7 +104,7 @@ void reconfig_manager::start_admission(queued_request req, cycle_t now) {
         rec.outcome = admission_outcome::rejected_path_hazard;
         rec.detail = hazard;
         rec.resolved_at = now;
-        ++stats_.rejected;
+        rejected_.inc();
         resolve(rec, req.tasks);
         return;
     }
@@ -113,7 +126,7 @@ void reconfig_manager::start_admission(queued_request req, cycle_t now) {
                          ? "no feasible interface on the request path"
                          : report.selection.failure;
         rec.resolved_at = now;
-        ++stats_.rejected;
+        rejected_.inc();
         resolve(rec, req.tasks);
         return;
     }
@@ -130,8 +143,8 @@ void reconfig_manager::start_admission(queued_request req, cycle_t now) {
     staging_id_ = rec.id;
     commit_at_ = now + report.total_cycles;
     rec.outcome = admission_outcome::staged;
-    ++stats_.admitted;
-    stats_.reconfig_latency.add(static_cast<double>(report.total_cycles));
+    admitted_.inc();
+    reconfig_latency_.add(static_cast<double>(report.total_cycles));
     records_[rec.id] = rec;
 }
 
@@ -146,7 +159,9 @@ void reconfig_manager::roll_back(cycle_t now, std::string why,
     rec.outcome = admission_outcome::rolled_back;
     rec.detail = std::move(why);
     rec.resolved_at = now;
-    ++stats_.rolled_back;
+    rolled_back_.inc();
+    trace_.emit(obs::trace_event_kind::reconfig_rollback, rec.id,
+                rec.client);
     staging_ = false;
     const analysis::task_set& tasks =
         rec.client < client_tasks_.size() ? client_tasks_[rec.client]
@@ -177,7 +192,8 @@ void reconfig_manager::commit(cycle_t now) {
     staged_tasks_.clear();
     rec.outcome = admission_outcome::committed;
     rec.resolved_at = now;
-    ++stats_.committed;
+    committed_count_.inc();
+    trace_.emit(obs::trace_event_kind::reconfig_commit, rec.id, rec.client);
     const std::uint32_t c = rec.client;
     resolve(rec, c < client_tasks_.size() ? client_tasks_[c]
                                           : analysis::task_set{});

@@ -30,12 +30,15 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "analysis/tree_analysis.hpp"
 #include "core/parameter_path.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "sim/component.hpp"
 #include "stats/summary.hpp"
 
@@ -95,6 +98,8 @@ struct admission_record {
     double root_bandwidth = 0.0;
 };
 
+/// Counter snapshot of the manager's lifetime activity (values read out
+/// of obs handles; a result type, not mutable storage).
 struct reconfig_manager_stats {
     std::uint64_t submitted = 0;
     std::uint64_t admitted = 0;   ///< passed the admission test (staged)
@@ -102,7 +107,7 @@ struct reconfig_manager_stats {
     std::uint64_t committed = 0;
     std::uint64_t rolled_back = 0;
     /// Modeled propagation latency of admitted requests, in cycles.
-    stats::running_summary reconfig_latency;
+    stats::sample_set reconfig_latency;
 };
 
 class reconfig_manager : public component {
@@ -151,9 +156,15 @@ public:
         const {
         return client_tasks_;
     }
-    [[nodiscard]] const reconfig_manager_stats& stats() const {
-        return stats_;
+    [[nodiscard]] reconfig_manager_stats stats() const {
+        return {submitted_.value(),   admitted_.value(),
+                rejected_.value(),    committed_count_.value(),
+                rolled_back_.value(), reconfig_latency_.values()};
     }
+
+    /// Re-homes the admission counters into `reg` under "reconfig/..."
+    /// and attaches the trace stream; call before the trial starts.
+    void bind_observability(obs::registry& reg, obs::tracer tracer);
     [[nodiscard]] const std::vector<admission_record>& records() const {
         return records_;
     }
@@ -194,7 +205,16 @@ private:
     analysis::tree_selection staged_selection_;
     std::vector<analysis::task_set> staged_tasks_;
 
-    reconfig_manager_stats stats_;
+    /// Fallback registry for unbound instances (bind_observability
+    /// re-homes the handles).
+    std::unique_ptr<obs::registry> own_;
+    obs::counter submitted_;
+    obs::counter admitted_;
+    obs::counter rejected_;
+    obs::counter committed_count_;
+    obs::counter rolled_back_;
+    obs::sample reconfig_latency_;
+    obs::tracer trace_;
     std::vector<admission_record> records_;
     resolve_hook on_resolve_;
 };

@@ -14,11 +14,32 @@ make_buffers(std::size_t depth) {
 
 scale_element::scale_element(std::string name, se_params params)
     : component(std::move(name)), params_(params),
-      buffers_(make_buffers(params.buffer_depth)), sched_(params.policy) {}
+      buffers_(make_buffers(params.buffer_depth)), sched_(params.policy),
+      own_(std::make_unique<obs::registry>()) {
+    bind_observability(*own_, this->name(), obs::tracer{});
+}
 
 void scale_element::bind_sink(sink_ready_fn ready, sink_push_fn push) {
     sink_ready_ = std::move(ready);
     sink_push_ = std::move(push);
+}
+
+void scale_element::bind_observability(obs::registry& reg,
+                                       const std::string& prefix,
+                                       obs::tracer tracer) {
+    forwarded_ = reg.make_counter(prefix + "/forwarded");
+    forwarded_budgeted_ = reg.make_counter(prefix + "/forwarded_budgeted");
+    fault_stall_cycles_ = reg.make_counter(prefix + "/fault_stall_cycles");
+    degraded_cycles_ = reg.make_counter(prefix + "/degraded_cycles");
+    wait_stats_ = reg.make_sample(prefix + "/wait_cycles");
+    for (std::uint32_t p = 0; p < k_se_ports; ++p) {
+        const std::string port = prefix + "/port" + std::to_string(p);
+        port_forwarded_[p] = reg.make_counter(port + "/forwarded");
+        port_backlogged_cycles_[p] =
+            reg.make_counter(port + "/backlogged_cycles");
+        port_queue_depth_[p] = reg.make_gauge(port + "/queue_depth");
+    }
+    trace_ = tracer;
 }
 
 void scale_element::configure_port(std::uint32_t port,
@@ -44,24 +65,39 @@ void scale_element::tick(cycle_t now) {
     assert(sink_ready_ && sink_push_);
 
     // Time-unit boundary: the P-counters decrement; expired periods reload
-    // budgets before this cycle's scheduling decision.
-    if (now % params_.unit_cycles == 0) sched_.tick_unit();
+    // budgets before this cycle's scheduling decision. Replenishments are
+    // traced per server so budget starvation is visible on a timeline.
+    if (now % params_.unit_cycles == 0) {
+        for (std::uint32_t p = 0; p < k_se_ports; ++p) {
+            if (sched_.server(p).tick_unit()) {
+                trace_.emit(obs::trace_event_kind::server_replenish, p,
+                            sched_.server(p).budget());
+            }
+        }
+    }
 
-    if (degraded_) ++degraded_cycles_;
+    if (degraded_) degraded_cycles_.inc();
 
     // Per-port demand accounting for the supply-conformance watchdog: a
     // port is backlogged while its buffer holds work, stalled or not --
     // supply lost to a fault is still owed to the backlogged port.
     for (std::uint32_t p = 0; p < k_se_ports; ++p) {
-        if (!buffers_[p].empty()) ++port_backlogged_cycles_[p];
+        if (!buffers_[p].empty()) port_backlogged_cycles_[p].inc();
+        port_queue_depth_[p].set(
+            static_cast<std::int64_t>(buffers_[p].size()));
     }
 
     // Injected campaign stall window: the element forwards nothing
     // (counters keep running: the supply lost to the fault is genuinely
     // lost).
-    stalled_now_ = stall_faults_.active(now);
+    const bool stalled = stall_faults_.active(now);
+    if (stalled != stalled_now_) {
+        trace_.emit(stalled ? obs::trace_event_kind::fault_inject
+                            : obs::trace_event_kind::fault_recover);
+    }
+    stalled_now_ = stalled;
     if (stalled_now_) {
-        ++fault_stall_cycles_;
+        fault_stall_cycles_.inc();
         return;
     }
 
@@ -82,6 +118,8 @@ void scale_element::tick(cycle_t now) {
     mem_request granted = buffers_[*pick].fetch_earliest();
     wait_stats_.add(static_cast<double>(now - granted.hop_arrival));
     granted.hop_arrival = now + 1; // arrival at the next hop
+    granted.hops.stamp_grant(tree_level_, now);
+    trace_.emit(obs::trace_event_kind::request_grant, granted.id, *pick);
 
     // Blocking-latency measurement: requests queued anywhere in this SE
     // with an earlier deadline than the granted one wait a cycle.
@@ -92,17 +130,20 @@ void scale_element::tick(cycle_t now) {
     if (budgeted && sched_.configured()) {
         server_task& server = sched_.server(*pick);
         server.consume();
+        if (!server.has_budget()) {
+            trace_.emit(obs::trace_event_kind::server_exhaust, *pick);
+        }
         // Iterative compositional scheduling: the request now competes at
         // the next level as the forwarding server job, so it inherits the
         // server's current absolute deadline.
         granted.level_deadline =
             now + static_cast<cycle_t>(server.units_to_deadline()) *
                       params_.unit_cycles;
-        ++forwarded_budgeted_;
+        forwarded_budgeted_.inc();
     }
 
-    ++forwarded_;
-    ++port_forwarded_[*pick];
+    forwarded_.inc();
+    port_forwarded_[*pick].inc();
     sink_push_(std::move(granted));
 }
 
@@ -116,13 +157,16 @@ void scale_element::reset() {
     stall_faults_.reset();
     degraded_ = false;
     stalled_now_ = false;
-    forwarded_ = 0;
-    forwarded_budgeted_ = 0;
-    port_forwarded_.fill(0);
-    port_backlogged_cycles_.fill(0);
-    fault_stall_cycles_ = 0;
-    degraded_cycles_ = 0;
-    wait_stats_ = {};
+    forwarded_.reset();
+    forwarded_budgeted_.reset();
+    for (std::uint32_t p = 0; p < k_se_ports; ++p) {
+        port_forwarded_[p].reset();
+        port_backlogged_cycles_[p].reset();
+        port_queue_depth_[p].reset();
+    }
+    fault_stall_cycles_.reset();
+    degraded_cycles_.reset();
+    wait_stats_.reset();
 }
 
 } // namespace bluescale::core

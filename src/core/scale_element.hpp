@@ -8,11 +8,14 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "core/local_scheduler.hpp"
 #include "core/random_access_buffer.hpp"
 #include "mem/request.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "sim/component.hpp"
 #include "sim/fault.hpp"
 #include "stats/summary.hpp"
@@ -44,11 +47,26 @@ public:
     /// Wires the local provider port (parent SE port or the memory).
     void bind_sink(sink_ready_fn ready, sink_push_fn push);
 
+    /// Re-homes this element's counters into `reg` under
+    /// "<prefix>/..." / "<prefix>/port<p>/..." (e.g. "se.2.1") and
+    /// attaches the trace stream; call before the trial starts.
+    void bind_observability(obs::registry& reg, const std::string& prefix,
+                            obs::tracer tracer);
+
+    /// Distance from the tree root (root SE = 0); drives the per-level
+    /// grant stamps in mem_request::hops.
+    void set_tree_level(std::uint32_t level) { tree_level_ = level; }
+    [[nodiscard]] std::uint32_t tree_level() const { return tree_level_; }
+
     // --- local client ports ---------------------------------------------
     [[nodiscard]] bool port_can_accept(std::uint32_t port) const {
         return buffers_[port].can_load();
     }
     void port_push(std::uint32_t port, mem_request r) {
+        // First fabric hop only: stamp the RAB admission cycle (the
+        // client stamped hop_arrival when it issued).
+        if (r.hops.rab_admit == k_cycle_never) r.hops.rab_admit = r.hop_arrival;
+        trace_.emit(obs::trace_event_kind::request_enqueue, r.id, port);
         buffers_[port].load(std::move(r));
     }
 
@@ -78,11 +96,17 @@ public:
     /// EDF. Forwarded requests keep their incoming level deadline -- the
     /// (Pi, Theta) guarantee is suspended, but no supply is wasted while
     /// the element is unhealthy. Flipped by core::health_monitor.
-    void set_degraded(bool on) { degraded_ = on; }
+    void set_degraded(bool on) {
+        if (on != degraded_) {
+            trace_.emit(on ? obs::trace_event_kind::se_degrade
+                           : obs::trace_event_kind::se_recover);
+        }
+        degraded_ = on;
+    }
     [[nodiscard]] bool degraded() const { return degraded_; }
     /// Cycles this element has spent in degraded mode.
     [[nodiscard]] std::uint64_t degraded_cycles() const {
-        return degraded_cycles_;
+        return degraded_cycles_.value();
     }
     /// Campaign stall windows entered so far (injected-fault counter).
     [[nodiscard]] std::uint64_t stall_windows_entered() const {
@@ -93,15 +117,17 @@ public:
     [[nodiscard]] const random_access_buffer& buffer(std::uint32_t p) const {
         return buffers_[p];
     }
-    [[nodiscard]] std::uint64_t forwarded() const { return forwarded_; }
+    [[nodiscard]] std::uint64_t forwarded() const {
+        return forwarded_.value();
+    }
     [[nodiscard]] std::uint64_t forwarded_budgeted() const {
-        return forwarded_budgeted_;
+        return forwarded_budgeted_.value();
     }
     /// Requests forwarded on behalf of one local client port (budgeted or
     /// slack). The supply watchdog differences this over sliding windows
     /// against the port's sbf(Pi, Theta) guarantee.
     [[nodiscard]] std::uint64_t port_forwarded(std::uint32_t port) const {
-        return port_forwarded_[port];
+        return port_forwarded_[port].value();
     }
     /// Cycles the port's buffer held at least one request (the port was
     /// demanding supply). A window counts toward supply conformance only
@@ -109,18 +135,18 @@ public:
     /// to pending work, not to an idle client.
     [[nodiscard]] std::uint64_t port_backlogged_cycles(std::uint32_t port)
         const {
-        return port_backlogged_cycles_[port];
+        return port_backlogged_cycles_[port].value();
     }
     [[nodiscard]] const se_params& params() const { return params_; }
 
     /// Queueing time (arrival at this SE -> grant) of forwarded requests.
-    [[nodiscard]] const stats::running_summary& wait_stats() const {
-        return wait_stats_;
+    [[nodiscard]] const stats::sample_set& wait_stats() const {
+        return wait_stats_.values();
     }
 
     /// Cycles lost to injected stall faults.
     [[nodiscard]] std::uint64_t fault_stall_cycles() const {
-        return fault_stall_cycles_;
+        return fault_stall_cycles_.value();
     }
 
 private:
@@ -136,13 +162,19 @@ private:
     sim::fault_window stall_faults_;
     bool degraded_ = false;
     bool stalled_now_ = false;
-    std::uint64_t forwarded_ = 0;
-    std::uint64_t forwarded_budgeted_ = 0;
-    std::array<std::uint64_t, k_se_ports> port_forwarded_{};
-    std::array<std::uint64_t, k_se_ports> port_backlogged_cycles_{};
-    std::uint64_t fault_stall_cycles_ = 0;
-    std::uint64_t degraded_cycles_ = 0;
-    stats::running_summary wait_stats_;
+    std::uint32_t tree_level_ = 0;
+    /// Fallback registry for unbound instances (bind_observability
+    /// re-homes the handles).
+    std::unique_ptr<obs::registry> own_;
+    obs::counter forwarded_;
+    obs::counter forwarded_budgeted_;
+    std::array<obs::counter, k_se_ports> port_forwarded_;
+    std::array<obs::counter, k_se_ports> port_backlogged_cycles_;
+    std::array<obs::gauge, k_se_ports> port_queue_depth_;
+    obs::counter fault_stall_cycles_;
+    obs::counter degraded_cycles_;
+    obs::sample wait_stats_;
+    obs::tracer trace_;
 };
 
 } // namespace bluescale::core

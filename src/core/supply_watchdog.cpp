@@ -23,7 +23,25 @@ supply_watchdog::supply_watchdog(bluescale_ic& fabric,
     : component("supply_watchdog"), fabric_(fabric), selection_(selection),
       cfg_(cfg), next_check_(cfg.check_period),
       ports_(static_cast<std::size_t>(fabric.total_ses()) * k_se_ports),
-      restore_after_(cfg.restore_windows) {}
+      restore_after_(cfg.restore_windows),
+      own_(std::make_unique<obs::registry>()) {
+    bind_observability(*own_, obs::tracer{});
+}
+
+void supply_watchdog::bind_observability(obs::registry& reg,
+                                         obs::tracer tracer) {
+    windows_checked_ = reg.make_counter("watchdog/windows_checked");
+    violating_windows_ = reg.make_counter("watchdog/violating_windows");
+    supply_shortfall_alarms_ =
+        reg.make_counter("watchdog/supply_shortfall_alarms");
+    deadline_alarms_ = reg.make_counter("watchdog/deadline_alarms");
+    shed_events_ = reg.make_counter("watchdog/shed_events");
+    restore_events_ = reg.make_counter("watchdog/restore_events");
+    shed_client_cycles_ = reg.make_counter("watchdog/shed_client_cycles");
+    hard_misses_ = reg.make_counter("watchdog/hard_misses");
+    best_effort_misses_ = reg.make_counter("watchdog/best_effort_misses");
+    trace_ = tracer;
+}
 
 void supply_watchdog::track_client(std::uint32_t client, client_class cls,
                                    missed_fn missed, shed_fn shed) {
@@ -36,6 +54,8 @@ void supply_watchdog::track_client(std::uint32_t client, client_class cls,
 }
 
 void supply_watchdog::raise(watchdog_alarm a, cycle_t now) {
+    trace_.emit(obs::trace_event_kind::watchdog_alarm,
+                static_cast<std::uint64_t>(a), now);
     if (on_alarm_) on_alarm_(a, now);
 }
 
@@ -93,11 +113,13 @@ void supply_watchdog::set_shed(bool on, cycle_t now) {
     shedding_now_ = on;
     if (on) {
         shed_since_ = now;
-        ++report_.shed_events;
+        shed_events_.inc();
+        trace_.emit(obs::trace_event_kind::shed_on);
         raise(watchdog_alarm::overload_shed, now);
     } else {
-        ++report_.restore_events;
+        restore_events_.inc();
         restore_after_ *= cfg_.restore_backoff;
+        trace_.emit(obs::trace_event_kind::shed_off);
         raise(watchdog_alarm::overload_restore, now);
     }
     for (auto& c : clients_) {
@@ -112,17 +134,17 @@ void supply_watchdog::set_shed(bool on, cycle_t now) {
 void supply_watchdog::check(cycle_t now) {
     const cycle_t window = now - last_check_;
     last_check_ = now;
-    ++report_.windows_checked;
+    windows_checked_.inc();
     if (shedding_now_) {
         for (const auto& c : clients_) {
             if (c.cls == client_class::best_effort) {
-                report_.shed_client_cycles += window;
+                shed_client_cycles_.inc(window);
             }
         }
     }
 
     const std::uint64_t shortfalls = supply_violations(window);
-    report_.supply_shortfall_alarms += shortfalls;
+    supply_shortfall_alarms_.inc(shortfalls);
     if (shortfalls > 0) raise(watchdog_alarm::supply_shortfall, now);
 
     std::uint64_t miss_alarms = 0;
@@ -133,20 +155,20 @@ void supply_watchdog::check(cycle_t now) {
         c.last_missed = m;
         c.total_missed = m;
         if (c.cls == client_class::hard) {
-            report_.hard_misses += delta;
+            hard_misses_.inc(delta);
             if (delta > cfg_.miss_tolerance) {
                 ++miss_alarms;
                 raise(watchdog_alarm::hard_deadline_miss, now);
             }
         } else {
-            report_.best_effort_misses += delta;
+            best_effort_misses_.inc(delta);
         }
     }
-    report_.deadline_alarms += miss_alarms;
+    deadline_alarms_.inc(miss_alarms);
 
     const bool violating = shortfalls > 0 || miss_alarms > 0;
     if (violating) {
-        ++report_.violating_windows;
+        violating_windows_.inc();
         ++violating_streak_;
         clean_streak_ = 0;
     } else {
@@ -184,7 +206,15 @@ void supply_watchdog::reset() {
     shed_since_ = 0;
     last_check_ = 0;
     next_check_ = cfg_.check_period;
-    report_ = {};
+    windows_checked_.reset();
+    violating_windows_.reset();
+    supply_shortfall_alarms_.reset();
+    deadline_alarms_.reset();
+    shed_events_.reset();
+    restore_events_.reset();
+    shed_client_cycles_.reset();
+    hard_misses_.reset();
+    best_effort_misses_.reset();
 }
 
 } // namespace bluescale::core

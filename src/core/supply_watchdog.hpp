@@ -22,9 +22,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "analysis/tree_analysis.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "sim/component.hpp"
 
 namespace bluescale::core {
@@ -68,6 +71,8 @@ struct watchdog_config {
     bool shedding = true;
 };
 
+/// Counter snapshot of a trial's supervision outcome (values read out of
+/// obs handles; a result type, not mutable storage).
 struct watchdog_report {
     std::uint64_t windows_checked = 0;
     std::uint64_t violating_windows = 0;
@@ -109,11 +114,21 @@ public:
 
     void tick(cycle_t now) override;
 
+    /// Re-homes the supervision counters into `reg` under "watchdog/..."
+    /// and attaches the trace stream; call before the trial starts.
+    void bind_observability(obs::registry& reg, obs::tracer tracer);
+
     /// Clears window tracking and the report (between trials).
     void reset();
 
     [[nodiscard]] const watchdog_config& config() const { return cfg_; }
-    [[nodiscard]] const watchdog_report& report() const { return report_; }
+    [[nodiscard]] watchdog_report report() const {
+        return {windows_checked_.value(),      violating_windows_.value(),
+                supply_shortfall_alarms_.value(), deadline_alarms_.value(),
+                shed_events_.value(),          restore_events_.value(),
+                shed_client_cycles_.value(),   hard_misses_.value(),
+                best_effort_misses_.value()};
+    }
     [[nodiscard]] bool shedding_now() const { return shedding_now_; }
 
 private:
@@ -152,7 +167,19 @@ private:
     /// Indexed by client id: currently shed (supply checks exempt the
     /// donated leaf ports).
     std::vector<bool> shed_clients_;
-    watchdog_report report_;
+    /// Fallback registry for unbound instances (bind_observability
+    /// re-homes the handles).
+    std::unique_ptr<obs::registry> own_;
+    obs::counter windows_checked_;
+    obs::counter violating_windows_;
+    obs::counter supply_shortfall_alarms_;
+    obs::counter deadline_alarms_;
+    obs::counter shed_events_;
+    obs::counter restore_events_;
+    obs::counter shed_client_cycles_;
+    obs::counter hard_misses_;
+    obs::counter best_effort_misses_;
+    obs::tracer trace_;
     donate_fn donate_;
     alarm_fn on_alarm_;
 };

@@ -3,12 +3,15 @@
 // Every driver historically rolled its own positional atoi() parsing;
 // this helper gives them one vocabulary:
 //
-//   --trials N    trials per configuration
-//   --cycles N    simulated cycles per trial
-//   --threads N   worker threads for the trial sweep (0 = all cores)
-//   --seed N      base RNG seed
-//   --csv PATH    also dump machine-readable rows to PATH
-//   --help        usage
+//   --trials N     trials per configuration
+//   --cycles N     simulated cycles per trial
+//   --threads N    worker threads for the trial sweep (0 = all cores)
+//   --seed N       base RNG seed
+//   --csv PATH     also dump machine-readable rows to PATH
+//   --metrics PATH dump the obs::registry snapshot (deterministic CSV)
+//   --trace PATH   dump the event trace (.json = Chrome trace, else CSV)
+//   --profile      report simulator wall-clock profile after the run
+//   --help         usage
 //
 // The historical positional forms (e.g. `fig6_synthetic 20 100000 out.csv`)
 // keep working: each driver declares which options its positionals used to
@@ -21,6 +24,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "sim/types.hpp"
 #include "stats/csv.hpp"
 
@@ -32,7 +37,10 @@ struct bench_options {
     /// Worker threads for trial sweeps; 0 = all hardware threads.
     unsigned threads = 1;
     std::uint64_t seed = 1;
-    std::string csv_path; ///< empty = no CSV output
+    std::string csv_path;     ///< empty = no CSV output
+    std::string metrics_path; ///< empty = no metrics snapshot export
+    std::string trace_path;   ///< empty = no event-trace export
+    bool profile = false;     ///< wall-clock simulator profiling report
 };
 
 /// Legacy positional slots a driver may accept, in declaration order.
@@ -52,5 +60,18 @@ parse_bench_cli(int argc, char** argv, const bench_options& defaults,
 /// created (consistent across drivers).
 [[nodiscard]] std::unique_ptr<stats::csv_writer>
 open_bench_csv(const bench_options& opts, std::vector<std::string> headers);
+
+/// Writes the merged metrics snapshot when --metrics was given (no-op
+/// otherwise). The export is snapshot::write_csv's sorted, deterministic
+/// CSV, so the file is byte-identical across --threads settings. Exits
+/// with a diagnostic when the file cannot be created.
+void write_bench_metrics(const bench_options& opts, const obs::snapshot& snap);
+
+/// Writes the event trace when --trace was given (no-op otherwise): a
+/// path ending in ".json" gets Chrome trace-event JSON (chrome://tracing
+/// / Perfetto), anything else the CSV form. Exits on I/O failure. When
+/// the build has BLUESCALE_TRACE=OFF the export is valid but empty.
+void write_bench_trace(const bench_options& opts,
+                       const obs::trace_export& trace);
 
 } // namespace bluescale::harness

@@ -1,6 +1,7 @@
 #include "harness/fig6_experiment.hpp"
 
 #include <memory>
+#include <utility>
 
 #include "harness/testbench.hpp"
 #include "sim/trial_runner.hpp"
@@ -16,10 +17,13 @@ struct trial_metrics {
     double worst_blocking_cycles = 0.0;
     double miss_ratio = 0.0;
     bool selection_feasible = false;
+    obs::snapshot metrics;   ///< when cfg.collect_metrics
+    obs::trace_export trace; ///< when cfg.collect_trace, trial 0 only
+    obs::snapshot profile;   ///< when cfg.profile (wall-clock metrics)
 };
 
 trial_metrics run_trial(ic_kind kind, const fig6_config& cfg,
-                        std::uint64_t trial_seed) {
+                        std::uint32_t trial, std::uint64_t trial_seed) {
     rng workload_rng(trial_seed);
 
     // Identical workload per design at the same trial seed.
@@ -55,15 +59,23 @@ trial_metrics run_trial(ic_kind kind, const fig6_config& cfg,
             c, tasksets[c], tb.ic(),
             trial_seed ^ (0x5851f42d4c957f2dull + c), tg_cfg));
         auto* client = clients.back().get();
+        client->bind_observability(tb.metrics());
         tb.add_client(c, *client, [client](mem_request&& r) {
             client->on_response(std::move(r));
         });
     }
 
+    if (cfg.profile) tb.sim().enable_profiling(tb.metrics());
+
     tb.run(cfg.measure_cycles);
 
     trial_metrics out;
     out.selection_feasible = tb.selection_feasible();
+    if (cfg.collect_metrics) out.metrics = tb.metrics().take_snapshot();
+    if (cfg.collect_trace && trial == 0) out.trace = tb.trace().export_all();
+    if (cfg.profile) {
+        out.profile = tb.metrics().take_snapshot(true).profile_only();
+    }
     stats::running_summary blocking;
     double worst = 0.0;
     std::uint64_t missed = 0;
@@ -71,12 +83,12 @@ trial_metrics run_trial(ic_kind kind, const fig6_config& cfg,
     for (auto& c : clients) {
         c->finalize(tb.now());
         const auto& s = c->stats();
-        for (double b : s.blocking_cycles.samples()) {
+        for (double b : s.blocking_cycles().samples()) {
             blocking.add(b);
             worst = std::max(worst, b);
         }
-        missed += s.missed;
-        accounted += s.completed + s.abandoned;
+        missed += s.missed();
+        accounted += s.completed() + s.abandoned();
     }
     out.mean_blocking_cycles = blocking.mean();
     out.worst_blocking_cycles = worst;
@@ -99,17 +111,28 @@ fig6_result run_fig6(ic_kind kind, const fig6_config& cfg) {
     // Trials are independent (the per-trial seed is a pure function of
     // the trial counter) and the runner returns them in trial order, so
     // this aggregation is bit-identical for any thread count.
-    const sim::trial_runner runner(cfg.threads);
-    const auto per_trial =
-        runner.run(cfg.trials, [&](std::uint32_t t) {
-            return run_trial(kind, cfg, cfg.seed + t);
-        });
-    for (const auto& metrics : per_trial) {
+    sim::trial_runner runner(cfg.threads);
+    obs::registry sweep_prof;
+    if (cfg.profile) runner.profile_to(sweep_prof);
+    auto per_trial = runner.run(cfg.trials, [&](std::uint32_t t) {
+        return run_trial(kind, cfg, t, cfg.seed + t);
+    });
+    for (auto& metrics : per_trial) {
         result.blocking_us.add(metrics.mean_blocking_cycles * us_per_cycle);
         result.worst_blocking_us.add(metrics.worst_blocking_cycles *
                                      us_per_cycle);
         result.miss_ratio.add(metrics.miss_ratio);
         if (metrics.selection_feasible) ++result.feasible_trials;
+        // Trial order makes the merged snapshot bit-identical for any
+        // --threads (see obs::snapshot::merge).
+        if (cfg.collect_metrics) result.metrics.merge(metrics.metrics);
+        if (cfg.profile) result.profile.merge(metrics.profile);
+    }
+    if (cfg.collect_trace && !per_trial.empty()) {
+        result.trace = std::move(per_trial.front().trace);
+    }
+    if (cfg.profile) {
+        result.profile.merge(sweep_prof.take_snapshot(true));
     }
     return result;
 }

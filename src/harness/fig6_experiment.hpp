@@ -12,6 +12,8 @@
 #include "core/scale_element.hpp"
 #include "harness/factory.hpp"
 #include "mem/memory_controller.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "stats/summary.hpp"
 #include "workload/taskset_gen.hpp"
 
@@ -41,6 +43,17 @@ struct fig6_config {
     /// depth, server policy, work conservation). unit_cycles is forced to
     /// the memory controller's initiation interval.
     std::optional<core::se_params> bluescale_se;
+    /// Snapshot each trial's obs::registry and merge them, in trial
+    /// order, into fig6_result::metrics (--metrics).
+    bool collect_metrics = false;
+    /// Export trial 0's event trace into fig6_result::trace (--trace).
+    /// Empty when the build has BLUESCALE_TRACE=OFF.
+    bool collect_trace = false;
+    /// Enable wall-clock profiling (simulator per-component tick cost and
+    /// trial-sweep throughput) into fig6_result::profile (--profile).
+    /// Profile metrics are inherently nondeterministic and never leak
+    /// into fig6_result::metrics.
+    bool profile = false;
 };
 
 struct fig6_result {
@@ -56,6 +69,16 @@ struct fig6_result {
     /// Trials in which the BlueScale interface selection was feasible.
     std::uint32_t feasible_trials = 0;
     double system_clock_mhz = 0.0;
+    /// Per-trial registry snapshots merged in trial order (counters sum,
+    /// samples append), when cfg.collect_metrics. Byte-identical across
+    /// --threads settings.
+    obs::snapshot metrics;
+    /// Trial 0's event trace, when cfg.collect_trace.
+    obs::trace_export trace;
+    /// Wall-clock profile metrics (k_metric_profile entries; per-trial
+    /// simulator costs summed in trial order, plus the sweep totals),
+    /// when cfg.profile. Nondeterministic by nature.
+    obs::snapshot profile;
 };
 
 /// Runs `cfg.trials` trials of one design. Every design sees identical

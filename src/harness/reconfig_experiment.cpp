@@ -42,6 +42,9 @@ struct trial_metrics {
     std::uint64_t best_effort_misses = 0;
     std::uint64_t shed_deferrals = 0;
     std::uint64_t live_reconfigurations = 0;
+
+    obs::snapshot metrics;   ///< when cfg.collect_metrics
+    obs::trace_export trace; ///< when cfg.collect_trace, trial 0 only
 };
 
 /// The concrete task set one scheduled event asks for, derived purely
@@ -71,7 +74,7 @@ derive_event_taskset(const sim::reconfig_event& ev, double current_util,
 }
 
 trial_metrics run_trial(ic_kind kind, const reconfig_exp_config& cfg,
-                        std::uint64_t trial_seed) {
+                        std::uint32_t trial, std::uint64_t trial_seed) {
     rng workload_rng(trial_seed);
     auto tasksets = workload::make_client_tasksets(
         workload_rng, cfg.n_clients, cfg.util_lo, cfg.util_hi, cfg.taskset);
@@ -125,6 +128,7 @@ trial_metrics run_trial(ic_kind kind, const reconfig_exp_config& cfg,
         clients.push_back(std::make_unique<workload::traffic_generator>(
             c, tasksets[c], tb.ic(), substream(trial_seed, c), tg_cfg));
         auto* client = clients.back().get();
+        client->bind_observability(tb.metrics());
         tb.add_client(c, *client, [client](mem_request&& r) {
             client->on_response(std::move(r));
         });
@@ -140,7 +144,7 @@ trial_metrics run_trial(ic_kind kind, const reconfig_exp_config& cfg,
                 c,
                 is_best_effort(c) ? core::client_class::best_effort
                                   : core::client_class::hard,
-                [client] { return client->stats().missed; },
+                [client] { return client->stats().missed(); },
                 [client](bool on) { client->set_shed(on); });
         }
     }
@@ -150,7 +154,7 @@ trial_metrics run_trial(ic_kind kind, const reconfig_exp_config& cfg,
 
     const auto total_missed = [&] {
         std::uint64_t m = 0;
-        for (const auto& c : clients) m += c->stats().missed;
+        for (const auto& c : clients) m += c->stats().missed();
         return m;
     };
 
@@ -204,18 +208,18 @@ trial_metrics run_trial(ic_kind kind, const reconfig_exp_config& cfg,
         clients[c]->finalize(tb.now());
         const auto& s = clients[c]->stats();
         if (is_best_effort(c)) {
-            out.best_effort_misses += s.missed;
+            out.best_effort_misses += s.missed();
         } else {
-            out.hard_misses += s.missed;
+            out.hard_misses += s.missed();
         }
-        out.shed_deferrals += s.shed_deferrals;
-        out.live_reconfigurations += s.reconfigurations;
+        out.shed_deferrals += s.shed_deferrals();
+        out.live_reconfigurations += s.reconfigurations();
     }
     std::uint64_t missed = 0;
     std::uint64_t accounted = 0;
     for (const auto& c : clients) {
-        missed += c->stats().missed;
-        accounted += c->stats().completed + c->stats().abandoned;
+        missed += c->stats().missed();
+        accounted += c->stats().completed() + c->stats().abandoned();
     }
     out.miss_ratio = accounted == 0 ? 0.0
                                     : static_cast<double>(missed) /
@@ -256,6 +260,8 @@ trial_metrics run_trial(ic_kind kind, const reconfig_exp_config& cfg,
         out.restore_events = rep.restore_events;
         out.shed_client_cycles = rep.shed_client_cycles;
     }
+    if (cfg.collect_metrics) out.metrics = tb.metrics().take_snapshot();
+    if (cfg.collect_trace && trial == 0) out.trace = tb.trace().export_all();
     return out;
 }
 
@@ -271,8 +277,8 @@ reconfig_result run_reconfig(ic_kind kind, const reconfig_exp_config& cfg) {
     // the trial counter) and the runner returns them in trial order, so
     // this aggregation is bit-identical for any thread count.
     const sim::trial_runner runner(cfg.threads);
-    const auto per_trial = runner.run(cfg.trials, [&](std::uint32_t t) {
-        return run_trial(kind, cfg, cfg.seed + t);
+    auto per_trial = runner.run(cfg.trials, [&](std::uint32_t t) {
+        return run_trial(kind, cfg, t, cfg.seed + t);
     });
     for (const auto& m : per_trial) {
         if (m.selection_feasible) ++result.feasible_trials;
@@ -299,7 +305,54 @@ reconfig_result run_reconfig(ic_kind kind, const reconfig_exp_config& cfg) {
         result.best_effort_misses += m.best_effort_misses;
         result.shed_deferrals += m.shed_deferrals;
         result.live_reconfigurations += m.live_reconfigurations;
+        // Trial order makes the merged snapshot bit-identical for any
+        // --threads (see obs::snapshot::merge).
+        if (cfg.collect_metrics) result.metrics.merge(m.metrics);
     }
+    if (cfg.collect_trace && !per_trial.empty()) {
+        result.trace = std::move(per_trial.front().trace);
+    }
+
+    // Re-express the experiment-level aggregates as obs metrics so the
+    // bench driver's --csv cells come out of the one exporter path
+    // (obs::metric_cells) instead of hand-rolled std::to_string glue.
+    obs::registry agg;
+    const auto put_counter = [&agg](const char* name, std::uint64_t v) {
+        agg.make_counter(std::string("reconfig_exp/") + name).inc(v);
+    };
+    const auto put_real = [&agg](const char* name, double v) {
+        agg.make_real(std::string("reconfig_exp/") + name).set(v);
+    };
+    const auto put_samples = [&agg](const char* name,
+                                    const stats::sample_set& s) {
+        auto h = agg.make_sample(std::string("reconfig_exp/") + name);
+        for (double x : s.samples()) h.add(x);
+    };
+    put_counter("submitted", result.submitted);
+    put_counter("applied_unchecked", result.applied_unchecked);
+    put_counter("admitted", result.admitted);
+    put_counter("committed", result.committed);
+    put_counter("rolled_back", result.rolled_back);
+    put_counter("rejected_infeasible", result.rejected_infeasible);
+    put_counter("rejected_overutilized", result.rejected_overutilized);
+    put_counter("rejected_path_hazard", result.rejected_path_hazard);
+    put_real("admission_ratio", result.admission_ratio());
+    put_samples("latency_cycles", result.reconfig_latency_cycles);
+    put_counter("transition_misses", result.transition_misses);
+    put_samples("miss_ratio", result.miss_ratio);
+    put_counter("hard_misses", result.hard_misses);
+    put_counter("best_effort_misses", result.best_effort_misses);
+    put_counter("live_reconfigurations", result.live_reconfigurations);
+    put_counter("windows_checked", result.windows_checked);
+    put_counter("violating_windows", result.violating_windows);
+    put_counter("supply_shortfall_alarms",
+                result.supply_shortfall_alarms);
+    put_counter("shed_events", result.shed_events);
+    put_counter("restore_events", result.restore_events);
+    put_counter("shed_client_cycles", result.shed_client_cycles);
+    put_counter("shed_deferrals", result.shed_deferrals);
+    put_counter("feasible_trials", result.feasible_trials);
+    result.totals = agg.take_snapshot();
     return result;
 }
 

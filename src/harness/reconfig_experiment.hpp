@@ -22,6 +22,8 @@
 #include "core/supply_watchdog.hpp"
 #include "harness/factory.hpp"
 #include "mem/memory_controller.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "sim/reconfig_schedule.hpp"
 #include "stats/summary.hpp"
 #include "workload/taskset_gen.hpp"
@@ -76,6 +78,13 @@ struct reconfig_exp_config {
     std::uint32_t max_retries = 3;
     bool enable_health = true;
     core::health_config health = {};
+
+    /// Snapshot each trial's obs::registry and merge them, in trial
+    /// order, into reconfig_result::metrics (--metrics).
+    bool collect_metrics = false;
+    /// Export trial 0's event trace into reconfig_result::trace
+    /// (--trace). Empty when the build has BLUESCALE_TRACE=OFF.
+    bool collect_trace = false;
 };
 
 struct reconfig_result {
@@ -114,6 +123,17 @@ struct reconfig_result {
     std::uint64_t best_effort_misses = 0;
     std::uint64_t shed_deferrals = 0;
     std::uint64_t live_reconfigurations = 0; ///< task-set swaps applied
+
+    /// The aggregates above re-expressed as obs metrics
+    /// ("reconfig_exp/<name>": counters for the totals, sample metrics
+    /// for the per-trial series). Always populated; the bench driver
+    /// renders its --csv row cells from this via obs::metric_cells.
+    obs::snapshot totals;
+    /// Per-trial registry snapshots merged in trial order, when
+    /// cfg.collect_metrics. Byte-identical across --threads settings.
+    obs::snapshot metrics;
+    /// Trial 0's event trace, when cfg.collect_trace.
+    obs::trace_export trace;
 
     [[nodiscard]] double admission_ratio() const {
         return submitted == 0 ? 0.0

@@ -1,6 +1,7 @@
 #include "harness/resilience_experiment.hpp"
 
 #include <memory>
+#include <utility>
 
 #include "analysis/quadtree.hpp"
 #include "core/bluescale_ic.hpp"
@@ -37,10 +38,13 @@ struct trial_metrics {
     std::uint64_t degrade_events = 0;
     std::uint64_t recovery_events = 0;
     std::uint64_t degraded_se_cycles = 0;
+
+    obs::snapshot metrics;   ///< when cfg.collect_metrics
+    obs::trace_export trace; ///< when cfg.collect_trace, trial 0 only
 };
 
 trial_metrics run_trial(ic_kind kind, const resilience_config& cfg,
-                        std::uint64_t trial_seed) {
+                        std::uint32_t trial, std::uint64_t trial_seed) {
     rng workload_rng(trial_seed);
 
     // Identical workload per design at the same trial seed.
@@ -90,6 +94,7 @@ trial_metrics run_trial(ic_kind kind, const resilience_config& cfg,
         clients.push_back(std::make_unique<workload::traffic_generator>(
             c, tasksets[c], tb.ic(), substream(trial_seed, c), tg_cfg));
         auto* client = clients.back().get();
+        client->bind_observability(tb.metrics());
         tb.add_client(c, *client, [client](mem_request&& r) {
             client->on_response(std::move(r));
         });
@@ -107,14 +112,14 @@ trial_metrics run_trial(ic_kind kind, const resilience_config& cfg,
     for (auto& c : clients) {
         c->finalize(tb.now());
         const auto& s = c->stats();
-        for (double l : s.latency_cycles.samples()) latency.add(l);
-        missed += s.missed;
-        accounted += s.completed + s.abandoned;
-        out.retries += s.retries;
-        out.timeouts += s.timeouts;
-        out.retry_exhausted += s.retry_exhausted;
-        out.stale_responses += s.stale_responses;
-        out.failed_responses += s.failed_responses;
+        for (double l : s.latency_cycles().samples()) latency.add(l);
+        missed += s.missed();
+        accounted += s.completed() + s.abandoned();
+        out.retries += s.retries();
+        out.timeouts += s.timeouts();
+        out.retry_exhausted += s.retry_exhausted();
+        out.stale_responses += s.stale_responses();
+        out.failed_responses += s.failed_responses();
     }
     out.miss_ratio = accounted == 0 ? 0.0
                                     : static_cast<double>(missed) /
@@ -146,6 +151,8 @@ trial_metrics run_trial(ic_kind kind, const resilience_config& cfg,
             out.any_recovery = true;
         }
     }
+    if (cfg.collect_metrics) out.metrics = tb.metrics().take_snapshot();
+    if (cfg.collect_trace && trial == 0) out.trace = tb.trace().export_all();
     return out;
 }
 
@@ -162,8 +169,8 @@ resilience_result run_resilience(ic_kind kind,
     // the trial counter) and the runner returns them in trial order, so
     // this aggregation is bit-identical for any thread count.
     const sim::trial_runner runner(cfg.threads);
-    const auto per_trial = runner.run(cfg.trials, [&](std::uint32_t t) {
-        return run_trial(kind, cfg, cfg.seed + t);
+    auto per_trial = runner.run(cfg.trials, [&](std::uint32_t t) {
+        return run_trial(kind, cfg, t, cfg.seed + t);
     });
     for (const auto& m : per_trial) {
         result.miss_ratio.add(m.miss_ratio);
@@ -188,7 +195,47 @@ resilience_result run_resilience(ic_kind kind,
         result.degrade_events += m.degrade_events;
         result.recovery_events += m.recovery_events;
         result.degraded_se_cycles += m.degraded_se_cycles;
+        // Trial order makes the merged snapshot bit-identical for any
+        // --threads (see obs::snapshot::merge).
+        if (cfg.collect_metrics) result.metrics.merge(m.metrics);
     }
+    if (cfg.collect_trace && !per_trial.empty()) {
+        result.trace = std::move(per_trial.front().trace);
+    }
+
+    // Re-express the experiment-level aggregates as obs metrics so the
+    // bench driver's --csv cells come out of the one exporter path
+    // (obs::metric_cells) instead of hand-rolled std::to_string glue.
+    obs::registry agg;
+    const auto put_counter = [&agg](const char* name, std::uint64_t v) {
+        agg.make_counter(std::string("resilience/") + name).inc(v);
+    };
+    const auto put_samples = [&agg](const char* name,
+                                    const stats::sample_set& s) {
+        auto h = agg.make_sample(std::string("resilience/") + name);
+        for (double x : s.samples()) h.add(x);
+    };
+    put_samples("miss_ratio", result.miss_ratio);
+    put_samples("p99_latency_cycles", result.p99_latency_cycles);
+    put_samples("worst_latency_cycles", result.worst_latency_cycles);
+    put_samples("time_to_recover_cycles", result.time_to_recover_cycles);
+    put_counter("injected_events", result.injected_events);
+    put_counter("stall_windows", result.stall_windows);
+    put_counter("se_stall_cycles", result.se_stall_cycles);
+    put_counter("link_drops", result.link_drops);
+    put_counter("ecc_retries", result.ecc_retries);
+    put_counter("uncorrected_errors", result.uncorrected_errors);
+    put_counter("storm_cycles", result.storm_cycles);
+    put_counter("retries", result.retries);
+    put_counter("timeouts", result.timeouts);
+    put_counter("retry_exhausted", result.retry_exhausted);
+    put_counter("stale_responses", result.stale_responses);
+    put_counter("failed_responses", result.failed_responses);
+    put_counter("degrade_events", result.degrade_events);
+    put_counter("recovery_events", result.recovery_events);
+    put_counter("degraded_se_cycles", result.degraded_se_cycles);
+    put_counter("feasible_trials", result.feasible_trials);
+    result.totals = agg.take_snapshot();
     return result;
 }
 

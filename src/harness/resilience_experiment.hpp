@@ -15,6 +15,8 @@
 #include "core/health_monitor.hpp"
 #include "harness/factory.hpp"
 #include "mem/memory_controller.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "stats/summary.hpp"
 #include "workload/taskset_gen.hpp"
 
@@ -52,6 +54,13 @@ struct resilience_config {
     /// degrade). Disabled when enable_health is false.
     bool enable_health = true;
     core::health_config health = {};
+
+    /// Snapshot each trial's obs::registry and merge them, in trial
+    /// order, into resilience_result::metrics (--metrics).
+    bool collect_metrics = false;
+    /// Export trial 0's event trace into resilience_result::trace
+    /// (--trace). Empty when the build has BLUESCALE_TRACE=OFF.
+    bool collect_trace = false;
 };
 
 struct resilience_result {
@@ -82,6 +91,17 @@ struct resilience_result {
     std::uint64_t degrade_events = 0;
     std::uint64_t recovery_events = 0;
     std::uint64_t degraded_se_cycles = 0;
+
+    /// The aggregates above re-expressed as obs metrics
+    /// ("resilience/<name>": counters for the totals, sample metrics for
+    /// the per-trial series). Always populated; the bench driver renders
+    /// its --csv row cells from this via obs::metric_cells.
+    obs::snapshot totals;
+    /// Per-trial registry snapshots merged in trial order, when
+    /// cfg.collect_metrics. Byte-identical across --threads settings.
+    obs::snapshot metrics;
+    /// Trial 0's event trace, when cfg.collect_trace.
+    obs::trace_export trace;
 };
 
 /// Runs `cfg.trials` trials of one design at cfg.fault_intensity. Every

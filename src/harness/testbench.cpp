@@ -39,16 +39,23 @@ testbench::testbench(ic_kind kind, const testbench_options& opts)
         ic_->inject_campaign(*opts.faults);
         mem_.inject_campaign(*opts.faults);
     }
+    mem_.bind_observability(reg_, trace_.register_component("mem"));
+    sim_.bind_trace(trace_);
     if (auto* bs = dynamic_cast<core::bluescale_ic*>(ic_.get())) {
+        bs->bind_observability(reg_, trace_);
         // Only the BlueScale fabric has elements to supervise; baselines
         // run the same campaign without graceful degradation.
         if (opts.health.has_value()) {
             monitor_ =
                 std::make_unique<core::health_monitor>(*bs, *opts.health);
+            monitor_->bind_observability(
+                reg_, trace_.register_component("health"));
         }
         if (opts.reconfig.has_value() && opts.rt_sets != nullptr) {
             reconfig_ = std::make_unique<core::reconfig_manager>(
                 *bs, selection_, *opts.rt_sets, *opts.reconfig);
+            reconfig_->bind_observability(
+                reg_, trace_.register_component("reconfig"));
         }
         if (opts.watchdog.has_value()) {
             // The watchdog polices whatever selection is live: the
@@ -58,6 +65,8 @@ testbench::testbench(ic_kind kind, const testbench_options& opts)
                 reconfig_ ? &reconfig_->committed() : &selection_;
             watchdog_ = std::make_unique<core::supply_watchdog>(
                 *bs, live, *opts.watchdog);
+            watchdog_->bind_observability(
+                reg_, trace_.register_component("watchdog"));
             if (reconfig_) {
                 watchdog_->set_donate_hook(
                     [this](std::uint32_t client, bool shed) {

@@ -24,6 +24,8 @@
 #include "harness/factory.hpp"
 #include "sim/fault.hpp"
 #include "mem/memory_controller.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 
 namespace bluescale::harness {
@@ -80,6 +82,14 @@ public:
     /// interval) -- the granularity every client must issue at.
     [[nodiscard]] std::uint32_t unit_cycles() const { return unit_cycles_; }
 
+    /// The trial's unified metrics registry: the fabric, the memory
+    /// controller and every supervisor are bound into it at construction;
+    /// experiments bind their clients too, then snapshot after the run.
+    [[nodiscard]] obs::registry& metrics() { return reg_; }
+    /// The trial's event-trace sink (no-op stub when the build has
+    /// BLUESCALE_TRACE=OFF). The simulator drives its clock.
+    [[nodiscard]] obs::trace_sink& trace() { return trace_; }
+
     /// The resolved interface selection (BlueScale only; infeasible /
     /// empty otherwise).
     [[nodiscard]] const analysis::tree_selection& selection() const {
@@ -133,6 +143,10 @@ private:
 
     ic_kind kind_;
     std::uint32_t unit_cycles_;
+    /// Declared before the components so handles bound into it at
+    /// construction outlive every consumer.
+    obs::registry reg_;
+    obs::trace_sink trace_;
     analysis::tree_selection selection_;
     std::unique_ptr<interconnect> ic_;
     std::unique_ptr<core::health_monitor> monitor_;

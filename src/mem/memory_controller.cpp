@@ -7,7 +7,19 @@ namespace bluescale {
 memory_controller::memory_controller(memctrl_config cfg)
     : component("memory_controller"), cfg_(cfg), dram_(cfg.timing),
       in_q_(cfg.request_queue_depth), out_q_(cfg.response_queue_depth),
-      bank_busy_until_(cfg.timing.n_banks, 0) {}
+      bank_busy_until_(cfg.timing.n_banks, 0),
+      own_(std::make_unique<obs::registry>()) {
+    bind_observability(*own_, obs::tracer{});
+}
+
+void memory_controller::bind_observability(obs::registry& reg,
+                                           obs::tracer tracer) {
+    serviced_ = reg.make_counter("mem/serviced");
+    ecc_retries_ = reg.make_counter("mem/ecc_retries");
+    uncorrected_errors_ = reg.make_counter("mem/uncorrected_errors");
+    storm_cycles_ = reg.make_counter("mem/storm_cycles");
+    trace_ = tracer;
+}
 
 bool memory_controller::bank_free(const mem_request& r, cycle_t now) const {
     return bank_busy_until_[dram_.bank_of(r.addr)] <= now;
@@ -43,7 +55,7 @@ int memory_controller::choose(cycle_t now) const {
 void memory_controller::tick(cycle_t now) {
     // Injected backpressure storm: refuse new work for the window.
     storm_active_ = storm_faults_.active(now);
-    if (storm_active_) ++storm_cycles_;
+    if (storm_active_) storm_cycles_.inc();
 
     // Retire finished transactions into the response queue. A completion
     // inside an injected DRAM-error window is corrupted: the first hit
@@ -56,7 +68,7 @@ void memory_controller::tick(cycle_t now) {
         if (corrupted && !top.ecc_retried) {
             mem_request retry = std::move(top.req);
             in_flight_.pop();
-            ++ecc_retries_;
+            ecc_retries_.inc();
             const std::uint32_t latency =
                 std::max<std::uint32_t>(1, dram_.access(retry));
             bank_busy_until_[dram_.bank_of(retry.addr)] = std::max(
@@ -69,11 +81,13 @@ void memory_controller::tick(cycle_t now) {
         in_flight_.pop();
         if (corrupted) {
             r.failed = true;
-            ++uncorrected_errors_;
+            uncorrected_errors_.inc();
         }
         r.mem_done = now;
+        trace_.emit(obs::trace_event_kind::mem_complete, r.id,
+                    r.failed ? 1 : 0);
         out_q_.push(std::move(r));
-        ++serviced_;
+        serviced_.inc();
     }
 
     // Refresh window: all rows close and no transaction starts until the
@@ -98,6 +112,8 @@ void memory_controller::tick(cycle_t now) {
     mem_request r = in_q_.extract(static_cast<std::size_t>(pick));
     const std::uint32_t latency = dram_.access(r);
     r.mem_start = now;
+    trace_.emit(obs::trace_event_kind::request_dequeue, r.id,
+                dram_.bank_of(r.addr));
     // Requests that keep waiting while a later-deadline transaction
     // occupies the start slot are blocked by lower-priority work.
     for (std::size_t i = 0; i < in_q_.size(); ++i) {
@@ -133,10 +149,10 @@ void memory_controller::reset() {
     storm_active_ = false;
     next_start_ = 0;
     head_bypasses_ = 0;
-    serviced_ = 0;
-    ecc_retries_ = 0;
-    uncorrected_errors_ = 0;
-    storm_cycles_ = 0;
+    serviced_.reset();
+    ecc_retries_.reset();
+    uncorrected_errors_.reset();
+    storm_cycles_.reset();
     dram_.reset();
 }
 

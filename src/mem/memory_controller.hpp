@@ -9,11 +9,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <queue>
 #include <vector>
 
 #include "mem/dram_model.hpp"
 #include "mem/request.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "sim/component.hpp"
 #include "sim/fault.hpp"
 #include "sim/latched_queue.hpp"
@@ -57,6 +60,10 @@ public:
     void tick(cycle_t now) override;
     void commit() override;
 
+    /// Re-homes the service counters into `reg` under "mem/..." and
+    /// attaches the trace stream; call before the trial starts.
+    void bind_observability(obs::registry& reg, obs::tracer tracer);
+
     /// Drops queued/in-flight state between trials.
     void reset();
 
@@ -68,16 +75,20 @@ public:
 
     [[nodiscard]] const dram_model& dram() const { return dram_; }
     [[nodiscard]] const memctrl_config& config() const { return cfg_; }
-    [[nodiscard]] std::uint64_t serviced() const { return serviced_; }
+    [[nodiscard]] std::uint64_t serviced() const { return serviced_.value(); }
     /// Transactions transparently re-serviced after a transient error.
-    [[nodiscard]] std::uint64_t ecc_retries() const { return ecc_retries_; }
+    [[nodiscard]] std::uint64_t ecc_retries() const {
+        return ecc_retries_.value();
+    }
     /// Responses delivered with mem_request::failed set (retry also hit
     /// an error window; the client must recover).
     [[nodiscard]] std::uint64_t uncorrected_errors() const {
-        return uncorrected_errors_;
+        return uncorrected_errors_.value();
     }
     /// Cycles spent refusing work inside backpressure storms.
-    [[nodiscard]] std::uint64_t storm_cycles() const { return storm_cycles_; }
+    [[nodiscard]] std::uint64_t storm_cycles() const {
+        return storm_cycles_.value();
+    }
     /// True when no transaction is queued or in flight.
     [[nodiscard]] bool idle() const {
         return in_flight_.empty() && in_q_.empty();
@@ -114,10 +125,14 @@ private:
     sim::fault_window storm_faults_;
     bool storm_active_ = false;
     cycle_t next_start_ = 0;
-    std::uint64_t serviced_ = 0;
-    std::uint64_t ecc_retries_ = 0;
-    std::uint64_t uncorrected_errors_ = 0;
-    std::uint64_t storm_cycles_ = 0;
+    /// Fallback registry for unbound instances (bind_observability
+    /// re-homes the handles).
+    std::unique_ptr<obs::registry> own_;
+    obs::counter serviced_;
+    obs::counter ecc_retries_;
+    obs::counter uncorrected_errors_;
+    obs::counter storm_cycles_;
+    obs::tracer trace_;
     std::uint64_t completion_seq_ = 0;
 };
 

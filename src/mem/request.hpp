@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "obs/hop_stamps.hpp"
 #include "sim/types.hpp"
 
 namespace bluescale {
@@ -58,6 +59,11 @@ struct mem_request {
     cycle_t mem_start = 0;      ///< cycle the memory controller began service
     cycle_t mem_done = 0;       ///< cycle the memory controller finished
     cycle_t complete_cycle = 0; ///< cycle the response reached the client
+
+    /// Fabric-internal attribution stamps (RAB admit, per-level server
+    /// grants); cleared on reissue so a retried transaction attributes
+    /// its final attempt.
+    obs::hop_stamps hops;
 
     [[nodiscard]] cycle_t total_latency() const {
         return complete_cycle - issue_cycle;

@@ -1,0 +1,40 @@
+// Per-request hop timestamp vector (DESIGN.md Sec. 11): the fabric-
+// internal attribution points a mem_request collects on its way to
+// memory. Together with mem_request's existing issue/mem_start/mem_done/
+// complete_cycle fields this gives the full per-hop latency breakdown
+// (arrival, RAB admit, server grant per tree level, memory issue,
+// completion) without any post-hoc re-derivation -- bench/
+// latency_breakdown reads these stamps straight off the responses.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace bluescale::obs {
+
+struct hop_stamps {
+    /// Deepest stampable quadtree (4 levels covers 256 clients; deeper
+    /// trees keep their shallowest k_max_levels grants).
+    static constexpr std::uint32_t k_max_levels = 4;
+
+    /// Cycle the request entered its leaf SE's random access buffer.
+    cycle_t rab_admit = k_cycle_never;
+    /// Cycle SE level l's server granted/forwarded the request (root is
+    /// level 0, clients hang off level leaf_level).
+    std::array<cycle_t, k_max_levels> grant{k_cycle_never, k_cycle_never,
+                                            k_cycle_never, k_cycle_never};
+
+    void stamp_grant(std::uint32_t level, cycle_t now) {
+        if (level < k_max_levels) grant[level] = now;
+    }
+    [[nodiscard]] cycle_t grant_at(std::uint32_t level) const {
+        return level < k_max_levels ? grant[level] : k_cycle_never;
+    }
+    [[nodiscard]] bool granted_at(std::uint32_t level) const {
+        return grant_at(level) != k_cycle_never;
+    }
+};
+
+} // namespace bluescale::obs

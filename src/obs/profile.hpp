@@ -1,0 +1,44 @@
+// Wall-clock profiling primitives for the observability layer.
+//
+// Profiling measures the *simulator*, not the simulated system: cycles
+// simulated per wall-second, per-component tick cost. Wall-clock reads
+// are inherently nondeterministic, so everything here records into
+// k_metric_profile-flagged metrics, which deterministic snapshots and
+// exports exclude by default (obs::registry::take_snapshot).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace bluescale::obs {
+
+/// Monotonic stopwatch, running from construction or restart().
+class stopwatch {
+public:
+    stopwatch() : t0_(clock::now()) {}
+
+    void restart() { t0_ = clock::now(); }
+
+    /// Elapsed nanoseconds since construction/restart.
+    [[nodiscard]] std::uint64_t ns() const {
+        const auto dt = clock::now() - t0_;
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(dt)
+                .count());
+    }
+
+    [[nodiscard]] double seconds() const {
+        return static_cast<double>(ns()) * 1e-9;
+    }
+
+private:
+    // Wall-clock is the entire point of a profiling stopwatch; results
+    // are quarantined behind k_metric_profile.
+    // detlint:allow-file(nondet-source): profiling stopwatch measures
+    // wall time by design; outputs are profile-flagged and excluded from
+    // deterministic exports.
+    using clock = std::chrono::steady_clock;
+    std::chrono::steady_clock::time_point t0_;
+};
+
+} // namespace bluescale::obs

@@ -1,8 +1,47 @@
 #include "sim/simulator.hpp"
 
+#include "obs/profile.hpp"
+
 namespace bluescale {
 
+void simulator::enable_profiling(obs::registry& reg) {
+    profiling_ = true;
+    prof_reg_ = &reg;
+    prof_cycles_ = reg.make_counter("profile/sim/cycles",
+                                    obs::k_metric_profile);
+    prof_wall_ns_ = reg.make_counter("profile/sim/wall_ns",
+                                     obs::k_metric_profile);
+    prof_tick_ns_.clear();
+    sync_profile_handles();
+}
+
+void simulator::sync_profile_handles() {
+    // Components may be added after enable_profiling (testbench::arm adds
+    // the fabric last); late arrivals get their counters on first step.
+    while (prof_tick_ns_.size() < components_.size()) {
+        prof_tick_ns_.push_back(prof_reg_->make_counter(
+            "profile/" + components_[prof_tick_ns_.size()]->name() +
+                "/tick_ns",
+            obs::k_metric_profile));
+    }
+}
+
 void simulator::step() {
+    if (trace_ != nullptr) trace_->set_now(now_);
+    if (profiling_) {
+        sync_profile_handles();
+        const obs::stopwatch step_watch;
+        for (std::size_t i = 0; i < components_.size(); ++i) {
+            const obs::stopwatch tick_watch;
+            components_[i]->tick(now_);
+            prof_tick_ns_[i].inc(tick_watch.ns());
+        }
+        for (component* c : components_) c->commit();
+        prof_wall_ns_.inc(step_watch.ns());
+        prof_cycles_.inc();
+        ++now_;
+        return;
+    }
     for (component* c : components_) c->tick(now_);
     for (component* c : components_) c->commit();
     ++now_;

@@ -4,6 +4,8 @@
 #include <functional>
 #include <vector>
 
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "sim/component.hpp"
 #include "sim/types.hpp"
 
@@ -18,6 +20,18 @@ public:
 
     [[nodiscard]] cycle_t now() const { return now_; }
 
+    /// Keeps `sink`'s trace clock in lockstep with the simulation: every
+    /// step publishes the current cycle before components tick, so emit
+    /// sites without a `now` argument in scope stamp the right cycle.
+    void bind_trace(obs::trace_sink& sink) { trace_ = &sink; }
+
+    /// Opt-in simulator profiling: registers profile-flagged wall-clock
+    /// metrics ("profile/sim/cycles", "profile/sim/wall_ns", and
+    /// "profile/<component>/tick_ns" per added component) into `reg` and
+    /// starts timing every step. Costs two clock reads per component per
+    /// cycle -- leave off outside profiling runs.
+    void enable_profiling(obs::registry& reg);
+
     /// Runs for `cycles` additional cycles.
     void run(cycle_t cycles);
 
@@ -31,8 +45,16 @@ public:
     void step();
 
 private:
+    void sync_profile_handles();
+
     std::vector<component*> components_;
     cycle_t now_ = 0;
+    obs::trace_sink* trace_ = nullptr;
+    bool profiling_ = false;
+    obs::registry* prof_reg_ = nullptr;
+    obs::counter prof_cycles_;
+    obs::counter prof_wall_ns_;
+    std::vector<obs::counter> prof_tick_ns_; ///< parallel to components_
 };
 
 } // namespace bluescale

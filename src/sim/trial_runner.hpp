@@ -17,6 +17,9 @@
 #include <utility>
 #include <vector>
 
+#include "obs/profile.hpp"
+#include "obs/registry.hpp"
+
 namespace bluescale::sim {
 
 /// Worker count for a requested thread setting: 0 means "all hardware
@@ -43,6 +46,20 @@ public:
 
     [[nodiscard]] unsigned threads() const { return threads_; }
 
+    /// Opt-in sweep profiling: every subsequent run()/for_each() adds its
+    /// wall time and trial count to profile-flagged counters in `reg`
+    /// ("profile/sweep/runs", "profile/sweep/trials",
+    /// "profile/sweep/wall_ns"). Callers derive cycles-per-wall-second
+    /// from these plus their own simulated-cycle count.
+    void profile_to(obs::registry& reg) {
+        prof_runs_ = reg.make_counter("profile/sweep/runs",
+                                      obs::k_metric_profile);
+        prof_trials_ = reg.make_counter("profile/sweep/trials",
+                                        obs::k_metric_profile);
+        prof_wall_ns_ = reg.make_counter("profile/sweep/wall_ns",
+                                         obs::k_metric_profile);
+    }
+
     /// Runs `fn(t)` for every trial t in [0, n_trials) and returns the
     /// results indexed by trial: out[t] == fn(t) regardless of thread
     /// count or scheduling. Aggregating out[0], out[1], ... in order is
@@ -55,8 +72,10 @@ public:
         static_assert(!std::is_void_v<result_type>,
                       "use for_each for trial functions without results");
         std::vector<std::optional<result_type>> slots(n_trials);
+        const obs::stopwatch sweep_watch;
         for_each_trial(n_trials, threads_,
                        [&](std::uint32_t t) { slots[t].emplace(fn(t)); });
+        record_sweep(n_trials, sweep_watch.ns());
         std::vector<result_type> out;
         out.reserve(n_trials);
         for (auto& slot : slots) out.push_back(std::move(*slot));
@@ -66,11 +85,24 @@ public:
     /// Unordered fan-out without result collection (fn owns its sink).
     void for_each(std::uint32_t n_trials,
                   const std::function<void(std::uint32_t)>& fn) const {
+        const obs::stopwatch sweep_watch;
         for_each_trial(n_trials, threads_, fn);
+        record_sweep(n_trials, sweep_watch.ns());
     }
 
 private:
+    void record_sweep(std::uint32_t trials, std::uint64_t wall_ns) const {
+        prof_runs_.inc();
+        prof_trials_.inc(trials);
+        prof_wall_ns_.inc(wall_ns);
+    }
+
     unsigned threads_;
+    /// Unbound (no-op) until profile_to(); mutable because profiling a
+    /// const sweep is observation, not mutation of the runner's contract.
+    mutable obs::counter prof_runs_;
+    mutable obs::counter prof_trials_;
+    mutable obs::counter prof_wall_ns_;
 };
 
 } // namespace bluescale::sim

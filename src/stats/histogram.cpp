@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <cstdio>
 
 namespace bluescale::stats {
@@ -23,6 +24,44 @@ void histogram::add(double x) {
         i = std::min(i, counts_.size() - 1); // guard FP edge at hi_
         ++counts_[i];
     }
+}
+
+void histogram::merge(const histogram& other) {
+    if (other.total_ == 0) return; // empty merge: no-op, any layout
+    assert(lo_ == other.lo_ && hi_ == other.hi_ &&
+           counts_.size() == other.counts_.size());
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        counts_[i] += other.counts_[i];
+    }
+    underflow_ += other.underflow_;
+    overflow_ += other.overflow_;
+    total_ += other.total_;
+}
+
+double histogram::percentile(double p) const {
+    if (total_ == 0) return 0.0;
+    p = std::clamp(p, 0.0, 100.0);
+    // Nearest-rank (1-based). The clamp to [1, total_] keeps a
+    // single-sample histogram well-defined at every p: rank is 1 and the
+    // lone sample's bin answers.
+    auto rank = static_cast<std::uint64_t>(
+        std::ceil(p / 100.0 * static_cast<double>(total_)));
+    rank = std::clamp<std::uint64_t>(rank, 1, total_);
+
+    std::uint64_t seen = underflow_;
+    if (rank <= seen) return lo_;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        if (counts_[i] == 0) continue;
+        const std::uint64_t prev = seen;
+        seen += counts_[i];
+        if (rank <= seen) {
+            // counts_[i] != 0 here, so the interpolation divisor is safe.
+            const double frac = static_cast<double>(rank - prev) /
+                                static_cast<double>(counts_[i]);
+            return bin_lo(i) + frac * bin_width_;
+        }
+    }
+    return hi_; // remaining mass sits in the overflow bin
 }
 
 double histogram::bin_lo(std::size_t i) const {

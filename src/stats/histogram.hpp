@@ -16,6 +16,19 @@ public:
 
     void add(double x);
 
+    /// Accumulates `other` into this histogram. Merging an empty
+    /// histogram is a no-op (so layouts need not match in that case);
+    /// otherwise both histograms must share lo/hi/bin count (asserted).
+    void merge(const histogram& other);
+
+    /// Value at the p-th percentile (p clamped to [0, 100]),
+    /// nearest-rank with linear interpolation inside the owning bin.
+    /// Edge cases: an empty histogram returns 0; with a single sample
+    /// every percentile (p99 included) resolves to that sample's bin;
+    /// underflow mass maps to lo and overflow mass to hi. Never divides
+    /// by a zero count.
+    [[nodiscard]] double percentile(double p) const;
+
     [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
     [[nodiscard]] std::uint64_t bin(std::size_t i) const { return counts_[i]; }
     [[nodiscard]] std::uint64_t underflow() const { return underflow_; }

@@ -11,7 +11,28 @@ processor_client::processor_client(client_id_t id, compute_task_set tasks,
     : component("processor_" + std::to_string(id)), id_(id),
       tasks_(std::move(tasks)), net_(net), rng_(seed), retry_(retry),
       next_release_(tasks_.size(), 0),
-      next_request_id_((static_cast<request_id_t>(id) << 40) | 1u) {}
+      own_(std::make_unique<obs::registry>()),
+      next_request_id_((static_cast<request_id_t>(id) << 40) | 1u) {
+    bind_observability(*own_);
+}
+
+void processor_client::bind_observability(obs::registry& reg) {
+    const std::string prefix = "client." + std::to_string(id_);
+    retries_ = reg.make_counter(prefix + "/retries");
+    timeouts_ = reg.make_counter(prefix + "/timeouts");
+    aborted_ = reg.make_counter(prefix + "/aborted");
+    stale_responses_ = reg.make_counter(prefix + "/stale_responses");
+    failed_responses_ = reg.make_counter(prefix + "/failed_responses");
+    static constexpr const char* k_categories[] = {"safety", "function",
+                                                   "interference"};
+    for (std::size_t i = 0; i < 3; ++i) {
+        jobs_completed_[i] = reg.make_counter(prefix + "/jobs." +
+                                              k_categories[i] + "/completed");
+        jobs_missed_[i] = reg.make_counter(prefix + "/jobs." +
+                                           k_categories[i] + "/missed");
+    }
+    requests_issued_ = reg.make_counter(prefix + "/requests_issued");
+}
 
 void processor_client::release_jobs(cycle_t now) {
     for (std::size_t i = 0; i < tasks_.size(); ++i) {
@@ -44,9 +65,9 @@ void processor_client::start_next_job(cycle_t) {
 
 void processor_client::finish_job(cycle_t now) {
     const compute_task& t = tasks_[running_->task_index];
-    job_stats& s = stats_[static_cast<std::size_t>(t.category)];
-    ++s.completed;
-    if (now + 1 > running_->deadline) ++s.missed;
+    const auto cat = static_cast<std::size_t>(t.category);
+    jobs_completed_[cat].inc();
+    if (now + 1 > running_->deadline) jobs_missed_[cat].inc();
     running_.reset();
 }
 
@@ -88,19 +109,19 @@ void processor_client::push_pending(cycle_t now) {
     stall_timeout_at_ = retry_.timeout_cycles != 0
                             ? now + retry_.timeout_cycles
                             : k_cycle_never;
-    ++requests_issued_;
+    requests_issued_.inc();
     mem_request out = pending_req_;
     net_.client_push(id_, std::move(out));
 }
 
 void processor_client::handle_stall_timeout(cycle_t now) {
-    ++retry_stats_.timeouts;
+    timeouts_.inc();
     if (attempts_ >= retry_.max_retries) {
         // Retry budget spent: abort the access so the core makes progress
         // (a real system would fault to a software handler; here the job
         // resumes compute with degraded data). A late response for the
         // abandoned id is dropped as stale.
-        ++retry_stats_.aborted;
+        aborted_.inc();
         stalled_ = false;
         request_pending_issue_ = false;
         awaited_id_ = 0;
@@ -108,7 +129,7 @@ void processor_client::handle_stall_timeout(cycle_t now) {
         return;
     }
     ++attempts_;
-    ++retry_stats_.retries;
+    retries_.inc();
     pending_req_.id = next_request_id_++;
     pending_req_.attempt =
         static_cast<std::uint8_t>(std::min<std::uint32_t>(attempts_, 255));
@@ -171,7 +192,7 @@ void processor_client::on_response(mem_request&& r) {
     assert(r.client == id_);
     if (!stalled_ || r.id != awaited_id_) {
         // A reissue or abort already superseded this attempt.
-        ++retry_stats_.stale_responses;
+        stale_responses_.inc();
         return;
     }
     if (r.failed) {
@@ -179,7 +200,7 @@ void processor_client::on_response(mem_request&& r) {
         // timeout window so the next tick reissues (or aborts) without
         // waiting out the rest of it; otherwise unblock as before (the
         // legacy model never inspected the payload).
-        ++retry_stats_.failed_responses;
+        failed_responses_.inc();
         if (retry_.timeout_cycles != 0) {
             stall_timeout_at_ = r.complete_cycle;
             return;
@@ -193,10 +214,10 @@ void processor_client::on_response(mem_request&& r) {
 void processor_client::finalize(cycle_t end_cycle) {
     auto account_overdue = [&](const job& j) {
         if (j.deadline < end_cycle) {
-            job_stats& s = stats_[static_cast<std::size_t>(
-                tasks_[j.task_index].category)];
-            ++s.completed;
-            ++s.missed;
+            const auto cat = static_cast<std::size_t>(
+                tasks_[j.task_index].category);
+            jobs_completed_[cat].inc();
+            jobs_missed_[cat].inc();
         }
     };
     if (running_) account_overdue(*running_);

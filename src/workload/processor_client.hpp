@@ -4,20 +4,24 @@
 // the core until the response returns (blocking cache-miss semantics).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "interconnect/interconnect.hpp"
+#include "obs/registry.hpp"
 #include "sim/component.hpp"
 #include "sim/rng.hpp"
 #include "workload/compute_task.hpp"
 
 namespace bluescale::workload {
 
-/// Per-category job outcome counters.
+/// Per-category job outcome snapshot (values read out of obs handles; a
+/// result type, not mutable storage).
 struct job_stats {
     std::uint64_t completed = 0;
     std::uint64_t missed = 0;
@@ -39,7 +43,7 @@ struct processor_retry_config {
     std::uint32_t max_retries = 3;
 };
 
-/// Recovery counters for one processor client.
+/// Recovery counter snapshot for one processor client (result type).
 struct processor_retry_stats {
     std::uint64_t retries = 0;
     std::uint64_t timeouts = 0;
@@ -61,9 +65,14 @@ public:
     /// deadline) at trial end.
     void finalize(cycle_t end_cycle);
 
+    /// Re-homes this client's counters into `reg` (metric names
+    /// "client.<id>/..."); call before the trial starts.
+    void bind_observability(obs::registry& reg);
+
     [[nodiscard]] client_id_t id() const { return id_; }
-    [[nodiscard]] const job_stats& stats(task_category c) const {
-        return stats_[static_cast<std::size_t>(c)];
+    [[nodiscard]] job_stats stats(task_category c) const {
+        const auto i = static_cast<std::size_t>(c);
+        return {jobs_completed_[i].value(), jobs_missed_[i].value()};
     }
     /// True if any safety or function job missed its deadline (the
     /// paper's per-trial success criterion ignores interference tasks).
@@ -72,10 +81,11 @@ public:
                stats(task_category::function).missed > 0;
     }
     [[nodiscard]] std::uint64_t mem_requests_issued() const {
-        return requests_issued_;
+        return requests_issued_.value();
     }
-    [[nodiscard]] const processor_retry_stats& retry_stats() const {
-        return retry_stats_;
+    [[nodiscard]] processor_retry_stats retry_stats() const {
+        return {retries_.value(), timeouts_.value(), aborted_.value(),
+                stale_responses_.value(), failed_responses_.value()};
     }
 
 private:
@@ -113,9 +123,17 @@ private:
     request_id_t awaited_id_ = 0;     ///< current attempt's id (0 = none)
     cycle_t stall_timeout_at_ = k_cycle_never;
     std::uint32_t attempts_ = 0;
-    processor_retry_stats retry_stats_;
-    std::array<job_stats, 3> stats_{};
-    std::uint64_t requests_issued_ = 0;
+    /// Fallback registry for unbound instances (bind_observability
+    /// re-homes the handles).
+    std::unique_ptr<obs::registry> own_;
+    obs::counter retries_;
+    obs::counter timeouts_;
+    obs::counter aborted_;
+    obs::counter stale_responses_;
+    obs::counter failed_responses_;
+    std::array<obs::counter, 3> jobs_completed_;
+    std::array<obs::counter, 3> jobs_missed_;
+    obs::counter requests_issued_;
     request_id_t next_request_id_;
 };
 

@@ -92,30 +92,28 @@ void trace_player::tick(cycle_t now) {
     r.abs_deadline = rec.abs_deadline;
     r.level_deadline = rec.abs_deadline;
     outstanding_deadline_.emplace(r.id, r.abs_deadline);
-    ++stats_.issued;
+    stats_.record_issue();
     net_.client_push(id_, std::move(r));
     ++next_;
 }
 
 void trace_player::on_response(mem_request&& r) {
     outstanding_deadline_.erase(r.id);
-    ++stats_.completed;
-    if (!r.met_deadline()) ++stats_.missed;
-    stats_.latency_cycles.add(static_cast<double>(r.total_latency()));
-    stats_.blocking_cycles.add(static_cast<double>(r.blocked_cycles));
+    // No validation margin in replay accounting (beyond_margin unused).
+    stats_.record_completion(static_cast<double>(r.total_latency()),
+                             static_cast<double>(r.blocked_cycles),
+                             !r.met_deadline(), false);
 }
 
 void trace_player::finalize(cycle_t end_cycle) {
     for (const auto& [id, deadline] : outstanding_deadline_) {
         if (deadline < end_cycle) {
-            ++stats_.missed;
-            ++stats_.abandoned;
+            stats_.record_abandoned(1, 0);
         }
     }
     for (std::size_t i = next_; i < records_.size(); ++i) {
         if (records_[i].abs_deadline < end_cycle) {
-            ++stats_.missed;
-            ++stats_.abandoned;
+            stats_.record_abandoned(1, 0);
         }
     }
 }

@@ -67,14 +67,14 @@ bool traffic_generator::try_reissue(cycle_t now) {
     for (auto it = outstanding_.begin(); it != outstanding_.end(); ++it) {
         outstanding_req& o = it->second;
         if (o.exhausted || o.timeout_at > now) continue;
-        ++stats_.timeouts;
+        stats_.record_timeout();
         if (o.attempts >= cfg_.max_retries) {
             // Budget spent: stop reissuing, but keep the entry -- the
             // response may merely be slow, and finalize() abandons it
             // otherwise.
             o.exhausted = true;
             o.timeout_at = k_cycle_never;
-            ++stats_.retry_exhausted;
+            stats_.record_retry_exhausted();
             continue;
         }
         // Reissue under a fresh id; the old id is forgotten, so its
@@ -86,10 +86,11 @@ bool traffic_generator::try_reissue(cycle_t now) {
         fresh.req.attempt = static_cast<std::uint8_t>(
             std::min<std::uint32_t>(fresh.attempts, 255));
         fresh.req.hop_arrival = now;
+        fresh.req.hops = obs::hop_stamps{}; // fresh attempt, fresh attribution
         fresh.timeout_at = now + backoff_window(fresh.attempts);
         mem_request r = fresh.req;
         outstanding_.emplace(r.id, std::move(fresh));
-        ++stats_.retries;
+        stats_.record_retry();
         net_.client_push(id_, std::move(r));
         return true;
     }
@@ -104,8 +105,7 @@ void traffic_generator::tick(cycle_t now) {
     // recovery reissues -- so the fabric drains. Released jobs still age
     // toward their deadlines and are charged to this client.
     if (shed_) {
-        ++stats_.shed_cycles;
-        if (backlog() > 0) ++stats_.shed_deferrals;
+        stats_.record_shed_cycle(backlog() > 0);
         return;
     }
 
@@ -141,7 +141,7 @@ void traffic_generator::tick(cycle_t now) {
         o.timeout_at = now + cfg_.retry_timeout_cycles;
     }
     outstanding_.emplace(r.id, std::move(o));
-    ++stats_.issued;
+    stats_.record_issue();
     net_.client_push(id_, std::move(r));
 
     ++job.issued;
@@ -153,14 +153,14 @@ void traffic_generator::on_response(mem_request&& r) {
     auto it = outstanding_.find(r.id);
     if (it == outstanding_.end()) {
         // A reissue superseded this attempt before its response landed.
-        ++stats_.stale_responses;
+        stats_.record_stale_response();
         return;
     }
     if (r.failed) {
         // Uncorrected DRAM error: the payload is unusable. With recovery
         // configured and budget left, expire the timeout so the next
         // tick's reissue path retries immediately; otherwise give up.
-        ++stats_.failed_responses;
+        stats_.record_failed_response();
         outstanding_req& o = it->second;
         if (cfg_.retry_timeout_cycles != 0 && !o.exhausted &&
             o.attempts < cfg_.max_retries) {
@@ -168,22 +168,17 @@ void traffic_generator::on_response(mem_request&& r) {
             return;
         }
         if (cfg_.retry_timeout_cycles != 0 && !o.exhausted) {
-            ++stats_.retry_exhausted;
+            stats_.record_retry_exhausted();
         }
-        ++stats_.missed;
-        ++stats_.abandoned;
-        ++stats_.missed_beyond_margin;
+        stats_.record_abandoned(1, 1);
         outstanding_.erase(it);
         return;
     }
     outstanding_.erase(it);
-    ++stats_.completed;
-    if (!r.met_deadline()) ++stats_.missed;
-    if (r.complete_cycle > r.abs_deadline + cfg_.validation_margin_cycles) {
-        ++stats_.missed_beyond_margin;
-    }
-    stats_.latency_cycles.add(static_cast<double>(r.total_latency()));
-    stats_.blocking_cycles.add(static_cast<double>(r.blocked_cycles));
+    stats_.record_completion(
+        static_cast<double>(r.total_latency()),
+        static_cast<double>(r.blocked_cycles), !r.met_deadline(),
+        r.complete_cycle > r.abs_deadline + cfg_.validation_margin_cycles);
 }
 
 void traffic_generator::reconfigure_tasks(memory_task_set tasks,
@@ -191,7 +186,7 @@ void traffic_generator::reconfigure_tasks(memory_task_set tasks,
     tasks_ = std::move(tasks);
     state_.assign(tasks_.size(), task_state{});
     for (auto& ts : state_) ts.next_release = now;
-    ++stats_.reconfigurations;
+    stats_.record_reconfiguration();
 }
 
 std::uint64_t traffic_generator::backlog() const {
@@ -207,23 +202,20 @@ void traffic_generator::finalize(cycle_t end_cycle) {
     for (const auto& [id, o] : outstanding_) {
         const cycle_t deadline = o.req.abs_deadline;
         if (deadline < end_cycle) {
-            ++stats_.missed;
-            ++stats_.abandoned;
-            if (deadline + cfg_.validation_margin_cycles < end_cycle) {
-                ++stats_.missed_beyond_margin;
-            }
+            const bool beyond =
+                deadline + cfg_.validation_margin_cycles < end_cycle;
+            stats_.record_abandoned(1, beyond ? 1 : 0);
         }
     }
     // Released but never issued requests past their deadline.
     for (const auto& ts : state_) {
         for (const auto& job : ts.jobs) {
             if (job.deadline < end_cycle) {
-                stats_.missed += job.remaining;
-                stats_.abandoned += job.remaining;
-                if (job.deadline + cfg_.validation_margin_cycles <
-                    end_cycle) {
-                    stats_.missed_beyond_margin += job.remaining;
-                }
+                const bool beyond =
+                    job.deadline + cfg_.validation_margin_cycles <
+                    end_cycle;
+                stats_.record_abandoned(job.remaining,
+                                        beyond ? job.remaining : 0);
             }
         }
     }

@@ -76,6 +76,12 @@ public:
     /// In-flight requests complete under the old accounting.
     void reconfigure_tasks(memory_task_set tasks, cycle_t now);
 
+    /// Re-homes this client's counters into `reg` (metric names
+    /// "client.<id>/..."); call before the trial starts.
+    void bind_observability(obs::registry& reg) {
+        stats_.bind(reg, "client." + std::to_string(id_));
+    }
+
     [[nodiscard]] const client_stats& stats() const { return stats_; }
     [[nodiscard]] client_id_t id() const { return id_; }
     [[nodiscard]] const memory_task_set& tasks() const { return tasks_; }

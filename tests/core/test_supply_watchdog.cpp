@@ -232,7 +232,7 @@ TEST(supply_watchdog, shedding_protects_hard_clients_under_overload) {
         wd.track_client(
             c,
             best_effort ? client_class::best_effort : client_class::hard,
-            [client] { return client->stats().missed; },
+            [client] { return client->stats().missed(); },
             [client](bool on) { client->set_shed(on); });
     }
     fabric.set_response_handler([&](mem_request&& r) {
@@ -258,10 +258,10 @@ TEST(supply_watchdog, shedding_protects_hard_clients_under_overload) {
     for (std::uint32_t c = 0; c < n; ++c) {
         const auto& s = clients[c]->stats();
         if (c >= 12) {
-            be_missed += s.missed;
-            shed_cycles += s.shed_cycles;
+            be_missed += s.missed();
+            shed_cycles += s.shed_cycles();
         } else {
-            hard_missed += s.missed;
+            hard_missed += s.missed();
         }
     }
     // Hard real-time clients ride through untouched; the best-effort

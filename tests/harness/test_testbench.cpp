@@ -58,7 +58,7 @@ TEST(testbench, assembles_and_runs_every_design) {
         std::uint64_t completed = 0;
         for (auto& c : r.clients) {
             c->finalize(r.tb->now());
-            completed += c->stats().completed;
+            completed += c->stats().completed();
         }
         EXPECT_GT(completed, 0u) << kind_name(kind);
     }
@@ -72,7 +72,7 @@ TEST(testbench, routes_responses_to_the_registered_client) {
     // would leave some client permanently throttled at max_outstanding.
     for (auto& c : r.clients) {
         c->finalize(r.tb->now());
-        EXPECT_GT(c->stats().completed, 0u) << "client " << c->id();
+        EXPECT_GT(c->stats().completed(), 0u) << "client " << c->id();
     }
 }
 
@@ -110,7 +110,7 @@ TEST(testbench, se_override_builds_bluescale_variant) {
     });
     tb.run(5'000);
     client.finalize(tb.now());
-    EXPECT_GT(client.stats().completed, 0u);
+    EXPECT_GT(client.stats().completed(), 0u);
 }
 
 TEST(testbench, run_accumulates_cycles) {

@@ -55,17 +55,17 @@ struct system_rig {
 
     std::uint64_t total_issued() const {
         std::uint64_t n = 0;
-        for (const auto& c : clients) n += c->stats().issued;
+        for (const auto& c : clients) n += c->stats().issued();
         return n;
     }
     std::uint64_t total_completed() const {
         std::uint64_t n = 0;
-        for (const auto& c : clients) n += c->stats().completed;
+        for (const auto& c : clients) n += c->stats().completed();
         return n;
     }
     std::uint64_t total_missed() const {
         std::uint64_t n = 0;
-        for (const auto& c : clients) n += c->stats().missed;
+        for (const auto& c : clients) n += c->stats().missed();
         return n;
     }
 
@@ -152,7 +152,7 @@ TEST(end_to_end_bluescale, blocking_bounded_under_contention) {
     rig.sim.run(50'000);
     double worst = 0;
     for (auto& c : rig.clients) {
-        worst = std::max(worst, c->stats().blocking_cycles.max());
+        worst = std::max(worst, c->stats().blocking_cycles().max());
     }
     // Compositional scheduling bounds inversion; a loose sanity ceiling.
     EXPECT_LT(worst, 2'000.0);

@@ -72,10 +72,10 @@ run_result run(const sim::fault_campaign& campaign, double util,
     stats::running_summary latency;
     for (auto& c : clients) {
         c->finalize(sim.now());
-        out.completed += c->stats().completed;
-        out.issued += c->stats().issued;
-        out.missed += c->stats().missed;
-        for (double v : c->stats().latency_cycles.samples()) {
+        out.completed += c->stats().completed();
+        out.issued += c->stats().issued();
+        out.missed += c->stats().missed();
+        for (double v : c->stats().latency_cycles().samples()) {
             latency.add(v);
         }
     }
@@ -175,10 +175,10 @@ TEST(fault_injection, campaign_faults_are_isolated_to_targeted_subtree) {
     for (std::uint32_t c = 0; c < n; ++c) {
         clients[c]->finalize(sim.now());
         const auto& s = clients[c]->stats();
-        EXPECT_EQ(s.completed, s.issued) << "client " << c;
+        EXPECT_EQ(s.completed(), s.issued()) << "client " << c;
         if (c >= 4) {
             // Healthy subtrees keep their guaranteed supply: no misses.
-            EXPECT_EQ(s.missed, 0u) << "client " << c;
+            EXPECT_EQ(s.missed(), 0u) << "client " << c;
         }
     }
 }

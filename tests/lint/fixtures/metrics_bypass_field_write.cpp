@@ -1,0 +1,13 @@
+// Fixture: direct mutation of stat-counter struct fields -- the pre-obs
+// public-field API. Both the compound-assignment and increment forms must
+// be flagged as metrics-bypass.
+struct client_stats {
+    unsigned long long issued = 0;
+    unsigned long long missed = 0;
+};
+
+struct client {
+    void on_issue() { stats_.issued += 1; }
+    void on_miss() { ++stats_.missed; }
+    client_stats stats_;
+};

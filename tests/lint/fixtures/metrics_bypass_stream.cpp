@@ -1,0 +1,7 @@
+// Fixture: hand-rolled stat emission through a raw std::ostream -- stat
+// values must leave through the obs exporters instead.
+#include <iostream>
+
+void dump_stats(unsigned long long n_completed) {
+    std::cout << "completed," << n_completed << "\n";
+}

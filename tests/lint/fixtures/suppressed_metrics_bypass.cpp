@@ -1,0 +1,6 @@
+// Fixture twin: the same raw-stream emission, blessed by an allow.
+#include <iostream>
+
+void dump_stats(unsigned long long n_completed) {
+    std::cout << n_completed; // detlint:allow(metrics-bypass): debug aid
+}

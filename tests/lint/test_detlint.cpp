@@ -48,6 +48,8 @@ constexpr seeded_case k_seeded[] = {
     {"unordered_begin_loop.cpp", "unordered-iter"},
     {"float_cycle_mix.cpp", "float-cycle"},
     {"libc_shadow_rand.cpp", "libc-shadow"},
+    {"metrics_bypass_field_write.cpp", "metrics-bypass"},
+    {"metrics_bypass_stream.cpp", "metrics-bypass"},
     {"missing_pragma_once.hpp", "include-guard"},
 };
 
@@ -62,7 +64,7 @@ TEST(detlint_fixtures, allow_annotations_silence_each_rule) {
     const char* suppressed[] = {
         "suppressed_nondet.cpp",    "suppressed_unordered.cpp",
         "suppressed_float_cycle.cpp", "suppressed_libc_shadow.cpp",
-        "suppressed_include_guard.hpp",
+        "suppressed_metrics_bypass.cpp", "suppressed_include_guard.hpp",
     };
     for (const auto* name : suppressed) {
         SCOPED_TRACE(name);
@@ -232,6 +234,53 @@ TEST(detlint_engine, pragma_once_header_is_clean) {
           "inline int f() { return 1; }\n"}},
         scan_options{});
     EXPECT_TRUE(r.findings.empty()) << r.findings.front().message;
+}
+
+TEST(detlint_engine, obs_and_stats_own_the_stream_exporters) {
+    // The identical std::ostream emission is the sanctioned exporter
+    // inside src/obs/ and src/stats/, and a metrics bypass anywhere else.
+    const std::string body =
+        "#include <ostream>\n"
+        "void emit(std::ostream& os, unsigned long long n) { os << n; }\n";
+    const scan_result exempt = detlint::scan_sources(
+        {{"src/obs/exporter.cpp", body}, {"src/stats/writer.cpp", body}},
+        scan_options{});
+    EXPECT_TRUE(exempt.findings.empty())
+        << exempt.findings.front().message;
+    const scan_result flagged = detlint::scan_sources(
+        {{"src/harness/report.cpp", body}}, scan_options{});
+    ASSERT_EQ(flagged.findings.size(), 1u);
+    EXPECT_EQ(flagged.findings.front().rule, "metrics-bypass");
+    EXPECT_EQ(flagged.findings.front().line, 2u);
+}
+
+TEST(detlint_engine, stat_aggregation_into_locals_is_not_a_bypass) {
+    // `out.retries += m.retries` merges trial results into a value-type
+    // aggregate -- only member-style owners (`stats_`, `this->...`) hold
+    // live counters, so only those writes are the old bypassing API.
+    const scan_result r = detlint::scan_sources(
+        {{"src/harness/agg.cpp",
+          "struct trial { unsigned long long retries = 0; };\n"
+          "trial sum(const trial& m) {\n"
+          "    trial out;\n"
+          "    out.retries += m.retries;\n"
+          "    return out;\n"
+          "}\n"}},
+        scan_options{});
+    EXPECT_TRUE(r.findings.empty()) << r.findings.front().message;
+}
+
+TEST(detlint_engine, this_qualified_stat_writes_are_flagged) {
+    const scan_result r = detlint::scan_sources(
+        {{"src/core/widget.cpp",
+          "struct widget {\n"
+          "    unsigned long long serviced = 0;\n"
+          "    void f() { this->serviced += 1; }\n"
+          "};\n"}},
+        scan_options{});
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings.front().rule, "metrics-bypass");
+    EXPECT_EQ(r.findings.front().line, 3u);
 }
 
 TEST(detlint_engine, suppression_must_name_the_right_rule) {

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "stats/histogram.hpp"
 
 namespace bluescale::stats {
@@ -65,6 +67,96 @@ TEST(histogram, to_string_mentions_overflow) {
     histogram h(0.0, 1.0, 1);
     h.add(5.0);
     EXPECT_NE(h.to_string().find("overflow 1"), std::string::npos);
+}
+
+TEST(histogram, merge_accumulates_bins_and_total) {
+    histogram a(0.0, 10.0, 5);
+    a.add(1.0);
+    a.add(3.0);
+    histogram b(0.0, 10.0, 5);
+    b.add(1.5);
+    b.add(-1.0);
+    b.add(42.0);
+    a.merge(b);
+    EXPECT_EQ(a.bin(0), 2u);
+    EXPECT_EQ(a.bin(1), 1u);
+    EXPECT_EQ(a.underflow(), 1u);
+    EXPECT_EQ(a.overflow(), 1u);
+    EXPECT_EQ(a.total(), 5u);
+}
+
+TEST(histogram, merge_of_empty_is_noop) {
+    histogram a(0.0, 10.0, 5);
+    a.add(4.0);
+    // Empty merges are no-ops even across mismatched layouts (an
+    // untouched histogram carries no information to reconcile).
+    const histogram empty(0.0, 100.0, 3);
+    a.merge(empty);
+    EXPECT_EQ(a.total(), 1u);
+    EXPECT_EQ(a.bin(2), 1u);
+}
+
+TEST(histogram, merge_into_empty_adopts_counts) {
+    histogram a(0.0, 10.0, 2);
+    histogram b(0.0, 10.0, 2);
+    b.add(7.0);
+    a.merge(b);
+    EXPECT_EQ(a.total(), 1u);
+    EXPECT_EQ(a.bin(1), 1u);
+}
+
+TEST(histogram, percentile_of_empty_is_zero) {
+    const histogram h(0.0, 10.0, 5);
+    EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(99.0), 0.0);
+}
+
+TEST(histogram, percentile_single_sample_is_well_defined) {
+    histogram h(0.0, 10.0, 5);
+    h.add(5.0); // bin [4, 6)
+    // Every percentile of one sample resolves inside that sample's bin
+    // (notably p99: rank must clamp to 1, not truncate to 0).
+    for (double p : {0.0, 1.0, 50.0, 99.0, 100.0}) {
+        const double v = h.percentile(p);
+        EXPECT_GE(v, 4.0) << "p=" << p;
+        EXPECT_LE(v, 6.0) << "p=" << p;
+    }
+}
+
+TEST(histogram, percentile_interpolates_within_bins) {
+    histogram h(0.0, 100.0, 10);
+    for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i));
+    // Uniform mass: the p-th percentile tracks p itself to within a bin.
+    EXPECT_NEAR(h.percentile(50.0), 50.0, 10.0);
+    EXPECT_NEAR(h.percentile(99.0), 99.0, 10.0);
+    EXPECT_LE(h.percentile(10.0), h.percentile(90.0));
+}
+
+TEST(histogram, percentile_clamps_out_of_range_p) {
+    histogram h(0.0, 10.0, 5);
+    h.add(2.0);
+    h.add(8.0);
+    EXPECT_DOUBLE_EQ(h.percentile(-5.0), h.percentile(0.0));
+    EXPECT_DOUBLE_EQ(h.percentile(250.0), h.percentile(100.0));
+}
+
+TEST(histogram, percentile_underflow_maps_to_lo_overflow_to_hi) {
+    histogram h(0.0, 10.0, 5);
+    h.add(-1.0);
+    h.add(-2.0);
+    h.add(20.0);
+    h.add(30.0);
+    EXPECT_DOUBLE_EQ(h.percentile(25.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100.0), 10.0);
+}
+
+TEST(histogram, percentile_all_mass_one_bin_no_division_blowup) {
+    histogram h(0.0, 10.0, 5);
+    for (int i = 0; i < 1000; ++i) h.add(5.0);
+    const double p99 = h.percentile(99.0);
+    EXPECT_GE(p99, 4.0);
+    EXPECT_LE(p99, 6.0);
+    EXPECT_TRUE(std::isfinite(p99));
 }
 
 } // namespace

@@ -54,11 +54,11 @@ TEST(retry, dropped_request_reissued_and_completed) {
     rig r({task(1, 250, 1)}, retry_config(/*timeout=*/50, /*retries=*/3));
     r.net.drop_next(1);
     r.sim.run(1000);
-    EXPECT_EQ(r.gen.stats().issued, 1u);
-    EXPECT_EQ(r.gen.stats().timeouts, 1u);
-    EXPECT_EQ(r.gen.stats().retries, 1u);
-    EXPECT_EQ(r.gen.stats().completed, 1u);
-    EXPECT_EQ(r.gen.stats().retry_exhausted, 0u);
+    EXPECT_EQ(r.gen.stats().issued(), 1u);
+    EXPECT_EQ(r.gen.stats().timeouts(), 1u);
+    EXPECT_EQ(r.gen.stats().retries(), 1u);
+    EXPECT_EQ(r.gen.stats().completed(), 1u);
+    EXPECT_EQ(r.gen.stats().retry_exhausted(), 0u);
     EXPECT_EQ(r.gen.outstanding(), 0u);
 }
 
@@ -66,11 +66,11 @@ TEST(retry, latency_of_retried_request_spans_recovery) {
     rig r({task(1, 500, 1)}, retry_config(100, 3), /*latency=*/10);
     r.net.drop_next(1);
     r.sim.run(2000);
-    ASSERT_EQ(r.gen.stats().completed, 1u);
+    ASSERT_EQ(r.gen.stats().completed(), 1u);
     // Issued at 0, reissued at 100, completed at ~110: the sample keeps
     // the first attempt's issue cycle, so it spans the full recovery
     // (far beyond the loopback's 10-cycle service latency).
-    EXPECT_GE(r.gen.stats().latency_cycles.max(), 100.0);
+    EXPECT_GE(r.gen.stats().latency_cycles().max(), 100.0);
 }
 
 TEST(retry, exhausted_budget_gives_request_up) {
@@ -78,15 +78,15 @@ TEST(retry, exhausted_budget_gives_request_up) {
     r.net.drop_next(3); // first attempt + both retries lost
     r.sim.run(10'000);
     // Timeouts: two expiries trigger retries, the third exhausts.
-    EXPECT_EQ(r.gen.stats().retries, 2u);
-    EXPECT_EQ(r.gen.stats().timeouts, 3u);
-    EXPECT_EQ(r.gen.stats().retry_exhausted, 1u);
-    EXPECT_EQ(r.gen.stats().completed, 0u);
+    EXPECT_EQ(r.gen.stats().retries(), 2u);
+    EXPECT_EQ(r.gen.stats().timeouts(), 3u);
+    EXPECT_EQ(r.gen.stats().retry_exhausted(), 1u);
+    EXPECT_EQ(r.gen.stats().completed(), 0u);
     // The exhausted request stays outstanding until finalize() counts it
     // (end past the job's implicit deadline of 10'000 cycles).
     r.gen.finalize(10'500);
-    EXPECT_EQ(r.gen.stats().abandoned, 1u);
-    EXPECT_EQ(r.gen.stats().missed, 1u);
+    EXPECT_EQ(r.gen.stats().abandoned(), 1u);
+    EXPECT_EQ(r.gen.stats().missed(), 1u);
 }
 
 TEST(retry, backoff_doubles_each_window) {
@@ -95,12 +95,12 @@ TEST(retry, backoff_doubles_each_window) {
     rig r({task(1, 2500, 1)}, retry_config(50, 2, /*backoff=*/2));
     r.net.drop_next(3);
     r.sim.run(149);
-    EXPECT_EQ(r.gen.stats().retries, 1u); // second expiry not yet due
+    EXPECT_EQ(r.gen.stats().retries(), 1u); // second expiry not yet due
     r.sim.run(100);
-    EXPECT_EQ(r.gen.stats().retries, 2u);
-    EXPECT_EQ(r.gen.stats().retry_exhausted, 0u);
+    EXPECT_EQ(r.gen.stats().retries(), 2u);
+    EXPECT_EQ(r.gen.stats().retry_exhausted(), 0u);
     r.sim.run(200);
-    EXPECT_EQ(r.gen.stats().retry_exhausted, 1u);
+    EXPECT_EQ(r.gen.stats().retry_exhausted(), 1u);
 }
 
 TEST(retry, response_exactly_at_timeout_loses_the_race) {
@@ -110,40 +110,40 @@ TEST(retry, response_exactly_at_timeout_loses_the_race) {
     rig r({task(1, 500, 1)}, retry_config(/*timeout=*/10, 3),
           /*latency=*/10);
     r.sim.run(2000);
-    EXPECT_EQ(r.gen.stats().timeouts, 1u);
-    EXPECT_EQ(r.gen.stats().retries, 1u);
-    EXPECT_EQ(r.gen.stats().stale_responses, 1u);
-    EXPECT_EQ(r.gen.stats().completed, 1u); // the reissue completes
+    EXPECT_EQ(r.gen.stats().timeouts(), 1u);
+    EXPECT_EQ(r.gen.stats().retries(), 1u);
+    EXPECT_EQ(r.gen.stats().stale_responses(), 1u);
+    EXPECT_EQ(r.gen.stats().completed(), 1u); // the reissue completes
 }
 
 TEST(retry, response_inside_timeout_window_needs_no_recovery) {
     rig r({task(1, 500, 1)}, retry_config(/*timeout=*/11, 3),
           /*latency=*/10);
     r.sim.run(2000);
-    EXPECT_EQ(r.gen.stats().timeouts, 0u);
-    EXPECT_EQ(r.gen.stats().retries, 0u);
-    EXPECT_EQ(r.gen.stats().stale_responses, 0u);
-    EXPECT_EQ(r.gen.stats().completed, 1u);
+    EXPECT_EQ(r.gen.stats().timeouts(), 0u);
+    EXPECT_EQ(r.gen.stats().retries(), 0u);
+    EXPECT_EQ(r.gen.stats().stale_responses(), 0u);
+    EXPECT_EQ(r.gen.stats().completed(), 1u);
 }
 
 TEST(retry, failed_response_retries_then_succeeds) {
     rig r({task(1, 250, 1)}, retry_config(50, 3));
     r.net.fail_next(1);
     r.sim.run(1000);
-    EXPECT_EQ(r.gen.stats().failed_responses, 1u);
-    EXPECT_EQ(r.gen.stats().retries, 1u);
-    EXPECT_EQ(r.gen.stats().completed, 1u);
+    EXPECT_EQ(r.gen.stats().failed_responses(), 1u);
+    EXPECT_EQ(r.gen.stats().retries(), 1u);
+    EXPECT_EQ(r.gen.stats().completed(), 1u);
 }
 
 TEST(retry, persistent_failures_exhaust_budget) {
     rig r({task(1, 2500, 1)}, retry_config(50, /*retries=*/2));
     r.net.fail_next(3);
     r.sim.run(10'000);
-    EXPECT_EQ(r.gen.stats().failed_responses, 3u);
-    EXPECT_EQ(r.gen.stats().retries, 2u);
-    EXPECT_EQ(r.gen.stats().retry_exhausted, 1u);
-    EXPECT_EQ(r.gen.stats().completed, 0u);
-    EXPECT_EQ(r.gen.stats().abandoned, 1u);
+    EXPECT_EQ(r.gen.stats().failed_responses(), 3u);
+    EXPECT_EQ(r.gen.stats().retries(), 2u);
+    EXPECT_EQ(r.gen.stats().retry_exhausted(), 1u);
+    EXPECT_EQ(r.gen.stats().completed(), 0u);
+    EXPECT_EQ(r.gen.stats().abandoned(), 1u);
     EXPECT_EQ(r.gen.outstanding(), 0u);
 }
 
@@ -151,12 +151,12 @@ TEST(retry, disabled_recovery_leaves_lost_request_outstanding) {
     rig r({task(1, 250, 1)}, traffic_gen_config{});
     r.net.drop_next(1);
     r.sim.run(900); // one release; its implicit deadline is cycle 1000
-    EXPECT_EQ(r.gen.stats().timeouts, 0u);
-    EXPECT_EQ(r.gen.stats().retries, 0u);
-    EXPECT_EQ(r.gen.stats().completed, 0u);
+    EXPECT_EQ(r.gen.stats().timeouts(), 0u);
+    EXPECT_EQ(r.gen.stats().retries(), 0u);
+    EXPECT_EQ(r.gen.stats().completed(), 0u);
     EXPECT_EQ(r.gen.outstanding(), 1u);
     r.gen.finalize(2000);
-    EXPECT_EQ(r.gen.stats().abandoned, 1u);
+    EXPECT_EQ(r.gen.stats().abandoned(), 1u);
 }
 
 // --- processor_client (blocking cache-miss path) ------------------------

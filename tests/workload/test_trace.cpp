@@ -65,11 +65,11 @@ TEST(trace_player, replays_only_its_client_slice) {
     sim.add(p1);
     sim.add(net);
     sim.run(200);
-    EXPECT_EQ(p0.stats().issued, 2u);
-    EXPECT_EQ(p1.stats().issued, 2u);
+    EXPECT_EQ(p0.stats().issued(), 2u);
+    EXPECT_EQ(p1.stats().issued(), 2u);
     EXPECT_TRUE(p0.done());
     EXPECT_TRUE(p1.done());
-    EXPECT_EQ(p0.stats().completed, 2u);
+    EXPECT_EQ(p0.stats().completed(), 2u);
 }
 
 TEST(trace_player, honors_recorded_issue_cycles) {
@@ -82,9 +82,9 @@ TEST(trace_player, honors_recorded_issue_cycles) {
     sim.add(p);
     sim.add(net);
     sim.run(50);
-    EXPECT_EQ(p.stats().issued, 0u) << "issued before its recorded cycle";
+    EXPECT_EQ(p.stats().issued(), 0u) << "issued before its recorded cycle";
     sim.run(100);
-    EXPECT_EQ(p.stats().issued, 1u);
+    EXPECT_EQ(p.stats().issued(), 1u);
 }
 
 TEST(trace_player, detects_deadline_misses) {
@@ -97,7 +97,7 @@ TEST(trace_player, detects_deadline_misses) {
     sim.add(p);
     sim.add(net);
     sim.run(1000);
-    EXPECT_EQ(p.stats().missed, 1u);
+    EXPECT_EQ(p.stats().missed(), 1u);
 }
 
 TEST(trace_player, finalize_accounts_unreplayed_records) {
@@ -110,8 +110,8 @@ TEST(trace_player, finalize_accounts_unreplayed_records) {
     sim.add(net);
     sim.run(500);
     p.finalize(sim.now());
-    EXPECT_EQ(p.stats().missed, 1u);
-    EXPECT_EQ(p.stats().abandoned, 1u);
+    EXPECT_EQ(p.stats().missed(), 1u);
+    EXPECT_EQ(p.stats().abandoned(), 1u);
 }
 
 } // namespace

@@ -39,22 +39,22 @@ TEST(traffic_generator, issues_expected_request_count) {
     // 10 jobs -> 20 requests.
     rig r({task(1, 25, 2)});
     r.sim.run(1000);
-    EXPECT_EQ(r.gen.stats().issued, 20u);
+    EXPECT_EQ(r.gen.stats().issued(), 20u);
 }
 
 TEST(traffic_generator, all_responses_complete_under_light_load) {
     rig r({task(1, 50, 1)});
     r.sim.run(2000);
-    EXPECT_EQ(r.gen.stats().completed, r.gen.stats().issued);
-    EXPECT_EQ(r.gen.stats().missed, 0u);
+    EXPECT_EQ(r.gen.stats().completed(), r.gen.stats().issued());
+    EXPECT_EQ(r.gen.stats().missed(), 0u);
 }
 
 TEST(traffic_generator, latency_measured_against_loopback) {
     rig r({task(1, 100, 1)}, /*loopback_latency=*/17);
     r.sim.run(4000);
-    ASSERT_GT(r.gen.stats().completed, 0u);
+    ASSERT_GT(r.gen.stats().completed(), 0u);
     // Loopback latency within a couple of cycles of tick-order skew.
-    EXPECT_NEAR(r.gen.stats().latency_cycles.mean(), 17.0, 2.0);
+    EXPECT_NEAR(r.gen.stats().latency_cycles().mean(), 17.0, 2.0);
 }
 
 TEST(traffic_generator, deadline_misses_detected) {
@@ -62,8 +62,8 @@ TEST(traffic_generator, deadline_misses_detected) {
     // misses its implicit deadline.
     rig r({task(1, 2, 1)}, /*loopback_latency=*/50);
     r.sim.run(1000);
-    ASSERT_GT(r.gen.stats().completed, 0u);
-    EXPECT_EQ(r.gen.stats().missed, r.gen.stats().completed);
+    ASSERT_GT(r.gen.stats().completed(), 0u);
+    EXPECT_EQ(r.gen.stats().missed(), r.gen.stats().completed());
 }
 
 TEST(traffic_generator, edf_orders_across_tasks) {
@@ -91,11 +91,11 @@ TEST(traffic_generator, respects_backpressure) {
     rig r({task(1, 10, 5)});
     r.net.set_accepting(false);
     r.sim.run(500);
-    EXPECT_EQ(r.gen.stats().issued, 0u);
+    EXPECT_EQ(r.gen.stats().issued(), 0u);
     EXPECT_GT(r.gen.backlog(), 0u);
     r.net.set_accepting(true);
     r.sim.run(500);
-    EXPECT_GT(r.gen.stats().issued, 0u);
+    EXPECT_GT(r.gen.stats().issued(), 0u);
 }
 
 TEST(traffic_generator, respects_outstanding_cap) {
@@ -109,7 +109,7 @@ TEST(traffic_generator, respects_outstanding_cap) {
     sim.add(gen);
     sim.add(net);
     sim.run(200);
-    EXPECT_EQ(gen.stats().issued, 2u);
+    EXPECT_EQ(gen.stats().issued(), 2u);
     EXPECT_EQ(gen.outstanding(), 2u);
 }
 
@@ -122,10 +122,10 @@ TEST(traffic_generator, finalize_counts_stranded_requests_as_missed) {
     sim.add(gen);
     sim.add(net);
     sim.run(1000);
-    EXPECT_EQ(gen.stats().missed, 0u); // nothing completed yet
+    EXPECT_EQ(gen.stats().missed(), 0u); // nothing completed yet
     gen.finalize(sim.now());
-    EXPECT_GT(gen.stats().missed, 0u);
-    EXPECT_EQ(gen.stats().missed, gen.stats().abandoned);
+    EXPECT_GT(gen.stats().missed(), 0u);
+    EXPECT_EQ(gen.stats().missed(), gen.stats().abandoned());
 }
 
 TEST(traffic_generator, requests_carry_client_and_task_ids) {
@@ -164,7 +164,7 @@ TEST(traffic_generator, request_ids_unique) {
 TEST(traffic_generator, blocking_stat_zero_on_contention_free_path) {
     rig r({task(1, 50, 2)});
     r.sim.run(2000);
-    EXPECT_DOUBLE_EQ(r.gen.stats().blocking_cycles.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(r.gen.stats().blocking_cycles().mean(), 0.0);
 }
 
 TEST(traffic_generator, writes_flag_propagates) {

@@ -5,9 +5,9 @@
 // Scans C++ sources for project-specific hazards that no generic compiler
 // warning catches: nondeterminism sources (wall clocks, unseeded entropy),
 // unordered-container iteration feeding deterministic output, lossy
-// float/cycle arithmetic, libc-shadowing identifiers and missing include
-// guards. Exit status: 0 = clean, 1 = unsuppressed findings, 2 = usage or
-// I/O error.
+// float/cycle arithmetic, libc-shadowing identifiers, stat emission that
+// bypasses the obs layer, and missing include guards. Exit status:
+// 0 = clean, 1 = unsuppressed findings, 2 = usage or I/O error.
 #include <cstring>
 #include <iostream>
 #include <string>

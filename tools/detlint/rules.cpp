@@ -478,6 +478,107 @@ void check_libc_shadow(const lexed_file& file, std::vector<finding>& out) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: metrics-bypass
+
+const std::set<std::string>& stat_field_names() {
+    // The counter-struct fields that were public mutable state before the
+    // obs migration. A `stats_.issued += 1` that compiles today is a
+    // regression to the old API: the write bypasses the obs registry, so
+    // it never reaches snapshots, merges or the CSV exporters.
+    static const std::set<std::string> k = {
+        "issued",          "completed",        "missed",
+        "abandoned",       "missed_beyond_margin",
+        "retries",         "timeouts",         "failed_responses",
+        "retry_exhausted", "stale_responses",  "shed_cycles",
+        "shed_deferrals",  "reconfigurations", "windows_checked",
+        "violating_windows","supply_shortfall_alarms",
+        "deadline_alarms", "shed_events",      "restore_events",
+        "shed_client_cycles","hard_misses",    "best_effort_misses",
+        "degrade_events",  "recovery_events",  "degraded_se_cycles",
+        "serviced",        "ecc_retries",      "uncorrected_errors",
+        "storm_cycles",    "forwarded",        "forwarded_budgeted",
+        "fault_stall_cycles","degraded_cycles",
+    };
+    return k;
+}
+
+[[nodiscard]] bool owner_is_stat_holder(const token& t) {
+    return t.kind == tok_kind::identifier &&
+           (member_style(t.text) || t.text == "this");
+}
+
+void check_metrics_bypass(const lexed_file& file, std::vector<finding>& out) {
+    // The obs layer owns metric storage and export; stats/ holds the
+    // sanctioned low-level formatters (csv_writer, table). Everywhere
+    // else, stat values must flow through obs handles and leave through
+    // the obs exporters.
+    if (path_contains(file.path, "/obs/") ||
+        path_contains(file.path, "/stats/")) {
+        return;
+    }
+    static const std::set<std::string> stream_names = {"ofstream", "ostream",
+                                                       "cout", "cerr"};
+    static const std::set<std::string> mutators = {"=", "+=", "-=", "++",
+                                                   "--"};
+    const auto& toks = file.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const token& t = toks[i];
+        // (a) Raw stream emission: hand-rolled stat CSV/log writers were
+        // the pre-obs idiom and silently fork the export format.
+        if (t.kind == tok_kind::identifier &&
+            stream_names.count(t.text) != 0) {
+            out.push_back(
+                {file.path, t.line, "metrics-bypass",
+                 "raw std::" + t.text +
+                     " use outside src/obs//src/stats/: stat emission must "
+                     "go through the obs exporters "
+                     "(snapshot::write_csv / trace_export); suppress with "
+                     "a justification for genuinely non-metric output"});
+            continue;
+        }
+        if (t.kind != tok_kind::punct || mutators.count(t.text) == 0) {
+            continue;
+        }
+        // (b) Direct counter-struct field mutation. Member-style owners
+        // (`stats_.issued += 1`, `this->counters_.missed++`) are the old
+        // public-field API; value aggregation into locals/results
+        // (`out.retries += m.retries`) is legitimate and skipped.
+        const token* field = nullptr;
+        const token* owner = nullptr;
+        if (i >= 3 && toks[i - 1].kind == tok_kind::identifier &&
+            (is_punct(toks[i - 2], ".") || is_punct(toks[i - 2], "->"))) {
+            field = &toks[i - 1];
+            owner = &toks[i - 3];
+        } else if ((t.text == "++" || t.text == "--") && i + 3 < toks.size() &&
+                   (is_punct(toks[i + 2], ".") ||
+                    is_punct(toks[i + 2], "->")) &&
+                   toks[i + 3].kind == tok_kind::identifier) {
+            // Prefix form: ++owner.field -- walk the access chain to its
+            // last component so `++this->stats_.issued` resolves too.
+            std::size_t j = i + 1;
+            while (j + 2 < toks.size() &&
+                   (is_punct(toks[j + 1], ".") ||
+                    is_punct(toks[j + 1], "->")) &&
+                   toks[j + 2].kind == tok_kind::identifier) {
+                owner = &toks[j];
+                j += 2;
+            }
+            field = &toks[j];
+        }
+        if (field == nullptr || owner == nullptr) continue;
+        if (stat_field_names().count(field->text) == 0) continue;
+        if (!owner_is_stat_holder(*owner)) continue;
+        out.push_back(
+            {file.path, t.line, "metrics-bypass",
+             "direct write to stat counter field '" + field->text +
+                 "' ('" + owner->text + "." + field->text + " " + t.text +
+                 " ...') bypasses the obs registry; mutate through an "
+                 "obs::counter/gauge handle so snapshots and exports see "
+                 "it"});
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: include-guard
 
 void check_include_guard(const lexed_file& file, std::vector<finding>& out) {
@@ -525,6 +626,10 @@ const std::vector<rule_info>& all_rules() {
         {"libc-shadow",
          "flags identifiers that shadow libc names (rand, time, clock, "
          "...): deleting the local silently rebinds to libc"},
+        {"metrics-bypass",
+         "flags raw std::ostream stat emission and direct counter-struct "
+         "field writes outside src/obs/ and src/stats/: metrics flow "
+         "through obs handles and leave through the obs exporters"},
         {"include-guard",
          "headers must open with '#pragma once' before any code or other "
          "preprocessor directive"},
@@ -553,6 +658,7 @@ void check(const lexed_file& file, const tree_context& ctx,
     if (on("unordered-iter")) check_unordered_iter(file, ctx, raw);
     if (on("float-cycle")) check_float_cycle(file, ctx, raw);
     if (on("libc-shadow")) check_libc_shadow(file, raw);
+    if (on("metrics-bypass")) check_metrics_bypass(file, raw);
     if (on("include-guard")) check_include_guard(file, raw);
     // Token order within each rule is already source order; interleave the
     // rules by line so a file's report reads top-to-bottom.
