@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# Captures the committed micro-benchmark snapshot, BENCH_micro_hotpaths.json
+# at the repo root: every bench/micro_hotpaths case, machine-normalized
+# against the bm_sbf arithmetic kernel so two snapshots taken on different
+# hardware (or a noisy CI runner) stay comparable -- the guarded quantity
+# is each case's cost in bm_sbf units, not raw nanoseconds. Keys are
+# sorted, values rounded, so regenerating on the same machine produces a
+# minimal diff.
+#
+#   $ scripts/bench_snapshot.sh [build-dir]          # refresh the snapshot
+#   $ scripts/bench_snapshot.sh --check [build-dir]  # CI perf-smoke gate
+#
+# --check reruns the benches and fails (exit 1) when an idle-heavy engine
+# case (the event scheduler's pop/advance and predicate-dispatch paths)
+# regresses more than 25% against the committed snapshot.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+mode="snapshot"
+if [[ "${1:-}" == "--check" ]]; then
+    mode="check"
+    shift
+fi
+build_dir="${1:-build}"
+snapshot="BENCH_micro_hotpaths.json"
+
+cmake --build "$build_dir" --target micro_hotpaths -j"$(nproc)" >/dev/null
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+"$build_dir/bench/micro_hotpaths" \
+    --benchmark_out="$raw" --benchmark_out_format=json >/dev/null
+
+python3 - "$raw" "$snapshot" "$mode" <<'PY'
+import json
+import sys
+
+raw_path, snapshot_path, mode = sys.argv[1], sys.argv[2], sys.argv[3]
+
+BASELINE = "bm_sbf"
+# The perf-smoke gate: engine paths this PR is accountable for. Model-
+# level cases (SE tick, memory controller) drift with model features and
+# are recorded for trend-reading, not gated.
+GUARDED_PREFIXES = (
+    "bm_event_engine_pop_advance",
+    "bm_run_until_template_predicate",
+)
+TOLERANCE = 0.25
+
+with open(raw_path) as f:
+    runs = [b for b in json.load(f)["benchmarks"]
+            if b.get("run_type", "iteration") == "iteration"]
+
+by_name = {b["name"]: float(b["real_time"]) for b in runs}
+if BASELINE not in by_name:
+    sys.exit(f"bench run is missing the {BASELINE} baseline case")
+base_ns = by_name[BASELINE]
+
+snap = {
+    "schema": 1,
+    "baseline_case": BASELINE,
+    "baseline_ns": round(base_ns, 2),
+    "cases": {
+        name: {
+            "ns": round(ns, 1),
+            "vs_baseline": round(ns / base_ns, 3),
+        }
+        for name, ns in sorted(by_name.items())
+        if name != BASELINE
+    },
+}
+
+if mode == "snapshot":
+    with open(snapshot_path, "w") as f:
+        json.dump(snap, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {snapshot_path} ({len(snap['cases'])} cases, "
+          f"{BASELINE} = {snap['baseline_ns']} ns)")
+    sys.exit(0)
+
+with open(snapshot_path) as f:
+    committed = json.load(f)
+
+failures = []
+for name, fresh in sorted(snap["cases"].items()):
+    if not name.startswith(GUARDED_PREFIXES):
+        continue
+    old = committed["cases"].get(name)
+    if old is None:
+        failures.append(f"{name}: not in committed snapshot "
+                        f"(refresh {snapshot_path})")
+        continue
+    ratio = fresh["vs_baseline"] / old["vs_baseline"]
+    verdict = "FAIL" if ratio > 1.0 + TOLERANCE else "ok"
+    print(f"{verdict:4} {name}: {old['vs_baseline']} -> "
+          f"{fresh['vs_baseline']} x{BASELINE} ({ratio:+.1%})")
+    if verdict == "FAIL":
+        failures.append(name)
+
+if failures:
+    print(f"perf-smoke: {len(failures)} guarded case(s) regressed more "
+          f"than {TOLERANCE:.0%}:")
+    for f_ in failures:
+        print(f"  {f_}")
+    sys.exit(1)
+print("perf-smoke: guarded engine cases within tolerance.")
+PY
