@@ -4,6 +4,8 @@
 // interface selection.
 #include <benchmark/benchmark.h>
 
+#include <functional>
+
 #include "analysis/interface_selection.hpp"
 #include "analysis/schedulability.hpp"
 #include "analysis/tree_analysis.hpp"
@@ -11,11 +13,89 @@
 #include "core/scale_element.hpp"
 #include "mem/memory_controller.hpp"
 #include "sim/rng.hpp"
+#include "sim/simulator.hpp"
 #include "workload/taskset_gen.hpp"
 
 namespace {
 
 using namespace bluescale;
+
+/// Minimal periodic component for engine micro-benchmarks: ticks, counts,
+/// and declares its next tick `period` cycles out -- the smallest payload
+/// that exercises the scheduler's pop/advance machinery without any
+/// model work drowning it out.
+class periodic_probe : public component {
+public:
+    explicit periodic_probe(cycle_t period)
+        : component("probe"), period_(period) {}
+    void tick(cycle_t) override { ++ticks_; }
+    [[nodiscard]] cycle_t next_event(cycle_t now) const override {
+        return now + period_;
+    }
+    [[nodiscard]] std::uint64_t ticks() const { return ticks_; }
+
+private:
+    cycle_t period_;
+    std::uint64_t ticks_ = 0;
+};
+
+/// Per-simulated-cycle cost of the event engine's schedule pop/advance:
+/// period 1 steps every cycle (pure per-step engine overhead -- the due
+/// scan, horizon refresh, commit scan); larger periods shift the work to
+/// the idle-skip path, so items/s shows how cheap a slept-over cycle is.
+void bm_event_engine_pop_advance(benchmark::State& state) {
+    const auto period = static_cast<cycle_t>(state.range(0));
+    constexpr cycle_t k_cycles = 65'536;
+    std::uint64_t ticks = 0;
+    for (auto _ : state) {
+        simulator sim(simulator::engine::event);
+        periodic_probe probe(period);
+        sim.add(probe);
+        sim.run(k_cycles);
+        ticks += probe.ticks();
+    }
+    benchmark::DoNotOptimize(ticks);
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(k_cycles));
+}
+BENCHMARK(bm_event_engine_pop_advance)->Arg(1)->Arg(16)->Arg(256);
+
+/// The two run_until dispatch flavours over an every-cycle predicate:
+/// the template overload inlines the lambda into the stepping loop; the
+/// std::function overload pays a type-erased call per evaluation. The
+/// gap between these two cases is the satellite the template overload
+/// was added to close.
+void bm_run_until_template_predicate(benchmark::State& state) {
+    constexpr std::uint64_t k_target = 32'768;
+    for (auto _ : state) {
+        simulator sim(simulator::engine::event);
+        periodic_probe probe(1);
+        sim.add(probe);
+        const bool fired = sim.run_until(
+            [&probe] { return probe.ticks() >= k_target; }, k_target * 2);
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(k_target));
+}
+BENCHMARK(bm_run_until_template_predicate);
+
+void bm_run_until_std_function_predicate(benchmark::State& state) {
+    constexpr std::uint64_t k_target = 32'768;
+    for (auto _ : state) {
+        simulator sim(simulator::engine::event);
+        periodic_probe probe(1);
+        sim.add(probe);
+        const std::function<bool()> done = [&probe] {
+            return probe.ticks() >= k_target;
+        };
+        const bool fired = sim.run_until(done, k_target * 2);
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(k_target));
+}
+BENCHMARK(bm_run_until_std_function_predicate);
 
 void bm_random_access_buffer_fetch(benchmark::State& state) {
     const auto depth = static_cast<std::size_t>(state.range(0));

@@ -94,7 +94,7 @@ for name, fresh in sorted(snap["cases"].items()):
     ratio = fresh["vs_baseline"] / old["vs_baseline"]
     verdict = "FAIL" if ratio > 1.0 + TOLERANCE else "ok"
     print(f"{verdict:4} {name}: {old['vs_baseline']} -> "
-          f"{fresh['vs_baseline']} x{BASELINE} ({ratio:+.1%})")
+          f"{fresh['vs_baseline']} x{BASELINE} ({ratio - 1.0:+.1%})")
     if verdict == "FAIL":
         failures.append(name)
 

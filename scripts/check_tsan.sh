@@ -16,7 +16,7 @@ cmake --build "$build_dir" --target bluescale_tests \
     bluescale_resilience_tests -j"$(nproc)"
 
 "$build_dir/tests/bluescale_tests" \
-    --gtest_filter='trial_runner.*:rng_substream.*:testbench.*:fig6.parallel*:fig7.parallel*:export_determinism.*'
+    --gtest_filter='trial_runner.*:rng_substream.*:testbench.*:fig6.parallel*:fig7.parallel*:export_determinism.*:engine_equivalence.*'
 
 # Fault campaigns run inside parallel trial sweeps: the injection windows,
 # retry bookkeeping and health monitoring must all stay trial-local.

@@ -1,5 +1,6 @@
 #include "core/bluescale_ic.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace bluescale::core {
@@ -29,6 +30,21 @@ bluescale_ic::bluescale_ic(std::uint32_t n_clients, bluescale_config cfg,
             for (std::uint32_t y = 0; y < count; ++y) {
                 resp_q_[l].emplace_back(cfg_.response_buffer_depth);
             }
+        }
+    }
+
+    // Every SE wake bubbles up to the fabric so the simulator re-arms it
+    // (client pushes reach the SE buffers directly, bypassing tick()).
+    // The flat view + SoA wake schedule keep the per-cycle walks on
+    // sequential memory; SEs start armed (wake_at == 0).
+    se_ticked_.assign(shape_.total_ses(), 0);
+    se_flat_.reserve(shape_.total_ses());
+    se_wake_.assign(shape_.total_ses(), 0);
+    for (auto& level : levels_) {
+        for (auto& se : level) {
+            se->set_wake_hook(sim::wake_of(*this));
+            se->bind_wake_cell(&se_wake_[se_flat_.size()]);
+            se_flat_.push_back(se.get());
         }
     }
 
@@ -133,6 +149,7 @@ void bluescale_ic::tick_response_network(cycle_t now) {
     // Pull finished transactions into the root SE's response port.
     while (resp_q_[0][0].can_push() && memory_has_response()) {
         resp_q_[0][0].push(pop_memory_response());
+        ++resp_in_network_;
     }
 
     // Each SE forwards one response per cycle down its demux.
@@ -145,6 +162,7 @@ void bluescale_ic::tick_response_network(cycle_t now) {
             if (l == depth) {
                 // Leaf demux: hand the response to the client port.
                 mem_request r = q.pop();
+                --resp_in_network_;
                 r.complete_cycle = now;
                 deliver_response_now(std::move(r));
             } else {
@@ -161,11 +179,31 @@ void bluescale_ic::tick_response_network(cycle_t now) {
 
 void bluescale_ic::tick(cycle_t now) {
     now_ = now;
-    for (auto& level : levels_) {
-        for (auto& se : level) se->tick(now);
+    // Selective SE walk: the simulator's wake/horizon protocol, one level
+    // down. An element whose cached wakeup is still in the future would
+    // tick as a pure no-op (its own next_event() said so, and anything
+    // that changed since then fired a wake), so skipping it is exact.
+    // Lockstep ticks everything and skips the horizon bookkeeping.
+    if (!selective_) {
+        for (scale_element* se : se_flat_) se->tick(now);
+    } else {
+        for (std::size_t i = 0; i < se_flat_.size(); ++i) {
+            if (se_wake_[i] <= now) {
+                scale_element* se = se_flat_[i];
+                se->tick(now);
+                // detlint:allow(cycle-step): wake-protocol floor clamp
+                se_wake_[i] = std::max(now + 1, se->next_event(now));
+                se_ticked_[i] = 1;
+            } else {
+                se_ticked_[i] = 0;
+            }
+        }
     }
     if (cfg_.responses == response_model::demux_network) {
-        tick_response_network(now);
+        // A provable no-op with nothing to pull and nothing en route.
+        if (memory_has_response() || resp_in_network_ > 0) {
+            tick_response_network(now);
+        }
     } else {
         drain_memory_responses(now);
         deliver_due_responses(now);
@@ -173,17 +211,47 @@ void bluescale_ic::tick(cycle_t now) {
 }
 
 void bluescale_ic::commit() {
-    for (auto& level : levels_) {
-        for (auto& se : level) se->commit();
+    if (!selective_) {
+        for (scale_element* se : se_flat_) se->commit();
+    } else {
+        for (std::size_t i = 0; i < se_flat_.size(); ++i) {
+            // An element woken after the walk (e.g. a child staged a push
+            // into its buffers this cycle) must still latch on this edge.
+            if (se_ticked_[i] || se_wake_[i] <= now_) {
+                se_flat_[i]->commit();
+            }
+        }
     }
     for (auto& level : resp_q_) {
         for (auto& q : level) q.commit();
     }
 }
 
+cycle_t bluescale_ic::next_event(cycle_t now) const {
+    // Request path: the earliest cached SE wakeup (the same horizons the
+    // selective walk in tick() trusts). Requests parked at the memory
+    // controller hold no SE awake; their responses re-arm the fabric via
+    // the attach_memory() wake.
+    cycle_t due = k_cycle_never;
+    for (const cycle_t at : se_wake_) due = std::min(due, at);
+    // Response path: the demux network forwards one response per SE per
+    // cycle while anything is en route; the delay-line model exposes its
+    // horizon directly.
+    if (cfg_.responses == response_model::demux_network) {
+        if (memory_has_response() || resp_in_network_ > 0) {
+            due = std::min(due, now + 1);
+        }
+    } else {
+        due = std::min(due, response_horizon(now));
+    }
+    return due;
+}
+
 void bluescale_ic::reset() {
     interconnect::reset();
     now_ = 0;
+    resp_in_network_ = 0;
+    se_ticked_.assign(shape_.total_ses(), 0);
     for (auto& w : link_faults_) w.reset();
     for (auto& level : levels_) {
         for (auto& se : level) se->reset();

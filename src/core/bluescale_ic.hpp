@@ -50,10 +50,27 @@ public:
     [[nodiscard]] bool client_can_accept(client_id_t c) const override;
     void client_push(client_id_t c, mem_request r) override;
     [[nodiscard]] std::uint32_t depth_of(client_id_t c) const override;
+    bool bind_client_drain(client_id_t c, sim::wake_hook hook) override {
+        leaf_of(c).set_port_drain_hook(shape_.leaf_port_of_client(c), hook);
+        return true;
+    }
 
     void tick(cycle_t now) override;
     void commit() override;
     void reset() override;
+
+    /// Event-engine horizon: per-cycle while transactions are in flight
+    /// (request arbitration, the response network, and the root link all
+    /// move every cycle); otherwise the earliest SE wakeup -- a quiescent
+    /// tree sleeps until a client push or a scheduled SE stall window.
+    [[nodiscard]] cycle_t next_event(cycle_t now) const override;
+
+    /// The SE walk inside tick() skips elements whose cached wakeup lies
+    /// in the future, using the same wake/horizon protocol as the
+    /// simulator -- exact by the same argument, and active in both
+    /// engines. The testbench switches it off under BLUESCALE_LOCKSTEP so
+    /// the fallback engine is a true tick-everything reference.
+    void set_selective_ticking(bool on) { selective_ = on; }
 
     /// Re-homes every SE's counters into `reg` ("se.<level>.<order>/...")
     /// and registers one trace stream per element; call before the trial
@@ -118,10 +135,26 @@ private:
     /// Clock latched at tick() entry so the SE sink lambdas (which have
     /// no time argument) can evaluate link-fault windows.
     cycle_t now_ = 0;
+    bool selective_ = true;
+    /// Level-major flags: did SE i tick this cycle? commit() re-checks
+    /// the wakeup so an element woken after the walk still latches its
+    /// staged pushes on the same edge.
+    std::vector<std::uint8_t> se_ticked_;
+    /// Responses inside resp_q_ (visible + staged): incremented when the
+    /// root pulls a completion from the memory, decremented at leaf
+    /// delivery. Gates the response-network walk in both engines (a
+    /// provable no-op at zero).
+    std::uint64_t resp_in_network_ = 0;
     /// Per-SE provider-link drop windows, indexed by se_linear_index.
     std::vector<sim::fault_window> link_faults_;
     /// levels_[l][y] owns SE(l, y); level 0 is the root.
     std::vector<std::vector<std::unique_ptr<scale_element>>> levels_;
+    /// Level-major flat view of every SE, paired with the SoA wake
+    /// schedule se_wake_ (each SE's wake slot is relocated into it via
+    /// component::bind_wake_cell), so the selective walk and the horizon
+    /// scan in next_event() read sequential memory.
+    std::vector<scale_element*> se_flat_;
+    std::vector<cycle_t> se_wake_;
     /// resp_q_[l][y]: responses waiting at SE(l, y)'s provider-side
     /// response port (demux_network model only).
     std::vector<std::vector<latched_queue<mem_request>>> resp_q_;

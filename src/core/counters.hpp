@@ -29,6 +29,13 @@ public:
         if (current_ > 0) --current_;
     }
 
+    /// Clock port applied k times at once (saturating): the closed form
+    /// the event engine uses to catch a slept counter up without looping.
+    void advance(std::uint64_t k) {
+        current_ = k >= current_ ? 0
+                                 : current_ - static_cast<std::uint32_t>(k);
+    }
+
     /// Value port.
     [[nodiscard]] std::uint32_t value() const { return current_; }
     [[nodiscard]] std::uint32_t reset_value() const { return reset_value_; }
@@ -61,6 +68,25 @@ public:
             return true;
         }
         return false;
+    }
+
+    /// Closed form for `k` consecutive tick_unit() calls with no
+    /// consume() in between -- how the event engine catches a server up
+    /// over slept time units. Exactly equivalent to the loop: the
+    /// P-counter wraps modulo the period and the budget reloads in full
+    /// at the last boundary crossed (intermediate reloads are
+    /// unobservable without grants).
+    void advance_units(std::uint64_t k) {
+        if (p_.reset_value() == 0 || k == 0) return;
+        const std::uint64_t p0 = p_.value();
+        if (k < p0) {
+            p_.advance(k);
+            return;
+        }
+        const std::uint64_t rest = (k - p0) % p_.reset_value();
+        p_.reload();
+        b_.reload();
+        p_.advance(rest);
     }
 
     /// Eligibility check of the scheduling circuits: budget remaining?

@@ -50,6 +50,12 @@ public:
 
     void tick(cycle_t now) override;
 
+    /// Event-engine horizon: a pure cadence -- nothing happens between
+    /// checks, so the next one is the only wakeup needed.
+    [[nodiscard]] cycle_t next_event(cycle_t) const override {
+        return next_check_;
+    }
+
     /// Re-homes the supervision counters into `reg` under "health/..."
     /// and attaches the trace stream; call before the trial starts.
     void bind_observability(obs::registry& reg, obs::tracer tracer);

@@ -44,6 +44,13 @@ public:
         for (auto& s : servers_) s.tick_unit();
     }
 
+    /// Advances every server by `k` time units in closed form (the event
+    /// engine's catch-up over slept unit boundaries; no grants happened
+    /// in between, so this is exactly k tick_unit() calls).
+    void advance_units(std::uint64_t k) {
+        for (auto& s : servers_) s.advance_units(k);
+    }
+
     /// Algorithm 1's outer pick: among server tasks that are ready (have
     /// budget and a pending request in their buffer), the one with the
     /// earliest deadline. Returns the port index, or nullopt when no

@@ -1,5 +1,6 @@
 #include "core/meshed_bluescale.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace bluescale::core {
@@ -20,7 +21,18 @@ meshed_bluescale_ic::meshed_bluescale_ic(std::uint32_t n_clients,
         trees_[k]->set_response_handler([this](mem_request&& r) {
             deliver_response_now(std::move(r));
         });
+        // Channel-tree wakes (SE stalls, pushes) bubble up to the mesh.
+        trees_[k]->set_wake_hook(sim::wake_of(*this));
     }
+}
+
+cycle_t meshed_bluescale_ic::next_event(cycle_t now) const {
+    if (in_flight() > 0) return now + 1;
+    cycle_t due = k_cycle_never;
+    for (const auto& tree : trees_) {
+        due = std::min(due, tree->next_event(now));
+    }
+    return due;
 }
 
 void meshed_bluescale_ic::configure(

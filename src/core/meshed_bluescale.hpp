@@ -48,6 +48,18 @@ public:
     void commit() override;
     void reset() override;
 
+    /// Event-engine horizon: per-cycle while any transaction is in
+    /// flight anywhere in the mesh; otherwise the earliest wakeup among
+    /// the channel trees (channel controllers are idle whenever the mesh
+    /// is -- they carry no fault schedules of their own).
+    [[nodiscard]] cycle_t next_event(cycle_t now) const override;
+
+    /// Forwards to every channel tree (see
+    /// bluescale_ic::set_selective_ticking).
+    void set_selective_ticking(bool on) {
+        for (auto& tree : trees_) tree->set_selective_ticking(on);
+    }
+
     [[nodiscard]] std::uint32_t channels() const { return cfg_.channels; }
     [[nodiscard]] const memory_controller& controller(std::uint32_t k) const {
         return *controllers_[k];

@@ -54,6 +54,7 @@ std::uint64_t reconfig_manager::submit(std::uint32_t client,
     records_.push_back(rec);
     queue_.push_back({rec.id, client, std::move(tasks)});
     submitted_.inc();
+    wake(); // a sleeping manager must run the admission test next tick
     return rec.id;
 }
 

@@ -132,6 +132,13 @@ public:
 
     void tick(cycle_t now) override;
 
+    /// Event-engine horizon: per-cycle while a transaction is staged
+    /// (hazard watch) or requests are queued; otherwise fully quiescent
+    /// -- submit() wakes the manager.
+    [[nodiscard]] cycle_t next_event(cycle_t now) const override {
+        return staging_ || !queue_.empty() ? now + 1 : k_cycle_never;
+    }
+
     void set_resolve_hook(resolve_hook h) { on_resolve_ = std::move(h); }
 
     /// Overload-shedding budget donation: disables the client's leaf

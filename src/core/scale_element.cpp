@@ -13,10 +13,13 @@ make_buffers(std::size_t depth) {
 } // namespace
 
 scale_element::scale_element(std::string name, se_params params)
-    : component(std::move(name)), params_(params),
+    : component(std::move(name), /*latches=*/true), params_(params),
       buffers_(make_buffers(params.buffer_depth)), sched_(params.policy),
       own_(std::make_unique<obs::registry>()) {
     bind_observability(*own_, this->name(), obs::tracer{});
+    // A push into any port buffer re-arms this element (and, through the
+    // component wake hook, whatever fabric drives it).
+    for (auto& buf : buffers_) buf.set_wake_hook(sim::wake_of(*this));
 }
 
 void scale_element::bind_sink(sink_ready_fn ready, sink_push_fn push) {
@@ -46,6 +49,12 @@ void scale_element::configure_port(std::uint32_t port,
                                    std::uint32_t period_units,
                                    std::uint32_t budget_units) {
     sched_.configure_port(port, period_units, budget_units);
+    // The counters restarted: boundaries accumulated while this element
+    // slept predate the reprogramming and must not be applied to the
+    // fresh values. Resync at the next tick (which the wake guarantees
+    // happens on the next cycle).
+    pending_resync_ = true;
+    wake();
 }
 
 std::optional<std::uint32_t> scale_element::pick_fallback() const {
@@ -64,16 +73,48 @@ std::optional<std::uint32_t> scale_element::pick_fallback() const {
 void scale_element::tick(cycle_t now) {
     assert(sink_ready_ && sink_push_);
 
-    // Time-unit boundary: the P-counters decrement; expired periods reload
-    // budgets before this cycle's scheduling decision. Replenishments are
-    // traced per server so budget starvation is visible on a timeline.
-    if (now % params_.unit_cycles == 0) {
-        for (std::uint32_t p = 0; p < k_se_ports; ++p) {
-            if (sched_.server(p).tick_unit()) {
-                trace_.emit(obs::trace_event_kind::server_replenish, p,
-                            sched_.server(p).budget());
+    if (pending_resync_) {
+        // configure_port() restarted the counters mid-run: drop any
+        // boundary backlog from before the reprogramming. In lockstep
+        // (tick every cycle) this recomputes the mark it would have had
+        // anyway, so both engines stay identical.
+        next_unit_mark_ =
+            (now + params_.unit_cycles - 1) / params_.unit_cycles *
+            params_.unit_cycles;
+        pending_resync_ = false;
+    }
+
+    // Engagement gate for the replenish trace: an element with no work
+    // and no per-cycle accounting replenishes silently (the event engine
+    // sleeps straight over those boundaries; emitting from catch-up would
+    // stamp the wrong cycle, so neither engine emits them).
+    bool engaged = degraded_ || stalled_now_;
+    for (std::uint32_t p = 0; !engaged && p < k_se_ports; ++p) {
+        engaged = !buffers_[p].quiet();
+    }
+
+    // Time-unit boundaries: the P-counters decrement; expired periods
+    // reload budgets before this cycle's scheduling decision. Boundaries
+    // slept over by the event engine are applied in closed form (no
+    // grants happened, so the wraps are unobservable); a boundary landing
+    // on this very cycle runs the per-port path, traced per server so
+    // budget starvation is visible on a timeline.
+    if (now >= next_unit_mark_) {
+        const bool on_boundary = now % params_.unit_cycles == 0;
+        const std::uint64_t boundaries =
+            (now - next_unit_mark_) / params_.unit_cycles + 1;
+        const std::uint64_t slept = boundaries - (on_boundary ? 1 : 0);
+        if (slept > 0) sched_.advance_units(slept);
+        if (on_boundary) {
+            for (std::uint32_t p = 0; p < k_se_ports; ++p) {
+                if (sched_.server(p).tick_unit() && engaged) {
+                    trace_.emit(obs::trace_event_kind::server_replenish, p,
+                                sched_.server(p).budget());
+                }
             }
         }
+        next_unit_mark_ =
+            (now / params_.unit_cycles + 1) * params_.unit_cycles;
     }
 
     if (degraded_) degraded_cycles_.inc();
@@ -117,7 +158,10 @@ void scale_element::tick(cycle_t now) {
 
     mem_request granted = buffers_[*pick].fetch_earliest();
     wait_stats_.add(static_cast<double>(now - granted.hop_arrival));
-    granted.hop_arrival = now + 1; // arrival at the next hop
+    // The next hop sees the grant one cycle later under both engines: a
+    // dataflow timestamp on the request, not a scheduling cadence.
+    // detlint:allow(cycle-step): one-cycle grant hop latency
+    granted.hop_arrival = now + 1;
     granted.hops.stamp_grant(tree_level_, now);
     trace_.emit(obs::trace_event_kind::request_grant, granted.id, *pick);
 
@@ -151,6 +195,26 @@ void scale_element::commit() {
     for (auto& buf : buffers_) buf.commit();
 }
 
+cycle_t scale_element::next_event(cycle_t now) const {
+    // Per-cycle work pending: buffered/staged requests (arbitration,
+    // backlog accounting), degraded-cycle counting, or an open stall
+    // window (fault_stall_cycles_ counts per cycle).
+    if (degraded_ || stalled_now_) return now + 1;
+    for (const auto& buf : buffers_) {
+        if (!buf.quiet()) return now + 1;
+    }
+    // Cool-down tick: the depth gauges are written at tick start, so the
+    // tick whose grant drained the last buffer left them one value
+    // behind. One more tick records the drained depth -- exactly the
+    // write lockstep makes on the following cycle -- before sleeping.
+    for (const auto& g : port_queue_depth_) {
+        if (g.value() != 0) return now + 1;
+    }
+    // Otherwise only the stall schedule can touch this element without a
+    // push (which wakes it). Server counters catch up on the next tick.
+    return stall_faults_.wake_horizon(now);
+}
+
 void scale_element::reset() {
     for (auto& buf : buffers_) buf.clear();
     sched_.reset_counters();
@@ -167,6 +231,9 @@ void scale_element::reset() {
     fault_stall_cycles_.reset();
     degraded_cycles_.reset();
     wait_stats_.reset();
+    next_unit_mark_ = 0;
+    pending_resync_ = false;
+    wake();
 }
 
 } // namespace bluescale::core

@@ -62,6 +62,12 @@ public:
     [[nodiscard]] bool port_can_accept(std::uint32_t port) const {
         return buffers_[port].can_load();
     }
+    /// Arms `hook` on the port buffer's full -> non-full transition (see
+    /// random_access_buffer::set_drain_hook); lets the attached client
+    /// sleep while the port is backpressured.
+    void set_port_drain_hook(std::uint32_t port, sim::wake_hook hook) {
+        buffers_[port].set_drain_hook(hook);
+    }
     void port_push(std::uint32_t port, mem_request r) {
         // First fabric hop only: stamp the RAB admission cycle (the
         // client stamped hop_arrival when it issued).
@@ -78,6 +84,15 @@ public:
     void tick(cycle_t now) override;
     void commit() override;
 
+    /// Event-engine horizon. The element must stay on the per-cycle
+    /// cadence while it has work or per-cycle accounting (buffered or
+    /// staged requests, degraded-mode or stall counters); otherwise the
+    /// only thing that can touch it unprompted is the stall-fault
+    /// schedule. Server counters are caught up in closed form on the
+    /// next tick (see next_unit_mark_), so sleeping over unit boundaries
+    /// is exact.
+    [[nodiscard]] cycle_t next_event(cycle_t now) const override;
+
     /// Drops buffered requests and restarts counters (between trials).
     void reset();
 
@@ -85,7 +100,10 @@ public:
     /// this element). The only failure-injection path since the legacy
     /// se_params periodic knob was removed: campaigns are reproducible
     /// under parallel trial sweeps and compose with the other fault kinds.
-    void set_stall_faults(sim::fault_window w) { stall_faults_ = std::move(w); }
+    void set_stall_faults(sim::fault_window w) {
+        stall_faults_ = std::move(w);
+        wake(); // the fresh schedule invalidates any cached horizon
+    }
     /// Was the element inside an injected stall window at its last tick?
     /// Hazard probe for the reconfiguration manager: a (Pi, Theta) commit
     /// that lands on a stalled element is rolled back.
@@ -100,6 +118,7 @@ public:
         if (on != degraded_) {
             trace_.emit(on ? obs::trace_event_kind::se_degrade
                            : obs::trace_event_kind::se_recover);
+            wake(); // degraded-cycle accounting is per-cycle
         }
         degraded_ = on;
     }
@@ -157,6 +176,16 @@ private:
     se_params params_;
     std::array<random_access_buffer, k_se_ports> buffers_;
     local_scheduler sched_;
+    /// The next unit boundary this element has not yet accounted for.
+    /// tick() catches the server counters up over every boundary in
+    /// (previous mark, now] -- slept boundaries in closed form, the
+    /// current cycle's boundary (if any) through the traced per-port
+    /// path -- so unit accounting is identical whether or not the event
+    /// engine let the element sleep.
+    cycle_t next_unit_mark_ = 0;
+    /// configure_port() during a run wiped the counters; the stale
+    /// boundary backlog in next_unit_mark_ must not be applied to them.
+    bool pending_resync_ = false;
     sink_ready_fn sink_ready_;
     sink_push_fn sink_push_;
     sim::fault_window stall_faults_;

@@ -206,6 +206,7 @@ void supply_watchdog::reset() {
     shed_since_ = 0;
     last_check_ = 0;
     next_check_ = cfg_.check_period;
+    wake(); // drop any cached horizon from the previous trial
     windows_checked_.reset();
     violating_windows_.reset();
     supply_shortfall_alarms_.reset();

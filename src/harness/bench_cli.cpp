@@ -5,6 +5,8 @@
 #include <cstring>
 #include <fstream>
 
+#include "sim/simulator.hpp"
+
 namespace bluescale::harness {
 
 namespace {
@@ -15,7 +17,8 @@ namespace {
         stderr,
         "%s -- %s\n"
         "usage: %s [--trials N] [--cycles N] [--threads N] [--seed N]"
-        " [--csv PATH] [--metrics PATH] [--trace PATH] [--profile]\n"
+        " [--csv PATH] [--metrics PATH] [--trace PATH] [--profile]"
+        " [--lockstep]\n"
         "  --trials N     trials per configuration (default %u)\n"
         "  --cycles N     simulated cycles per trial (default %llu)\n"
         "  --threads N    worker threads for the trial sweep; 0 = all cores"
@@ -27,6 +30,8 @@ namespace {
         " trace JSON, else CSV)\n"
         "  --profile      report simulator wall-clock profile after the"
         " run\n"
+        "  --lockstep     force the cycle-stepped fallback engine"
+        " (results are byte-identical to the event engine)\n"
         "Legacy positional arguments are still accepted where the driver"
         " historically took them.\n",
         argv0, what, argv0, defaults.trials,
@@ -91,6 +96,8 @@ bench_options parse_bench_cli(int argc, char** argv,
             opts.trace_path = value();
         } else if (std::strcmp(arg, "--profile") == 0) {
             opts.profile = true;
+        } else if (std::strcmp(arg, "--lockstep") == 0) {
+            opts.lockstep = true;
         } else if (arg[0] == '-' && arg[1] != '\0') {
             std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0], arg);
             usage_and_exit(argv[0], what, defaults, 2);
@@ -113,6 +120,12 @@ bench_options parse_bench_cli(int argc, char** argv,
                          arg);
             usage_and_exit(argv[0], what, defaults, 2);
         }
+    }
+    // Applied here so every driver honours the flag without plumbing it
+    // through its experiment config: all simulators the run constructs
+    // pick the default engine up.
+    if (opts.lockstep) {
+        simulator::set_default_engine(simulator::engine::lockstep);
     }
     return opts;
 }

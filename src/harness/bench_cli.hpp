@@ -11,6 +11,7 @@
 //   --metrics PATH dump the obs::registry snapshot (deterministic CSV)
 //   --trace PATH   dump the event trace (.json = Chrome trace, else CSV)
 //   --profile      report simulator wall-clock profile after the run
+//   --lockstep     force the cycle-stepped fallback engine
 //   --help         usage
 //
 // The historical positional forms (e.g. `fig6_synthetic 20 100000 out.csv`)
@@ -41,6 +42,11 @@ struct bench_options {
     std::string metrics_path; ///< empty = no metrics snapshot export
     std::string trace_path;   ///< empty = no event-trace export
     bool profile = false;     ///< wall-clock simulator profiling report
+    /// Force simulator::engine::lockstep for every simulator the driver
+    /// builds (equivalent to BLUESCALE_LOCKSTEP=1; exports are
+    /// byte-identical either way -- this is the baseline side of the
+    /// engine-equivalence contract).
+    bool lockstep = false;
 };
 
 /// Legacy positional slots a driver may accept, in declaration order.

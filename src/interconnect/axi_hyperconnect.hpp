@@ -42,6 +42,13 @@ public:
     void commit() override;
     void reset() override;
 
+    /// Event-engine horizon: outstanding credits only change when a
+    /// response is delivered, and responses exist only while requests are
+    /// in flight; with nothing in flight tick() is a pure no-op.
+    [[nodiscard]] cycle_t next_event(cycle_t now) const override {
+        return in_flight() > 0 ? now + 1 : k_cycle_never;
+    }
+
     [[nodiscard]] std::uint32_t outstanding(client_id_t c) const {
         return outstanding_[c];
     }

@@ -39,6 +39,7 @@ bool axi_icrt::client_can_accept(client_id_t c) const {
 void axi_icrt::client_push(client_id_t c, mem_request r) {
     assert(client_q_[c].can_push());
     note_injected();
+    ++queued_;
     client_q_[c].push(std::move(r));
 }
 
@@ -49,14 +50,19 @@ std::uint32_t axi_icrt::depth_of(client_id_t) const {
 
 void axi_icrt::tick(cycle_t now) {
     // Refill bandwidth regulators at every regulation-window boundary.
-    if (now % cfg_.regulation_period == 0) {
+    // Boundaries slept over by the event engine collapse into this one
+    // refill: each is an absolute reset to budget_per_period, so only the
+    // latest matters.
+    if (now >= next_refill_) {
         for (auto& reg : regulators_) reg.budget = reg.budget_per_period;
+        next_refill_ =
+            (now / cfg_.regulation_period + 1) * cfg_.regulation_period;
     }
 
     // Central arbitration: earliest level-deadline among eligible heads.
     // The switch accepts one request per cycle while the memory queue has
     // room for what is already pipelined plus the new grant.
-    if (memory_can_accept() &&
+    if (queued_ > 0 && memory_can_accept() &&
         pipeline_.size() <
             static_cast<std::size_t>(std::max<std::uint32_t>(
                 1, cfg_.arb_latency))) {
@@ -74,6 +80,7 @@ void axi_icrt::tick(cycle_t now) {
         if (best >= 0) {
             mem_request granted =
                 client_q_[static_cast<std::size_t>(best)].pop();
+            --queued_;
             regulator& reg = regulators_[static_cast<std::size_t>(best)];
             if (reg.enabled) --reg.budget;
             for (auto& q : client_q_) {
@@ -95,6 +102,8 @@ void axi_icrt::tick(cycle_t now) {
 }
 
 void axi_icrt::commit() {
+    // queued_ counts staged pushes too, so zero means nothing to latch.
+    if (queued_ == 0) return;
     for (auto& q : client_q_) q.commit();
 }
 
@@ -102,6 +111,8 @@ void axi_icrt::reset() {
     interconnect::reset();
     for (auto& q : client_q_) q.clear();
     pipeline_.clear();
+    next_refill_ = 0;
+    queued_ = 0;
     for (auto& reg : regulators_) reg.budget = reg.budget_per_period;
 }
 

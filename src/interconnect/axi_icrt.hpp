@@ -43,10 +43,33 @@ public:
     [[nodiscard]] bool client_can_accept(client_id_t c) const override;
     void client_push(client_id_t c, mem_request r) override;
     [[nodiscard]] std::uint32_t depth_of(client_id_t c) const override;
+    bool bind_client_drain(client_id_t c, sim::wake_hook hook) override {
+        client_q_[c].set_drain_hook(hook);
+        return true;
+    }
 
     void tick(cycle_t now) override;
     void commit() override;
     void reset() override;
+
+    /// Event-engine horizon: per-cycle while the switch box holds
+    /// requests (central arbitration contends every cycle), else the
+    /// arbiter pipeline's exit time and the response path. Regulator
+    /// refills are caught up in closed form at the next tick (see
+    /// next_refill_ -- a refill is an absolute reset, so skipped
+    /// boundaries collapse to one) and so never force a wake on their
+    /// own. Requests parked at the memory controller need no fabric
+    /// ticks: their responses re-arm us via the attach_memory() wake.
+    [[nodiscard]] cycle_t next_event(cycle_t now) const override {
+        if (queued_ > 0) return now + 1;
+        cycle_t due = response_horizon(now);
+        if (!pipeline_.empty()) {
+            // A pipeline head already due but blocked on a full memory
+            // queue degrades to per-cycle polling via the clamp.
+            due = std::min(due, std::max(now + 1, pipeline_.front().first));
+        }
+        return due;
+    }
 
     /// Default arbiter pipeline depth for an n-client monolithic switch.
     [[nodiscard]] static std::uint32_t default_arb_latency(std::uint32_t n);
@@ -61,8 +84,14 @@ private:
     axi_icrt_config cfg_;
     std::vector<latched_queue<mem_request>> client_q_;
     std::vector<regulator> regulators_;
+    /// Next regulation-window boundary not yet applied; tick() refills
+    /// through every boundary in (previous, now] at once.
+    cycle_t next_refill_ = 0;
     /// Granted requests in the arbiter pipeline: (exit cycle, request).
     std::deque<std::pair<cycle_t, mem_request>> pipeline_;
+    /// Requests resident in the switch-box queues (visible + staged);
+    /// drives next_event() and gates the commit walk.
+    std::uint64_t queued_ = 0;
 };
 
 } // namespace bluescale

@@ -33,6 +33,7 @@ bluetree::bluetree(std::uint32_t n_clients, bluetree_config cfg,
         }
     }
     leaf_base_ = (1u << (levels_ - 1)) - 1;
+    node_items_.assign(n_nodes, 0);
 }
 
 bluetree bluetree::make_smooth(std::uint32_t n_clients, std::uint32_t alpha) {
@@ -52,6 +53,8 @@ void bluetree::client_push(client_id_t c, mem_request r) {
     node& leaf = nodes_[leaf_base_ + c / 2];
     assert(leaf.in[c % 2].can_push());
     note_injected();
+    ++node_items_[leaf_base_ + c / 2];
+    ++items_total_;
     leaf.in[c % 2].push(std::move(r));
 }
 
@@ -69,18 +72,25 @@ bool bluetree::sink_can_accept(const node& n) const {
         .can_push();
 }
 
-void bluetree::sink_push(node& n, cycle_t now, mem_request r) {
+void bluetree::sink_push(std::uint32_t i, cycle_t now, mem_request r) {
+    node& n = nodes_[i];
     if (n.out) {
-        n.out->push(std::move(r));
-    } else if (n.parent < 0) {
+        n.out->push(std::move(r)); // stays resident in node i
+        return;
+    }
+    --node_items_[i];
+    if (n.parent < 0) {
+        --items_total_;
         forward_to_memory(now, std::move(r));
     } else {
+        ++node_items_[static_cast<std::size_t>(n.parent)];
         nodes_[static_cast<std::size_t>(n.parent)].in[n.parent_port].push(
             std::move(r));
     }
 }
 
-void bluetree::arbitrate(node& n, cycle_t now) {
+void bluetree::arbitrate(std::uint32_t i, cycle_t now) {
+    node& n = nodes_[i];
     if (!sink_can_accept(n)) return;
     const bool hp = !n.in[0].empty();
     const bool lp = !n.in[1].empty();
@@ -100,37 +110,57 @@ void bluetree::arbitrate(node& n, cycle_t now) {
     mem_request granted = n.in[pick].pop();
     charge_blocked(n.in[0], granted.level_deadline);
     charge_blocked(n.in[1], granted.level_deadline);
-    sink_push(n, now, std::move(granted));
+    sink_push(i, now, std::move(granted));
 }
 
 void bluetree::tick(cycle_t now) {
-    // Move smoothing-stage outputs toward the parent first, then arbitrate.
-    for (auto& n : nodes_) {
-        if (!n.out || n.out->empty()) continue;
-        const bool parent_ok =
-            n.parent < 0
-                ? memory_can_accept()
-                : nodes_[static_cast<std::size_t>(n.parent)]
-                      .in[n.parent_port]
-                      .can_push();
-        if (!parent_ok) continue;
-        mem_request r = n.out->pop();
-        if (n.parent < 0) {
-            forward_to_memory(now, std::move(r));
-        } else {
-            nodes_[static_cast<std::size_t>(n.parent)]
-                .in[n.parent_port]
-                .push(std::move(r));
+    // Both walks skip empty nodes via the contiguous occupancy array; a
+    // node with zero resident requests arbitrates nothing and moves
+    // nothing, so the skip is exact.
+    if (items_total_ > 0) {
+        // Move smoothing-stage outputs toward the parent first, then
+        // arbitrate.
+        if (cfg_.smooth_depth > 0) {
+            for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+                if (node_items_[i] == 0) continue;
+                node& n = nodes_[i];
+                if (n.out->empty()) continue;
+                const bool parent_ok =
+                    n.parent < 0
+                        ? memory_can_accept()
+                        : nodes_[static_cast<std::size_t>(n.parent)]
+                              .in[n.parent_port]
+                              .can_push();
+                if (!parent_ok) continue;
+                mem_request r = n.out->pop();
+                --node_items_[i];
+                if (n.parent < 0) {
+                    --items_total_;
+                    forward_to_memory(now, std::move(r));
+                } else {
+                    ++node_items_[static_cast<std::size_t>(n.parent)];
+                    nodes_[static_cast<std::size_t>(n.parent)]
+                        .in[n.parent_port]
+                        .push(std::move(r));
+                }
+            }
+        }
+        for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+            if (node_items_[i] != 0) arbitrate(i, now);
         }
     }
-    for (auto& n : nodes_) arbitrate(n, now);
 
     drain_memory_responses(now);
     deliver_due_responses(now);
 }
 
 void bluetree::commit() {
-    for (auto& n : nodes_) {
+    // node_items_ counts staged pushes too, so a zero-count node has
+    // nothing to latch.
+    if (items_total_ == 0) return;
+    for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+        if (node_items_[i] == 0) continue;
+        node& n = nodes_[i];
         n.in[0].commit();
         n.in[1].commit();
         if (n.out) n.out->commit();
@@ -145,6 +175,8 @@ void bluetree::reset() {
         if (n.out) n.out->clear();
         n.hp_run = 0;
     }
+    node_items_.assign(nodes_.size(), 0);
+    items_total_ = 0;
 }
 
 } // namespace bluescale

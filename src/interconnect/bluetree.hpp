@@ -36,10 +36,23 @@ public:
     [[nodiscard]] bool client_can_accept(client_id_t c) const override;
     void client_push(client_id_t c, mem_request r) override;
     [[nodiscard]] std::uint32_t depth_of(client_id_t c) const override;
+    bool bind_client_drain(client_id_t c, sim::wake_hook hook) override {
+        nodes_[leaf_base_ + c / 2].in[c % 2].set_drain_hook(hook);
+        return true;
+    }
 
     void tick(cycle_t now) override;
     void commit() override;
     void reset() override;
+
+    /// Event-engine horizon: per-cycle while any node holds a request
+    /// (arbitration contends every cycle), else the response path. A
+    /// request sitting at the memory controller needs no fabric ticks:
+    /// its response re-arms us via the attach_memory() wake, and
+    /// client_push() re-arms through note_injected().
+    [[nodiscard]] cycle_t next_event(cycle_t now) const override {
+        return items_total_ > 0 ? now + 1 : response_horizon(now);
+    }
 
     [[nodiscard]] const bluetree_config& config() const { return cfg_; }
     [[nodiscard]] std::uint32_t levels() const { return levels_; }
@@ -69,14 +82,20 @@ private:
 
     /// True if the node's downstream sink can take one request.
     [[nodiscard]] bool sink_can_accept(const node& n) const;
-    void sink_push(node& n, cycle_t now, mem_request r);
-    void arbitrate(node& n, cycle_t now);
+    void sink_push(std::uint32_t i, cycle_t now, mem_request r);
+    void arbitrate(std::uint32_t i, cycle_t now);
 
     bluetree_config cfg_;
     std::uint32_t padded_clients_;
     std::uint32_t levels_;
     std::vector<node> nodes_;
     std::uint32_t leaf_base_; ///< index of first leaf node
+    /// Requests resident in node i's queues (visible + staged), kept in
+    /// one contiguous array so tick()/commit() skip empty nodes without
+    /// chasing per-queue storage. items_total_ is the fabric-wide sum
+    /// and drives next_event().
+    std::vector<std::uint32_t> node_items_;
+    std::uint64_t items_total_ = 0;
 };
 
 } // namespace bluescale

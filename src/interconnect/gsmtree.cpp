@@ -84,6 +84,7 @@ bool gsmtree::client_can_accept(client_id_t c) const {
 void gsmtree::client_push(client_id_t c, mem_request r) {
     assert(client_q_[c].can_push());
     note_injected();
+    ++queued_;
     client_q_[c].push(std::move(r));
 }
 
@@ -98,6 +99,7 @@ void gsmtree::tick(cycle_t now) {
         const client_id_t owner = slot_table_[slot];
         if (!client_q_[owner].empty()) {
             mem_request granted = client_q_[owner].pop();
+            --queued_;
             // Requests of other clients with earlier deadlines wait out
             // this whole slot: charge the slot as inversion blocking.
             for (std::uint32_t c = 0; c < num_clients(); ++c) {
@@ -124,13 +126,33 @@ void gsmtree::tick(cycle_t now) {
 }
 
 void gsmtree::commit() {
+    // queued_ counts staged pushes too, so zero means nothing to latch.
+    if (queued_ == 0) return;
     for (auto& q : client_q_) q.commit();
+}
+
+cycle_t gsmtree::next_event(cycle_t now) const {
+    cycle_t due = response_horizon(now);
+    if (queued_ > 0) {
+        // Next slot boundary; the blocking charge for a granted slot is
+        // applied at the boundary tick itself, so the cycles between
+        // boundaries are provable no-ops for the admission stage.
+        due = std::min(due,
+                       (now / cfg_.slot_cycles + 1) * cfg_.slot_cycles);
+    }
+    if (!pipeline_.empty()) {
+        // A root arrival already due but blocked on a full memory queue
+        // degrades to per-cycle polling via the clamp.
+        due = std::min(due, std::max(now + 1, pipeline_.front().first));
+    }
+    return due;
 }
 
 void gsmtree::reset() {
     interconnect::reset();
     for (auto& q : client_q_) q.clear();
     pipeline_.clear();
+    queued_ = 0;
 }
 
 } // namespace bluescale

@@ -47,10 +47,22 @@ public:
     [[nodiscard]] bool client_can_accept(client_id_t c) const override;
     void client_push(client_id_t c, mem_request r) override;
     [[nodiscard]] std::uint32_t depth_of(client_id_t c) const override;
+    bool bind_client_drain(client_id_t c, sim::wake_hook hook) override {
+        client_q_[c].set_drain_hook(hook);
+        return true;
+    }
 
     void tick(cycle_t now) override;
     void commit() override;
     void reset() override;
+
+    /// Event-engine horizon: queued requests can only be admitted at TDM
+    /// slot boundaries (the slot owner is a pure function of `now`, so
+    /// nothing rotates between them), pipelined requests exit at their
+    /// root-arrival cycle, and responses follow response_horizon(). An
+    /// idle fabric sleeps until client_push() or a retiring response
+    /// wakes it.
+    [[nodiscard]] cycle_t next_event(cycle_t now) const override;
 
     [[nodiscard]] const std::vector<client_id_t>& slot_table() const {
         return slot_table_;
@@ -65,6 +77,9 @@ private:
     std::vector<client_id_t> slot_table_;
     /// Requests in the tree pipeline: (cycle they reach the root, request).
     std::deque<std::pair<cycle_t, mem_request>> pipeline_;
+    /// Requests resident in the admission queues (visible + staged);
+    /// drives next_event() and gates the commit walk.
+    std::uint64_t queued_ = 0;
 };
 
 } // namespace bluescale

@@ -5,7 +5,7 @@
 namespace bluescale {
 
 interconnect::interconnect(std::string name, std::uint32_t n_clients)
-    : component(std::move(name)), n_clients_(n_clients) {
+    : component(std::move(name), /*latches=*/true), n_clients_(n_clients) {
     assert(n_clients > 0);
 }
 

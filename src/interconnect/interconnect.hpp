@@ -4,6 +4,7 @@
 // experiment harness and the clients are design-agnostic.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <queue>
@@ -15,6 +16,7 @@
 #include "sim/component.hpp"
 #include "sim/fault.hpp"
 #include "sim/latched_queue.hpp"
+#include "sim/wake.hpp"
 
 namespace bluescale {
 
@@ -40,7 +42,23 @@ public:
     /// response path crosses the same number of demux stages.
     [[nodiscard]] virtual std::uint32_t depth_of(client_id_t c) const = 0;
 
-    void attach_memory(memory_controller& mc) { mem_ = &mc; }
+    /// Arms `hook` to fire when a pop frees space in client c's ingress
+    /// queue (the full -> non-full transition client_can_accept() tracks),
+    /// so a backpressured client can sleep instead of polling its port
+    /// every cycle. Returns false when the design cannot provide the
+    /// signal; the client must then keep the per-cycle poll (the
+    /// conservative default for fabrics that do not override this).
+    virtual bool bind_client_drain(client_id_t, sim::wake_hook) {
+        return false;
+    }
+
+    void attach_memory(memory_controller& mc) {
+        mem_ = &mc;
+        // A response retiring into the controller's out-queue is the one
+        // fabric-external event the horizon below cannot see coming;
+        // the wake re-arms a sleeping fabric for the visibility edge.
+        mc.set_response_wake(sim::wake_of(*this));
+    }
     void set_response_handler(response_handler h) {
         on_response_ = std::move(h);
     }
@@ -91,7 +109,12 @@ protected:
         mem_->push(std::move(r));
     }
 
-    void note_injected() { ++in_flight_; }
+    void note_injected() {
+        ++in_flight_;
+        // Uniform push-wake: every design injects through here, so a
+        // sleeping fabric is re-armed the moment a client hands it work.
+        wake();
+    }
     /// A request died inside the fabric: it will never produce a
     /// response, so it leaves the in-flight population here.
     void note_dropped() {
@@ -118,6 +141,19 @@ protected:
     /// bypassing the delay line (for interconnects that model response
     /// latency themselves, and for test doubles).
     void deliver_response_now(mem_request r);
+
+    /// Horizon of the shared response path for derived next_event()s:
+    /// per-cycle while the controller holds a visible response (the next
+    /// tick must drain it), else the earliest delay-line delivery, else
+    /// never. Responses that retire while the fabric sleeps fire the
+    /// wake installed by attach_memory(), so "never" stays safe.
+    [[nodiscard]] cycle_t response_horizon(cycle_t now) const {
+        if (memory_has_response()) return now + 1;
+        if (!response_line_.empty()) {
+            return std::max(now + 1, response_line_.top().due);
+        }
+        return k_cycle_never;
+    }
 
     /// Hook invoked just before a response reaches the client's handler;
     /// lets derived classes release per-client credits or record stats.

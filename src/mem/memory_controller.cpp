@@ -5,11 +5,17 @@
 namespace bluescale {
 
 memory_controller::memory_controller(memctrl_config cfg)
-    : component("memory_controller"), cfg_(cfg), dram_(cfg.timing),
+    : component("memory_controller", /*latches=*/true), cfg_(cfg),
+      dram_(cfg.timing),
       in_q_(cfg.request_queue_depth), out_q_(cfg.response_queue_depth),
       bank_busy_until_(cfg.timing.n_banks, 0),
+      next_refresh_(cfg.timing.t_refi),
       own_(std::make_unique<obs::registry>()) {
     bind_observability(*own_, obs::tracer{});
+    // The interconnect root pushes requests during its own tick; the wake
+    // re-arms a sleeping controller for the same cycle (it ticks after
+    // the fabric in registration order, exactly as in lockstep).
+    in_q_.set_wake_hook(sim::wake_of(*this));
 }
 
 void memory_controller::bind_observability(obs::registry& reg,
@@ -90,13 +96,18 @@ void memory_controller::tick(cycle_t now) {
         serviced_.inc();
     }
 
-    // Refresh window: all rows close and no transaction starts until the
-    // refresh completes (a fixed-cadence disturbance every t_refi cycles).
-    if (cfg_.timing.t_refi != 0 && now != 0 &&
-        now % cfg_.timing.t_refi == 0) {
-        dram_.close_all_rows();
-        next_start_ = std::max<cycle_t>(next_start_,
-                                        now + cfg_.timing.t_rfc);
+    // Refresh windows: all rows close and no transaction starts until the
+    // refresh completes (a fixed-cadence disturbance every t_refi
+    // cycles). Boundaries slept over by the event engine are applied now:
+    // repeated row-closes collapse to one and the start gate takes the
+    // latest boundary's extension, identical to ticking through them.
+    if (cfg_.timing.t_refi != 0) {
+        while (next_refresh_ <= now) {
+            dram_.close_all_rows();
+            next_start_ = std::max<cycle_t>(
+                next_start_, next_refresh_ + cfg_.timing.t_rfc);
+            next_refresh_ += cfg_.timing.t_refi;
+        }
     }
 
     // Start a new transaction at most once per initiation interval.
@@ -132,11 +143,32 @@ void memory_controller::commit() {
     out_q_.commit();
 }
 
+cycle_t memory_controller::next_event(cycle_t now) const {
+    // An open storm window counts storm_cycles_ per cycle.
+    if (storm_active_) return now + 1;
+    cycle_t due = storm_faults_.wake_horizon(now);
+    if (!in_flight_.empty()) {
+        // Earliest retirement; a retirement blocked on a full response
+        // queue (done <= now) clamps to per-cycle until the fabric pops.
+        due = std::min(due, std::max(now + 1, in_flight_.top().done));
+    }
+    if (!in_q_.quiet()) {
+        // Queued work can only start at the initiation-interval gate;
+        // cycles before next_start_ would hit the `now < next_start_`
+        // early-out. A refresh boundary slept over is applied as the
+        // idempotent catch-up at the wakeup tick, and choose() stalls
+        // (next_start_ <= now, pick < 0) degrade to the per-cycle clamp.
+        due = std::min(due, std::max(now + 1, next_start_));
+    }
+    return due;
+}
+
 void memory_controller::inject_campaign(const sim::fault_campaign& campaign) {
     error_faults_ =
         sim::fault_window(campaign.slice_all(sim::fault_kind::dram_error));
     storm_faults_ = sim::fault_window(
         campaign.slice_all(sim::fault_kind::backpressure_storm));
+    wake(); // the fresh schedules invalidate any cached horizon
 }
 
 void memory_controller::reset() {
@@ -148,7 +180,9 @@ void memory_controller::reset() {
     storm_faults_.reset();
     storm_active_ = false;
     next_start_ = 0;
+    next_refresh_ = cfg_.timing.t_refi;
     head_bypasses_ = 0;
+    wake();
     serviced_.reset();
     ecc_retries_.reset();
     uncorrected_errors_.reset();

@@ -56,9 +56,21 @@ public:
     // --- response side (interconnect root drains these) -----------------
     [[nodiscard]] bool has_response() const { return !out_q_.empty(); }
     mem_request pop_response() { return out_q_.pop(); }
+    /// Fires whenever a completed transaction enters the response queue,
+    /// so a fabric sleeping on an empty response path is re-armed for the
+    /// cycle the response becomes visible (attach_memory wires this).
+    void set_response_wake(sim::wake_hook h) {
+        out_q_.set_wake_hook(std::move(h));
+    }
 
     void tick(cycle_t now) override;
     void commit() override;
+
+    /// Event-engine horizon: per-cycle while requests are queued/staged
+    /// or a storm is open; otherwise the earliest in-flight completion or
+    /// the next storm window. Refresh cadence is caught up in closed form
+    /// at the next tick (see next_refresh_), so it never forces a wake.
+    [[nodiscard]] cycle_t next_event(cycle_t now) const override;
 
     /// Re-homes the service counters into `reg` under "mem/..." and
     /// attaches the trace stream; call before the trial starts.
@@ -125,6 +137,11 @@ private:
     sim::fault_window storm_faults_;
     bool storm_active_ = false;
     cycle_t next_start_ = 0;
+    /// The next refresh boundary not yet applied. tick() applies every
+    /// boundary in (previous, now] -- closing rows is idempotent and the
+    /// start-gate extension only depends on the last one -- so sleeping
+    /// over refreshes is exact.
+    cycle_t next_refresh_ = 0;
     /// Fallback registry for unbound instances (bind_observability
     /// re-homes the handles).
     std::unique_ptr<obs::registry> own_;

@@ -119,6 +119,17 @@ bool fault_window::active(cycle_t now) {
     return now < active_until_;
 }
 
+cycle_t fault_window::wake_horizon(cycle_t now) const {
+    // Stay on the per-cycle cadence through the merged open window AND
+    // the first cycle after it, so the caller observes the falling edge
+    // (active() returning false) with a real tick.
+    if (now <= active_until_) return now + 1;
+    if (cursor_ < events_.size()) {
+        return std::max(now + 1, events_[cursor_].start);
+    }
+    return k_cycle_never;
+}
+
 void fault_window::reset() {
     cursor_ = 0;
     active_until_ = 0;

@@ -117,6 +117,16 @@ public:
 
     /// True while some window covers `now`.
     [[nodiscard]] bool active(cycle_t now);
+
+    /// Event-engine horizon: the earliest future cycle at which activity
+    /// could change, valid immediately after active(now) ran for the same
+    /// `now`. Inside a window (or on its closing edge) the caller must
+    /// stay on the per-cycle cadence -- per-cycle fault counters and the
+    /// activity transition both need real ticks -- so the horizon is
+    /// now + 1; otherwise it is the next scheduled window start
+    /// (k_cycle_never when the schedule is exhausted).
+    [[nodiscard]] cycle_t wake_horizon(cycle_t now) const;
+
     /// Rewinds the cursor and clears the activation count.
     void reset();
 

@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "sim/wake.hpp"
+
 namespace bluescale {
 
 /// A fixed-capacity FIFO. push() on a full queue is a programming error
@@ -19,6 +21,10 @@ public:
         assert(capacity > 0);
     }
 
+    /// Producer-side wake notification: every push() re-arms the queue's
+    /// consumer so the event-driven engine never leaves work unserviced.
+    void set_wake_hook(sim::wake_hook hook) { wake_ = hook; }
+
     [[nodiscard]] bool empty() const { return size_ == 0; }
     [[nodiscard]] bool full() const { return size_ == slots_.size(); }
     [[nodiscard]] std::size_t size() const { return size_; }
@@ -29,6 +35,7 @@ public:
         assert(!full());
         slots_[(head_ + size_) % slots_.size()] = std::move(value);
         ++size_;
+        wake_.fire();
     }
 
     [[nodiscard]] const T& front() const {
@@ -85,6 +92,7 @@ private:
     std::vector<T> slots_;
     std::size_t head_ = 0;
     std::size_t size_ = 0;
+    sim::wake_hook wake_{};
 };
 
 } // namespace bluescale

@@ -21,6 +21,21 @@ public:
     explicit latched_queue(std::size_t capacity)
         : visible_(capacity), capacity_(capacity) {}
 
+    /// Producer-side wake notification: a push() into a fully quiet queue
+    /// re-arms the queue's consumer. Only that transition can invalidate a
+    /// consumer's cached horizon -- the next_event() contract requires a
+    /// consumer to stay scheduled while its queue is non-quiet -- so
+    /// pushes onto existing work skip the (redundant) wake. The consumer
+    /// still sees the value only after commit(); the early wake just
+    /// guarantees it is scheduled for that cycle.
+    void set_wake_hook(sim::wake_hook hook) { wake_ = hook; }
+
+    /// Consumer-side drain notification: fired when a pop()/extract()
+    /// frees a slot in a previously full queue (can_push() flips back to
+    /// true). Lets a backpressured producer sleep on the queue instead of
+    /// polling can_push() every cycle.
+    void set_drain_hook(sim::wake_hook hook) { drain_ = hook; }
+
     /// Free slots from the producer's point of view: pushes staged this
     /// cycle count against capacity, so a producer can never overrun the
     /// queue even before commit().
@@ -32,9 +47,20 @@ public:
         return capacity_ - visible_.size() - staged_.size();
     }
 
+    /// Occupancy including values still staged for the next edge -- the
+    /// quantity a consumer's next_event() must consult: staged work means
+    /// the queue is not quiescent even though empty() still holds.
+    [[nodiscard]] std::size_t total_size() const {
+        return visible_.size() + staged_.size();
+    }
+
+    [[nodiscard]] bool quiet() const { return total_size() == 0; }
+
     void push(T value) {
         assert(can_push());
+        const bool was_quiet = visible_.empty() && staged_.empty();
         staged_.push_back(std::move(value));
+        if (was_quiet) wake_.fire();
     }
 
     // --- consumer side: operates on values committed in earlier cycles ---
@@ -42,10 +68,20 @@ public:
     [[nodiscard]] std::size_t size() const { return visible_.size(); }
     [[nodiscard]] std::size_t capacity() const { return capacity_; }
     [[nodiscard]] const T& front() const { return visible_.front(); }
-    T pop() { return visible_.pop(); }
+    T pop() {
+        const bool was_full = total_size() == capacity_;
+        T value = visible_.pop();
+        if (was_full) drain_.fire();
+        return value;
+    }
     [[nodiscard]] const T& at(std::size_t i) const { return visible_.at(i); }
     [[nodiscard]] T& at(std::size_t i) { return visible_.at(i); }
-    T extract(std::size_t i) { return visible_.extract(i); }
+    T extract(std::size_t i) {
+        const bool was_full = total_size() == capacity_;
+        T value = visible_.extract(i);
+        if (was_full) drain_.fire();
+        return value;
+    }
 
     /// Clock edge: staged values become visible, in push order.
     void commit() {
@@ -62,6 +98,8 @@ private:
     fixed_queue<T> visible_;
     std::vector<T> staged_;
     std::size_t capacity_;
+    sim::wake_hook wake_{};
+    sim::wake_hook drain_{};
 };
 
 } // namespace bluescale

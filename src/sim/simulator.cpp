@@ -1,8 +1,40 @@
 #include "sim/simulator.hpp"
 
+#include <cstdlib>
+#include <optional>
+
 #include "obs/profile.hpp"
 
 namespace bluescale {
+
+namespace {
+
+/// Test override for the process-wide default engine. Written only from
+/// set_default_engine()/clear_default_engine() between runs; reads during
+/// parallel trial sweeps see a stable value.
+std::optional<simulator::engine> g_engine_override;
+
+} // namespace
+
+simulator::engine simulator::default_engine() {
+    if (g_engine_override.has_value()) return *g_engine_override;
+    static const engine from_env = [] {
+        // Engine selection, not simulation input: both engines produce
+        // bit-identical simulations by contract (the determinism suite
+        // diffs their exports), so this env read cannot leak
+        // nondeterminism into results.
+        // detlint:allow(nondet-source): engine toggle, outputs invariant
+        const char* v = std::getenv("BLUESCALE_LOCKSTEP");
+        const bool lockstep = v != nullptr && v[0] != '\0' &&
+                              !(v[0] == '0' && v[1] == '\0');
+        return lockstep ? engine::lockstep : engine::event;
+    }();
+    return from_env;
+}
+
+void simulator::set_default_engine(engine e) { g_engine_override = e; }
+
+void simulator::clear_default_engine() { g_engine_override.reset(); }
 
 void simulator::enable_profiling(obs::registry& reg) {
     profiling_ = true;
@@ -26,42 +58,110 @@ void simulator::sync_profile_handles() {
     }
 }
 
+void simulator::rebind_wake_cells() {
+    // Read every current wake time BEFORE relocating storage: a
+    // component added earlier already points into the old array, and the
+    // move-assign below frees it.
+    std::vector<cycle_t> fresh(components_.size());
+    for (std::size_t i = 0; i < components_.size(); ++i) {
+        fresh[i] = components_[i]->wake_at();
+    }
+    wake_cells_ = std::move(fresh);
+    committers_.clear();
+    for (std::size_t i = 0; i < components_.size(); ++i) {
+        components_[i]->bind_wake_cell(&wake_cells_[i]);
+        if (components_[i]->latches()) committers_.push_back(components_[i]);
+    }
+    next_due_cache_ = now_; // conservative until the next commit scan
+}
+
 void simulator::step() {
     if (trace_ != nullptr) trace_->set_now(now_);
+    const bool lockstep = engine_ == engine::lockstep;
+    if (wake_cells_.size() != components_.size()) rebind_wake_cells();
     if (profiling_) {
         sync_profile_handles();
         const obs::stopwatch step_watch;
         for (std::size_t i = 0; i < components_.size(); ++i) {
-            const obs::stopwatch tick_watch;
-            components_[i]->tick(now_);
-            prof_tick_ns_[i].inc(tick_watch.ns());
+            component* c = components_[i];
+            if (lockstep || wake_cells_[i] <= now_) {
+                const obs::stopwatch tick_watch;
+                c->tick(now_);
+                prof_tick_ns_[i].inc(tick_watch.ns());
+                // Lockstep ticks everything next cycle anyway -- paying
+                // for next_event() (or the commit bookkeeping) there
+                // would only slow the fallback.
+                if (!lockstep) {
+                    wake_cells_[i] = std::max(now_ + 1, c->next_event(now_));
+                }
+            }
         }
-        for (component* c : components_) c->commit();
+        commit_phase();
         prof_wall_ns_.inc(step_watch.ns());
         prof_cycles_.inc();
         ++now_;
         return;
     }
-    for (component* c : components_) c->tick(now_);
-    for (component* c : components_) c->commit();
+    if (lockstep) {
+        for (component* c : components_) c->tick(now_);
+        commit_phase();
+        ++now_;
+        return;
+    }
+    for (std::size_t i = 0; i < components_.size(); ++i) {
+        if (wake_cells_[i] <= now_) {
+            component* c = components_[i];
+            c->tick(now_);
+            // A self-wake during tick() is absorbed here by contract:
+            // next_event() runs after tick and sees this-cycle state. A
+            // wake from a LATER component's tick lands after this write
+            // and sticks, as it must.
+            wake_cells_[i] = std::max(now_ + 1, c->next_event(now_));
+        }
+    }
+    commit_phase();
     ++now_;
+}
+
+void simulator::commit_phase() {
+    if (engine_ == engine::lockstep) {
+        for (component* c : components_) c->commit();
+        return;
+    }
+    // Every latching component commits on every STEPPED cycle, even ones
+    // that slept through the tick phase: a producer may push into a
+    // sleeping consumer's queue without waking it (transition-only wakes
+    // skip pushes onto existing work), and those staged values must latch
+    // on this clock edge exactly as in lockstep -- a consumer that wakes
+    // later must see everything pushed before its wake cycle as visible.
+    // Cycles the engine skips entirely stage nothing (no tick, no push),
+    // so eliding their commits is behaviour-preserving; commit() on a
+    // latching component with nothing staged is a no-op by the two-phase
+    // contract, and non-latching components (latches() == false) have no
+    // edge to run at all.
+    for (component* c : committers_) c->commit();
+    // Fold the min-wakeup reduction for next_due() over the contiguous
+    // cell array: commit() implementations are pure latches (no pushes,
+    // no wakes), so the cells are stable while this scan runs.
+    cycle_t due = k_cycle_never;
+    for (const cycle_t at : wake_cells_) due = std::min(due, at);
+    next_due_cache_ = due;
 }
 
 void simulator::run(cycle_t cycles) {
     const cycle_t end = now_ + cycles;
-    while (now_ < end) step();
-}
-
-bool simulator::run_until(const std::function<bool()>& done, cycle_t max_cycles) {
-    const cycle_t end = now_ + max_cycles;
-    if (now_ >= end) return done(); // zero budget: evaluate once, don't step
-    while (now_ < end) {
-        if (done()) return true;
-        step();
+    if (engine_ == engine::lockstep) {
+        while (now_ < end) step();
+        return;
     }
-    // The predicate was already evaluated for every cycle in the budget;
-    // exhausting it means it never fired -- no extra evaluation here.
-    return false;
+    while (now_ < end) {
+        step();
+        if (now_ >= end) break;
+        // Idle skip: when no component is due before `due`, the cycles in
+        // between are provably empty -- jump the clock over them.
+        const cycle_t due = std::min(end, std::max(now_, next_due()));
+        if (due > now_) now_ = due;
+    }
 }
 
 } // namespace bluescale

@@ -1,6 +1,20 @@
-// Cycle-stepped simulation engine.
+// Hybrid event-driven / cycle-stepped simulation engine.
+//
+// The default engine skips dead time: after every tick the simulator
+// caches each component's next_event() horizon, only re-ticks components
+// whose horizon is due, and -- when every component is idle -- advances
+// the clock straight to the earliest wakeup instead of stepping through
+// empty cycles. Producers re-arm sleeping consumers through sim::wake_hook
+// (queue pushes, supervisor reprogramming), so no work is ever missed.
+//
+// Setting BLUESCALE_LOCKSTEP=1 in the environment (or constructing with
+// engine::lockstep) falls back to the classic cycle-stepped loop that
+// ticks and commits every component every cycle. Both engines produce
+// bit-identical simulations: the determinism suite diffs their exports.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -16,6 +30,25 @@ namespace bluescale {
 /// simulator only sequences them.
 class simulator {
 public:
+    enum class engine : std::uint8_t {
+        event,   ///< skip-to-next-event scheduling (default)
+        lockstep ///< tick + commit every component every cycle
+    };
+
+    /// The engine new simulators start with: engine::event unless the
+    /// BLUESCALE_LOCKSTEP environment variable is set to a non-empty,
+    /// non-"0" value, or a test overrode it with set_default_engine().
+    [[nodiscard]] static engine default_engine();
+    /// Process-wide override for tests that compare the two engines.
+    static void set_default_engine(engine e);
+    /// Drops the override, restoring the environment-derived default.
+    static void clear_default_engine();
+
+    simulator() : engine_(default_engine()) {}
+    explicit simulator(engine e) : engine_(e) {}
+
+    [[nodiscard]] engine mode() const { return engine_; }
+
     void add(component& c) { components_.push_back(&c); }
 
     [[nodiscard]] cycle_t now() const { return now_; }
@@ -29,25 +62,87 @@ public:
     /// metrics ("profile/sim/cycles", "profile/sim/wall_ns", and
     /// "profile/<component>/tick_ns" per added component) into `reg` and
     /// starts timing every step. Costs two clock reads per component per
-    /// cycle -- leave off outside profiling runs.
+    /// stepped cycle -- leave off outside profiling runs. Under the event
+    /// engine "profile/sim/cycles" counts stepped (not skipped) cycles.
     void enable_profiling(obs::registry& reg);
 
     /// Runs for `cycles` additional cycles.
     void run(cycle_t cycles);
 
-    /// Runs until `done()` returns true or `max_cycles` elapse. Returns true
-    /// if the predicate fired. The predicate is evaluated exactly once per
-    /// cycle in the budget, before that cycle's step (and exactly once when
-    /// the budget is zero); it is never re-evaluated on exhaustion.
-    bool run_until(const std::function<bool()>& done, cycle_t max_cycles);
+    /// Runs until `done()` returns true or `max_cycles` elapse. Returns
+    /// true if the predicate fired, with now() at the firing cycle.
+    ///
+    /// Contract: the predicate must be a pure function of component /
+    /// system state, not of now() -- the event engine evaluates it only
+    /// when state can have changed (once per stepped cycle, plus once
+    /// before each idle skip), which is observationally equivalent for
+    /// state predicates and identical to lockstep's once-per-cycle
+    /// cadence there. Time limits belong in `max_cycles`. With a zero
+    /// budget the predicate is evaluated exactly once and no cycle runs.
+    template <typename Pred>
+    bool run_until(Pred&& done, cycle_t max_cycles) {
+        const cycle_t end = now_ + max_cycles;
+        if (now_ >= end) return done(); // zero budget: evaluate, don't step
+        // `checked` records that the predicate was already evaluated for
+        // the current now_ (just before an idle skip, over state no tick
+        // has touched since), so it is not re-evaluated on loop entry.
+        bool checked = false;
+        while (now_ < end) {
+            if (!checked && done()) return true;
+            checked = false;
+            step();
+            if (engine_ == engine::event && now_ < end) {
+                const cycle_t due = std::min(end, std::max(now_, next_due()));
+                if (due > now_) {
+                    // All components idle until `due`: state is frozen, so
+                    // one evaluation covers every cycle in [now_, due).
+                    if (done()) return true;
+                    now_ = due;
+                    checked = true;
+                }
+            }
+        }
+        // The predicate was already evaluated for every reachable state in
+        // the budget; exhausting it means it never fired.
+        return false;
+    }
 
-    /// Advances exactly one cycle.
+    /// Type-erased overload kept for ABI-stable callers (testbench); the
+    /// template above avoids std::function dispatch on the hot loop.
+    bool run_until(const std::function<bool()>& done, cycle_t max_cycles) {
+        return run_until<const std::function<bool()>&>(done, max_cycles);
+    }
+
+    /// Advances exactly one cycle (ticking only due components in event
+    /// mode, everything in lockstep).
     void step();
 
 private:
     void sync_profile_handles();
+    void commit_phase();
+    /// Rebinds every component's wake slot into wake_cells_ (called when
+    /// components are added, which can relocate the array).
+    void rebind_wake_cells();
 
+    /// Earliest cached wakeup across all components (k_cycle_never when
+    /// everything is quiescent). Computed by the commit scan of the most
+    /// recent step() -- valid because commit() implementations are pure
+    /// latches (they never fire wakes), and only consumed right after a
+    /// step() by the run loops, so out-of-band wakes between runs (e.g.
+    /// campaign injection) can never be skipped over.
+    [[nodiscard]] cycle_t next_due() const { return next_due_cache_; }
+
+    engine engine_;
     std::vector<component*> components_;
+    /// SoA wake schedule, parallel to components_: each component's wake
+    /// slot is relocated here (component::bind_wake_cell) so the due
+    /// scan, commit scan, and next_due() touch sequential memory.
+    std::vector<cycle_t> wake_cells_;
+    /// Components whose commit() is a real clock edge (latches() == true);
+    /// the event engine's commit scan calls only these -- the rest are
+    /// no-ops by declaration, so skipping them is behaviour-preserving.
+    std::vector<component*> committers_;
+    cycle_t next_due_cache_ = 0;
     cycle_t now_ = 0;
     obs::trace_sink* trace_ = nullptr;
     bool profiling_ = false;

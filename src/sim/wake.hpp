@@ -1,0 +1,34 @@
+// Producer-to-consumer wake notification for the event-driven engine.
+//
+// When the simulator runs in event mode, a quiescent component's tick()
+// is skipped until its declared horizon (component::next_event). Anything
+// that hands such a component new work mid-cycle -- a queue push, a
+// supervisor reprogramming it -- must re-arm it through one of these
+// hooks, or the work would sit unserviced until the stale horizon.
+//
+// The hook is a plain function pointer + context, not a std::function:
+// it sits on the push hot path of every queue in the system and must
+// never allocate or branch through a vtable.
+#pragma once
+
+namespace bluescale::sim {
+
+/// A non-allocating callback used by queues and sub-components to re-arm
+/// their consumer when new work arrives.
+struct wake_hook {
+    void (*fn)(void*) = nullptr;
+    void* ctx = nullptr;
+
+    void fire() const {
+        if (fn != nullptr) fn(ctx);
+    }
+};
+
+/// A hook that calls wake() on a component-like object. The object must
+/// outlive every producer holding the hook.
+template <typename C>
+[[nodiscard]] wake_hook wake_of(C& c) {
+    return {[](void* ctx) { static_cast<C*>(ctx)->wake(); }, &c};
+}
+
+} // namespace bluescale::sim

@@ -62,9 +62,22 @@ void dnn_accelerator::tick(cycle_t now) {
     }
 }
 
+cycle_t dnn_accelerator::next_event(cycle_t now) const {
+    if (compute_left_ > 0) return now + 1;
+    // Below the cap the bucket gains tokens every cycle; at the cap the
+    // clamp makes accrual a bit-exact no-op, so sleeping there is safe.
+    if (tokens_ < static_cast<double>(cfg_.window)) return now + 1;
+    // Port backpressure has no wake signal, so an issuable burst request
+    // keeps the per-cycle cadence; a full window is drained by responses
+    // (which wake us), and so is the end-of-burst wait.
+    if (burst_left_ > 0 && outstanding_ < cfg_.window) return now + 1;
+    return k_cycle_never;
+}
+
 void dnn_accelerator::on_response(mem_request&& r) {
     assert(r.client == id_);
     assert(outstanding_ > 0);
+    wake(); // window space / end-of-burst progress opens next cycle
     --outstanding_;
     (void)r;
 }

@@ -42,6 +42,14 @@ public:
                     std::uint64_t seed);
 
     void tick(cycle_t now) override;
+
+    /// Event-engine horizon. The token bucket accrues per cycle, so the
+    /// accelerator stays on the per-cycle cadence until the bucket is
+    /// pinned at its cap (the min-clamp makes further accrual ticks
+    /// bit-exact no-ops); once there it sleeps only when blocked purely
+    /// on responses, and on_response() wakes it.
+    [[nodiscard]] cycle_t next_event(cycle_t now) const override;
+
     void on_response(mem_request&& r);
 
     [[nodiscard]] client_id_t id() const { return id_; }

@@ -67,6 +67,7 @@ void processor_client::finish_job(cycle_t now) {
     const compute_task& t = tasks_[running_->task_index];
     const auto cat = static_cast<std::size_t>(t.category);
     jobs_completed_[cat].inc();
+    // detlint:allow(cycle-step): completion edge (end of cycle `now`)
     if (now + 1 > running_->deadline) jobs_missed_[cat].inc();
     running_.reset();
 }
@@ -188,8 +189,23 @@ void processor_client::tick(cycle_t now) {
     if (j.compute_left == 0 && j.requests_left == 0) finish_job(now);
 }
 
+cycle_t processor_client::next_event(cycle_t now) const {
+    if (stalled_) {
+        if (request_pending_issue_) return now + 1; // retry the push
+        return std::max(now + 1, stall_timeout_at_);
+    }
+    if (running_ || !ready_.empty()) return now + 1; // computing
+    cycle_t due = k_cycle_never;
+    for (std::size_t i = 0; i < tasks_.size(); ++i) {
+        if (tasks_[i].period == 0) continue;
+        due = std::min(due, next_release_[i]);
+    }
+    return std::max(now + 1, due);
+}
+
 void processor_client::on_response(mem_request&& r) {
     assert(r.client == id_);
+    wake(); // a stalled core resumes the cycle after delivery, as in lockstep
     if (!stalled_ || r.id != awaited_id_) {
         // A reissue or abort already superseded this attempt.
         stale_responses_.inc();

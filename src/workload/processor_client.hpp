@@ -59,6 +59,14 @@ public:
                      processor_retry_config retry = {});
 
     void tick(cycle_t now) override;
+
+    /// Event-engine horizon: per-cycle while computing or while a push
+    /// is blocked on a full port (no wake signal exists for port space);
+    /// a stalled core sleeps until its retry timeout, an idle one until
+    /// the next task release. Response delivery wakes the client (see
+    /// on_response).
+    [[nodiscard]] cycle_t next_event(cycle_t now) const override;
+
     void on_response(mem_request&& r);
 
     /// Accounts jobs that are running late (or queued past their

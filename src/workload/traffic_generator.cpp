@@ -12,7 +12,9 @@ traffic_generator::traffic_generator(client_id_t id, memory_task_set tasks,
       tasks_(std::move(tasks)), net_(net), rng_(seed), cfg_(cfg),
       state_(tasks_.size()),
       // Partition the request-id space by client so ids never collide.
-      next_request_id_(static_cast<request_id_t>(id) << 40) {}
+      next_request_id_(static_cast<request_id_t>(id) << 40) {
+    port_drain_wake_ = net_.bind_client_drain(id_, sim::wake_of(*this));
+}
 
 void traffic_generator::release_jobs(cycle_t now) {
     for (std::size_t i = 0; i < tasks_.size(); ++i) {
@@ -150,6 +152,10 @@ void traffic_generator::tick(cycle_t now) {
 
 void traffic_generator::on_response(mem_request&& r) {
     assert(r.client == id_);
+    // Response delivery is the one signal a quiescent client cannot
+    // predict: re-arm so the next tick reacts exactly when lockstep
+    // would (the issue slot, retry bookkeeping, burst progress).
+    wake();
     auto it = outstanding_.find(r.id);
     if (it == outstanding_.end()) {
         // A reissue superseded this attempt before its response landed.
@@ -187,6 +193,37 @@ void traffic_generator::reconfigure_tasks(memory_task_set tasks,
     state_.assign(tasks_.size(), task_state{});
     for (auto& ts : state_) ts.next_release = now;
     stats_.record_reconfiguration();
+    wake(); // the new set's releases start immediately
+}
+
+cycle_t traffic_generator::next_event(cycle_t now) const {
+    if (stopped_) return k_cycle_never;
+    if (shed_) return now + 1;
+    // At the MSHR cap nothing can issue until a response retires an
+    // entry, and on_response() wakes us for exactly that edge; at a full
+    // port nothing can issue until a pop frees a slot, and the fabric's
+    // drain hook wakes us for exactly that edge (when the fabric cannot
+    // provide it, port_drain_wake_ keeps the per-cycle poll). So pending
+    // jobs only force the per-cycle cadence when a request could actually
+    // go out. Release boundaries stay in the horizon even when throttled
+    // or blocked: waking at every task's next_release keeps
+    // release_jobs()'s rng draw order identical to lockstep's
+    // cycle-by-cycle interleaving across tasks. An expired retry timeout
+    // holds the horizon at now + 1 until its reissue lands, covering a
+    // backpressured reissue slot.
+    const bool throttled = outstanding() >= cfg_.max_outstanding;
+    const bool blocked = port_drain_wake_ && !net_.client_can_accept(id_);
+    cycle_t due = k_cycle_never;
+    for (const auto& ts : state_) {
+        if (!ts.jobs.empty() && !throttled && !blocked) return now + 1;
+        due = std::min(due, ts.next_release);
+    }
+    if (cfg_.retry_timeout_cycles != 0) {
+        for (const auto& [id, o] : outstanding_) {
+            if (!o.exhausted) due = std::min(due, o.timeout_at);
+        }
+    }
+    return std::max(now + 1, due);
 }
 
 std::uint64_t traffic_generator::backlog() const {

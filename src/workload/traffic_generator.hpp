@@ -50,6 +50,15 @@ public:
 
     void tick(cycle_t now) override;
 
+    /// Event-engine horizon: per-cycle while jobs are pending below the
+    /// outstanding cap and the port accepts (the issue slot is contested
+    /// every cycle); at the cap, port-blocked, or idle, the earliest task
+    /// release or retry timeout. Responses need no horizon --
+    /// on_response() wakes the client -- and a blocked port re-arms the
+    /// client through the fabric's drain hook (bind_client_drain); with a
+    /// fabric that cannot provide that signal the client keeps polling.
+    [[nodiscard]] cycle_t next_event(cycle_t now) const override;
+
     /// Harness routes interconnect responses for this client here.
     void on_response(mem_request&& r);
 
@@ -66,7 +75,10 @@ public:
     /// client absorbs the misses) but no new requests are issued. Retry
     /// reissues of in-flight requests still go out, so recovery of work
     /// already in the fabric is not orphaned.
-    void set_shed(bool on) { shed_ = on; }
+    void set_shed(bool on) {
+        if (on != shed_) wake(); // shed accounting is per-cycle
+        shed_ = on;
+    }
     [[nodiscard]] bool shed() const { return shed_; }
 
     /// Live workload change at a reconfiguration commit: swaps the task
@@ -136,6 +148,9 @@ private:
     request_id_t next_request_id_;
     bool stopped_ = false;
     bool shed_ = false;
+    /// The fabric fires our wake when a pop frees the (previously full)
+    /// ingress port, so next_event() may sleep while backpressured.
+    bool port_drain_wake_ = false;
 };
 
 } // namespace bluescale::workload

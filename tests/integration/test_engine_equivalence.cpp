@@ -1,0 +1,154 @@
+// The acceptance gate for the event-driven engine: the hybrid
+// skip-to-next-event scheduler and the BLUESCALE_LOCKSTEP cycle-stepped
+// fallback must produce byte-identical exports -- same metrics snapshot,
+// same event trace, same aggregates -- for every experiment, at any
+// --threads setting. A horizon that sleeps through real work or a wake
+// that fires a cycle late shows up here as a diff, not as a silent
+// result shift.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "harness/factory.hpp"
+#include "harness/fig6_experiment.hpp"
+#include "harness/reconfig_experiment.hpp"
+#include "harness/resilience_experiment.hpp"
+#include "sim/simulator.hpp"
+
+namespace bluescale::harness {
+namespace {
+
+/// Pins the process-wide default engine for one run and always restores
+/// the environment-derived default afterwards, so test order cannot leak
+/// an override into unrelated suites.
+class scoped_engine {
+public:
+    explicit scoped_engine(simulator::engine e) {
+        simulator::set_default_engine(e);
+    }
+    ~scoped_engine() { simulator::clear_default_engine(); }
+    scoped_engine(const scoped_engine&) = delete;
+    scoped_engine& operator=(const scoped_engine&) = delete;
+};
+
+std::string metrics_csv(const obs::snapshot& snap) {
+    std::ostringstream os;
+    snap.write_csv(os);
+    return os.str();
+}
+
+std::string trace_json(const obs::trace_export& trace) {
+    std::ostringstream os;
+    trace.write_chrome_json(os);
+    return os.str();
+}
+
+fig6_config fig6_cfg(unsigned threads) {
+    fig6_config cfg;
+    cfg.n_clients = 16;
+    cfg.trials = 4;
+    cfg.measure_cycles = 8'000;
+    cfg.seed = 7;
+    cfg.threads = threads;
+    cfg.collect_metrics = true;
+    cfg.collect_trace = true;
+    return cfg;
+}
+
+template <typename Result>
+void expect_equal_exports(const Result& event, const Result& lockstep) {
+    ASSERT_FALSE(event.metrics.empty());
+    EXPECT_EQ(metrics_csv(event.metrics), metrics_csv(lockstep.metrics));
+    EXPECT_EQ(trace_json(event.trace), trace_json(lockstep.trace));
+}
+
+TEST(engine_equivalence, fig6_all_designs_bit_identical) {
+    for (const ic_kind kind : k_all_kinds) {
+        fig6_result event_r, lockstep_r;
+        {
+            scoped_engine guard(simulator::engine::event);
+            event_r = run_fig6(kind, fig6_cfg(1));
+        }
+        {
+            scoped_engine guard(simulator::engine::lockstep);
+            lockstep_r = run_fig6(kind, fig6_cfg(1));
+        }
+        SCOPED_TRACE(kind_name(kind));
+        expect_equal_exports(event_r, lockstep_r);
+        EXPECT_EQ(event_r.blocking_us.mean(), lockstep_r.blocking_us.mean());
+        EXPECT_EQ(event_r.miss_ratio.mean(), lockstep_r.miss_ratio.mean());
+    }
+}
+
+TEST(engine_equivalence, fig6_event_engine_thread_invariant) {
+    // The event engine must keep the determinism contract lockstep
+    // already honours: per-trial simulations are independent, so the
+    // sweep's thread count cannot change a byte of the export.
+    fig6_result serial, parallel;
+    {
+        scoped_engine guard(simulator::engine::event);
+        serial = run_fig6(ic_kind::bluescale, fig6_cfg(1));
+        parallel = run_fig6(ic_kind::bluescale, fig6_cfg(4));
+    }
+    expect_equal_exports(serial, parallel);
+}
+
+TEST(engine_equivalence, resilience_faulty_run_bit_identical) {
+    // Fault campaigns exercise the wake paths idle skipping must never
+    // sleep through: injected storms, link drops, retry timeouts, ECC
+    // reissues.
+    resilience_config cfg;
+    cfg.n_clients = 16;
+    cfg.trials = 3;
+    cfg.measure_cycles = 8'000;
+    cfg.seed = 11;
+    cfg.fault_intensity = 1.0;
+    cfg.threads = 4;
+    cfg.collect_metrics = true;
+    cfg.collect_trace = true;
+
+    resilience_result event_r, lockstep_r;
+    {
+        scoped_engine guard(simulator::engine::event);
+        event_r = run_resilience(ic_kind::bluescale, cfg);
+    }
+    {
+        scoped_engine guard(simulator::engine::lockstep);
+        lockstep_r = run_resilience(ic_kind::bluescale, cfg);
+    }
+    expect_equal_exports(event_r, lockstep_r);
+    EXPECT_EQ(metrics_csv(event_r.totals), metrics_csv(lockstep_r.totals));
+}
+
+TEST(engine_equivalence, reconfig_run_bit_identical) {
+    // Mid-run reconfigurations rewrite task sets and SE schedules while
+    // components sleep; the admission/watchdog supervisors are the
+    // components with the longest horizons, so this is the sternest test
+    // of the wake protocol.
+    reconfig_exp_config cfg;
+    cfg.n_clients = 16;
+    cfg.trials = 3;
+    cfg.measure_cycles = 8'000;
+    cfg.seed = 13;
+    cfg.events_per_kcycle = 2.0;
+    cfg.reconfig_warmup = 1'000;
+    cfg.threads = 4;
+    cfg.collect_metrics = true;
+    cfg.collect_trace = true;
+
+    reconfig_result event_r, lockstep_r;
+    {
+        scoped_engine guard(simulator::engine::event);
+        event_r = run_reconfig(ic_kind::bluescale, cfg);
+    }
+    {
+        scoped_engine guard(simulator::engine::lockstep);
+        lockstep_r = run_reconfig(ic_kind::bluescale, cfg);
+    }
+    expect_equal_exports(event_r, lockstep_r);
+    EXPECT_EQ(metrics_csv(event_r.totals), metrics_csv(lockstep_r.totals));
+}
+
+} // namespace
+} // namespace bluescale::harness

@@ -1,0 +1,7 @@
+// Fixture: hardcoded cycle stepping outside the horizon API (rule
+// cycle-step).
+#include <cstdint>
+
+using cycle_t = std::uint64_t;
+
+cycle_t schedule_retry(cycle_t now) { return now + 1; }

@@ -1,0 +1,8 @@
+// Fixture: cycle-step silenced inline.
+#include <cstdint>
+
+using cycle_t = std::uint64_t;
+
+cycle_t schedule_retry(cycle_t now) {
+    return now + 1; // detlint:allow(cycle-step): fixture only
+}

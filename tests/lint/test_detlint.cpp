@@ -47,6 +47,7 @@ constexpr seeded_case k_seeded[] = {
     {"unordered_range_for.cpp", "unordered-iter"},
     {"unordered_begin_loop.cpp", "unordered-iter"},
     {"float_cycle_mix.cpp", "float-cycle"},
+    {"cycle_step_arith.cpp", "cycle-step"},
     {"libc_shadow_rand.cpp", "libc-shadow"},
     {"metrics_bypass_field_write.cpp", "metrics-bypass"},
     {"metrics_bypass_stream.cpp", "metrics-bypass"},
@@ -63,7 +64,8 @@ TEST(detlint_fixtures, each_seeded_violation_is_flagged_with_its_rule) {
 TEST(detlint_fixtures, allow_annotations_silence_each_rule) {
     const char* suppressed[] = {
         "suppressed_nondet.cpp",    "suppressed_unordered.cpp",
-        "suppressed_float_cycle.cpp", "suppressed_libc_shadow.cpp",
+        "suppressed_float_cycle.cpp", "suppressed_cycle_step.cpp",
+        "suppressed_libc_shadow.cpp",
         "suppressed_metrics_bypass.cpp", "suppressed_include_guard.hpp",
     };
     for (const auto* name : suppressed) {
@@ -186,6 +188,36 @@ TEST(detlint_engine, analysis_and_hwcost_may_do_real_arithmetic) {
         {{"src/analysis/foo.cpp", body}, {"src/hwcost/bar.cpp", body}},
         scan_options{});
     EXPECT_TRUE(exempt.findings.empty());
+}
+
+TEST(detlint_engine, horizon_bodies_own_cycle_step_arithmetic) {
+    // `now + k` is the horizon API's vocabulary: exempt inside
+    // next_event()/wake_horizon() bodies (inline or out-of-line), flagged
+    // anywhere else in component code.
+    const scan_result r = detlint::scan_sources(
+        {{"src/core/w.cpp",
+          "using cycle_t = unsigned long long;\n"
+          "struct w {\n"
+          "    cycle_t next_event(cycle_t now) const { return now + 1; }\n"
+          "    cycle_t retry_at(cycle_t now) const { return now + 4; }\n"
+          "};\n"
+          "cycle_t w_wake_horizon(cycle_t now);\n"
+          "cycle_t wake_horizon(cycle_t now) { return now + 2; }\n"}},
+        scan_options{});
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings.front().rule, "cycle-step");
+    EXPECT_EQ(r.findings.front().line, 4u);
+}
+
+TEST(detlint_engine, sim_kernel_owns_the_wake_protocol) {
+    // The simulator itself implements wake_at = max(now_ + 1, ...) -- the
+    // rule stays out of src/sim/.
+    const scan_result r = detlint::scan_sources(
+        {{"src/sim/step.cpp",
+          "using cycle_t = unsigned long long;\n"
+          "cycle_t bump(cycle_t now) { return now + 1; }\n"}},
+        scan_options{});
+    EXPECT_TRUE(r.findings.empty()) << r.findings.front().message;
 }
 
 TEST(detlint_engine, rule_filter_restricts_the_run) {

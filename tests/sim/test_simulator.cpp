@@ -10,7 +10,7 @@ namespace {
 
 class recorder : public component {
 public:
-    recorder() : component("recorder") {}
+    recorder() : component("recorder", /*latches=*/true) {}
     void tick(cycle_t now) override { ticks.push_back(now); }
     void commit() override { ++commits; }
     std::vector<cycle_t> ticks;
@@ -47,7 +47,8 @@ TEST(simulator, all_components_tick_before_any_commit) {
     class phase_checker : public component {
     public:
         phase_checker(int& tick_count, int& commit_count)
-            : component("pc"), ticks_(tick_count), commits_(commit_count) {}
+            : component("pc", /*latches=*/true), ticks_(tick_count),
+              commits_(commit_count) {}
         void tick(cycle_t) override {
             EXPECT_EQ(commits_, 0) << "commit ran before all ticks";
             ++ticks_;
@@ -96,9 +97,9 @@ TEST(simulator, run_until_checks_before_stepping) {
 }
 
 TEST(simulator, run_until_evaluates_predicate_once_per_cycle) {
-    // The predicate is checked exactly once per cycle in the budget --
-    // no double evaluation when the budget is exhausted.
-    simulator sim;
+    // Lockstep contract: the predicate is checked exactly once per cycle
+    // in the budget -- no double evaluation when the budget is exhausted.
+    simulator sim(simulator::engine::lockstep);
     int evals = 0;
     const bool fired = sim.run_until(
         [&] {
@@ -108,6 +109,22 @@ TEST(simulator, run_until_evaluates_predicate_once_per_cycle) {
         20);
     EXPECT_FALSE(fired);
     EXPECT_EQ(evals, 20);
+}
+
+TEST(simulator, run_until_event_mode_checks_before_each_skip) {
+    // Event contract: once per stepped cycle plus once before each idle
+    // skip -- an empty simulation steps cycle 0, then skips to the end.
+    simulator sim(simulator::engine::event);
+    int evals = 0;
+    const bool fired = sim.run_until(
+        [&] {
+            ++evals;
+            return false;
+        },
+        20);
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(sim.now(), 20u);
+    EXPECT_EQ(evals, 2);
 }
 
 TEST(simulator, run_until_zero_budget_checks_once) {
@@ -129,6 +146,125 @@ TEST(simulator, run_accumulates_across_calls) {
     sim.run(4);
     sim.run(6);
     EXPECT_EQ(sim.now(), 10u);
+}
+
+// --- event engine ------------------------------------------------------
+
+class periodic_sleeper : public component {
+public:
+    periodic_sleeper() : component("periodic") {}
+    void tick(cycle_t now) override { ticks.push_back(now); }
+    [[nodiscard]] cycle_t next_event(cycle_t now) const override {
+        return now + 10;
+    }
+    std::vector<cycle_t> ticks;
+};
+
+class quiescent : public component {
+public:
+    quiescent() : component("quiescent", /*latches=*/true) {}
+    void tick(cycle_t now) override { ticks.push_back(now); }
+    void commit() override { ++commits; }
+    [[nodiscard]] cycle_t next_event(cycle_t) const override {
+        return k_cycle_never;
+    }
+    std::vector<cycle_t> ticks;
+    int commits = 0;
+};
+
+TEST(simulator, event_engine_skips_to_next_wakeup) {
+    simulator sim(simulator::engine::event);
+    periodic_sleeper p;
+    sim.add(p);
+    sim.run(35);
+    EXPECT_EQ(sim.now(), 35u);
+    ASSERT_EQ(p.ticks.size(), 4u); // cycles 0, 10, 20, 30
+    EXPECT_EQ(p.ticks[1], 10u);
+    EXPECT_EQ(p.ticks[3], 30u);
+}
+
+TEST(simulator, event_engine_skips_empty_simulation_to_horizon) {
+    simulator sim(simulator::engine::event);
+    sim.run(1'000'000);
+    EXPECT_EQ(sim.now(), 1'000'000u);
+}
+
+TEST(simulator, event_engine_matches_lockstep_for_default_components) {
+    // A component that never overrides next_event() ticks every cycle in
+    // both engines -- the safe-by-default contract.
+    simulator sim(simulator::engine::event);
+    recorder r;
+    sim.add(r);
+    sim.run(5);
+    ASSERT_EQ(r.ticks.size(), 5u);
+    for (cycle_t i = 0; i < 5; ++i) EXPECT_EQ(r.ticks[i], i);
+    EXPECT_EQ(r.commits, 5);
+}
+
+TEST(simulator, wake_rearms_quiescent_component) {
+    simulator sim(simulator::engine::event);
+    quiescent q;
+    sim.add(q);
+    sim.run(5);
+    ASSERT_EQ(q.ticks.size(), 1u); // only the initial cycle
+    EXPECT_EQ(q.ticks[0], 0u);
+    q.wake();
+    sim.run(5);
+    ASSERT_EQ(q.ticks.size(), 2u);
+    EXPECT_EQ(q.ticks[1], 5u);
+}
+
+TEST(simulator, component_woken_mid_cycle_commits_on_that_edge) {
+    // A quiescent receiver woken during another component's tick must
+    // still latch (commit) on the same cycle edge, so state staged into
+    // it by the waker becomes visible next cycle -- as in lockstep.
+    class waker : public component {
+    public:
+        explicit waker(quiescent& rx) : component("waker"), rx_(rx) {}
+        void tick(cycle_t now) override {
+            if (now == 1) rx_.wake();
+        }
+
+    private:
+        quiescent& rx_;
+    };
+    quiescent rx;
+    waker tx(rx);
+    simulator sim(simulator::engine::event);
+    sim.add(rx); // registered first: already passed over when woken
+    sim.add(tx);
+    sim.run(2);
+    EXPECT_EQ(rx.commits, 2); // cycle 0 (initial) + cycle 1 (woken)
+    ASSERT_EQ(rx.ticks.size(), 1u);
+    sim.run(1);
+    ASSERT_EQ(rx.ticks.size(), 2u); // the wake scheduled a cycle-2 tick
+    EXPECT_EQ(rx.ticks[1], 2u);
+}
+
+TEST(simulator, event_engine_commits_latching_components_while_asleep) {
+    // A latching component commits on every stepped cycle even when its
+    // own tick is slept over: a producer may stage work into its queues
+    // without waking it (transition-only wakes), and that work must
+    // latch on the push cycle's edge exactly as in lockstep.
+    class sleeper : public quiescent {};
+    sleeper rx;
+    recorder driver; // default horizon: keeps every cycle stepped
+    simulator sim(simulator::engine::event);
+    sim.add(rx);
+    sim.add(driver);
+    sim.run(5);
+    ASSERT_EQ(rx.ticks.size(), 1u); // quiescent after cycle 0
+    EXPECT_EQ(rx.commits, 5);       // but every edge still latched
+}
+
+TEST(simulator, default_engine_override_is_honored) {
+    simulator::set_default_engine(simulator::engine::lockstep);
+    simulator locked;
+    EXPECT_EQ(locked.mode(), simulator::engine::lockstep);
+    simulator::set_default_engine(simulator::engine::event);
+    simulator evented;
+    EXPECT_EQ(evented.mode(), simulator::engine::event);
+    simulator::clear_default_engine();
 }
 
 } // namespace

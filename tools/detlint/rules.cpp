@@ -579,6 +579,113 @@ void check_metrics_bypass(const lexed_file& file, std::vector<finding>& out) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: cycle-step
+
+/// Half-open token-index ranges covering the bodies of functions named
+/// next_event, wake_horizon, or response_horizon -- the horizon API,
+/// i.e. the places that are *supposed* to reason in `now + k` terms.
+/// Works for both inline definitions
+/// (`cycle_t next_event(cycle_t now) const override { ... }`) and
+/// out-of-line ones (`cycle_t widget::next_event(cycle_t now) const {`);
+/// a `;` between the parameter list and any `{` marks a declaration and
+/// yields no range.
+[[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>>
+horizon_body_ranges(const lexed_file& file) {
+    std::vector<std::pair<std::size_t, std::size_t>> out;
+    const auto& toks = file.tokens;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        const token& t = toks[i];
+        if (t.kind != tok_kind::identifier ||
+            (t.text != "next_event" && t.text != "wake_horizon" &&
+             t.text != "response_horizon")) {
+            continue;
+        }
+        if (!is_punct(toks[i + 1], "(")) continue;
+        // Match the parameter list's closing paren.
+        std::size_t j = i + 1;
+        int parens = 0;
+        for (; j < toks.size(); ++j) {
+            if (is_punct(toks[j], "(")) {
+                ++parens;
+            } else if (is_punct(toks[j], ")")) {
+                if (--parens == 0) break;
+            }
+        }
+        if (j >= toks.size()) continue;
+        // `const override {` etc. may intervene; a `;` first means this
+        // was a declaration (or a *call* inside a larger statement).
+        std::size_t body = j + 1;
+        bool found_body = false;
+        for (; body < toks.size(); ++body) {
+            if (is_punct(toks[body], ";")) break;
+            if (is_punct(toks[body], "{")) {
+                found_body = true;
+                break;
+            }
+        }
+        if (!found_body) {
+            i = j;
+            continue;
+        }
+        std::size_t end = body;
+        int braces = 0;
+        for (; end < toks.size(); ++end) {
+            if (is_punct(toks[end], "{")) {
+                ++braces;
+            } else if (is_punct(toks[end], "}")) {
+                if (--braces == 0) break;
+            }
+        }
+        out.emplace_back(body, end + 1);
+        i = end;
+    }
+    return out;
+}
+
+void check_cycle_step(const lexed_file& file, std::vector<finding>& out) {
+    // Hand-rolled `now + 1` / `now_ - 2` cycle stepping in model code is
+    // a cadence decision the event engine cannot see: the component will
+    // be skipped while quiescent and the hardcoded step silently never
+    // happens. Cadence arithmetic belongs in next_event()/wake_horizon()
+    // (whose bodies are exempt -- they exist to own it). The sim kernel
+    // implements the wake protocol itself, and bench/examples drivers
+    // fabricate synthetic timestamps, so those trees are out of scope.
+    if (path_contains(file.path, "/sim/") ||
+        path_contains(file.path, "/bench/") ||
+        path_contains(file.path, "/examples/")) {
+        return;
+    }
+    const auto ranges = horizon_body_ranges(file);
+    const auto sanctioned = [&](std::size_t idx) {
+        for (const auto& [b, e] : ranges) {
+            if (idx >= b && idx < e) return true;
+        }
+        return false;
+    };
+    const auto& toks = file.tokens;
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+        const token& t = toks[i];
+        if (t.kind != tok_kind::identifier ||
+            (t.text != "now" && t.text != "now_")) {
+            continue;
+        }
+        const token& op = toks[i + 1];
+        if (!is_punct(op, "+") && !is_punct(op, "-")) continue;
+        const token& lit = toks[i + 2];
+        if (lit.kind != tok_kind::number || lit.is_float) continue;
+        if (sanctioned(i)) continue;
+        out.push_back(
+            {file.path, t.line, "cycle-step",
+             "hardcoded cycle step '" + t.text + " " + op.text + " " +
+                 lit.text +
+                 "' outside next_event()/wake_horizon(): the event engine "
+                 "cannot see ad-hoc cadence arithmetic -- move it into the "
+                 "horizon API, or suppress with a justification for "
+                 "dataflow timestamps"});
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: include-guard
 
 void check_include_guard(const lexed_file& file, std::vector<finding>& out) {
@@ -626,6 +733,10 @@ const std::vector<rule_info>& all_rules() {
         {"libc-shadow",
          "flags identifiers that shadow libc names (rand, time, clock, "
          "...): deleting the local silently rebinds to libc"},
+        {"cycle-step",
+         "flags hardcoded `now + k` cycle arithmetic in component code "
+         "outside next_event()/wake_horizon() bodies: ad-hoc cadence math "
+         "is invisible to the event engine"},
         {"metrics-bypass",
          "flags raw std::ostream stat emission and direct counter-struct "
          "field writes outside src/obs/ and src/stats/: metrics flow "
@@ -657,6 +768,7 @@ void check(const lexed_file& file, const tree_context& ctx,
     if (on("nondet-source")) check_nondet_source(file, raw);
     if (on("unordered-iter")) check_unordered_iter(file, ctx, raw);
     if (on("float-cycle")) check_float_cycle(file, ctx, raw);
+    if (on("cycle-step")) check_cycle_step(file, raw);
     if (on("libc-shadow")) check_libc_shadow(file, raw);
     if (on("metrics-bypass")) check_metrics_bypass(file, raw);
     if (on("include-guard")) check_include_guard(file, raw);
