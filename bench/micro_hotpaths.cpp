@@ -164,6 +164,40 @@ void bm_memory_controller_tick(benchmark::State& state) {
 }
 BENCHMARK(bm_memory_controller_tick);
 
+/// Controller tick under DRAM maintenance: arg 0 runs maintenance-off
+/// (same shape as bm_memory_controller_tick -- the perf-smoke hot path),
+/// arg 1 enables refresh + scrub + hammer tracking so the delta prices
+/// the maintenance engine's closed-form catch-up on the tick path.
+void bm_dram_maintenance(benchmark::State& state) {
+    memctrl_config cfg;
+    if (state.range(0) != 0) {
+        cfg.timing.t_refi = 975;
+        cfg.timing.t_rfc = 65;
+        cfg.maintenance.scrub_interval = 2048;
+        cfg.maintenance.scrub_duration = 32;
+        cfg.maintenance.hammer_threshold = 256;
+        cfg.maintenance.hammer_mitigation_cycles = 32;
+    }
+    memory_controller mc(cfg);
+    std::uint64_t seq = 0;
+    cycle_t now = 0;
+    for (auto _ : state) {
+        while (mc.can_accept()) {
+            mem_request r;
+            r.id = seq;
+            r.addr = (seq++ % 4096) * 64;
+            r.level_deadline = now + 500;
+            mc.push(r);
+        }
+        mc.tick(now);
+        while (mc.has_response()) benchmark::DoNotOptimize(mc.pop_response());
+        mc.commit();
+        ++now;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(bm_dram_maintenance)->Arg(0)->Arg(1);
+
 void bm_sbf(benchmark::State& state) {
     const analysis::resource_interface iface{97, 31};
     std::uint64_t t = 1;

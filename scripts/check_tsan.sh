@@ -16,11 +16,12 @@ cmake --build "$build_dir" --target bluescale_tests \
     bluescale_resilience_tests -j"$(nproc)"
 
 "$build_dir/tests/bluescale_tests" \
-    --gtest_filter='trial_runner.*:rng_substream.*:testbench.*:fig6.parallel*:fig7.parallel*:export_determinism.*:engine_equivalence.*'
+    --gtest_filter='trial_runner.*:rng_substream.*:testbench.*:fig6.parallel*:fig7.parallel*:export_determinism.*:engine_equivalence.*:maintenance_determinism.*'
 
 # Fault campaigns run inside parallel trial sweeps: the injection windows,
-# retry bookkeeping and health monitoring must all stay trial-local.
+# retry bookkeeping, health monitoring and DRAM-maintenance accounting
+# must all stay trial-local.
 "$build_dir/tests/bluescale_resilience_tests" \
-    --gtest_filter='resilience.*'
+    --gtest_filter='resilience.*:maintenance_experiment.*'
 
 echo "TSan check passed."

@@ -23,7 +23,10 @@ sched_result is_schedulable(const task_set& tasks,
     }
 
     const double u = utilization(tasks);
-    if (iface.bandwidth() <= u) return sched_result::unschedulable;
+    const maintenance_model& maint = cfg.maintenance;
+    if (iface.bandwidth() * (1.0 - maint.utilization()) <= u) {
+        return sched_result::unschedulable;
+    }
 
     // No task may have a period shorter than the worst-case supply delay
     // (sbf is 0 up to 2(Pi - Theta)), otherwise its first job can miss.
@@ -31,13 +34,13 @@ sched_result is_schedulable(const task_set& tasks,
     for (const auto& task : tasks) {
         if (task.wcet > 0 && task.period < blackout + task.wcet) {
             // sbf(period) < wcet is guaranteed: cheap necessary filter.
-            if (sbf(task.period, iface) < task.wcet) {
+            if (maintenance_sbf(task.period, iface, maint) < task.wcet) {
                 return sched_result::unschedulable;
             }
         }
     }
 
-    const double beta = theorem1_beta(iface, u);
+    const double beta = maintenance_beta(iface, u, maint);
     // Testing slightly beyond beta is sound (a violation past beta implies
     // one before it), so round the horizon up.
     const auto horizon = static_cast<std::uint64_t>(std::ceil(beta)) + 1;
@@ -52,7 +55,9 @@ sched_result is_schedulable(const task_set& tasks,
 
     for (const std::uint64_t t : dbf_step_points(tasks, horizon)) {
         if (cfg.stats != nullptr) ++cfg.stats->points_checked;
-        if (dbf(t, tasks) > sbf(t, iface)) return sched_result::unschedulable;
+        if (dbf(t, tasks) > maintenance_sbf(t, iface, maint)) {
+            return sched_result::unschedulable;
+        }
     }
     return sched_result::schedulable;
 }

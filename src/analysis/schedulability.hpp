@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "analysis/demand_bound.hpp"
+#include "analysis/maintenance.hpp"
 #include "analysis/periodic_resource.hpp"
 #include "analysis/rt_task.hpp"
 
@@ -34,6 +35,11 @@ struct sched_test_config {
     std::uint64_t max_test_points = 1u << 20;
     /// Optional work counters, accumulated across calls when set.
     sched_test_stats* stats = nullptr;
+    /// Device maintenance charged against the supply. The test compares
+    /// dbf against the maintenance-corrected sbf and uses the corrected
+    /// Theorem 1 bound; an empty model (the default) reproduces the
+    /// uncorrected test bit-for-bit.
+    maintenance_model maintenance = {};
 };
 
 /// Theorem 1 test bound:

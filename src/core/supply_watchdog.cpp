@@ -95,12 +95,15 @@ std::uint64_t supply_watchdog::supply_violations(cycle_t window_cycles) {
                     }
                 }
                 // sbf guarantees service to PENDING work only: the window
-                // counts when the port was backlogged throughout.
+                // counts when the port was backlogged throughout. Modeled
+                // maintenance is budgeted out of the guarantee, so only
+                // interference beyond the maintenance model can alarm.
                 if (d_bkl < window_cycles) continue;
                 const auto guarantee = static_cast<std::uint64_t>(
                     std::floor(cfg_.supply_margin *
-                               static_cast<double>(
-                                   analysis::sbf(window_units, *iface))));
+                               static_cast<double>(analysis::maintenance_sbf(
+                                   window_units, *iface,
+                                   cfg_.maintenance))));
                 if (d_fwd < guarantee) ++violations;
             }
         }

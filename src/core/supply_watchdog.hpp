@@ -25,6 +25,7 @@
 #include <memory>
 #include <vector>
 
+#include "analysis/maintenance.hpp"
 #include "analysis/tree_analysis.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
@@ -69,6 +70,13 @@ struct watchdog_config {
     std::uint32_t restore_backoff = 2;
     /// Master switch: false = observe and alarm only, never shed.
     bool shedding = true;
+    /// MODELED device maintenance (mem::to_maintenance_model): the
+    /// conformance guarantee is the maintenance-corrected
+    /// sbf(window - stolen(window)), so budgeted refresh/scrub/mitigation
+    /// interference never alarms while *unmodeled* interference (e.g. a
+    /// maintenance storm) still does -- and still triggers shedding. In
+    /// analysis time units, like the selection's interfaces.
+    analysis::maintenance_model maintenance = {};
 };
 
 /// Counter snapshot of a trial's supervision outcome (values read out of

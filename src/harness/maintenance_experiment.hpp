@@ -1,0 +1,135 @@
+// DRAM-maintenance robustness experiment (robustness extension, not a
+// paper figure; BlueScale only). The synthetic workload runs on a
+// memory controller with refresh/scrub/RowHammer maintenance enabled,
+// optionally under an injected maintenance-STORM campaign (excess
+// scrubbing the analysis does not budget for). The experiment's central
+// toggle is `maintenance_aware`: when true, both interface selection and
+// the supply watchdog use the maintenance-corrected SBF
+// (analysis::maintenance_sbf via mem::to_maintenance_model); when false
+// they use the raw sbf -- the paper's assumption of an always-available
+// device. The acceptance claim: aware admission keeps hard clients at
+// zero misses through storms (the watchdog sheds best-effort traffic),
+// while unaware admission under-provisions and hard clients miss.
+#pragma once
+
+#include <cstdint>
+
+#include "core/supply_watchdog.hpp"
+#include "mem/memory_controller.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+#include "stats/summary.hpp"
+#include "workload/taskset_gen.hpp"
+
+namespace bluescale::harness {
+
+struct maintenance_exp_config {
+    std::uint32_t n_clients = 16;
+    std::uint32_t trials = 8;
+    cycle_t measure_cycles = 60'000;
+    double util_lo = 0.40;
+    double util_hi = 0.60;
+    std::uint64_t seed = 1;
+    /// Worker threads for the trial sweep (0 = all hardware threads).
+    /// Results are bit-identical for any setting; see sim::trial_runner.
+    unsigned threads = 1;
+    /// Task periods sit well above the maintenance burst (a refresh
+    /// blackout is ~16 analysis units): real task periods dwarf t_RFC,
+    /// and a wcet-sized demand inside a burst-sized deadline would force
+    /// the corrected analysis to provision nearly the whole device per
+    /// client.
+    workload::taskset_params taskset = {
+        .n_tasks = 3,
+        .total_utilization = 0.05, // overridden per trial by util_lo/hi
+        .min_period_units = 300,
+        .max_period_units = 1500,
+        .write_fraction = 0.3,
+    };
+    /// The LAST this-many client ids are best-effort (sheddable); the
+    /// rest are hard real-time.
+    std::uint32_t best_effort_clients = 4;
+    /// Combined utilization of the best-effort clients. 0 (default)
+    /// pools every client into one [util_lo, util_hi] draw; > 0 gives
+    /// the hard clients the [util_lo, util_hi] draw to themselves and
+    /// loads the best-effort clients with exactly this much bulk
+    /// traffic -- the asymmetric shape (light hard control traffic,
+    /// heavy sheddable DMA) that makes watchdog shedding free real
+    /// bandwidth during a storm.
+    double best_effort_util = 0.0;
+    /// Memory controller with the maintenance mechanisms under study
+    /// (timing.t_refi/t_rfc, maintenance.scrub_*, maintenance.hammer_*).
+    memctrl_config memctrl = {};
+    /// Selection bandwidth tolerance (applied in BOTH modes so the
+    /// aware/unaware comparison is apples-to-apples). Nonzero matters
+    /// under maintenance: the strict-minimum selection picks tiny server
+    /// periods, and a server task whose period is comparable to the
+    /// maintenance burst makes the corrected test infeasible at the level
+    /// above -- trading a little bandwidth for larger periods lets every
+    /// level amortize the stolen-time shift.
+    double bandwidth_tolerance = 0.10;
+    /// Provision (Pi, Theta) and police supply with the
+    /// maintenance-corrected SBF (true) or the raw one (false).
+    bool maintenance_aware = true;
+    /// Expected maintenance-storm events per 1000 cycles (0 = none).
+    /// The campaign carries ONLY maintenance storms, so every trial's
+    /// interference is exactly the maintenance story under test.
+    double storm_intensity = 0.0;
+    cycle_t storm_min_duration = 64;
+    cycle_t storm_max_duration = 256;
+    core::watchdog_config watchdog = {};
+
+    /// Snapshot each trial's obs::registry and merge them, in trial
+    /// order, into maintenance_exp_result::metrics (--metrics).
+    bool collect_metrics = false;
+    /// Export trial 0's event trace (--trace).
+    bool collect_trace = false;
+};
+
+struct maintenance_exp_result {
+    bool maintenance_aware = false;
+    double storm_intensity = 0.0;
+    std::uint32_t n_clients = 0;
+    std::uint32_t feasible_trials = 0;
+
+    // Per-trial samples.
+    stats::sample_set hard_miss_ratio;
+    stats::sample_set best_effort_miss_ratio;
+    stats::sample_set p99_latency_cycles;
+
+    // Counter totals summed over trials.
+    std::uint64_t hard_misses = 0;
+    std::uint64_t best_effort_misses = 0;
+    std::uint64_t refreshes = 0;
+    std::uint64_t scrubs = 0;
+    std::uint64_t hammer_mitigations = 0;
+    std::uint64_t maintenance_stolen_cycles = 0;
+    std::uint64_t maintenance_storm_cycles = 0;
+    std::uint64_t injected_storms = 0;
+    std::uint64_t windows_checked = 0;
+    std::uint64_t supply_shortfall_alarms = 0;
+    std::uint64_t deadline_alarms = 0;
+    std::uint64_t shed_events = 0;
+    std::uint64_t restore_events = 0;
+    std::uint64_t shed_client_cycles = 0;
+
+    /// The aggregates above re-expressed as obs metrics
+    /// ("maintenance/<name>"); the bench driver renders --csv cells from
+    /// this via obs::metric_cells.
+    obs::snapshot totals;
+    /// Per-trial registry snapshots merged in trial order, when
+    /// cfg.collect_metrics. Byte-identical across --threads settings.
+    obs::snapshot metrics;
+    /// Trial 0's event trace, when cfg.collect_trace.
+    obs::trace_export trace;
+};
+
+/// Runs `cfg.trials` BlueScale trials. Workload and storm schedule are
+/// pure functions of the trial seed, so aware/unaware runs at the same
+/// seed face the identical scenario. A trial whose admission analysis is
+/// infeasible is NOT simulated: it contributes only to the
+/// trials-minus-feasible_trials gap (admission control refused the
+/// workload; there is no admitted system to measure).
+[[nodiscard]] maintenance_exp_result
+run_maintenance_experiment(const maintenance_exp_config& cfg);
+
+} // namespace bluescale::harness

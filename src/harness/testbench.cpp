@@ -15,7 +15,8 @@ testbench::testbench(ic_kind kind, const testbench_options& opts)
     build.client_utilizations = opts.client_utilizations;
     build.bluetree_alpha = opts.bluetree_alpha;
     if (kind == ic_kind::bluescale && opts.rt_sets != nullptr) {
-        selection_ = analysis::select_tree_interfaces(*opts.rt_sets);
+        selection_ =
+            analysis::select_tree_interfaces(*opts.rt_sets, opts.selection);
         build.selection = &selection_;
     }
 

@@ -47,6 +47,10 @@ struct testbench_options {
     /// BlueScale, drives the whole-tree interface selection; other kinds
     /// ignore it.
     const std::vector<analysis::task_set>* rt_sets = nullptr;
+    /// Selection/admission knobs for the whole-tree interface selection.
+    /// Set `selection.sched.maintenance` (mem::to_maintenance_model) to
+    /// provision (Pi, Theta) that stay feasible under DRAM maintenance.
+    analysis::selection_config selection = {};
     /// Fault campaign injected into the interconnect and the memory
     /// controller before the trial starts (nullptr = healthy run). The
     /// campaign object must outlive the testbench.

@@ -5,7 +5,8 @@
 namespace bluescale {
 
 dram_model::dram_model(dram_timing timing)
-    : timing_(timing), open_row_(timing.n_banks, -1) {
+    : timing_(timing), open_row_(timing.n_banks, -1),
+      refresh_penalty_(timing.n_banks, 0) {
     assert(timing_.n_banks > 0);
     assert(timing_.row_bytes > 0);
 }
@@ -23,7 +24,12 @@ row_outcome dram_model::classify(const mem_request& r) const {
     const auto bank = bank_of(r.addr);
     const auto row = static_cast<std::int64_t>(row_of(r.addr));
     if (open_row_[bank] == row) return row_outcome::hit;
-    if (open_row_[bank] < 0) return row_outcome::closed;
+    if (open_row_[bank] < 0) {
+        // A maintenance close charges the precharge it issued to the
+        // first access that finds the bank emptied: conflict, not closed.
+        return refresh_penalty_[bank] != 0 ? row_outcome::conflict
+                                           : row_outcome::closed;
+    }
     return row_outcome::conflict;
 }
 
@@ -54,16 +60,24 @@ std::uint32_t dram_model::access(const mem_request& r) {
     } else {
         ++misses_;
     }
-    open_row_[bank_of(r.addr)] = static_cast<std::int64_t>(row_of(r.addr));
+    const auto bank = bank_of(r.addr);
+    open_row_[bank] = static_cast<std::int64_t>(row_of(r.addr));
+    refresh_penalty_[bank] = 0;
     return latency_for(outcome, r.op);
 }
 
+void dram_model::close_row(std::uint32_t bank) {
+    open_row_[bank] = -1;
+    refresh_penalty_[bank] = 1;
+}
+
 void dram_model::close_all_rows() {
-    for (auto& row : open_row_) row = -1;
+    for (std::uint32_t b = 0; b < timing_.n_banks; ++b) close_row(b);
 }
 
 void dram_model::reset() {
-    close_all_rows();
+    for (auto& row : open_row_) row = -1;
+    for (auto& p : refresh_penalty_) p = 0;
     hits_ = 0;
     misses_ = 0;
 }

@@ -63,10 +63,21 @@ public:
     /// service latency in cycles.
     std::uint32_t access(const mem_request& r);
 
-    /// Closes all rows (refresh effect) without clearing counters.
+    /// Closes one bank's row as a maintenance effect (refresh, scrub,
+    /// RowHammer mitigation). Unlike a demand-driven close, the first
+    /// access to the bank afterwards pays the full conflict path: the
+    /// maintenance op itself issued the precharge/activate that evicted
+    /// the row, so the precharge is charged to the evicted access, not
+    /// amortized away as a "closed" activate.
+    void close_row(std::uint32_t bank);
+
+    /// Closes all rows (refresh effect) without clearing counters. Each
+    /// bank carries the close_row() first-access conflict penalty.
     void close_all_rows();
 
-    /// Closes all rows and clears counters (between trials).
+    /// Closes all rows and clears counters (between trials). Unlike
+    /// close_all_rows(), carries no refresh penalty: the first access of
+    /// a fresh trial sees an idle bank.
     void reset();
 
     [[nodiscard]] const dram_timing& timing() const { return timing_; }
@@ -81,6 +92,9 @@ private:
 
     dram_timing timing_;
     std::vector<std::int64_t> open_row_; ///< -1 == closed
+    /// Bank was closed by maintenance and not yet re-accessed: the next
+    /// access pays conflict-path latency (see close_row()).
+    std::vector<std::uint8_t> refresh_penalty_;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
 };

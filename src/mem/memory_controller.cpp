@@ -6,10 +6,9 @@ namespace bluescale {
 
 memory_controller::memory_controller(memctrl_config cfg)
     : component("memory_controller", /*latches=*/true), cfg_(cfg),
-      dram_(cfg.timing),
+      dram_(cfg.timing), maint_(dram_, cfg.maintenance),
       in_q_(cfg.request_queue_depth), out_q_(cfg.response_queue_depth),
       bank_busy_until_(cfg.timing.n_banks, 0),
-      next_refresh_(cfg.timing.t_refi),
       own_(std::make_unique<obs::registry>()) {
     bind_observability(*own_, obs::tracer{});
     // The interconnect root pushes requests during its own tick; the wake
@@ -24,11 +23,13 @@ void memory_controller::bind_observability(obs::registry& reg,
     ecc_retries_ = reg.make_counter("mem/ecc_retries");
     uncorrected_errors_ = reg.make_counter("mem/uncorrected_errors");
     storm_cycles_ = reg.make_counter("mem/storm_cycles");
+    maint_.bind_observability(reg);
     trace_ = tracer;
 }
 
 bool memory_controller::bank_free(const mem_request& r, cycle_t now) const {
-    return bank_busy_until_[dram_.bank_of(r.addr)] <= now;
+    const std::uint32_t bank = dram_.bank_of(r.addr);
+    return bank_busy_until_[bank] <= now && !maint_.bank_blocked(bank, now);
 }
 
 int memory_controller::choose(cycle_t now) const {
@@ -59,6 +60,10 @@ int memory_controller::choose(cycle_t now) const {
 }
 
 void memory_controller::tick(cycle_t now) {
+    // Maintenance first: windows slept over are applied in closed form, so
+    // every scheduling decision below sees the post-maintenance row state.
+    maint_.advance(now);
+
     // Injected backpressure storm: refuse new work for the window.
     storm_active_ = storm_faults_.active(now);
     if (storm_active_) storm_cycles_.inc();
@@ -77,8 +82,10 @@ void memory_controller::tick(cycle_t now) {
             ecc_retries_.inc();
             const std::uint32_t latency =
                 std::max<std::uint32_t>(1, dram_.access(retry));
-            bank_busy_until_[dram_.bank_of(retry.addr)] = std::max(
-                bank_busy_until_[dram_.bank_of(retry.addr)], now + latency);
+            const std::uint32_t bank = dram_.bank_of(retry.addr);
+            bank_busy_until_[bank] =
+                std::max(bank_busy_until_[bank], now + latency);
+            maint_.on_activation(bank, now + latency);
             in_flight_.push(
                 {now + latency, completion_seq_++, std::move(retry), true});
             continue;
@@ -94,20 +101,6 @@ void memory_controller::tick(cycle_t now) {
                     r.failed ? 1 : 0);
         out_q_.push(std::move(r));
         serviced_.inc();
-    }
-
-    // Refresh windows: all rows close and no transaction starts until the
-    // refresh completes (a fixed-cadence disturbance every t_refi
-    // cycles). Boundaries slept over by the event engine are applied now:
-    // repeated row-closes collapse to one and the start gate takes the
-    // latest boundary's extension, identical to ticking through them.
-    if (cfg_.timing.t_refi != 0) {
-        while (next_refresh_ <= now) {
-            dram_.close_all_rows();
-            next_start_ = std::max<cycle_t>(
-                next_start_, next_refresh_ + cfg_.timing.t_rfc);
-            next_refresh_ += cfg_.timing.t_refi;
-        }
     }
 
     // Start a new transaction at most once per initiation interval.
@@ -133,7 +126,9 @@ void memory_controller::tick(cycle_t now) {
             waiting.blocked_cycles += cfg_.initiation_interval;
         }
     }
-    bank_busy_until_[dram_.bank_of(r.addr)] = now + latency;
+    const std::uint32_t bank = dram_.bank_of(r.addr);
+    bank_busy_until_[bank] = now + latency;
+    maint_.on_activation(bank, now + latency);
     in_flight_.push({now + latency, completion_seq_++, std::move(r)});
     next_start_ = now + cfg_.initiation_interval;
 }
@@ -155,11 +150,15 @@ cycle_t memory_controller::next_event(cycle_t now) const {
     if (!in_q_.quiet()) {
         // Queued work can only start at the initiation-interval gate;
         // cycles before next_start_ would hit the `now < next_start_`
-        // early-out. A refresh boundary slept over is applied as the
-        // idempotent catch-up at the wakeup tick, and choose() stalls
-        // (next_start_ <= now, pick < 0) degrade to the per-cycle clamp.
+        // early-out. choose() stalls (next_start_ <= now, pick < 0)
+        // degrade to the per-cycle clamp.
         due = std::min(due, std::max(now + 1, next_start_));
     }
+    // Maintenance boundaries wake the controller even when idle: the
+    // engine's counters and row-state must advance at every window start
+    // for snapshots to match lockstep byte-for-byte. Per-cycle inside an
+    // injected maintenance storm (per-cycle stolen accounting).
+    due = std::min(due, maint_.next_boundary(now));
     return due;
 }
 
@@ -168,6 +167,8 @@ void memory_controller::inject_campaign(const sim::fault_campaign& campaign) {
         sim::fault_window(campaign.slice_all(sim::fault_kind::dram_error));
     storm_faults_ = sim::fault_window(
         campaign.slice_all(sim::fault_kind::backpressure_storm));
+    maint_.inject_storms(
+        campaign.slice_all(sim::fault_kind::maintenance_storm));
     wake(); // the fresh schedules invalidate any cached horizon
 }
 
@@ -180,7 +181,7 @@ void memory_controller::reset() {
     storm_faults_.reset();
     storm_active_ = false;
     next_start_ = 0;
-    next_refresh_ = cfg_.timing.t_refi;
+    maint_.reset();
     head_bypasses_ = 0;
     wake();
     serviced_.reset();

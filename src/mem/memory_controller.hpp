@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "mem/dram_model.hpp"
+#include "mem/maintenance_engine.hpp"
 #include "mem/request.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
@@ -39,6 +40,8 @@ struct memctrl_config {
     /// this many younger requests, it must be served next.
     std::uint32_t fr_fcfs_bypass_cap = 16;
     dram_timing timing = {};
+    /// Scrub / RowHammer maintenance (refresh cadence lives in `timing`).
+    maintenance_config maintenance = {};
 };
 
 class memory_controller : public component {
@@ -67,9 +70,11 @@ public:
     void commit() override;
 
     /// Event-engine horizon: per-cycle while requests are queued/staged
-    /// or a storm is open; otherwise the earliest in-flight completion or
-    /// the next storm window. Refresh cadence is caught up in closed form
-    /// at the next tick (see next_refresh_), so it never forces a wake.
+    /// or a storm is open; otherwise the earliest of the in-flight
+    /// completions, the next fault-storm window and the next maintenance
+    /// boundary. Maintenance boundaries force wakes even when idle so the
+    /// engine's closed-form catch-up keeps the maintenance counters
+    /// bit-identical to lockstep at any snapshot instant.
     [[nodiscard]] cycle_t next_event(cycle_t now) const override;
 
     /// Re-homes the service counters into `reg` under "mem/..." and
@@ -81,11 +86,15 @@ public:
 
     /// Consumes the campaign kinds owned by the memory side: dram_error
     /// windows corrupt completing transactions (one transparent ECC-style
-    /// retry, then a failed response) and backpressure_storm windows make
-    /// can_accept() refuse new work.
+    /// retry, then a failed response), backpressure_storm windows make
+    /// can_accept() refuse new work, and maintenance_storm windows block
+    /// every DRAM bank (excess scrubbing/mitigation).
     void inject_campaign(const sim::fault_campaign& campaign);
 
     [[nodiscard]] const dram_model& dram() const { return dram_; }
+    [[nodiscard]] const maintenance_engine& maintenance() const {
+        return maint_;
+    }
     [[nodiscard]] const memctrl_config& config() const { return cfg_; }
     [[nodiscard]] std::uint64_t serviced() const { return serviced_.value(); }
     /// Transactions transparently re-serviced after a transient error.
@@ -128,6 +137,7 @@ private:
 
     memctrl_config cfg_;
     dram_model dram_;
+    maintenance_engine maint_;
     latched_queue<mem_request> in_q_;
     latched_queue<mem_request> out_q_;
     std::priority_queue<completion, std::vector<completion>, later_done>
@@ -137,11 +147,6 @@ private:
     sim::fault_window storm_faults_;
     bool storm_active_ = false;
     cycle_t next_start_ = 0;
-    /// The next refresh boundary not yet applied. tick() applies every
-    /// boundary in (previous, now] -- closing rows is idempotent and the
-    /// start-gate extension only depends on the last one -- so sleeping
-    /// over refreshes is exact.
-    cycle_t next_refresh_ = 0;
     /// Fallback registry for unbound instances (bind_observability
     /// re-homes the handles).
     std::unique_ptr<obs::registry> own_;

@@ -17,6 +17,11 @@ dram_timing make_dram_timing(dram_preset preset) {
     dram_timing t; // defaults are the DDR3-1600-class model
     switch (preset) {
     case dram_preset::ddr3_1600:
+        // Honest refresh cadence: tREFI 7.8us / tRFC ~260ns at the
+        // interconnect clock's scale. The struct default stays 0 (opt-in)
+        // but the named preset models the real part, refresh included.
+        t.t_refi = 1950;
+        t.t_rfc = 65;
         break;
     case dram_preset::lpddr4:
         t.t_cas = 8;

@@ -27,6 +27,7 @@ const char* fault_kind_name(fault_kind k) {
     case fault_kind::link_drop: return "link_drop";
     case fault_kind::dram_error: return "dram_error";
     case fault_kind::backpressure_storm: return "backpressure_storm";
+    case fault_kind::maintenance_storm: return "maintenance_storm";
     }
     return "?";
 }
@@ -34,7 +35,7 @@ const char* fault_kind_name(fault_kind k) {
 fault_campaign::fault_campaign(const fault_campaign_config& cfg) {
     const std::array<double, k_fault_kinds> weights = {
         cfg.se_stall_weight, cfg.link_drop_weight, cfg.dram_error_weight,
-        cfg.backpressure_weight};
+        cfg.backpressure_weight, cfg.maintenance_storm_weight};
     double total_weight = 0.0;
     for (double w : weights) total_weight += w;
 

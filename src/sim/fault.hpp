@@ -41,9 +41,15 @@ enum class fault_kind : std::uint8_t {
     /// thermal-throttle or calibration storm); the interconnect sees
     /// backpressure at its root.
     backpressure_storm,
+    /// Excess DRAM maintenance (runaway scrubbing / RowHammer mitigation
+    /// burst): every bank is blocked and rows close for the window, but
+    /// the controller keeps accepting work. Interference the analysis-side
+    /// maintenance model does NOT budget for -- the supply watchdog must
+    /// catch it. Consumed by mem::maintenance_engine. Target 0.
+    maintenance_storm,
 };
 
-inline constexpr std::size_t k_fault_kinds = 4;
+inline constexpr std::size_t k_fault_kinds = 5;
 
 [[nodiscard]] const char* fault_kind_name(fault_kind k);
 
@@ -71,6 +77,10 @@ struct fault_campaign_config {
     double link_drop_weight = 1.0;
     double dram_error_weight = 1.0;
     double backpressure_weight = 0.5;
+    /// Default 0: adding this kind leaves every previously seeded
+    /// campaign bit-identical (the inverse-CDF pick never reaches a
+    /// zero-weight tail entry).
+    double maintenance_storm_weight = 0.0;
     /// Fault-targetable element count: se_stall and link_drop events pick
     /// a target uniformly in [0, n_elements).
     std::uint32_t n_elements = 1;

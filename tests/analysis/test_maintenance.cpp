@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "analysis/interface_selection.hpp"
+#include "analysis/maintenance.hpp"
+#include "analysis/schedulability.hpp"
+
+namespace bluescale::analysis {
+namespace {
+
+maintenance_model one_op(std::uint64_t period, std::uint64_t cost) {
+    maintenance_model m;
+    m.ops.push_back({period, cost});
+    return m;
+}
+
+TEST(maintenance_model, empty_when_no_effective_op) {
+    maintenance_model m;
+    EXPECT_TRUE(m.empty());
+    m.ops.push_back({0, 100}); // zero period disables
+    m.ops.push_back({100, 0}); // zero cost disables
+    EXPECT_TRUE(m.empty());
+    m.ops.push_back({100, 5});
+    EXPECT_FALSE(m.empty());
+}
+
+TEST(maintenance_model, stolen_counts_critical_instant_instance) {
+    const maintenance_model m = one_op(100, 10);
+    EXPECT_EQ(m.stolen(0), 0u);
+    // Even a sliver of a window can overlap one full instance.
+    EXPECT_EQ(m.stolen(1), 10u);
+    EXPECT_EQ(m.stolen(99), 10u);
+    EXPECT_EQ(m.stolen(100), 20u);
+    EXPECT_EQ(m.stolen(250), 30u);
+}
+
+TEST(maintenance_model, stolen_is_monotone_and_additive_over_ops) {
+    maintenance_model m;
+    m.ops.push_back({100, 10});
+    m.ops.push_back({30, 3});
+    std::uint64_t prev = 0;
+    for (std::uint64_t t = 0; t <= 500; ++t) {
+        const std::uint64_t s = m.stolen(t);
+        EXPECT_GE(s, prev) << "t=" << t;
+        prev = s;
+    }
+    EXPECT_EQ(m.stolen(300), (3 + 1) * 10u + (10 + 1) * 3u);
+}
+
+TEST(maintenance_model, utilization_and_burst) {
+    maintenance_model m;
+    m.ops.push_back({100, 10});
+    m.ops.push_back({50, 5});
+    EXPECT_DOUBLE_EQ(m.utilization(), 0.2);
+    EXPECT_EQ(m.burst(), 15u);
+}
+
+TEST(maintenance_sbf, reduces_to_sbf_for_empty_model) {
+    const resource_interface r{10, 4};
+    const maintenance_model empty;
+    for (std::uint64_t t = 0; t <= 200; ++t) {
+        EXPECT_EQ(maintenance_sbf(t, r, empty), sbf(t, r)) << "t=" << t;
+    }
+}
+
+TEST(maintenance_sbf, shifts_window_by_stolen_time) {
+    const resource_interface r{10, 4};
+    const maintenance_model m = one_op(50, 8);
+    // Early windows: theft covers the whole window -> no supply, not wrap.
+    EXPECT_EQ(maintenance_sbf(8, r, m), 0u);
+    for (std::uint64_t t = 0; t <= 500; ++t) {
+        const std::uint64_t theft = m.stolen(t);
+        EXPECT_EQ(maintenance_sbf(t, r, m),
+                  sbf(t > theft ? t - theft : 0, r))
+            << "t=" << t;
+    }
+    // The port loses only its share of the stolen time, not all of it:
+    // strictly better than the naive full-service subtraction once the
+    // supply is flowing.
+    EXPECT_GT(maintenance_sbf(200, r, m),
+              sbf(200, r) - std::min(sbf(200, r), m.stolen(200)));
+}
+
+TEST(maintenance_beta, reduces_to_theorem1_for_empty_model) {
+    const resource_interface r{20, 9};
+    EXPECT_DOUBLE_EQ(maintenance_beta(r, 0.3, {}), theorem1_beta(r, 0.3));
+}
+
+TEST(maintenance_beta, undefined_when_maintenance_eats_the_margin) {
+    const resource_interface r{10, 5}; // bw = 0.5
+    // U = 0.4 leaves 0.1 of margin; mu = 0.2 eats it.
+    EXPECT_GT(maintenance_beta(r, 0.4, {}), 0.0);
+    EXPECT_EQ(maintenance_beta(r, 0.4, one_op(20, 4)), 0.0);
+}
+
+TEST(maintenance_beta, grows_with_interference) {
+    const resource_interface r{10, 5};
+    const double base = theorem1_beta(r, 0.2);
+    const double corrected = maintenance_beta(r, 0.2, one_op(100, 5));
+    EXPECT_GT(corrected, base);
+}
+
+TEST(maintenance_sched, empty_model_is_bit_identical_to_uncorrected) {
+    const task_set tasks = {{100, 20}, {250, 30}, {400, 50}};
+    sched_test_config plain;
+    sched_test_config corrected;
+    corrected.maintenance = {}; // explicit empty
+    for (std::uint64_t period = 2; period <= 40; ++period) {
+        for (std::uint64_t budget = 1; budget <= period; ++budget) {
+            const resource_interface r{period, budget};
+            EXPECT_EQ(is_schedulable(tasks, r, plain),
+                      is_schedulable(tasks, r, corrected))
+                << period << "/" << budget;
+        }
+    }
+}
+
+TEST(maintenance_sched, heavy_maintenance_flips_schedulable_to_not) {
+    const task_set tasks = {{100, 40}}; // U = 0.4
+    const resource_interface r{10, 5};  // bw = 0.5
+    sched_test_config cfg;
+    EXPECT_EQ(is_schedulable(tasks, r, cfg), sched_result::schedulable);
+    cfg.maintenance = one_op(20, 4); // mu = 0.2 > the 0.1 margin
+    EXPECT_EQ(is_schedulable(tasks, r, cfg), sched_result::unschedulable);
+}
+
+TEST(maintenance_sched, corrected_admission_needs_more_budget) {
+    // The fix the watchdog relies on: under maintenance the minimum
+    // feasible budget rises, so maintenance-aware admission provisions
+    // strictly more supply for the same task set.
+    const task_set tasks = {{200, 30}, {400, 40}}; // U = 0.25
+    const std::uint64_t period = 20;
+    sched_test_config plain;
+    sched_test_config corrected;
+    corrected.maintenance = one_op(80, 16); // mu = 0.2
+    const auto base = min_budget_for_period(tasks, period, plain);
+    const auto extra = min_budget_for_period(tasks, period, corrected);
+    ASSERT_TRUE(base.has_value());
+    ASSERT_TRUE(extra.has_value());
+    EXPECT_GT(*extra, *base);
+    // And the corrected pick is genuinely feasible under maintenance.
+    EXPECT_EQ(is_schedulable(tasks, {period, *extra}, corrected),
+              sched_result::schedulable);
+    // ...while the uncorrected pick is not.
+    EXPECT_EQ(is_schedulable(tasks, {period, *base}, corrected),
+              sched_result::unschedulable);
+}
+
+} // namespace
+} // namespace bluescale::analysis

@@ -139,5 +139,43 @@ TEST(dram_model, independent_bank_state) {
     EXPECT_EQ(d.classify(read_at(64)), row_outcome::hit);
 }
 
+TEST(dram_model, refresh_close_charges_conflict_on_next_access) {
+    // hit -> refresh -> miss: the refresh issued the precharge that
+    // evicted the row, so the first post-refresh access pays the full
+    // conflict path, not the cheaper idle-bank activate.
+    dram_timing t;
+    dram_model d(t);
+    d.access(read_at(0));
+    EXPECT_EQ(d.classify(read_at(0)), row_outcome::hit);
+    d.close_row(d.bank_of(0));
+    EXPECT_EQ(d.classify(read_at(0)), row_outcome::conflict);
+    EXPECT_EQ(d.access_latency(read_at(0)),
+              t.t_cas + t.t_burst + t.t_rp + t.t_rcd);
+    d.access(read_at(0));
+    // The penalty is one-shot: the reopened row hits again.
+    EXPECT_EQ(d.classify(read_at(0)), row_outcome::hit);
+}
+
+TEST(dram_model, close_all_rows_penalizes_every_bank) {
+    dram_timing t;
+    dram_model d(t);
+    d.access(read_at(0));  // bank 0
+    d.access(read_at(64)); // bank 1
+    d.close_all_rows();
+    EXPECT_EQ(d.classify(read_at(0)), row_outcome::conflict);
+    EXPECT_EQ(d.classify(read_at(64)), row_outcome::conflict);
+    // Bank 2 was never touched but refresh precharges it all the same.
+    EXPECT_EQ(d.classify(read_at(128)), row_outcome::conflict);
+}
+
+TEST(dram_model, reset_clears_refresh_penalty) {
+    dram_model d;
+    d.access(read_at(0));
+    d.close_all_rows();
+    d.reset();
+    // A fresh trial starts with idle banks, not refresh-penalized ones.
+    EXPECT_EQ(d.classify(read_at(0)), row_outcome::closed);
+}
+
 } // namespace
 } // namespace bluescale

@@ -209,16 +209,19 @@ TEST(memory_controller, reset_clears_everything) {
     EXPECT_TRUE(mc.can_accept());
 }
 
-TEST(memory_controller, refresh_blocks_starts_during_window) {
+TEST(memory_controller, refresh_blocks_starts_during_bank_window) {
     memctrl_config cfg;
     cfg.timing.t_refi = 100;
     cfg.timing.t_rfc = 40;
     memory_controller mc(cfg);
-    // Keep the queue full; count starts per 100-cycle refresh interval.
+    // Pin every request to bank 0 (addr stride = interleave * n_banks):
+    // per-bank staggered refresh gives bank 0 the window
+    // [t_refi/8 + 100k, t_refi/8 + 40 + 100k).
+    const cycle_t phase = cfg.timing.t_refi / cfg.timing.n_banks;
     request_id_t id = 0;
     std::vector<cycle_t> starts;
-    for (cycle_t now = 0; now < 400; ++now) {
-        while (mc.can_accept()) mc.push(make_req(id, id * 64)), ++id;
+    for (cycle_t now = 0; now < 800; ++now) {
+        while (mc.can_accept()) mc.push(make_req(id, id * 512)), ++id;
         mc.tick(now);
         while (mc.has_response()) {
             starts.push_back(mc.pop_response().mem_start);
@@ -226,42 +229,36 @@ TEST(memory_controller, refresh_blocks_starts_during_window) {
         mc.commit();
     }
     ASSERT_FALSE(starts.empty());
-    // After the first refresh, no transaction starts inside a refresh
-    // window: every start's phase within the 100-cycle interval is past
-    // the 40-cycle t_rfc.
     bool saw_post_refresh_start = false;
     for (cycle_t s : starts) {
-        if (s < 100) continue;
+        if (s < phase) continue;
         saw_post_refresh_start = true;
-        EXPECT_GE(s % 100, 40u) << "start at " << s
-                                << " inside refresh window";
+        EXPECT_GE((s - phase) % 100, 40u)
+            << "start at " << s << " inside bank 0's refresh window";
     }
     EXPECT_TRUE(saw_post_refresh_start);
 }
 
-TEST(memory_controller, refresh_closes_open_rows) {
+TEST(memory_controller, refresh_staggers_banks_and_closes_rows) {
     memctrl_config cfg;
     cfg.timing.t_refi = 50;
     cfg.timing.t_rfc = 10;
     memory_controller mc(cfg);
+    // Open rows in bank 0 and bank 7, then idle across bank 0's staggered
+    // window (t_refi/8 = 6) but not bank 7's (at t_refi = 50).
     mc.push(make_req(0, 0));
-    drain(mc, 40);
-    EXPECT_EQ(mc.dram().classify(make_req(99, 0)), row_outcome::hit);
-    // Cross the refresh boundary with an idle controller.
-    drain(mc, 30, 40);
-    EXPECT_EQ(mc.dram().classify(make_req(99, 0)), row_outcome::closed);
+    mc.push(make_req(1, 7 * 64));
+    drain(mc, 45);
+    // Bank 0 was refreshed: row evicted, and the first re-access pays the
+    // conflict path (the refresh issued the precharge). Bank 7 still hits.
+    EXPECT_EQ(mc.dram().classify(make_req(99, 0)), row_outcome::conflict);
+    EXPECT_EQ(mc.dram().classify(make_req(99, 7 * 64)), row_outcome::hit);
+    EXPECT_GT(mc.maintenance().refreshes(), 0u);
 }
 
-TEST(memory_controller, refresh_disabled_by_default) {
-    memctrl_config cfg;
-    EXPECT_EQ(cfg.timing.t_refi, 0u);
-    memory_controller mc(cfg);
-    mc.push(make_req(0, 0));
-    drain(mc, 200);
-    EXPECT_EQ(mc.dram().classify(make_req(99, 0)), row_outcome::hit);
-}
-
-TEST(memory_controller, throughput_degrades_by_refresh_duty_cycle) {
+TEST(memory_controller, staggered_refresh_preserves_multibank_throughput) {
+    // The DSARP payoff: with one bank refreshing at a time, traffic
+    // spread across banks barely notices a 20% per-bank refresh duty.
     auto saturated_throughput = [](std::uint32_t t_refi,
                                    std::uint32_t t_rfc) {
         memctrl_config cfg;
@@ -278,11 +275,44 @@ TEST(memory_controller, throughput_degrades_by_refresh_duty_cycle) {
         return mc.serviced();
     };
     const auto base = saturated_throughput(0, 0);
+    const auto refreshed = saturated_throughput(200, 40);
+    EXPECT_GE(static_cast<double>(refreshed),
+              static_cast<double>(base) * 0.9);
+}
+
+TEST(memory_controller, refresh_disabled_by_default) {
+    memctrl_config cfg;
+    EXPECT_EQ(cfg.timing.t_refi, 0u);
+    memory_controller mc(cfg);
+    mc.push(make_req(0, 0));
+    drain(mc, 200);
+    EXPECT_EQ(mc.dram().classify(make_req(99, 0)), row_outcome::hit);
+}
+
+TEST(memory_controller, single_bank_throughput_degrades_by_refresh_duty) {
+    // Pinned to one bank, the per-bank refresh duty (plus the post-window
+    // conflict reopen) comes straight out of throughput.
+    auto saturated_throughput = [](std::uint32_t t_refi,
+                                   std::uint32_t t_rfc) {
+        memctrl_config cfg;
+        cfg.timing.t_refi = t_refi;
+        cfg.timing.t_rfc = t_rfc;
+        memory_controller mc(cfg);
+        request_id_t id = 0;
+        for (cycle_t now = 0; now < 8000; ++now) {
+            while (mc.can_accept()) mc.push(make_req(id, id * 512)), ++id;
+            mc.tick(now);
+            while (mc.has_response()) mc.pop_response();
+            mc.commit();
+        }
+        return mc.serviced();
+    };
+    const auto base = saturated_throughput(0, 0);
     const auto refreshed = saturated_throughput(200, 40); // 20% duty
-    EXPECT_LT(refreshed, base);
-    EXPECT_NEAR(static_cast<double>(refreshed),
-                static_cast<double>(base) * 0.8,
-                static_cast<double>(base) * 0.06);
+    EXPECT_LT(static_cast<double>(refreshed),
+              static_cast<double>(base) * 0.87);
+    EXPECT_GT(static_cast<double>(refreshed),
+              static_cast<double>(base) * 0.65);
 }
 
 TEST(memory_controller, bank_parallelism_overlaps_service) {

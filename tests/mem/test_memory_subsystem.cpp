@@ -43,10 +43,19 @@ TEST(memory_subsystem, ddr3_matches_default_timing) {
     EXPECT_EQ(t.n_banks, d.n_banks);
 }
 
-TEST(memory_subsystem, lpddr_has_refresh_enabled) {
-    const auto t = make_dram_timing(dram_preset::lpddr4);
-    EXPECT_GT(t.t_refi, 0u);
-    EXPECT_GT(t.t_rfc, 0u);
+TEST(memory_subsystem, every_dram_preset_has_refresh_enabled) {
+    // The struct default keeps refresh opt-in, but the *named* DRAM
+    // presets must model the real part: nonzero refresh cadence. Only
+    // SRAM legitimately skips refresh.
+    for (const auto preset : {dram_preset::ddr3_1600, dram_preset::lpddr4}) {
+        const auto t = make_dram_timing(preset);
+        EXPECT_GT(t.t_refi, 0u) << preset_name(preset);
+        EXPECT_GT(t.t_rfc, 0u) << preset_name(preset);
+        // The stall must be a small fraction of the cadence, or the
+        // preset would spend more time refreshing than serving.
+        EXPECT_LT(t.t_rfc, t.t_refi / 4) << preset_name(preset);
+    }
+    EXPECT_EQ(make_dram_timing(dram_preset::fast_sram).t_refi, 0u);
 }
 
 TEST(memory_subsystem, sram_is_uniform_and_fast) {
