@@ -20,7 +20,10 @@ cmake -B "$build_dir" -S . -DBLUESCALE_WERROR=ON \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$build_dir" -j"$(nproc)"
 
-"$build_dir/tools/detlint/detlint" src bench examples
+# Absolute paths, matching the detlint_tree ctest gate: the path-scoped
+# rule exemptions (e.g. cycle-step staying out of "/bench/") key on
+# directory components, which a bare relative "bench" prefix lacks.
+"$build_dir/tools/detlint/detlint" "$PWD/src" "$PWD/bench" "$PWD/examples"
 
 "$build_dir/tests/bluescale_lint_tests" --gtest_brief=1
 

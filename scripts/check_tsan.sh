@@ -13,7 +13,7 @@ build_dir="${1:-build-tsan}"
 cmake -B "$build_dir" -S . -DBLUESCALE_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$build_dir" --target bluescale_tests \
-    bluescale_resilience_tests -j"$(nproc)"
+    bluescale_resilience_tests bluescale_svc_tests -j"$(nproc)"
 
 "$build_dir/tests/bluescale_tests" \
     --gtest_filter='trial_runner.*:rng_substream.*:testbench.*:fig6.parallel*:fig7.parallel*:export_determinism.*:engine_equivalence.*:maintenance_determinism.*'
@@ -23,5 +23,12 @@ cmake --build "$build_dir" --target bluescale_tests \
 # must all stay trial-local.
 "$build_dir/tests/bluescale_resilience_tests" \
     --gtest_filter='resilience.*:maintenance_experiment.*'
+
+# The analysis-service storm runs its trial sweep on a thread pool and
+# asserts byte-identical results across thread counts; the service suite
+# exercises the shared obs/trace plumbing under worker faults. Both must
+# be race-free for that determinism claim to mean anything.
+"$build_dir/tests/bluescale_svc_tests" \
+    --gtest_filter='svc_storm.*:analysis_service.conservation*'
 
 echo "TSan check passed."

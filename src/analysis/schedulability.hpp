@@ -40,6 +40,14 @@ struct sched_test_config {
     /// Theorem 1 bound; an empty model (the default) reproduces the
     /// uncorrected test bit-for-bit.
     maintenance_model maintenance = {};
+    /// Degraded-precision mode (the analysis service's circuit breaker):
+    /// is_schedulable() answers with the linear-time sufficient-test
+    /// portfolio only and never enumerates dbf points. Sound -- a
+    /// `schedulable` verdict is still a proof -- but incomplete: task sets
+    /// the portfolio cannot decide come back `aborted` (conservatively
+    /// treated as unschedulable by every caller). Default false reproduces
+    /// the pseudo-polynomial exact test bit-for-bit.
+    bool sufficient_only = false;
 };
 
 /// Theorem 1 test bound:
@@ -51,8 +59,32 @@ struct sched_test_config {
 /// Checks dbf(t, tasks) <= sbf(t, iface) for all t < beta (sufficient by
 /// Theorem 1 for all t). Requires iface.bandwidth() > utilization(tasks)
 /// as a necessary precondition; returns unschedulable when violated.
+/// With cfg.sufficient_only set, delegates to is_schedulable_sufficient.
 [[nodiscard]] sched_result is_schedulable(const task_set& tasks,
                                           const resource_interface& iface,
                                           const sched_test_config& cfg = {});
+
+/// Linear-time sufficient-test portfolio (the cheap half of the
+/// cheap-first test ladder; also the circuit breaker's degraded mode):
+///
+///  1. necessary filters shared with the exact test: effective bandwidth
+///     above utilization, and the first-job blackout check -- a failure
+///     here is a proof of unschedulability;
+///  2. horizon collapse: when every task period exceeds the Theorem 1
+///     bound beta, no dbf step point exists inside the test horizon and
+///     the set is schedulable outright;
+///  3. linear demand vs. linear supply: dbf(t) <= (sum of utilizations of
+///     tasks with T_i <= t) * t, checked against the linear supply lower
+///     bound bw*((1 - mu)*t - burst - 2*(Pi - Theta)) at each distinct
+///     period (the only points where the demand bound's slope jumps; in
+///     between, supply grows strictly faster than demand).
+///
+/// Sound in both directions but incomplete: returns `aborted` when no
+/// test decides (callers treat that as unschedulable, conservatively).
+/// Work is O(n log n) in the task count with no dependence on beta.
+[[nodiscard]] sched_result
+is_schedulable_sufficient(const task_set& tasks,
+                          const resource_interface& iface,
+                          const sched_test_config& cfg = {});
 
 } // namespace bluescale::analysis

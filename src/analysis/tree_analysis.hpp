@@ -65,4 +65,35 @@ std::uint32_t update_client_tasks(tree_selection& selection,
                                   task_set new_tasks,
                                   const selection_config& cfg = {});
 
+/// Result of a const, re-entrant incremental reselection.
+struct client_update {
+    tree_selection selection;
+    std::vector<task_set> client_tasks;
+    std::uint32_t ses_changed = 0;
+};
+
+/// Const, re-entrant form of update_client_tasks: the committed state is
+/// read through const references and never mutated; the updated selection
+/// and client set come back by value. Safe for concurrent evaluators
+/// (e.g. the analysis service's worker pool) sharing one committed state.
+[[nodiscard]] client_update
+evaluate_client_update(const tree_selection& selection,
+                       const std::vector<task_set>& client_tasks,
+                       std::uint32_t client, task_set new_tasks,
+                       const selection_config& cfg = {});
+
+/// FNV-1a signature of everything an incremental reselection for `client`
+/// reads from the committed state: the tree shape, the client id, the
+/// total client utilization (every selector's level-utilization context),
+/// each level's total server bandwidth, and the (Pi, Theta) interfaces of
+/// every port of every SE on the client's request path (sibling ports
+/// included -- they feed the parent's server task set). Two committed
+/// states with equal signatures resolve the same request to the same
+/// selection, so the signature is a sound result-cache key; any committed
+/// reconfiguration perturbs it.
+[[nodiscard]] std::uint64_t
+subtree_signature(const tree_selection& selection,
+                  const std::vector<task_set>& client_tasks,
+                  std::uint32_t client);
+
 } // namespace bluescale::analysis

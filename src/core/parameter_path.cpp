@@ -136,11 +136,16 @@ model_full_reconfiguration(const std::vector<analysis::task_set>& clients,
 }
 
 reconfig_report
-model_client_update(analysis::tree_selection selection,
-                    std::vector<analysis::task_set> clients,
+model_client_update(const analysis::tree_selection& committed,
+                    const std::vector<analysis::task_set>& committed_clients,
                     std::uint32_t client, analysis::task_set new_tasks,
                     const analysis::selection_config& cfg,
                     const reconfig_costs& costs) {
+    // The update is modeled on copies; the committed inputs stay
+    // untouched (re-entrancy for concurrent evaluators, and the rejection
+    // path's zero-perturbation property for the reconfig manager).
+    analysis::tree_selection selection = committed;
+    std::vector<analysis::task_set> clients = committed_clients;
     reconfig_report report;
     const auto& shape = selection.shape;
     assert(client < shape.padded_clients);

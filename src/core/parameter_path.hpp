@@ -51,9 +51,12 @@ model_full_reconfiguration(const std::vector<analysis::task_set>& clients,
 
 /// Models the paper's incremental case: one client's tasks change, only
 /// the SEs on its request path recompute (serially, leaf to root).
+/// Const-correct and re-entrant: the committed state is only read (the
+/// update is modeled on an internal copy), so concurrent evaluators --
+/// the analysis service's worker pool -- may share one committed state.
 [[nodiscard]] reconfig_report
-model_client_update(analysis::tree_selection selection,
-                    std::vector<analysis::task_set> clients,
+model_client_update(const analysis::tree_selection& selection,
+                    const std::vector<analysis::task_set>& clients,
                     std::uint32_t client, analysis::task_set new_tasks,
                     const analysis::selection_config& cfg = {},
                     const reconfig_costs& costs = {});

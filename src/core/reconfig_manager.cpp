@@ -15,6 +15,10 @@ const char* admission_outcome_name(admission_outcome o) {
         return "rejected_overutilized";
     case admission_outcome::rejected_path_hazard:
         return "rejected_path_hazard";
+    case admission_outcome::rejected_queue_full:
+        return "rejected_queue_full";
+    case admission_outcome::rejected_deadline_expired:
+        return "rejected_deadline_expired";
     case admission_outcome::staged: return "staged";
     case admission_outcome::committed: return "committed";
     case admission_outcome::rolled_back: return "rolled_back";
@@ -40,22 +44,94 @@ void reconfig_manager::bind_observability(obs::registry& reg,
     rejected_ = reg.make_counter("reconfig/rejected");
     committed_count_ = reg.make_counter("reconfig/committed");
     rolled_back_ = reg.make_counter("reconfig/rolled_back");
+    queue_full_ = reg.make_counter("reconfig/rejected_queue_full");
+    deadline_expired_ =
+        reg.make_counter("reconfig/rejected_deadline_expired");
+    stale_reevals_ = reg.make_counter("reconfig/stale_reevals");
     reconfig_latency_ = reg.make_sample("reconfig/latency_cycles");
     trace_ = tracer;
 }
 
 std::uint64_t reconfig_manager::submit(std::uint32_t client,
-                                       analysis::task_set tasks) {
-    assert(client < committed_.shape.padded_clients);
+                                       analysis::task_set tasks,
+                                       cycle_t deadline) {
+    queued_request req;
+    req.client = client;
+    req.tasks = std::move(tasks);
+    req.deadline = deadline;
+    return enqueue(std::move(req));
+}
+
+std::uint64_t reconfig_manager::apply_evaluated(std::uint32_t client,
+                                                analysis::task_set tasks,
+                                                admission_evaluation eval,
+                                                cycle_t deadline) {
+    queued_request req;
+    req.client = client;
+    req.tasks = std::move(tasks);
+    req.deadline = deadline;
+    req.has_eval = true;
+    req.eval_version = eval.version;
+    req.eval_report = std::move(eval.report);
+    return enqueue(std::move(req));
+}
+
+std::uint64_t reconfig_manager::enqueue(queued_request req) {
+    assert(req.client < committed_.shape.padded_clients);
     admission_record rec;
     rec.id = records_.size();
-    rec.client = client;
+    rec.client = req.client;
     rec.submitted_at = now_;
+    rec.deadline = req.deadline;
     records_.push_back(rec);
-    queue_.push_back({rec.id, client, std::move(tasks)});
     submitted_.inc();
+
+    // Bounded-queue backpressure: a full queue sheds the request with a
+    // structured reason. The admission test never runs and the fabric is
+    // never touched, so the run stays bit-identical to one where the
+    // request never arrived (zero perturbation).
+    if (cfg_.max_queue != 0 && queue_.size() >= cfg_.max_queue) {
+        admission_record& r = records_[rec.id];
+        r.outcome = admission_outcome::rejected_queue_full;
+        r.detail = "request queue full (" + std::to_string(queue_.size()) +
+                   "/" + std::to_string(cfg_.max_queue) + ")";
+        r.decided_at = now_;
+        r.resolved_at = now_;
+        rejected_.inc();
+        queue_full_.inc();
+        admission_record copy = r;
+        resolve(copy, req.tasks);
+        return rec.id;
+    }
+
+    req.id = rec.id;
+    queue_.push_back(std::move(req));
     wake(); // a sleeping manager must run the admission test next tick
     return rec.id;
+}
+
+admission_evaluation
+reconfig_manager::evaluate(std::uint32_t client,
+                           const analysis::task_set& tasks,
+                           bool sufficient_only) const {
+    assert(client < committed_.shape.padded_clients);
+    admission_evaluation eval;
+    eval.version = version_;
+    analysis::selection_config sel = cfg_.selection;
+    sel.sched.sufficient_only = sufficient_only;
+    eval.report = model_client_update(committed_, client_tasks_, client,
+                                      tasks, sel, cfg_.costs);
+    eval.feasible = eval.report.feasible;
+    if (!eval.feasible) {
+        eval.reject_reason =
+            eval.report.selection.root_bandwidth > 1.0 + 1e-9
+                ? admission_outcome::rejected_overutilized
+                : admission_outcome::rejected_infeasible;
+        eval.detail = eval.report.selection.failure.empty()
+                          ? "no feasible interface on the request path"
+                          : eval.report.selection.failure;
+    }
+    return eval;
 }
 
 std::vector<std::pair<std::uint32_t, std::uint32_t>>
@@ -97,6 +173,20 @@ void reconfig_manager::start_admission(queued_request req, cycle_t now) {
     admission_record rec = records_[req.id];
     rec.decided_at = now;
 
+    // Deadline cancellation: a request that waited past its deadline is
+    // dropped before any work runs (zero perturbation, like queue_full).
+    if (now > rec.deadline) {
+        rec.outcome = admission_outcome::rejected_deadline_expired;
+        rec.detail = "deadline " + std::to_string(rec.deadline) +
+                     " expired before admission (now " +
+                     std::to_string(now) + ")";
+        rec.resolved_at = now;
+        rejected_.inc();
+        deadline_expired_.inc();
+        resolve(rec, req.tasks);
+        return;
+    }
+
     // Admission-time hazard gate: reconfiguring through an unhealthy path
     // is refused outright (the selector FSMs on that path cannot be
     // trusted to deliver).
@@ -112,9 +202,19 @@ void reconfig_manager::start_admission(queued_request req, cycle_t now) {
 
     // Sec. 5 admission test, incremental: only the request path
     // recomputes. model_client_update copies the committed state, so a
-    // rejection leaves it byte-identical.
-    auto report = model_client_update(committed_, client_tasks_, req.client,
-                                      req.tasks, cfg_.selection, cfg_.costs);
+    // rejection leaves it byte-identical. A precomputed evaluation
+    // (apply_evaluated) is honored while its version still matches the
+    // committed state it was computed against; otherwise it is stale and
+    // the test re-runs fresh -- committing a selection evaluated against
+    // superseded state is impossible.
+    reconfig_report report;
+    if (req.has_eval && req.eval_version == version_) {
+        report = std::move(req.eval_report);
+    } else {
+        if (req.has_eval) stale_reevals_.inc();
+        report = model_client_update(committed_, client_tasks_, req.client,
+                                     req.tasks, cfg_.selection, cfg_.costs);
+    }
     rec.latency_cycles = report.total_cycles;
     rec.ses_involved = report.ses_involved;
     rec.root_bandwidth = report.selection.root_bandwidth;
@@ -188,6 +288,7 @@ void reconfig_manager::commit(cycle_t now) {
 
     committed_ = std::move(staged_selection_);
     client_tasks_ = std::move(staged_tasks_);
+    ++version_; // invalidates outstanding evaluations and result caches
     staging_ = false;
     staged_selection_ = {};
     staged_tasks_.clear();
@@ -208,6 +309,32 @@ void reconfig_manager::tick(cycle_t now) {
         // exactly then forces the fabric-restoring rollback path.
         if (now >= commit_at_) {
             commit(now);
+            return;
+        }
+        // Deadline cancellation extends into staging: the staging
+        // latency models the (possibly re-run, pseudo-polynomial)
+        // admission test plus the parameter-path wave, so one expensive
+        // transaction could otherwise hold the FIFO arbitrarily long
+        // while its caller has already given up on the answer. The
+        // fabric has not been touched yet, so abandoning is a pure
+        // bookkeeping resolution.
+        if (now > records_[staging_id_].deadline) {
+            admission_record rec = records_[staging_id_];
+            rec.outcome = admission_outcome::rejected_deadline_expired;
+            rec.detail = "deadline " + std::to_string(rec.deadline) +
+                         " expired mid-staging (now " +
+                         std::to_string(now) + ")";
+            rec.resolved_at = now;
+            rejected_.inc();
+            deadline_expired_.inc();
+            staging_ = false;
+            staged_selection_ = {};
+            staged_tasks_.clear();
+            const analysis::task_set& tasks =
+                rec.client < client_tasks_.size()
+                    ? client_tasks_[rec.client]
+                    : analysis::task_set{};
+            resolve(rec, tasks);
             return;
         }
         // Mid-flight hazard watch: a request-path SE going degraded or

@@ -58,6 +58,13 @@ enum class admission_outcome : std::uint8_t {
     /// Rejected: a request-path SE was degraded or stalled when the
     /// admission test ran (reconfig_config::reject_degraded_path).
     rejected_path_hazard,
+    /// Rejected at submission: the bounded request queue
+    /// (reconfig_config::max_queue) was full. The admission test never
+    /// ran, so the running system is untouched (zero perturbation).
+    rejected_queue_full,
+    /// Rejected: the request's deadline passed before the admission test
+    /// could run. The test never ran (zero perturbation).
+    rejected_deadline_expired,
     /// Admitted; the new selection is propagating (commit pending).
     staged,
     /// The new (Pi, Theta) set is live.
@@ -76,6 +83,10 @@ struct reconfig_config {
     /// a request-path SE is already degraded or stalled (otherwise the
     /// request stages and takes its chances with a mid-flight rollback).
     bool reject_degraded_path = true;
+    /// Bound on the FIFO request queue (0 = unbounded, the historical
+    /// behavior). A submit() against a full queue is rejected
+    /// queue_full without running the admission test.
+    std::size_t max_queue = 0;
 };
 
 /// Full audit record of one request, kept for every submission.
@@ -86,6 +97,12 @@ struct admission_record {
     /// Failure/hazard reason for rejected or rolled-back requests.
     std::string detail;
     cycle_t submitted_at = 0;
+    /// Absolute cycle by which the request must resolve (k_cycle_never =
+    /// none). Expiry is enforced while queued AND while staged: a
+    /// transaction whose deadline passes mid-staging is abandoned before
+    /// the fabric is touched (the commit instant, when reached first,
+    /// wins).
+    cycle_t deadline = k_cycle_never;
     /// Cycle the admission test ran.
     cycle_t decided_at = 0;
     /// Cycle the transaction left the staging state (commit or rollback).
@@ -106,8 +123,27 @@ struct reconfig_manager_stats {
     std::uint64_t rejected = 0;
     std::uint64_t committed = 0;
     std::uint64_t rolled_back = 0;
+    std::uint64_t rejected_queue_full = 0;
+    std::uint64_t rejected_deadline_expired = 0;
+    /// apply_evaluated() submissions whose evaluation was stale (the
+    /// committed version moved) and had to be re-run fresh.
+    std::uint64_t stale_reevals = 0;
     /// Modeled propagation latency of admitted requests, in cycles.
     stats::sample_set reconfig_latency;
+};
+
+/// Result of a detached admission evaluation (reconfig_manager::evaluate).
+struct admission_evaluation {
+    bool feasible = false;
+    /// rejected_infeasible or rejected_overutilized when not feasible.
+    admission_outcome reject_reason = admission_outcome::pending;
+    std::string detail;
+    /// committed_version() at evaluation time. apply_evaluated() stages
+    /// the precomputed selection only while the version still matches;
+    /// a stale evaluation is transparently re-run, so a commit can never
+    /// apply a selection computed against superseded state.
+    std::uint64_t version = 0;
+    reconfig_report report;
 };
 
 class reconfig_manager : public component {
@@ -126,9 +162,44 @@ public:
 
     /// Queues a task-change request for `client` (empty set = leave; a
     /// previously empty client = join). Returns the request id; the
-    /// admission test runs at the manager's next tick. Thread-safety: the
+    /// admission test runs at the manager's next tick. `deadline` is the
+    /// absolute cycle by which the test must start (k_cycle_never =
+    /// none); a request still queued past it is rejected
+    /// deadline_expired. With cfg.max_queue set, a submit against a full
+    /// queue is rejected queue_full immediately. Both rejection paths
+    /// never run the test and never touch the fabric. Thread-safety: the
     /// manager is trial-local, like every other component.
-    std::uint64_t submit(std::uint32_t client, analysis::task_set tasks);
+    std::uint64_t submit(std::uint32_t client, analysis::task_set tasks,
+                         cycle_t deadline = k_cycle_never);
+
+    /// Const, re-entrant admission evaluation against the current
+    /// committed state: runs the Sec. 5 incremental test without queuing,
+    /// staging, or touching any manager state. The analysis service's
+    /// workers call this concurrently (it only reads committed state) and
+    /// feed feasible results back through apply_evaluated().
+    /// `sufficient_only` swaps the pseudo-polynomial exact test for the
+    /// cheap sufficient portfolio (degraded precision: sound, may reject
+    /// feasible requests) -- the service's circuit breaker trips to it.
+    [[nodiscard]] admission_evaluation
+    evaluate(std::uint32_t client, const analysis::task_set& tasks,
+             bool sufficient_only = false) const;
+
+    /// Queues a request carrying a precomputed evaluation. While the
+    /// committed version still matches eval.version at admission time the
+    /// expensive test is skipped and the evaluated selection stages
+    /// directly; a stale evaluation (any commit in between) is re-run
+    /// fresh -- a half-applied commit is impossible either way. The
+    /// queue bound, deadline, and hazard gates all still apply.
+    std::uint64_t apply_evaluated(std::uint32_t client,
+                                  analysis::task_set tasks,
+                                  admission_evaluation eval,
+                                  cycle_t deadline = k_cycle_never);
+
+    /// Monotone commit counter: bumped once per committed transaction.
+    /// Evaluations and result caches key their validity on it.
+    [[nodiscard]] std::uint64_t committed_version() const {
+        return version_;
+    }
 
     void tick(cycle_t now) override;
 
@@ -164,9 +235,11 @@ public:
         return client_tasks_;
     }
     [[nodiscard]] reconfig_manager_stats stats() const {
-        return {submitted_.value(),   admitted_.value(),
-                rejected_.value(),    committed_count_.value(),
-                rolled_back_.value(), reconfig_latency_.values()};
+        return {submitted_.value(),        admitted_.value(),
+                rejected_.value(),         committed_count_.value(),
+                rolled_back_.value(),      queue_full_.value(),
+                deadline_expired_.value(), stale_reevals_.value(),
+                reconfig_latency_.values()};
     }
 
     /// Re-homes the admission counters into `reg` under "reconfig/..."
@@ -184,6 +257,12 @@ private:
         std::uint64_t id = 0;
         std::uint32_t client = 0;
         analysis::task_set tasks;
+        cycle_t deadline = k_cycle_never;
+        /// Precomputed evaluation (apply_evaluated); valid while
+        /// eval_version matches the committed version.
+        bool has_eval = false;
+        std::uint64_t eval_version = 0;
+        reconfig_report eval_report;
     };
 
     /// (level, order) of every SE on `client`'s request path, leaf first.
@@ -193,6 +272,7 @@ private:
     [[nodiscard]] bool path_hazard(std::uint32_t client,
                                    std::string* why) const;
 
+    std::uint64_t enqueue(queued_request req);
     void start_admission(queued_request req, cycle_t now);
     void commit(cycle_t now);
     void roll_back(cycle_t now, std::string why, bool fabric_touched);
@@ -215,11 +295,15 @@ private:
     /// Fallback registry for unbound instances (bind_observability
     /// re-homes the handles).
     std::unique_ptr<obs::registry> own_;
+    std::uint64_t version_ = 0;
     obs::counter submitted_;
     obs::counter admitted_;
     obs::counter rejected_;
     obs::counter committed_count_;
     obs::counter rolled_back_;
+    obs::counter queue_full_;
+    obs::counter deadline_expired_;
+    obs::counter stale_reevals_;
     obs::sample reconfig_latency_;
     obs::tracer trace_;
     std::vector<admission_record> records_;

@@ -1,0 +1,154 @@
+// Admission-storm experiment for the hardened analysis service
+// (robustness extension, not a paper figure): a seed-driven storm of
+// client task-change requests is fired at svc::analysis_service -- the
+// bounded-queue, multi-worker admission server in front of
+// core::reconfig_manager -- while a worker-fault campaign crashes and
+// stalls its workers and (optionally) a fabric fault campaign forces
+// path-hazard retries. The driver measures the service's overload
+// behavior: shedding with hysteresis, deadline expiry, retry/backoff,
+// circuit-breaker degraded-precision fallback, result-cache hit rates,
+// and exactly-once crash re-queues -- and checks the conservation
+// invariant (every request ends in exactly one of committed / rejected /
+// expired / shed).
+//
+// Determinism: the storm schedule, worker faults, and retry jitter are
+// all substreams of the trial seed; runs are bit-identical for any
+// --threads setting and for the event vs lockstep engines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/reconfig_manager.hpp"
+#include "harness/factory.hpp"
+#include "mem/memory_controller.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+#include "stats/summary.hpp"
+#include "svc/analysis_service.hpp"
+#include "workload/taskset_gen.hpp"
+
+namespace bluescale::harness {
+
+struct svc_storm_config {
+    std::uint32_t n_clients = 16;
+    std::uint32_t trials = 8;
+    cycle_t measure_cycles = 60'000;
+    double util_lo = 0.70;
+    double util_hi = 0.90;
+    std::uint64_t seed = 1;
+    /// Worker threads for the trial sweep (0 = all hardware threads).
+    /// Results are bit-identical for any setting; see sim::trial_runner.
+    unsigned threads = 1;
+    workload::taskset_params taskset = {
+        .n_tasks = 4,
+        .total_utilization = 0.05, // overridden per trial by util_lo/hi
+        .min_period_units = 40,
+        .max_period_units = 600,
+        .write_fraction = 0.3,
+    };
+    memctrl_config memctrl = {};
+
+    /// Expected service requests per 1000 cycles (storm intensity).
+    double requests_per_kcycle = 2.0;
+    cycle_t warmup = 2'000;
+
+    /// Service policy under test (workers, queue bound, deadlines,
+    /// retry/backoff, breaker, cache). The service seed is re-derived per
+    /// trial.
+    svc::service_config service = {};
+    core::reconfig_config reconfig = {};
+
+    /// Worker-fault campaign intensity (crash + stall events per 1000
+    /// cycles; 0 = reliable workers).
+    double worker_fault_intensity = 0.0;
+    double worker_crash_weight = 1.0;
+    double worker_stall_weight = 1.0;
+    /// Fabric fault campaign intensity (SE stalls etc.), to force
+    /// path-hazard rejections and exercise the retry path.
+    double path_fault_intensity = 0.0;
+
+    /// The LAST this-many client ids are best-effort; the rest are hard
+    /// real-time (their deadline misses are the acceptance criterion).
+    std::uint32_t best_effort_clients = 4;
+    cycle_t retry_timeout_cycles = 2048;
+    std::uint32_t max_retries = 3;
+
+    /// Budget for draining the service + manager after the storm ends.
+    cycle_t drain_cycles = 50'000;
+
+    /// Snapshot each trial's obs::registry and merge them, in trial
+    /// order, into svc_storm_result::metrics (--metrics).
+    bool collect_metrics = false;
+    /// Export trial 0's event trace into svc_storm_result::trace.
+    bool collect_trace = false;
+};
+
+struct svc_storm_result {
+    std::uint32_t n_clients = 0;
+    std::uint32_t trials = 0;
+    std::uint32_t feasible_trials = 0;
+    /// Trials where the service and manager fully drained inside the
+    /// budget (a stuck request would break this and the conservation
+    /// check below).
+    std::uint32_t drained_trials = 0;
+    /// Trials where submitted == shed + expired + rejected + committed
+    /// and every record carries a terminal outcome (exactly-once).
+    std::uint32_t conserved_trials = 0;
+
+    // --- service outcomes ------------------------------------------------
+    std::uint64_t submitted = 0;
+    std::uint64_t accepted = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t expired = 0;
+    std::uint64_t committed = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t rejected_infeasible = 0;
+    std::uint64_t rejected_overutilized = 0;
+    std::uint64_t rejected_path_hazard = 0;
+    std::uint64_t rolled_back = 0;
+
+    // --- robustness machinery -------------------------------------------
+    std::uint64_t retries = 0;
+    std::uint64_t requeues = 0;
+    std::uint64_t worker_crashes = 0;
+    std::uint64_t worker_stall_cycles = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+    std::uint64_t cache_invalidations = 0;
+    std::uint64_t degraded_evals = 0;
+    std::uint64_t degraded_requests = 0; ///< requests answered degraded
+    std::uint64_t breaker_trips = 0;
+    std::uint64_t stale_reevals = 0; ///< manager-side transparent re-runs
+
+    stats::sample_set latency_cycles; ///< submit -> terminal outcome
+    stats::sample_set eval_cycles;    ///< modeled worker busy time
+
+    // --- client-side outcome --------------------------------------------
+    stats::sample_set miss_ratio;
+    std::uint64_t hard_misses = 0;
+    std::uint64_t best_effort_misses = 0;
+    std::uint64_t live_reconfigurations = 0;
+
+    /// Aggregates re-expressed as obs metrics ("svc_exp/<name>") for the
+    /// bench driver's --csv cells (obs::metric_cells).
+    obs::snapshot totals;
+    /// Per-trial registry snapshots merged in trial order
+    /// (cfg.collect_metrics); byte-identical across --threads settings.
+    obs::snapshot metrics;
+    /// Trial 0's event trace (cfg.collect_trace).
+    obs::trace_export trace;
+
+    [[nodiscard]] double cache_hit_ratio() const {
+        const std::uint64_t total = cache_hits + cache_misses;
+        return total == 0 ? 0.0
+                          : static_cast<double>(cache_hits) /
+                                static_cast<double>(total);
+    }
+};
+
+/// Runs cfg.trials independent storm trials (BlueScale only -- the
+/// service fronts the BlueScale reconfiguration manager).
+[[nodiscard]] svc_storm_result run_svc_storm(const svc_storm_config& cfg);
+
+} // namespace bluescale::harness

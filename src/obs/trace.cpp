@@ -22,6 +22,12 @@ const char* trace_event_kind_name(trace_event_kind k) {
     case trace_event_kind::shed_on: return "shed_on";
     case trace_event_kind::shed_off: return "shed_off";
     case trace_event_kind::watchdog_alarm: return "watchdog_alarm";
+    case trace_event_kind::svc_accept: return "svc_accept";
+    case trace_event_kind::svc_shed: return "svc_shed";
+    case trace_event_kind::svc_retry: return "svc_retry";
+    case trace_event_kind::svc_requeue: return "svc_requeue";
+    case trace_event_kind::svc_complete: return "svc_complete";
+    case trace_event_kind::svc_breaker: return "svc_breaker";
     }
     return "?";
 }

@@ -40,6 +40,12 @@ enum class trace_event_kind : std::uint8_t {
     shed_on,           ///< watchdog began overload shedding
     shed_off,          ///< watchdog restored shed clients
     watchdog_alarm,    ///< typed watchdog alarm; a=watchdog_alarm value
+    svc_accept,        ///< analysis service queued a request; a=req
+    svc_shed,          ///< service shed a request (queue full); a=req
+    svc_retry,         ///< transient rejection, retry scheduled; a=req, b=attempt
+    svc_requeue,       ///< worker crash, in-flight request re-queued; a=req, b=worker
+    svc_complete,      ///< request reached a terminal outcome; a=req, b=outcome
+    svc_breaker,       ///< circuit breaker state change; a=breaker_state
 };
 
 [[nodiscard]] const char* trace_event_kind_name(trace_event_kind k);

@@ -28,14 +28,18 @@ const char* fault_kind_name(fault_kind k) {
     case fault_kind::dram_error: return "dram_error";
     case fault_kind::backpressure_storm: return "backpressure_storm";
     case fault_kind::maintenance_storm: return "maintenance_storm";
+    case fault_kind::worker_crash: return "worker_crash";
+    case fault_kind::worker_stall: return "worker_stall";
     }
     return "?";
 }
 
 fault_campaign::fault_campaign(const fault_campaign_config& cfg) {
     const std::array<double, k_fault_kinds> weights = {
-        cfg.se_stall_weight, cfg.link_drop_weight, cfg.dram_error_weight,
-        cfg.backpressure_weight, cfg.maintenance_storm_weight};
+        cfg.se_stall_weight,          cfg.link_drop_weight,
+        cfg.dram_error_weight,        cfg.backpressure_weight,
+        cfg.maintenance_storm_weight, cfg.worker_crash_weight,
+        cfg.worker_stall_weight};
     double total_weight = 0.0;
     for (double w : weights) total_weight += w;
 
@@ -47,6 +51,7 @@ fault_campaign::fault_campaign(const fault_campaign_config& cfg) {
     const cycle_t dur_lo = std::min(cfg.min_duration, cfg.max_duration);
     const cycle_t dur_hi = std::max(cfg.min_duration, cfg.max_duration);
     const std::uint32_t n_elements = std::max<std::uint32_t>(1, cfg.n_elements);
+    const std::uint32_t n_workers = std::max<std::uint32_t>(1, cfg.n_workers);
 
     events_.reserve(n_events);
     for (std::uint64_t i = 0; i < n_events; ++i) {
@@ -59,11 +64,17 @@ fault_campaign::fault_campaign(const fault_campaign_config& cfg) {
             ++k;
         }
         e.kind = static_cast<fault_kind>(k);
-        e.target = (e.kind == fault_kind::se_stall ||
-                    e.kind == fault_kind::link_drop)
-                       ? static_cast<std::uint32_t>(
-                             gen.uniform_u64(0, n_elements - 1))
-                       : 0;
+        if (e.kind == fault_kind::se_stall ||
+            e.kind == fault_kind::link_drop) {
+            e.target = static_cast<std::uint32_t>(
+                gen.uniform_u64(0, n_elements - 1));
+        } else if (e.kind == fault_kind::worker_crash ||
+                   e.kind == fault_kind::worker_stall) {
+            e.target = static_cast<std::uint32_t>(
+                gen.uniform_u64(0, n_workers - 1));
+        } else {
+            e.target = 0;
+        }
         e.start = gen.uniform_u64(0, cfg.horizon - 1);
         e.duration = gen.uniform_u64(dur_lo, dur_hi);
         events_.push_back(e);

@@ -47,9 +47,18 @@ enum class fault_kind : std::uint8_t {
     /// maintenance model does NOT budget for -- the supply watchdog must
     /// catch it. Consumed by mem::maintenance_engine. Target 0.
     maintenance_storm,
+    /// An analysis-service worker dies mid-request: its in-flight request
+    /// is lost and must be re-queued exactly once by the service. Consumed
+    /// by svc::analysis_service. Targets index worker slots.
+    worker_crash,
+    /// An analysis-service worker freezes for the window (e.g. a page
+    /// fault storm or priority inversion on the host): its in-flight work
+    /// is delayed, not lost. Consumed by svc::analysis_service. Targets
+    /// index worker slots.
+    worker_stall,
 };
 
-inline constexpr std::size_t k_fault_kinds = 5;
+inline constexpr std::size_t k_fault_kinds = 7;
 
 [[nodiscard]] const char* fault_kind_name(fault_kind k);
 
@@ -81,9 +90,16 @@ struct fault_campaign_config {
     /// campaign bit-identical (the inverse-CDF pick never reaches a
     /// zero-weight tail entry).
     double maintenance_storm_weight = 0.0;
+    /// Default 0 for the same bit-compatibility reason; the analysis
+    /// service's storm campaigns opt in.
+    double worker_crash_weight = 0.0;
+    double worker_stall_weight = 0.0;
     /// Fault-targetable element count: se_stall and link_drop events pick
     /// a target uniformly in [0, n_elements).
     std::uint32_t n_elements = 1;
+    /// Worker-slot count: worker_crash and worker_stall events pick a
+    /// target uniformly in [0, n_workers).
+    std::uint32_t n_workers = 1;
     /// Per-event window length, uniform in [min_duration, max_duration].
     cycle_t min_duration = 8;
     cycle_t max_duration = 64;

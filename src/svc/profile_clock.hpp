@@ -1,0 +1,28 @@
+// The service's one wall-clock boundary, for profile-mode deadlines.
+//
+// Deterministic runs never call this: virtual-time deadlines and
+// wall-clock deadlines are mutually exclusive in service_config
+// (asserted), so a deterministic storm run is byte-identical whether or
+// not this header is linked in.
+//
+// detlint's nondet-source rule sanctions wall-clock reads under src/svc/
+// ONLY inside the body of a function whose name starts with "profile_" --
+// the same boundary idiom obs/profile.hpp established for the stopwatch.
+// Keeping the clock read behind this named function is what makes the
+// rule checkable.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace bluescale::svc {
+
+/// Monotonic wall-clock read in nanoseconds. Profile mode only.
+[[nodiscard]] inline std::uint64_t profile_now_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace bluescale::svc

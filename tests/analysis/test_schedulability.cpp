@@ -214,6 +214,68 @@ TEST_P(schedulability_random_oracle, never_accepts_what_simulation_rejects) {
 INSTANTIATE_TEST_SUITE_P(seeds, schedulability_random_oracle,
                          ::testing::Range(0, 10));
 
+TEST(sufficient_portfolio, schedulable_verdicts_are_a_subset_of_exact) {
+    // The degraded-precision mode (the analysis service's circuit-breaker
+    // fallback) must stay SOUND: whenever the linear-time portfolio
+    // proves schedulability, the pseudo-polynomial exact test agrees.
+    // The converse need not hold -- `aborted` (undecided) is expected.
+    rng rand(424);
+    int proved = 0;
+    int undecided = 0;
+    for (int trial = 0; trial < 200; ++trial) {
+        task_set tasks;
+        const int n = 1 + static_cast<int>(rand.pick(4));
+        for (int i = 0; i < n; ++i) {
+            const std::uint64_t period = 4 + rand.uniform_u64(0, 120);
+            tasks.push_back(
+                {period, 1 + rand.uniform_u64(0, period / 3)});
+        }
+        const std::uint64_t pi = 2 + rand.uniform_u64(0, 14);
+        const resource_interface iface{pi, 1 + rand.uniform_u64(0, pi - 1)};
+        const auto cheap = is_schedulable_sufficient(tasks, iface);
+        if (cheap == sched_result::schedulable) {
+            ++proved;
+            EXPECT_EQ(is_schedulable(tasks, iface),
+                      sched_result::schedulable)
+                << "trial " << trial
+                << ": sufficient portfolio accepted a system the exact "
+                   "test rejects (unsound degraded mode)";
+        } else if (cheap == sched_result::aborted) {
+            ++undecided;
+        } else {
+            // An unschedulable verdict is a proof in this direction too.
+            EXPECT_NE(is_schedulable(tasks, iface),
+                      sched_result::schedulable)
+                << "trial " << trial;
+        }
+    }
+    // The sweep must exercise both the proving and the undecided paths.
+    EXPECT_GT(proved, 0);
+    EXPECT_GT(undecided, 0);
+}
+
+TEST(sufficient_portfolio, config_flag_delegates_to_the_portfolio) {
+    // sched_test_config::sufficient_only answers through the portfolio
+    // bit-for-bit -- the service's breaker swaps tests, not semantics.
+    rng rand(99);
+    sched_test_config degraded;
+    degraded.sufficient_only = true;
+    for (int trial = 0; trial < 60; ++trial) {
+        task_set tasks;
+        const int n = 1 + static_cast<int>(rand.pick(3));
+        for (int i = 0; i < n; ++i) {
+            const std::uint64_t period = 4 + rand.uniform_u64(0, 60);
+            tasks.push_back(
+                {period, 1 + rand.uniform_u64(0, period / 2)});
+        }
+        const std::uint64_t pi = 2 + rand.uniform_u64(0, 14);
+        const resource_interface iface{pi, 1 + rand.uniform_u64(0, pi - 1)};
+        EXPECT_EQ(is_schedulable(tasks, iface, degraded),
+                  is_schedulable_sufficient(tasks, iface))
+            << "trial " << trial;
+    }
+}
+
 TEST(schedulability_oracle, selection_results_survive_simulation) {
     // The end of the pipeline: interfaces chosen by select_interface must
     // pass the brute-force oracle too.

@@ -269,6 +269,98 @@ TEST(reconfig_manager, donate_and_restore_leaf_budget) {
     EXPECT_EQ(sched.server(port).budget(), committed_budget);
 }
 
+TEST(reconfig_manager, full_queue_rejects_immediately_without_perturbation) {
+    reconfig_config cfg;
+    cfg.max_queue = 1;
+    rig r(cfg);
+    const auto before = server_snapshot(r.fabric);
+
+    const auto first = r.mgr->submit(2, analysis::task_set{{100, 8}});
+    const auto second = r.mgr->submit(9, analysis::task_set{{100, 6}});
+    // The bound rejects at submission, before any tick: the admission
+    // test never ran, the fabric is untouched.
+    const auto& rec = r.mgr->record(second);
+    EXPECT_EQ(rec.outcome, admission_outcome::rejected_queue_full);
+    EXPECT_FALSE(rec.detail.empty());
+    EXPECT_EQ(r.mgr->stats().rejected_queue_full, 1u);
+    EXPECT_EQ(server_snapshot(r.fabric), before);
+    expect_selections_equal(r.mgr->committed(), r.selection);
+
+    // The rejection perturbed nothing downstream either: the run is
+    // bit-identical to one where the shed request never arrived.
+    r.run_until_resolved(first);
+    EXPECT_EQ(r.mgr->record(first).outcome, admission_outcome::committed);
+    rig twin(cfg);
+    const auto twin_first = twin.mgr->submit(2, analysis::task_set{{100, 8}});
+    twin.run_until_resolved(twin_first);
+    EXPECT_EQ(server_snapshot(r.fabric), server_snapshot(twin.fabric));
+    expect_selections_equal(r.mgr->committed(), twin.mgr->committed());
+}
+
+TEST(reconfig_manager, expired_deadline_rejects_without_perturbation) {
+    rig r;
+    // The first request stages for its propagation latency; the second
+    // carries a deadline that passes while it waits in the queue.
+    const auto first = r.mgr->submit(2, analysis::task_set{{100, 8}});
+    const auto second = r.mgr->submit(9, analysis::task_set{{100, 6}},
+                                      /*deadline=*/2);
+    r.run_until_resolved(second);
+    const auto& rec = r.mgr->record(second);
+    EXPECT_EQ(rec.outcome, admission_outcome::rejected_deadline_expired);
+    EXPECT_FALSE(rec.detail.empty());
+    EXPECT_EQ(r.mgr->stats().rejected_deadline_expired, 1u);
+    EXPECT_EQ(r.mgr->record(first).outcome, admission_outcome::committed);
+
+    // Zero perturbation: state matches a run without the expired request.
+    rig twin;
+    const auto twin_first = twin.mgr->submit(2, analysis::task_set{{100, 8}});
+    twin.run_until_resolved(twin_first);
+    EXPECT_EQ(server_snapshot(r.fabric), server_snapshot(twin.fabric));
+    expect_selections_equal(r.mgr->committed(), twin.mgr->committed());
+    EXPECT_EQ(r.mgr->client_tasks()[9].size(),
+              twin.mgr->client_tasks()[9].size());
+    EXPECT_EQ(r.mgr->client_tasks()[9][0].period, 200u);
+}
+
+TEST(reconfig_manager, deadline_mid_staging_abandons_before_the_fabric) {
+    rig r;
+    // Stage with a deadline inside the propagation latency: the
+    // transaction must be abandoned mid-staging (fabric untouched, next
+    // FIFO entry unblocked) instead of running to commit -- the staging
+    // latency models pseudo-polynomial admission work, so without this a
+    // single expensive transaction can hold the queue arbitrarily long
+    // past its caller's deadline.
+    const auto first = r.mgr->submit(6, analysis::task_set{{100, 8}},
+                                     /*deadline=*/10);
+    const auto second = r.mgr->submit(2, analysis::task_set{{100, 6}});
+    r.sim.run(3);
+    ASSERT_TRUE(r.mgr->staging());
+    ASSERT_GT(r.mgr->record(first).latency_cycles, 10u)
+        << "staging latency too short to cross the deadline";
+
+    r.run_until_resolved(first);
+    const auto& rec = r.mgr->record(first);
+    EXPECT_EQ(rec.outcome, admission_outcome::rejected_deadline_expired);
+    EXPECT_NE(rec.detail.find("mid-staging"), std::string::npos);
+    EXPECT_EQ(rec.resolved_at, 11u); // expiry is now > deadline
+    EXPECT_EQ(r.mgr->stats().rejected_deadline_expired, 1u);
+    EXPECT_EQ(r.mgr->stats().rolled_back, 0u);
+
+    // The abandoned transaction unblocks the FIFO and left no trace: the
+    // second request commits, and the end state matches a run where the
+    // expired request never arrived.
+    r.run_until_resolved(second);
+    EXPECT_EQ(r.mgr->record(second).outcome, admission_outcome::committed);
+    rig twin;
+    const auto twin_second =
+        twin.mgr->submit(2, analysis::task_set{{100, 6}});
+    twin.run_until_resolved(twin_second);
+    EXPECT_EQ(server_snapshot(r.fabric), server_snapshot(twin.fabric));
+    expect_selections_equal(r.mgr->committed(), twin.mgr->committed());
+    EXPECT_EQ(r.mgr->client_tasks()[6].size(), 1u);
+    EXPECT_EQ(r.mgr->client_tasks()[6][0].period, 200u);
+}
+
 TEST(reconfig_manager, leave_request_frees_the_port) {
     rig r;
     const auto id = r.mgr->submit(5, analysis::task_set{});

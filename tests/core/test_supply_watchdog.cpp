@@ -174,6 +174,64 @@ TEST(supply_watchdog, healthy_backlogged_port_conforms) {
     EXPECT_EQ(r.wd->report().shed_events, 0u);
 }
 
+TEST(supply_watchdog, alarm_mid_restore_rearms_the_clean_streak) {
+    rig r(tight_config()); // shed after 2 bad windows, restore after 2 clean
+    std::uint64_t missed = 0;
+    r.wd->track_client(0, client_class::hard, [&] { return missed; });
+    r.wd->track_client(15, client_class::best_effort, [] { return 0ull; });
+
+    // Windows end at t = 100, 200, ... Two violating windows shed.
+    for (cycle_t t = 0; t <= 200; ++t) {
+        if (t % 100 == 50) ++missed;
+        r.wd->tick(t);
+    }
+    ASSERT_TRUE(r.wd->shedding_now());
+
+    // One clean window, then a violating one mid-restore: the clean
+    // streak re-arms, so the next single clean window must NOT restore.
+    for (cycle_t t = 201; t <= 300; ++t) r.wd->tick(t);       // clean
+    for (cycle_t t = 301; t <= 400; ++t) {                    // violating
+        if (t == 350) ++missed;
+        r.wd->tick(t);
+    }
+    for (cycle_t t = 401; t <= 500; ++t) r.wd->tick(t);       // clean #1
+    EXPECT_TRUE(r.wd->shedding_now()) << "restored on a re-armed streak";
+    EXPECT_EQ(r.wd->report().restore_events, 0u);
+
+    // The full requirement (2 consecutive clean windows) restores.
+    for (cycle_t t = 501; t <= 600; ++t) r.wd->tick(t);       // clean #2
+    EXPECT_FALSE(r.wd->shedding_now());
+    EXPECT_EQ(r.wd->report().restore_events, 1u);
+}
+
+TEST(supply_watchdog, shedding_with_no_best_effort_clients_is_safe) {
+    rig r(tight_config());
+    // Hard clients only: there is nothing to shed, but the alarm and
+    // hysteresis machinery must neither divide by zero nor starve the
+    // hard class.
+    std::uint64_t missed = 0;
+    bool hard_shed_called = false;
+    r.wd->track_client(0, client_class::hard, [&] { return missed; },
+                       [&](bool) { hard_shed_called = true; });
+    r.wd->track_client(1, client_class::hard, [] { return 0ull; });
+
+    for (cycle_t t = 0; t <= 500; ++t) {
+        if (t % 100 == 50) ++missed;
+        r.wd->tick(t);
+    }
+    // The overload episode is entered and alarmed...
+    EXPECT_TRUE(r.wd->shedding_now());
+    EXPECT_EQ(r.wd->report().shed_events, 1u);
+    EXPECT_GT(r.wd->report().deadline_alarms, 0u);
+    // ...but hard clients are never shed, even as the only population.
+    EXPECT_FALSE(hard_shed_called);
+
+    // Recovery restores cleanly with an empty shed set.
+    for (cycle_t t = 501; t <= 800; ++t) r.wd->tick(t);
+    EXPECT_FALSE(r.wd->shedding_now());
+    EXPECT_EQ(r.wd->report().restore_events, 1u);
+}
+
 TEST(supply_watchdog, reset_clears_state_and_report) {
     rig r(tight_config());
     std::uint64_t missed = 0;

@@ -1,0 +1,12 @@
+// Fixture: under a /svc/ path, a wall-clock read inside the body of a
+// profile_* function is the sanctioned profile-mode boundary (rule
+// nondet-source stays silent). Must produce zero findings.
+#include <chrono>
+#include <cstdint>
+
+std::uint64_t profile_now_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}

@@ -1,0 +1,12 @@
+// Fixture: the /svc/ sanction covers profile_* function bodies ONLY --
+// a wall-clock read in any other function is still a nondet-source
+// violation, even under a /svc/ path.
+#include <chrono>
+#include <cstdint>
+
+std::uint64_t latch_deadline_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}

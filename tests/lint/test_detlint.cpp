@@ -44,6 +44,7 @@ constexpr seeded_case k_seeded[] = {
     {"nondet_time_call.cpp", "nondet-source"},
     {"nondet_chrono_clock.cpp", "nondet-source"},
     {"nondet_getenv.cpp", "nondet-source"},
+    {"svc/profile_violation.cpp", "nondet-source"},
     {"unordered_range_for.cpp", "unordered-iter"},
     {"unordered_begin_loop.cpp", "unordered-iter"},
     {"float_cycle_mix.cpp", "float-cycle"},
@@ -92,6 +93,16 @@ TEST(detlint_fixtures, clean_idiomatic_code_has_zero_findings) {
     const scan_result r = scan_fixture("clean.cpp");
     EXPECT_TRUE(r.findings.empty())
         << r.findings.front().rule << ": " << r.findings.front().message;
+}
+
+TEST(detlint_fixtures, svc_profile_bodies_may_read_the_wall_clock) {
+    // The analysis service's profile-mode deadline boundary: under a
+    // /svc/ path, wall-clock reads inside profile_* function bodies are
+    // sanctioned without any suppression comment.
+    const scan_result r = scan_fixture("svc/profile_ok.cpp");
+    EXPECT_TRUE(r.findings.empty())
+        << r.findings.front().rule << ": " << r.findings.front().message;
+    EXPECT_TRUE(r.suppressed.empty());
 }
 
 TEST(detlint_fixtures, whole_directory_scan_is_deterministic) {
@@ -218,6 +229,28 @@ TEST(detlint_engine, sim_kernel_owns_the_wake_protocol) {
           "cycle_t bump(cycle_t now) { return now + 1; }\n"}},
         scan_options{});
     EXPECT_TRUE(r.findings.empty()) << r.findings.front().message;
+}
+
+TEST(detlint_engine, profile_sanction_is_svc_scoped_and_body_scoped) {
+    // The same profile_* body is sanctioned under src/svc/ and flagged
+    // anywhere else; banned libc calls get the same treatment as the
+    // chrono clock types.
+    const std::string body =
+        "#include <ctime>\n"
+        "unsigned long profile_now_ns() {\n"
+        "    struct timespec ts;\n"
+        "    clock_gettime(0, &ts);\n"
+        "    return static_cast<unsigned long>(ts.tv_nsec);\n"
+        "}\n";
+    const scan_result exempt = detlint::scan_sources(
+        {{"src/svc/profile_clock.cpp", body}}, scan_options{});
+    EXPECT_TRUE(exempt.findings.empty())
+        << exempt.findings.front().message;
+    const scan_result flagged = detlint::scan_sources(
+        {{"src/core/profile_clock.cpp", body}}, scan_options{});
+    ASSERT_EQ(flagged.findings.size(), 1u);
+    EXPECT_EQ(flagged.findings.front().rule, "nondet-source");
+    EXPECT_EQ(flagged.findings.front().line, 4u);
 }
 
 TEST(detlint_engine, rule_filter_restricts_the_run) {

@@ -68,6 +68,65 @@ TEST(fault_campaign, slice_partitions_by_kind_and_target) {
               c.count(fault_kind::dram_error));
 }
 
+TEST(fault_campaign, worker_kinds_are_opt_in) {
+    // The analysis-service kinds carry zero default weight: campaigns
+    // seeded before the taxonomy grew stay bit-identical, and a default
+    // config never schedules worker faults.
+    const fault_campaign c(config(42));
+    EXPECT_EQ(c.count(fault_kind::worker_crash), 0u);
+    EXPECT_EQ(c.count(fault_kind::worker_stall), 0u);
+
+    auto wcfg = config(42);
+    wcfg.worker_crash_weight = 0.0;
+    wcfg.worker_stall_weight = 0.0;
+    EXPECT_EQ(fault_campaign(wcfg).events(), c.events());
+}
+
+TEST(fault_campaign, worker_targets_index_worker_slots) {
+    auto cfg = config(13, 2.0);
+    cfg.worker_crash_weight = 1.0;
+    cfg.worker_stall_weight = 1.0;
+    cfg.n_workers = 3;
+    const fault_campaign c(cfg);
+    std::size_t worker_events = 0;
+    for (const auto& e : c.events()) {
+        if (e.kind != fault_kind::worker_crash &&
+            e.kind != fault_kind::worker_stall) {
+            continue;
+        }
+        ++worker_events;
+        EXPECT_LT(e.target, cfg.n_workers);
+    }
+    EXPECT_GT(worker_events, 0u);
+    // Slices partition the worker kinds by slot, like every other kind.
+    std::size_t sliced = 0;
+    for (std::uint32_t w = 0; w < cfg.n_workers; ++w) {
+        sliced += c.slice(fault_kind::worker_crash, w).size();
+        sliced += c.slice(fault_kind::worker_stall, w).size();
+    }
+    EXPECT_EQ(sliced, worker_events);
+}
+
+TEST(fault_campaign, worker_only_campaign_touches_no_fabric_kind) {
+    // The storm harness runs a second campaign with every fabric weight
+    // zeroed so worker faults draw from an independent substream.
+    auto cfg = config(21, 1.0);
+    cfg.se_stall_weight = 0.0;
+    cfg.link_drop_weight = 0.0;
+    cfg.dram_error_weight = 0.0;
+    cfg.backpressure_weight = 0.0;
+    cfg.worker_crash_weight = 1.0;
+    cfg.worker_stall_weight = 1.0;
+    cfg.n_workers = 2;
+    const fault_campaign c(cfg);
+    ASSERT_FALSE(c.empty());
+    for (const auto& e : c.events()) {
+        EXPECT_TRUE(e.kind == fault_kind::worker_crash ||
+                    e.kind == fault_kind::worker_stall)
+            << fault_kind_name(e.kind);
+    }
+}
+
 TEST(fault_window, activates_over_event_span_only) {
     fault_window w({{fault_kind::se_stall, 0, /*start=*/10,
                      /*duration=*/5}});

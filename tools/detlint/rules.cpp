@@ -60,6 +60,62 @@ const std::set<std::string>& type_keywords() {
     return path.find(needle) != std::string::npos;
 }
 
+/// Token index ranges [body_open, one-past-body_close) of function bodies
+/// whose name satisfies `match`. Handles inline member definitions
+/// (`cycle_t next_event(cycle_t now) const override { ... }`) and
+/// out-of-line ones (`cycle_t widget::next_event(cycle_t now) const {`);
+/// a `;` between the parameter list and any `{` marks a declaration (or a
+/// *call* inside a larger statement) and yields no range.
+template <typename Pred>
+[[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>>
+function_body_ranges(const lexed_file& file, Pred match) {
+    std::vector<std::pair<std::size_t, std::size_t>> out;
+    const auto& toks = file.tokens;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        const token& t = toks[i];
+        if (t.kind != tok_kind::identifier || !match(t.text)) continue;
+        if (!is_punct(toks[i + 1], "(")) continue;
+        // Match the parameter list's closing paren.
+        std::size_t j = i + 1;
+        int parens = 0;
+        for (; j < toks.size(); ++j) {
+            if (is_punct(toks[j], "(")) {
+                ++parens;
+            } else if (is_punct(toks[j], ")")) {
+                if (--parens == 0) break;
+            }
+        }
+        if (j >= toks.size()) continue;
+        // `const override {` etc. may intervene; a `;` first means this
+        // was a declaration (or a call inside a larger statement).
+        std::size_t body = j + 1;
+        bool found_body = false;
+        for (; body < toks.size(); ++body) {
+            if (is_punct(toks[body], ";")) break;
+            if (is_punct(toks[body], "{")) {
+                found_body = true;
+                break;
+            }
+        }
+        if (!found_body) {
+            i = j;
+            continue;
+        }
+        std::size_t end = body;
+        int braces = 0;
+        for (; end < toks.size(); ++end) {
+            if (is_punct(toks[end], "{")) {
+                ++braces;
+            } else if (is_punct(toks[end], "}")) {
+                if (--braces == 0) break;
+            }
+        }
+        out.emplace_back(body, end + 1);
+        i = end;
+    }
+    return out;
+}
+
 /// Skips a balanced template-argument list. `i` must index the `<` token;
 /// returns the index one past the matching `>`. `>>` closes two levels.
 [[nodiscard]] std::size_t skip_template_args(const std::vector<token>& toks,
@@ -144,10 +200,30 @@ const std::set<std::string>& banned_call_names() {
 }
 
 void check_nondet_source(const lexed_file& file, std::vector<finding>& out) {
+    // The analysis service's profile mode is the one sanctioned consumer
+    // of host time: wall-clock request deadlines for live deployments,
+    // mutually exclusive with virtual-time deadlines. The sanction is
+    // surgical -- src/svc/ only, and only inside the body of a function
+    // whose name starts with `profile_` -- so the deterministic
+    // virtual-time path can never reach a host clock by accident.
+    std::vector<std::pair<std::size_t, std::size_t>> profile_ranges;
+    if (path_contains(file.path, "/svc/")) {
+        profile_ranges =
+            function_body_ranges(file, [](const std::string& name) {
+                return name.rfind("profile_", 0) == 0;
+            });
+    }
+    const auto sanctioned = [&](std::size_t idx) {
+        for (const auto& [b, e] : profile_ranges) {
+            if (idx >= b && idx < e) return true;
+        }
+        return false;
+    };
     const auto& toks = file.tokens;
     for (std::size_t i = 0; i < toks.size(); ++i) {
         const token& t = toks[i];
         if (t.kind != tok_kind::identifier) continue;
+        if (sanctioned(i)) continue;
         if (banned_type_names().count(t.text) != 0) {
             // Member access like `cfg.system_clock_mhz` lexes as one
             // identifier and never lands here; `foo.steady_clock` would,
@@ -591,55 +667,10 @@ void check_metrics_bypass(const lexed_file& file, std::vector<finding>& out) {
 /// yields no range.
 [[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>>
 horizon_body_ranges(const lexed_file& file) {
-    std::vector<std::pair<std::size_t, std::size_t>> out;
-    const auto& toks = file.tokens;
-    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
-        const token& t = toks[i];
-        if (t.kind != tok_kind::identifier ||
-            (t.text != "next_event" && t.text != "wake_horizon" &&
-             t.text != "response_horizon")) {
-            continue;
-        }
-        if (!is_punct(toks[i + 1], "(")) continue;
-        // Match the parameter list's closing paren.
-        std::size_t j = i + 1;
-        int parens = 0;
-        for (; j < toks.size(); ++j) {
-            if (is_punct(toks[j], "(")) {
-                ++parens;
-            } else if (is_punct(toks[j], ")")) {
-                if (--parens == 0) break;
-            }
-        }
-        if (j >= toks.size()) continue;
-        // `const override {` etc. may intervene; a `;` first means this
-        // was a declaration (or a *call* inside a larger statement).
-        std::size_t body = j + 1;
-        bool found_body = false;
-        for (; body < toks.size(); ++body) {
-            if (is_punct(toks[body], ";")) break;
-            if (is_punct(toks[body], "{")) {
-                found_body = true;
-                break;
-            }
-        }
-        if (!found_body) {
-            i = j;
-            continue;
-        }
-        std::size_t end = body;
-        int braces = 0;
-        for (; end < toks.size(); ++end) {
-            if (is_punct(toks[end], "{")) {
-                ++braces;
-            } else if (is_punct(toks[end], "}")) {
-                if (--braces == 0) break;
-            }
-        }
-        out.emplace_back(body, end + 1);
-        i = end;
-    }
-    return out;
+    return function_body_ranges(file, [](const std::string& name) {
+        return name == "next_event" || name == "wake_horizon" ||
+               name == "response_horizon";
+    });
 }
 
 void check_cycle_step(const lexed_file& file, std::vector<finding>& out) {
@@ -723,7 +754,8 @@ const std::vector<rule_info>& all_rules() {
         {"nondet-source",
          "bans wall-clock/entropy APIs (std::random_device, rand/srand, "
          "time, chrono clocks, getenv): all randomness must come from the "
-         "seeded bluescale::rng"},
+         "seeded bluescale::rng; under src/svc/ the bodies of profile_* "
+         "functions are sanctioned (the service's wall-clock profile mode)"},
         {"unordered-iter",
          "flags iteration over std::unordered_{map,set} members: order is "
          "unspecified and must never feed stats/CSV output"},
