@@ -4,8 +4,10 @@
 #   1. builds with the hardened warning profile (BLUESCALE_WERROR=ON:
 #      -Wall -Wextra -Wpedantic -Wshadow -Wconversion, all -Werror);
 #   2. runs detlint (the project's determinism & real-time-safety lint)
-#      over src/, bench/ and examples/ -- zero unsuppressed findings is
-#      the merge bar;
+#      over src/, bench/, examples/, tests/ and tools/ (detlint lints
+#      itself) -- zero unsuppressed findings is the merge bar, a SARIF
+#      report is left in the build dir for code-scanning upload, and the
+#      scan must finish inside a fixed wall-clock budget;
 #   3. if clang-tidy is installed, runs the curated .clang-tidy profile
 #      against compile_commands.json (skipped with a notice otherwise, so
 #      the script stays usable in minimal containers).
@@ -23,7 +25,22 @@ cmake --build "$build_dir" -j"$(nproc)"
 # Absolute paths, matching the detlint_tree ctest gate: the path-scoped
 # rule exemptions (e.g. cycle-step staying out of "/bench/") key on
 # directory components, which a bare relative "bench" prefix lacks.
-"$build_dir/tools/detlint/detlint" "$PWD/src" "$PWD/bench" "$PWD/examples"
+# tests/lint/fixtures stays excluded -- those files are seeded violations
+# by design. The elapsed-time assertion is the analyzer's performance
+# budget: the call-graph phase must never quietly make this gate slow
+# (the full tree takes well under a second today).
+start_ns=$(date +%s%N)
+"$build_dir/tools/detlint/detlint" \
+    --exclude=tests/lint/fixtures \
+    --sarif "$build_dir/detlint.sarif" \
+    "$PWD/src" "$PWD/bench" "$PWD/examples" "$PWD/tests" "$PWD/tools"
+elapsed_ms=$(( ($(date +%s%N) - start_ns) / 1000000 ))
+budget_ms=20000
+echo "detlint full-tree scan: ${elapsed_ms} ms (budget: ${budget_ms} ms)"
+if [ "$elapsed_ms" -gt "$budget_ms" ]; then
+    echo "error: detlint exceeded its wall-clock budget" >&2
+    exit 1
+fi
 
 "$build_dir/tests/bluescale_lint_tests" --gtest_brief=1
 

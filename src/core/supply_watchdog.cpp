@@ -1,5 +1,6 @@
 #include "core/supply_watchdog.hpp"
 
+#include <cassert>
 #include <cmath>
 
 #include "analysis/periodic_resource.hpp"
@@ -51,6 +52,9 @@ void supply_watchdog::track_client(std::uint32_t client, client_class cls,
     t.missed = std::move(missed);
     t.shed = std::move(shed);
     clients_.push_back(std::move(t));
+    // Pre-size the shed flags here, at assembly time, so set_shed() -- on
+    // the health monitor's tick path -- never has to grow storage.
+    if (client >= shed_clients_.size()) shed_clients_.resize(client + 1);
 }
 
 void supply_watchdog::raise(watchdog_alarm a, cycle_t now) {
@@ -127,7 +131,7 @@ void supply_watchdog::set_shed(bool on, cycle_t now) {
     }
     for (auto& c : clients_) {
         if (c.cls != client_class::best_effort) continue;
-        if (c.id >= shed_clients_.size()) shed_clients_.resize(c.id + 1);
+        assert(c.id < shed_clients_.size()); // sized in track_client()
         shed_clients_[c.id] = on;
         if (c.shed) c.shed(on);
         if (donate_) donate_(c.id, on);

@@ -45,6 +45,10 @@ void axi_hyperconnect::tick(cycle_t now) {
             for (auto& q : client_q_) {
                 charge_blocked(q, granted.level_deadline);
             }
+            // Fabric pipeline occupancy is credit-bounded (at most
+            // clients x max_outstanding_per_client in flight), so deque
+            // chunk growth is capped and amortized across the run.
+            // detlint:allow(hotpath-alloc): credit-bounded pipeline depth
             pipeline_.emplace_back(now + cfg_.fabric_latency,
                                    std::move(granted));
             rr_next_ = (c + 1) % n;

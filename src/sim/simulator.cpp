@@ -68,6 +68,10 @@ void simulator::rebind_wake_cells() {
     }
     wake_cells_ = std::move(fresh);
     committers_.clear();
+    // One reservation per assembly change: the rebind runs at add() time
+    // (before stepping resumes), so the commit scan never grows storage
+    // while the simulation is running.
+    committers_.reserve(components_.size());
     for (std::size_t i = 0; i < components_.size(); ++i) {
         components_[i]->bind_wake_cell(&wake_cells_[i]);
         if (components_[i]->latches()) committers_.push_back(components_[i]);

@@ -47,6 +47,10 @@ void processor_client::release_jobs(cycle_t now) {
             j.requests_left = t.mem_requests;
             j.compute_per_request = std::max<std::uint32_t>(
                 1, t.compute_cycles / (t.mem_requests + 1));
+            // Software workload model, not modeled hardware: the ready
+            // queue tracks released-but-incomplete jobs, exactly the
+            // backlog a real RTOS scheduler keeps on its own heap.
+            // detlint:allow(hotpath-alloc): client-model job bookkeeping
             ready_.push_back(j);
             next_release_[i] += t.period;
         }

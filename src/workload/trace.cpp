@@ -91,6 +91,9 @@ void trace_player::tick(cycle_t now) {
     r.hop_arrival = now;
     r.abs_deadline = rec.abs_deadline;
     r.level_deadline = rec.abs_deadline;
+    // Replay bookkeeping, bounded by the fabric's acceptance backpressure
+    // (client_can_accept() gates the issue above).
+    // detlint:allow(hotpath-alloc): outstanding set is credit-bounded
     outstanding_deadline_.emplace(r.id, r.abs_deadline);
     stats_.record_issue();
     net_.client_push(id_, std::move(r));

@@ -36,6 +36,9 @@ void traffic_generator::release_jobs(cycle_t now) {
                 cfg_.task_region_bytes / cfg_.cache_line_bytes;
             job.base_addr = task_base + rng_.uniform_u64(0, lines - 1) *
                                             cfg_.cache_line_bytes;
+            // Software workload model, not modeled hardware: per-task job
+            // backlog mirrors what a generator thread would queue.
+            // detlint:allow(hotpath-alloc): client-model job bookkeeping
             ts.jobs.push_back(job);
             ts.next_release += period;
             ++ts.jobs_released;
@@ -91,6 +94,9 @@ bool traffic_generator::try_reissue(cycle_t now) {
         fresh.req.hops = obs::hop_stamps{}; // fresh attempt, fresh attribution
         fresh.timeout_at = now + backoff_window(fresh.attempts);
         mem_request r = fresh.req;
+        // Reissue: the entry was just erased above, so occupancy is
+        // net-zero and bounded by the in-flight request cap.
+        // detlint:allow(hotpath-alloc): outstanding set is credit-bounded
         outstanding_.emplace(r.id, std::move(fresh));
         stats_.record_retry();
         net_.client_push(id_, std::move(r));
@@ -142,6 +148,9 @@ void traffic_generator::tick(cycle_t now) {
     if (cfg_.retry_timeout_cycles != 0) {
         o.timeout_at = now + cfg_.retry_timeout_cycles;
     }
+    // Outstanding tracking grows only while the fabric accepts pushes, so
+    // occupancy is bounded by the port/credit backpressure.
+    // detlint:allow(hotpath-alloc): outstanding set is credit-bounded
     outstanding_.emplace(r.id, std::move(o));
     stats_.record_issue();
     net_.client_push(id_, std::move(r));

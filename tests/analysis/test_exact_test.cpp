@@ -45,18 +45,18 @@ TEST(exact_test_horizon, hyperperiod_plus_warmup) {
 
 TEST(exact_edf_test, analytic_test_is_sound_wrt_oracle) {
     // Sufficiency: whatever Theorem 1 accepts, the oracle must accept.
-    rng rand(501);
+    rng rnd(501);
     int compared = 0;
     for (int trial = 0; trial < 200; ++trial) {
         task_set tasks;
-        const int n = 1 + static_cast<int>(rand.pick(3));
+        const int n = 1 + static_cast<int>(rnd.pick(3));
         for (int i = 0; i < n; ++i) {
             // Harmonic-ish periods keep hyperperiods small.
-            const std::uint64_t period = 1u << (2 + rand.pick(5));
-            tasks.push_back({period, 1 + rand.uniform_u64(0, period / 2)});
+            const std::uint64_t period = 1u << (2 + rnd.pick(5));
+            tasks.push_back({period, 1 + rnd.uniform_u64(0, period / 2)});
         }
-        const std::uint64_t pi = 2 + rand.uniform_u64(0, 14);
-        const resource_interface iface{pi, 1 + rand.uniform_u64(0, pi - 1)};
+        const std::uint64_t pi = 2 + rnd.uniform_u64(0, 14);
+        const resource_interface iface{pi, 1 + rnd.uniform_u64(0, pi - 1)};
         if (is_schedulable(tasks, iface) != sched_result::schedulable) {
             continue;
         }
@@ -71,17 +71,17 @@ TEST(exact_edf_test, analytic_test_is_sound_wrt_oracle) {
 TEST(exact_edf_test, quantifies_analytic_pessimism) {
     // There exist systems the oracle accepts but the analytic test
     // rejects (the test is sufficient, not exact). Find at least one.
-    rng rand(733);
+    rng rnd(733);
     bool found_gap = false;
     for (int trial = 0; trial < 400 && !found_gap; ++trial) {
         task_set tasks;
-        const int n = 1 + static_cast<int>(rand.pick(2));
+        const int n = 1 + static_cast<int>(rnd.pick(2));
         for (int i = 0; i < n; ++i) {
-            const std::uint64_t period = 1u << (2 + rand.pick(4));
-            tasks.push_back({period, 1 + rand.uniform_u64(0, period / 2)});
+            const std::uint64_t period = 1u << (2 + rnd.pick(4));
+            tasks.push_back({period, 1 + rnd.uniform_u64(0, period / 2)});
         }
-        const std::uint64_t pi = 2 + rand.uniform_u64(0, 6);
-        const resource_interface iface{pi, 1 + rand.uniform_u64(0, pi - 1)};
+        const std::uint64_t pi = 2 + rnd.uniform_u64(0, 6);
+        const resource_interface iface{pi, 1 + rnd.uniform_u64(0, pi - 1)};
         if (is_schedulable(tasks, iface) == sched_result::unschedulable &&
             exact_edf_test(tasks, iface) == sched_result::schedulable) {
             found_gap = true;
@@ -91,12 +91,12 @@ TEST(exact_edf_test, quantifies_analytic_pessimism) {
 }
 
 TEST(exact_edf_test, selected_interfaces_pass_oracle) {
-    rng rand(91);
+    rng rnd(91);
     for (int trial = 0; trial < 20; ++trial) {
         task_set tasks;
         for (int i = 0; i < 2; ++i) {
-            const std::uint64_t period = 1u << (3 + rand.pick(4));
-            tasks.push_back({period, 1 + rand.uniform_u64(0, period / 8)});
+            const std::uint64_t period = 1u << (3 + rnd.pick(4));
+            tasks.push_back({period, 1 + rnd.uniform_u64(0, period / 8)});
         }
         const auto iface =
             select_interface(tasks, utilization(tasks) + 0.3);

@@ -184,18 +184,18 @@ TEST_P(schedulability_random_oracle, never_accepts_what_simulation_rejects) {
     // schedulable, a brute-force EDF simulation on the worst-case supply
     // pattern must meet every deadline. (The converse need not hold --
     // the test is sufficient, not exact.)
-    rng rand(100 + GetParam());
+    rng rnd(100 + GetParam());
     int accepted = 0;
     for (int trial = 0; trial < 60; ++trial) {
         task_set tasks;
-        const int n = 1 + static_cast<int>(rand.pick(4));
+        const int n = 1 + static_cast<int>(rnd.pick(4));
         for (int i = 0; i < n; ++i) {
-            const std::uint64_t period = 4 + rand.uniform_u64(0, 60);
+            const std::uint64_t period = 4 + rnd.uniform_u64(0, 60);
             tasks.push_back(
-                {period, 1 + rand.uniform_u64(0, period / 2)});
+                {period, 1 + rnd.uniform_u64(0, period / 2)});
         }
-        const std::uint64_t pi = 2 + rand.uniform_u64(0, 14);
-        const resource_interface iface{pi, 1 + rand.uniform_u64(0, pi - 1)};
+        const std::uint64_t pi = 2 + rnd.uniform_u64(0, 14);
+        const resource_interface iface{pi, 1 + rnd.uniform_u64(0, pi - 1)};
         if (is_schedulable(tasks, iface) != sched_result::schedulable) {
             continue;
         }
@@ -219,19 +219,19 @@ TEST(sufficient_portfolio, schedulable_verdicts_are_a_subset_of_exact) {
     // fallback) must stay SOUND: whenever the linear-time portfolio
     // proves schedulability, the pseudo-polynomial exact test agrees.
     // The converse need not hold -- `aborted` (undecided) is expected.
-    rng rand(424);
+    rng rnd(424);
     int proved = 0;
     int undecided = 0;
     for (int trial = 0; trial < 200; ++trial) {
         task_set tasks;
-        const int n = 1 + static_cast<int>(rand.pick(4));
+        const int n = 1 + static_cast<int>(rnd.pick(4));
         for (int i = 0; i < n; ++i) {
-            const std::uint64_t period = 4 + rand.uniform_u64(0, 120);
+            const std::uint64_t period = 4 + rnd.uniform_u64(0, 120);
             tasks.push_back(
-                {period, 1 + rand.uniform_u64(0, period / 3)});
+                {period, 1 + rnd.uniform_u64(0, period / 3)});
         }
-        const std::uint64_t pi = 2 + rand.uniform_u64(0, 14);
-        const resource_interface iface{pi, 1 + rand.uniform_u64(0, pi - 1)};
+        const std::uint64_t pi = 2 + rnd.uniform_u64(0, 14);
+        const resource_interface iface{pi, 1 + rnd.uniform_u64(0, pi - 1)};
         const auto cheap = is_schedulable_sufficient(tasks, iface);
         if (cheap == sched_result::schedulable) {
             ++proved;
@@ -257,19 +257,19 @@ TEST(sufficient_portfolio, schedulable_verdicts_are_a_subset_of_exact) {
 TEST(sufficient_portfolio, config_flag_delegates_to_the_portfolio) {
     // sched_test_config::sufficient_only answers through the portfolio
     // bit-for-bit -- the service's breaker swaps tests, not semantics.
-    rng rand(99);
+    rng rnd(99);
     sched_test_config degraded;
     degraded.sufficient_only = true;
     for (int trial = 0; trial < 60; ++trial) {
         task_set tasks;
-        const int n = 1 + static_cast<int>(rand.pick(3));
+        const int n = 1 + static_cast<int>(rnd.pick(3));
         for (int i = 0; i < n; ++i) {
-            const std::uint64_t period = 4 + rand.uniform_u64(0, 60);
+            const std::uint64_t period = 4 + rnd.uniform_u64(0, 60);
             tasks.push_back(
-                {period, 1 + rand.uniform_u64(0, period / 2)});
+                {period, 1 + rnd.uniform_u64(0, period / 2)});
         }
-        const std::uint64_t pi = 2 + rand.uniform_u64(0, 14);
-        const resource_interface iface{pi, 1 + rand.uniform_u64(0, pi - 1)};
+        const std::uint64_t pi = 2 + rnd.uniform_u64(0, 14);
+        const resource_interface iface{pi, 1 + rnd.uniform_u64(0, pi - 1)};
         EXPECT_EQ(is_schedulable(tasks, iface, degraded),
                   is_schedulable_sufficient(tasks, iface))
             << "trial " << trial;
@@ -279,14 +279,14 @@ TEST(sufficient_portfolio, config_flag_delegates_to_the_portfolio) {
 TEST(schedulability_oracle, selection_results_survive_simulation) {
     // The end of the pipeline: interfaces chosen by select_interface must
     // pass the brute-force oracle too.
-    rng rand(55);
+    rng rnd(55);
     for (int trial = 0; trial < 30; ++trial) {
         task_set tasks;
-        const int n = 1 + static_cast<int>(rand.pick(3));
+        const int n = 1 + static_cast<int>(rnd.pick(3));
         for (int i = 0; i < n; ++i) {
-            const std::uint64_t period = 10 + rand.uniform_u64(0, 90);
+            const std::uint64_t period = 10 + rnd.uniform_u64(0, 90);
             tasks.push_back(
-                {period, 1 + rand.uniform_u64(0, period / 6)});
+                {period, 1 + rnd.uniform_u64(0, period / 6)});
         }
         const auto iface =
             select_interface(tasks, utilization(tasks) + 0.25);

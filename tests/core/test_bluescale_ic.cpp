@@ -133,6 +133,7 @@ TEST(bluescale_ic, configured_fabric_still_delivers_everything) {
         for (client_id_t c = 0; c < 16; ++c) {
             if (now % 800 == c * 50 && r.net.client_can_accept(c)) {
                 const std::uint64_t id = pushed++;
+                // detlint:allow(cycle-step): synthetic request deadline, not engine cadence
                 r.net.client_push(c, req(id, c, now + 2000, id * 64));
             }
         }
@@ -149,6 +150,7 @@ TEST(bluescale_ic, no_loss_under_saturating_load) {
         for (client_id_t c = 0; c < 16; ++c) {
             if (r.net.client_can_accept(c) && pushed < 2000) {
                 const std::uint64_t id = pushed++;
+                // detlint:allow(cycle-step): synthetic request deadline, not engine cadence
                 r.net.client_push(c, req(id, c, now + 100'000, id * 64));
             }
         }
@@ -196,6 +198,7 @@ TEST(bluescale_ic, ideal_and_demux_models_agree_at_low_rate) {
             const client_id_t c = static_cast<client_id_t>(now / 64 % 16);
             if (now % 64 == 0 && r.net.client_can_accept(c)) {
                 const std::uint64_t id = pushed++;
+                // detlint:allow(cycle-step): synthetic request deadline, not engine cadence
                 r.net.client_push(c, req(id, c, now + 100'000, id * 64));
             }
             r.sim.step();

@@ -19,9 +19,9 @@ struct rig {
 rig make_rig(ic_kind kind, std::uint32_t n_clients, std::uint64_t seed,
              bool with_selection = false) {
     rig r;
-    rng rand(seed);
+    rng rnd(seed);
     r.tasksets =
-        workload::make_client_tasksets(rand, n_clients, 0.6, 0.6);
+        workload::make_client_tasksets(rnd, n_clients, 0.6, 0.6);
 
     testbench_options opts;
     opts.n_clients = n_clients;
@@ -90,8 +90,8 @@ TEST(testbench, no_selection_without_rt_sets) {
 }
 
 TEST(testbench, se_override_builds_bluescale_variant) {
-    rng rand(5);
-    auto tasksets = workload::make_client_tasksets(rand, 16, 0.5, 0.5);
+    rng rnd(5);
+    auto tasksets = workload::make_client_tasksets(rnd, 16, 0.5, 0.5);
     testbench_options opts;
     opts.n_clients = 16;
     core::se_params se;

@@ -44,6 +44,7 @@ TEST_P(supply_conformance, backlogged_port_meets_sbf_in_every_window) {
     for (cycle_t now = 0; now < horizon; ++now) {
         while (se.port_can_accept(0)) {
             mem_request r;
+            // detlint:allow(cycle-step): synthetic request deadline, not engine cadence
             r.level_deadline = now + 1000;
             se.port_push(0, r);
         }
@@ -79,6 +80,7 @@ TEST_P(supply_conformance, long_run_rate_equals_bandwidth) {
     for (cycle_t now = 0; now < periods * pi; ++now) {
         while (se.port_can_accept(0)) {
             mem_request r;
+            // detlint:allow(cycle-step): synthetic request deadline, not engine cadence
             r.level_deadline = now + 1000;
             se.port_push(0, r);
         }
@@ -118,6 +120,7 @@ TEST(supply_conformance_multi, four_backlogged_ports_share_exactly) {
             while (se.port_can_accept(p)) {
                 mem_request r;
                 r.client = p;
+                // detlint:allow(cycle-step): synthetic request deadline, not engine cadence
                 r.level_deadline = now + 1000;
                 se.port_push(p, r);
             }

@@ -127,6 +127,7 @@ TEST(axi_hyperconnect, no_loss_under_sustained_load) {
         for (client_id_t c = 0; c < 8; ++c) {
             if (now % 32 == 4 * c && r.net.client_can_accept(c)) {
                 const std::uint64_t id = pushed++;
+                // detlint:allow(cycle-step): synthetic request deadline, not engine cadence
                 r.net.client_push(c, req(id, c, now + 800, id * 64));
             }
         }

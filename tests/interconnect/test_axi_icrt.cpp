@@ -147,6 +147,7 @@ TEST(axi_icrt, no_loss_under_sustained_load) {
         for (client_id_t c = 0; c < 8; ++c) {
             if (now % 64 == 8 * c && r.net.client_can_accept(c)) {
                 const std::uint64_t id = pushed++;
+                // detlint:allow(cycle-step): synthetic request deadline, not engine cadence
                 r.net.client_push(c, req(id, c, now + 500, id * 64));
             }
         }

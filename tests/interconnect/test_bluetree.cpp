@@ -94,6 +94,7 @@ TEST(bluetree, no_requests_lost_under_sustained_load) {
         for (client_id_t c = 0; c < 8; ++c) {
             if (now % 16 == c * 2 && r.net.client_can_accept(c)) {
                 const std::uint64_t id = pushed++;
+                // detlint:allow(cycle-step): synthetic request deadline, not engine cadence
                 r.net.client_push(c, req(id, c, now + 400, id * 64));
             }
         }

@@ -170,6 +170,7 @@ TEST(gsmtree, no_loss_under_sustained_load) {
         for (client_id_t c = 0; c < 4; ++c) {
             if (now % 32 == 8 * c && r.net.client_can_accept(c)) {
                 const std::uint64_t id = pushed++;
+                // detlint:allow(cycle-step): synthetic request deadline, not engine cadence
                 r.net.client_push(c, req(id, c, now + 1000, id * 64));
             }
         }

@@ -63,17 +63,17 @@ fuzz_outcome fuzz_run(ic_kind kind, std::uint64_t seed,
     simulator sim;
     sim.add(*ic);
     sim.add(mem);
-    rng rand(seed);
+    rng rnd(seed);
     request_id_t id = 0;
     for (cycle_t now = 0; now < cycles; ++now) {
         // Random bursty injection.
-        const std::uint32_t tries = static_cast<std::uint32_t>(rand.pick(4));
+        const std::uint32_t tries = static_cast<std::uint32_t>(rnd.pick(4));
         for (std::uint32_t i = 0; i < tries; ++i) {
-            const auto c = static_cast<client_id_t>(rand.pick(n));
+            const auto c = static_cast<client_id_t>(rnd.pick(n));
             if (ic->client_can_accept(c)) {
                 ic->client_push(
-                    c, req(id, c, now + rand.uniform_u64(50, 5000),
-                           rand.uniform_u64(0, 1u << 20) * 64));
+                    c, req(id, c, now + rnd.uniform_u64(50, 5000),
+                           rnd.uniform_u64(0, 1u << 20) * 64));
                 ++id;
             }
         }

@@ -1,0 +1,13 @@
+// Seeded violation: heap growth on the tick path, one hop from the root
+// through the approximate call graph (tick -> refill).
+#include <vector>
+
+using cycle_t = unsigned long long;
+
+struct burst_buffer {
+    std::vector<int> backlog_;
+
+    void refill(int v) { backlog_.push_back(v); }
+
+    void tick(cycle_t) { refill(1); }
+};

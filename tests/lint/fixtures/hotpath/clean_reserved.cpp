@@ -1,0 +1,21 @@
+// The sanctioned shape: reserve-then-index. All growth happens in setup
+// (unreachable from the roots, so never checked); the tick path only
+// reads and writes pre-sized slots.
+#include <vector>
+
+using cycle_t = unsigned long long;
+
+struct steady_buffer {
+    std::vector<int> slots_;
+    std::size_t head_ = 0;
+
+    void setup(std::size_t depth) {
+        slots_.reserve(depth);
+        slots_.resize(depth);
+    }
+
+    void tick(cycle_t) {
+        slots_[head_] += 1;
+        head_ = (head_ + 1) % slots_.size();
+    }
+};

@@ -1,0 +1,9 @@
+// Seeded violation: file/console I/O on the tick path. Hot code records
+// through obs counters/trace; exporters run after the simulation.
+#include <cstdio>
+
+using cycle_t = unsigned long long;
+
+struct chatty_port {
+    void tick(cycle_t now) { std::printf("tick %llu\n", now); }
+};

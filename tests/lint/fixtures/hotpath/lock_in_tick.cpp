@@ -1,0 +1,16 @@
+// Seeded violation: blocking synchronization on the tick path.
+// Components are single-threaded within a trial; locks belong at the
+// harness boundary.
+#include <mutex>
+
+using cycle_t = unsigned long long;
+
+struct guarded_port {
+    std::mutex m_;
+    int pending_ = 0;
+
+    void tick(cycle_t) {
+        std::lock_guard<std::mutex> hold(m_);
+        ++pending_;
+    }
+};

@@ -1,0 +1,17 @@
+// Twin of alloc_in_tick.cpp: the same push, blessed because the backing
+// store is pre-reserved at construction.
+#include <vector>
+
+using cycle_t = unsigned long long;
+
+struct burst_buffer {
+    std::vector<int> backlog_;
+
+    burst_buffer() { backlog_.reserve(64); }
+
+    void tick(cycle_t) {
+        if (backlog_.size() >= 64) return;
+        // detlint:allow(hotpath-alloc): push into pre-reserved storage
+        backlog_.push_back(1);
+    }
+};

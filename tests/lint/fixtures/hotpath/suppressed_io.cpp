@@ -1,0 +1,13 @@
+// Twin of io_in_tick.cpp: debug-build-only tracing, blessed.
+#include <cstdio>
+
+using cycle_t = unsigned long long;
+
+struct traced_port {
+    void tick(cycle_t now) {
+#ifndef NDEBUG
+        // detlint:allow(hotpath-io): debug-build tracing, compiled out
+        if (now == 0) std::fprintf(stderr, "first tick\n");
+#endif
+    }
+};

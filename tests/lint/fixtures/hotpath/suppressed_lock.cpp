@@ -1,0 +1,15 @@
+// Twin of lock_in_tick.cpp: a non-blocking namesake, blessed.
+using cycle_t = unsigned long long;
+
+struct spin_cell {
+    int held_ = 0;
+
+    // detlint:allow(hotpath-lock): project spinlock try, never blocks
+    bool try_lock() { return held_++ == 0; }
+
+    void tick(cycle_t) {
+        // detlint:allow(hotpath-lock): project spinlock try, never blocks
+        if (!this->try_lock()) return;
+        held_ = 0;
+    }
+};

@@ -1,0 +1,14 @@
+// Twin of throw_in_tick.cpp: an unreachable defensive throw, blessed.
+#include <stdexcept>
+
+using cycle_t = unsigned long long;
+
+struct checked_port {
+    int budget_ = 0;
+
+    void tick(cycle_t) {
+        // detlint:allow(hotpath-throw): unreachable guard, documented ABI
+        if (budget_ < -1'000'000) throw std::logic_error("corrupt budget");
+        ++budget_;
+    }
+};

@@ -1,0 +1,14 @@
+// Seeded violation: exception unwinding on the tick path. Contract
+// violations in hot code use assert(); status returns carry recoverable
+// errors.
+#include <stdexcept>
+
+using cycle_t = unsigned long long;
+
+struct checked_port {
+    int budget_ = 0;
+
+    void tick(cycle_t) {
+        if (budget_ < 0) throw std::runtime_error("negative budget");
+    }
+};

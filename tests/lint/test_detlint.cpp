@@ -7,9 +7,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <sstream>
 #include <string>
 
 #include "engine.hpp"
+#include "sarif.hpp"
 
 namespace {
 
@@ -53,6 +55,10 @@ constexpr seeded_case k_seeded[] = {
     {"metrics_bypass_field_write.cpp", "metrics-bypass"},
     {"metrics_bypass_stream.cpp", "metrics-bypass"},
     {"missing_pragma_once.hpp", "include-guard"},
+    {"hotpath/alloc_in_tick.cpp", "hotpath-alloc"},
+    {"hotpath/lock_in_tick.cpp", "hotpath-lock"},
+    {"hotpath/throw_in_tick.cpp", "hotpath-throw"},
+    {"hotpath/io_in_tick.cpp", "hotpath-io"},
 };
 
 TEST(detlint_fixtures, each_seeded_violation_is_flagged_with_its_rule) {
@@ -68,6 +74,8 @@ TEST(detlint_fixtures, allow_annotations_silence_each_rule) {
         "suppressed_float_cycle.cpp", "suppressed_cycle_step.cpp",
         "suppressed_libc_shadow.cpp",
         "suppressed_metrics_bypass.cpp", "suppressed_include_guard.hpp",
+        "hotpath/suppressed_alloc.cpp", "hotpath/suppressed_lock.cpp",
+        "hotpath/suppressed_throw.cpp", "hotpath/suppressed_io.cpp",
     };
     for (const auto* name : suppressed) {
         SCOPED_TRACE(name);
@@ -93,6 +101,16 @@ TEST(detlint_fixtures, clean_idiomatic_code_has_zero_findings) {
     const scan_result r = scan_fixture("clean.cpp");
     EXPECT_TRUE(r.findings.empty())
         << r.findings.front().rule << ": " << r.findings.front().message;
+}
+
+TEST(detlint_fixtures, reserve_then_index_tick_path_is_clean) {
+    // The sanctioned hot-path shape: all growth in setup (never reachable
+    // from the roots), only pre-sized access in tick -- no suppression
+    // comment needed.
+    const scan_result r = scan_fixture("hotpath/clean_reserved.cpp");
+    EXPECT_TRUE(r.findings.empty())
+        << r.findings.front().rule << ": " << r.findings.front().message;
+    EXPECT_TRUE(r.suppressed.empty());
 }
 
 TEST(detlint_fixtures, svc_profile_bodies_may_read_the_wall_clock) {
@@ -357,6 +375,267 @@ TEST(detlint_engine, suppression_must_name_the_right_rule) {
         scan_options{});
     ASSERT_EQ(r.findings.size(), 1u);
     EXPECT_EQ(r.findings.front().rule, "nondet-source");
+}
+
+// ---------------------------------------------------------------------------
+// Call-graph contracts (the hotpath-* gate)
+
+TEST(detlint_callgraph, reachability_flows_through_helpers) {
+    // The violation sits one hop from the root: tick -> stash.
+    const scan_result r = detlint::scan_sources(
+        {{"src/sim/a.cpp",
+          "#include <vector>\n"
+          "struct port {\n"
+          "    std::vector<int> q_;\n"
+          "    void stash(int v) { q_.push_back(v); }\n"
+          "    void tick(unsigned long long) { stash(1); }\n"
+          "};\n"}},
+        scan_options{});
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings.front().rule, "hotpath-alloc");
+    EXPECT_EQ(r.findings.front().line, 4u);
+    // Provenance names both the intermediate hop and the root.
+    EXPECT_NE(r.findings.front().message.find("'tick'"),
+              std::string::npos)
+        << r.findings.front().message;
+}
+
+TEST(detlint_callgraph, cold_code_is_not_checked) {
+    // setup() is unreachable from any root: its growth is the sanctioned
+    // assembly-time idiom and needs no suppression.
+    const scan_result r = detlint::scan_sources(
+        {{"src/sim/a.cpp",
+          "#include <vector>\n"
+          "struct port {\n"
+          "    std::vector<int> q_;\n"
+          "    void setup() { q_.push_back(0); }\n"
+          "    void tick(unsigned long long) {}\n"
+          "};\n"}},
+        scan_options{});
+    EXPECT_TRUE(r.findings.empty()) << r.findings.front().message;
+}
+
+TEST(detlint_callgraph, member_calls_do_not_reach_free_functions) {
+    // s_.flush() resolves among member definitions only; the free
+    // flush() and its allocation stay cold.
+    const scan_result r = detlint::scan_sources(
+        {{"src/sim/a.cpp",
+          "#include <vector>\n"
+          "std::vector<int> g;\n"
+          "void flush() { g.push_back(1); }\n"
+          "struct sink { void flush() {} };\n"
+          "struct port {\n"
+          "    sink s_;\n"
+          "    void tick(unsigned long long) { s_.flush(); }\n"
+          "};\n"}},
+        scan_options{});
+    EXPECT_TRUE(r.findings.empty()) << r.findings.front().message;
+}
+
+TEST(detlint_callgraph, overloads_are_marked_conservatively) {
+    // Token-level resolution cannot pick an overload: every definition
+    // of the called name becomes hot, so both sites are flagged.
+    const scan_result r = detlint::scan_sources(
+        {{"src/sim/a.cpp",
+          "#include <vector>\n"
+          "struct port {\n"
+          "    std::vector<int> q_;\n"
+          "    void put(int v) { q_.push_back(v); }\n"
+          "    void put(int v, int w) { q_.push_back(v + w); }\n"
+          "    void tick(unsigned long long) { put(1); }\n"
+          "};\n"}},
+        scan_options{});
+    ASSERT_EQ(r.findings.size(), 2u);
+    EXPECT_EQ(r.findings[0].rule, "hotpath-alloc");
+    EXPECT_EQ(r.findings[0].line, 4u);
+    EXPECT_EQ(r.findings[1].rule, "hotpath-alloc");
+    EXPECT_EQ(r.findings[1].line, 5u);
+}
+
+TEST(detlint_callgraph, lambda_bodies_inside_tick_are_hot) {
+    // A lambda's tokens sit inside the enclosing body range, so hot-path
+    // discipline applies to it without any extra graph machinery.
+    const scan_result r = detlint::scan_sources(
+        {{"src/sim/a.cpp",
+          "#include <vector>\n"
+          "struct port {\n"
+          "    std::vector<int> q_;\n"
+          "    void tick(unsigned long long) {\n"
+          "        auto push = [&](int v) { q_.push_back(v); };\n"
+          "        push(7);\n"
+          "    }\n"
+          "};\n"}},
+        scan_options{});
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings.front().rule, "hotpath-alloc");
+    EXPECT_EQ(r.findings.front().line, 5u);
+}
+
+TEST(detlint_callgraph, address_taken_functions_become_hot) {
+    // &drain escapes into a function pointer a tick body installs: the
+    // target must be treated as callable from the hot path.
+    const scan_result r = detlint::scan_sources(
+        {{"src/sim/a.cpp",
+          "#include <vector>\n"
+          "std::vector<int> g;\n"
+          "void drain() { g.push_back(1); }\n"
+          "struct port {\n"
+          "    void (*fn_)() = nullptr;\n"
+          "    void tick(unsigned long long) { fn_ = &drain; }\n"
+          "};\n"}},
+        scan_options{});
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings.front().rule, "hotpath-alloc");
+    EXPECT_EQ(r.findings.front().line, 3u);
+}
+
+TEST(detlint_callgraph, explicit_template_calls_resolve) {
+    const scan_result r = detlint::scan_sources(
+        {{"src/sim/a.cpp",
+          "#include <vector>\n"
+          "struct port {\n"
+          "    std::vector<int> q_;\n"
+          "    template <typename T>\n"
+          "    void put(T v) { q_.push_back(static_cast<int>(v)); }\n"
+          "    void tick(unsigned long long) { put<long>(5); }\n"
+          "};\n"}},
+        scan_options{});
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings.front().rule, "hotpath-alloc");
+    EXPECT_EQ(r.findings.front().line, 5u);
+}
+
+TEST(detlint_callgraph, recursive_cycles_terminate) {
+    // Mutual recursion reachable from tick: the hot flag doubles as the
+    // BFS visited set, so marking terminates and the site is flagged.
+    const scan_result r = detlint::scan_sources(
+        {{"src/sim/a.cpp",
+          "#include <vector>\n"
+          "struct port {\n"
+          "    std::vector<int> q_;\n"
+          "    void ping(int n);\n"
+          "    void pong(int n) { if (n > 0) ping(n - 1); q_.push_back(n); }\n"
+          "    void tick(unsigned long long) { ping(3); }\n"
+          "};\n"
+          "void port::ping(int n) { if (n > 0) pong(n - 1); }\n"}},
+        scan_options{});
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings.front().rule, "hotpath-alloc");
+    EXPECT_EQ(r.findings.front().line, 5u);
+}
+
+TEST(detlint_callgraph, commit_roots_require_a_clocked_class) {
+    // A control-plane transaction commit (class without tick) is not a
+    // clock edge; the same name in a ticking component is.
+    const std::string cold =
+        "#include <vector>\n"
+        "struct txn {\n"
+        "    std::vector<int> log_;\n"
+        "    void commit() { log_.push_back(1); }\n"
+        "};\n";
+    const scan_result not_root = detlint::scan_sources(
+        {{"src/core/txn.cpp", cold}}, scan_options{});
+    EXPECT_TRUE(not_root.findings.empty())
+        << not_root.findings.front().message;
+    const std::string clocked =
+        "#include <vector>\n"
+        "struct dev {\n"
+        "    std::vector<int> log_;\n"
+        "    void tick(unsigned long long) {}\n"
+        "    void commit() { log_.push_back(1); }\n"
+        "};\n";
+    const scan_result root = detlint::scan_sources(
+        {{"src/core/dev.cpp", clocked}}, scan_options{});
+    ASSERT_EQ(root.findings.size(), 1u);
+    EXPECT_EQ(root.findings.front().rule, "hotpath-alloc");
+    EXPECT_EQ(root.findings.front().line, 5u);
+}
+
+TEST(detlint_callgraph, sanctioned_boundaries_stop_propagation) {
+    // Analysis code runs at admission time by design: an edge from a hot
+    // tick into src/analysis/ does not drag that tree into the hot set.
+    const scan_result r = detlint::scan_sources(
+        {{"src/sim/a.cpp",
+          "void record(int v);\n"
+          "struct port { void tick(unsigned long long) { record(1); } };\n"},
+         {"src/analysis/b.cpp",
+          "#include <vector>\n"
+          "std::vector<int> g;\n"
+          "void record(int v) { g.push_back(v); }\n"}},
+        scan_options{});
+    EXPECT_TRUE(r.findings.empty()) << r.findings.front().message;
+}
+
+TEST(detlint_callgraph, std_qualified_calls_stay_external) {
+    // std::sort never names project code, even when a project function
+    // shares the name.
+    const scan_result r = detlint::scan_sources(
+        {{"src/sim/a.cpp",
+          "#include <algorithm>\n"
+          "#include <vector>\n"
+          "std::vector<int> g;\n"
+          "void sort() { g.push_back(1); }\n"
+          "struct port {\n"
+          "    int a_[4] = {3, 1, 2, 0};\n"
+          "    void tick(unsigned long long) { std::sort(a_, a_ + 4); }\n"
+          "};\n"}},
+        scan_options{});
+    EXPECT_TRUE(r.findings.empty()) << r.findings.front().message;
+}
+
+TEST(detlint_callgraph, queue_methods_are_roots_only_on_queue_classes) {
+    // push() on an arbitrary class is not a root; the bounded queue
+    // classes' push() is (components call it mid-tick).
+    const std::string body =
+        "#include <vector>\n"
+        "struct CLASSNAME {\n"
+        "    std::vector<int> q_;\n"
+        "    void push(int v) { q_.push_back(v); }\n"
+        "};\n";
+    std::string plain = body;
+    plain.replace(plain.find("CLASSNAME"), 9, "mailbox");
+    const scan_result cold = detlint::scan_sources(
+        {{"src/sim/mailbox.cpp", plain}}, scan_options{});
+    EXPECT_TRUE(cold.findings.empty()) << cold.findings.front().message;
+    std::string queue = body;
+    queue.replace(queue.find("CLASSNAME"), 9, "latched_queue");
+    const scan_result hot = detlint::scan_sources(
+        {{"src/sim/lq.cpp", queue}}, scan_options{});
+    ASSERT_EQ(hot.findings.size(), 1u);
+    EXPECT_EQ(hot.findings.front().rule, "hotpath-alloc");
+    EXPECT_EQ(hot.findings.front().line, 4u);
+}
+
+// ---------------------------------------------------------------------------
+// SARIF emission
+
+TEST(detlint_sarif, report_carries_rule_location_and_schema) {
+    const std::vector<detlint::finding> fs = {
+        {"/repo/src/sim/a.cpp", 12, "hotpath-alloc",
+         "growable-container 'push_back' inside hot function 'tick'"}};
+    std::ostringstream out;
+    detlint::write_sarif(out, fs, "/repo");
+    const std::string s = out.str();
+    EXPECT_NE(s.find("\"version\": \"2.1.0\""), std::string::npos);
+    EXPECT_NE(s.find("\"name\": \"detlint\""), std::string::npos);
+    EXPECT_NE(s.find("\"ruleId\": \"hotpath-alloc\""), std::string::npos);
+    // Repo-relative URI: required for code-scanning PR annotations.
+    EXPECT_NE(s.find("\"uri\": \"src/sim/a.cpp\""), std::string::npos);
+    EXPECT_NE(s.find("\"startLine\": 12"), std::string::npos);
+    // The rule catalogue rides along so annotations have descriptions.
+    for (const auto& rule : detlint::all_rules()) {
+        EXPECT_NE(s.find("\"id\": \"" + std::string(rule.id) + "\""),
+                  std::string::npos)
+            << rule.id;
+    }
+}
+
+TEST(detlint_sarif, empty_findings_still_produce_a_valid_run) {
+    std::ostringstream out;
+    detlint::write_sarif(out, {}, "");
+    const std::string s = out.str();
+    EXPECT_NE(s.find("\"results\": ["), std::string::npos);
+    EXPECT_NE(s.find("$schema"), std::string::npos);
 }
 
 } // namespace

@@ -1,0 +1,100 @@
+// Approximate intra-project call graph built from detlint's token stream.
+//
+// detlint has no semantic analysis, so the graph is resolved by NAME, not
+// by type: a call site `foo(...)` edges to every project function
+// definition named `foo` (overloads collapse into one conservative node
+// set), and `x.foo(...)` / `x->foo(...)` edges to every MEMBER definition
+// named `foo` -- we do not know x's type, but we do know the target is a
+// member, which keeps free functions that share a method's name out of
+// the hot set. Qualified calls `X::foo(...)` prefer definitions whose
+// enclosing class is X. `&foo` (address-of a known function name) is
+// treated as a call so work dispatched through function pointers stays
+// visible. Lambdas defined inside a function body are token-contained in
+// that body, so their code is analyzed as part of the enclosing function.
+// Recursive cycles are handled by the visited set of the reachability
+// walk. Template definitions are plain named definitions here --
+// instantiation does not exist at token level.
+//
+// The graph exists for ONE question: which function bodies are reachable
+// from the simulation hot-path roots (tick / commit / next_event /
+// advance / on_activation, and push / pop / extract on the bounded queue
+// classes), i.e. which code must honour the O(1)-per-tick contract that
+// BlueScale's predictability claim rests on. The hotpath-* rules in
+// rules.cpp run only inside that reachable set.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace detlint {
+
+/// How a call site names its target; drives resolution precision.
+enum class call_kind : std::uint8_t {
+    bare,      ///< foo(...) -- resolves to every definition named foo
+    member,    ///< x.foo(...) / x->foo(...) -- member definitions only
+    qualified, ///< X::foo(...) -- definitions enclosed by class X first
+    address,   ///< &foo -- function-pointer escape, treated as a call
+};
+
+struct call_site {
+    std::string name;
+    std::string qualifier; ///< qualified calls only: the X in X::foo
+    call_kind kind = call_kind::bare;
+};
+
+struct function_def {
+    std::string name;
+    /// Enclosing class for inline members, or the X of an out-of-line
+    /// `X::name(...)` definition; empty for free functions.
+    std::string qualifier;
+    std::string path;
+    std::uint32_t line = 0;
+    /// Token index range [body_begin, body_end) of the `{...}` body in
+    /// the defining file's token stream.
+    std::size_t body_begin = 0;
+    std::size_t body_end = 0;
+    std::vector<call_site> calls;
+    /// Hot-set state, filled by finalize().
+    bool hot = false;
+    /// Human-readable provenance: "root 'tick' (src/core/x.cpp:81)" or
+    /// the chain hop it was reached through. Empty while not hot.
+    std::string reached_via;
+};
+
+class call_graph {
+public:
+    /// Phase-1 hook: harvests every function definition (with class
+    /// qualifier where recoverable) and its call sites from one file.
+    void add_file(const lexed_file& file);
+
+    /// Phase-1.5 hook: marks the hot-path roots and walks name-resolved
+    /// call edges to compute the reachable hot set. Must run after every
+    /// add_file() and before hot_defs_in().
+    void finalize();
+
+    /// Hot definitions whose body lives in `path`, body-order. Valid
+    /// after finalize().
+    [[nodiscard]] std::vector<const function_def*>
+    hot_defs_in(const std::string& path) const;
+
+    [[nodiscard]] const std::vector<function_def>& defs() const {
+        return defs_;
+    }
+
+private:
+    void resolve_calls_of(std::size_t def_idx,
+                          std::vector<std::size_t>& out) const;
+
+    std::vector<function_def> defs_;
+    /// name -> indices into defs_ (all definitions sharing the name).
+    std::map<std::string, std::vector<std::size_t>> by_name_;
+    /// path -> indices into defs_, in harvest (token) order.
+    std::map<std::string, std::vector<std::size_t>> by_path_;
+};
+
+} // namespace detlint

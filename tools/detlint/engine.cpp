@@ -50,9 +50,9 @@ void parse_allow(const comment& com, suppressions& sup) {
             pos = p;
             continue;
         }
-        const std::size_t close = s.find(')', p);
-        if (close == std::string::npos) break;
-        std::string list = s.substr(p + 1, close - p - 1);
+        const std::size_t close_paren = s.find(')', p);
+        if (close_paren == std::string::npos) break;
+        std::string list = s.substr(p + 1, close_paren - p - 1);
         std::replace(list.begin(), list.end(), ',', ' ');
         std::istringstream iss(list);
         std::string rule;
@@ -67,7 +67,7 @@ void parse_allow(const comment& com, suppressions& sup) {
                 sup.by_line[com.first_line].insert(rule);
             }
         }
-        pos = close;
+        pos = close_paren;
     }
 }
 
@@ -81,6 +81,7 @@ void parse_allow(const comment& com, suppressions& sup) {
                               const scan_options& opts) {
     tree_context ctx;
     for (const lexed_file& f : lexed) collect(f, ctx);
+    finalize(ctx); // resolve the call graph's hot set before checking
     scan_result result;
     result.files_scanned = lexed.size();
     for (const lexed_file& f : lexed) {
@@ -101,18 +102,26 @@ void parse_allow(const comment& com, suppressions& sup) {
 } // namespace
 
 std::vector<std::string>
-collect_files(const std::vector<std::string>& paths) {
+collect_files(const std::vector<std::string>& paths,
+              const std::vector<std::string>& excludes) {
+    const auto excluded = [&](const std::string& file) {
+        return std::any_of(excludes.begin(), excludes.end(),
+                           [&](const std::string& sub) {
+                               return file.find(sub) != std::string::npos;
+                           });
+    };
     std::vector<std::string> files;
     for (const std::string& p : paths) {
         const fs::path path(p);
         if (fs::is_directory(path)) {
             for (const auto& entry :
                  fs::recursive_directory_iterator(path)) {
-                if (entry.is_regular_file() && lintable(entry.path())) {
+                if (entry.is_regular_file() && lintable(entry.path()) &&
+                    !excluded(entry.path().string())) {
                     files.push_back(entry.path().string());
                 }
             }
-        } else if (fs::is_regular_file(path)) {
+        } else if (fs::is_regular_file(path) && !excluded(p)) {
             files.push_back(path.string());
         }
     }

@@ -27,9 +27,12 @@ struct scan_result {
 /// Expands `paths` (files or directories, recursed for C++ sources) into a
 /// sorted file list. Sorting keeps reports byte-identical run to run --
 /// directory iteration order is as unspecified as the containers detlint
-/// polices.
+/// polices. Files whose path contains any substring in `excludes` are
+/// dropped (the gate uses this to skip tests/lint/fixtures, whose files
+/// are seeded violations by design).
 [[nodiscard]] std::vector<std::string>
-collect_files(const std::vector<std::string>& paths);
+collect_files(const std::vector<std::string>& paths,
+              const std::vector<std::string>& excludes = {});
 
 /// Lints `files` (two-phase: collect facts, then check).
 [[nodiscard]] scan_result scan_files(const std::vector<std::string>& files,

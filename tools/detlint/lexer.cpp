@@ -85,15 +85,15 @@ void lex_string(cursor& c, lexed_file& out) {
         std::string delim;
         while (!c.eof() && c.peek() != '(') delim += c.advance();
         if (!c.eof()) c.advance(); // '('
-        const std::string close = ")" + delim + "\"";
+        const std::string closer = ")" + delim + "\"";
         std::string body;
         while (!c.eof()) {
             bool at_close = c.peek() == ')';
-            for (std::size_t i = 0; at_close && i < close.size(); ++i) {
-                if (c.peek(i) != close[i]) at_close = false;
+            for (std::size_t i = 0; at_close && i < closer.size(); ++i) {
+                if (c.peek(i) != closer[i]) at_close = false;
             }
             if (at_close) {
-                for (std::size_t i = 0; i < close.size(); ++i) c.advance();
+                for (std::size_t i = 0; i < closer.size(); ++i) c.advance();
                 break;
             }
             body += c.advance();

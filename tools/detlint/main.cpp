@@ -9,20 +9,27 @@
 // bypasses the obs layer, and missing include guards. Exit status:
 // 0 = clean, 1 = unsuppressed findings, 2 = usage or I/O error.
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "engine.hpp"
+#include "sarif.hpp"
 
 namespace {
 
 void usage(std::ostream& out) {
     out << "usage: detlint [options] <file-or-dir>...\n"
-           "  --rules=<id,...>  run only the listed rules\n"
-           "  --list-rules      print the rule catalogue and exit\n"
-           "  --no-suppress     report findings even when detlint:allow'd\n"
-           "  --quiet           suppress the summary line on stderr\n"
+           "  --rules=<id,...>    run only the listed rules\n"
+           "  --list-rules        print the rule catalogue and exit\n"
+           "  --no-suppress       report findings even when detlint:allow'd\n"
+           "  --exclude=<substr>  skip files whose path contains <substr>\n"
+           "                      (repeatable)\n"
+           "  --sarif <file>      also write findings as SARIF 2.1.0 (for\n"
+           "                      GitHub code-scanning PR annotations)\n"
+           "  --quiet             suppress the summary line on stderr\n"
            "suppress a finding with  // detlint:allow(<rule>): reason\n"
            "(same line or the line above; detlint:allow-file(<rule>) for a "
            "whole file)\n";
@@ -33,6 +40,8 @@ void usage(std::ostream& out) {
 int main(int argc, char** argv) {
     detlint::scan_options opts;
     std::vector<std::string> paths;
+    std::vector<std::string> excludes;
+    std::string sarif_path;
     bool quiet = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -48,6 +57,22 @@ int main(int argc, char** argv) {
         }
         if (arg == "--quiet") {
             quiet = true;
+            continue;
+        }
+        if (arg.rfind("--exclude=", 0) == 0) {
+            excludes.push_back(arg.substr(std::strlen("--exclude=")));
+            continue;
+        }
+        if (arg.rfind("--sarif=", 0) == 0) {
+            sarif_path = arg.substr(std::strlen("--sarif="));
+            continue;
+        }
+        if (arg == "--sarif") {
+            if (i + 1 >= argc) {
+                std::cerr << "detlint: --sarif needs a file argument\n";
+                return 2;
+            }
+            sarif_path = argv[++i];
             continue;
         }
         if (arg.rfind("--rules=", 0) == 0) {
@@ -84,13 +109,26 @@ int main(int argc, char** argv) {
         return 2;
     }
 
-    const std::vector<std::string> files = detlint::collect_files(paths);
+    const std::vector<std::string> files =
+        detlint::collect_files(paths, excludes);
     if (files.empty()) {
         std::cerr << "detlint: no C++ sources under the given paths\n";
         return 2;
     }
     const detlint::scan_result result = detlint::scan_files(files, opts);
     detlint::print_findings(std::cout, result.findings);
+    if (!sarif_path.empty()) {
+        std::ofstream sarif_out(sarif_path);
+        if (!sarif_out) {
+            std::cerr << "detlint: cannot write SARIF to '" << sarif_path
+                      << "'\n";
+            return 2;
+        }
+        // Repository-relative URIs: GitHub code scanning only attaches
+        // annotations when the artifact URI matches a checked-out path.
+        detlint::write_sarif(sarif_out, result.findings,
+                             std::filesystem::current_path().string());
+    }
     if (!quiet) {
         std::cerr << "detlint: " << result.files_scanned << " file(s), "
                   << result.findings.size() << " finding(s), "

@@ -302,19 +302,19 @@ void check_unordered_iter(const lexed_file& file, const tree_context& ctx,
             is_punct(toks[i + 1], "(")) {
             int depth = 0;
             std::size_t colon = 0;
-            std::size_t close = 0;
+            std::size_t close_idx = 0;
             for (std::size_t j = i + 1; j < toks.size(); ++j) {
                 if (is_punct(toks[j], "(")) ++depth;
                 if (is_punct(toks[j], ")") && --depth == 0) {
-                    close = j;
+                    close_idx = j;
                     break;
                 }
                 if (depth == 1 && is_punct(toks[j], ":") && colon == 0) {
                     colon = j;
                 }
             }
-            if (colon != 0 && close != 0) {
-                for (std::size_t j = colon + 1; j < close; ++j) {
+            if (colon != 0 && close_idx != 0) {
+                for (std::size_t j = colon + 1; j < close_idx; ++j) {
                     if (toks[j].kind == tok_kind::identifier &&
                         ctx.unordered_names.count(toks[j].text) != 0) {
                         out.push_back(
@@ -592,6 +592,16 @@ void check_metrics_bypass(const lexed_file& file, std::vector<finding>& out) {
         path_contains(file.path, "/stats/")) {
         return;
     }
+    // Lint tooling and test code are not stat emitters -- a CLI's
+    // interface IS stdout, and tests legitimately stream scratch files
+    // and diagnostics -- so the raw-stream check is scoped to the
+    // simulation trees. Direct counter-field writes stay policed
+    // everywhere. Lint fixtures opt back in: they live under tests/ but
+    // exist precisely to seed rule violations.
+    const bool stream_scope =
+        (!path_contains(file.path, "/tools/") &&
+         !path_contains(file.path, "/tests/")) ||
+        path_contains(file.path, "lint/fixtures");
     static const std::set<std::string> stream_names = {"ofstream", "ostream",
                                                        "cout", "cerr"};
     static const std::set<std::string> mutators = {"=", "+=", "-=", "++",
@@ -601,7 +611,7 @@ void check_metrics_bypass(const lexed_file& file, std::vector<finding>& out) {
         const token& t = toks[i];
         // (a) Raw stream emission: hand-rolled stat CSV/log writers were
         // the pre-obs idiom and silently fork the export format.
-        if (t.kind == tok_kind::identifier &&
+        if (stream_scope && t.kind == tok_kind::identifier &&
             stream_names.count(t.text) != 0) {
             out.push_back(
                 {file.path, t.line, "metrics-bypass",
@@ -744,6 +754,151 @@ void check_include_guard(const lexed_file& file, std::vector<finding>& out) {
                    "header is missing '#pragma once'"});
 }
 
+// ---------------------------------------------------------------------------
+// Rule family: hotpath-* (call-graph gated)
+//
+// These rules run only inside function bodies the call graph marked
+// reachable from the simulation hot-path roots (see callgraph.hpp). They
+// police the O(1)-per-tick contract: no heap growth, no blocking
+// synchronization, no exceptions, no stream/file I/O on any code a
+// tick()/commit()/next_event() can reach. Sanctioned idioms by
+// construction: reserve-then-emplace in setup code (setup is not
+// reachable from the roots, so it is never checked), obs counter/gauge
+// handle increments (inc/add are not in any banned set -- the handles
+// are the O(1) metric path), and assert() (compiled out of release
+// builds, the approved contract-violation idiom).
+
+const std::set<std::string>& hot_alloc_calls() {
+    static const std::set<std::string> k = {
+        "make_unique", "make_shared", "malloc", "calloc", "realloc",
+    };
+    return k;
+}
+
+const std::set<std::string>& hot_alloc_members() {
+    // Growable-container mutators: any of these on a hot path can trip a
+    // reallocation and an unbounded copy. reserve() is in the list on
+    // purpose -- reserving inside a tick IS the allocation being hidden.
+    static const std::set<std::string> k = {
+        "push_back", "emplace_back", "push_front", "emplace_front",
+        "resize",    "reserve",      "shrink_to_fit",
+        "insert",    "emplace",      "append",
+    };
+    return k;
+}
+
+const std::set<std::string>& hot_lock_types() {
+    static const std::set<std::string> k = {
+        "mutex",          "recursive_mutex",    "timed_mutex",
+        "shared_mutex",   "shared_timed_mutex", "lock_guard",
+        "unique_lock",    "scoped_lock",        "shared_lock",
+        "condition_variable", "condition_variable_any",
+    };
+    return k;
+}
+
+const std::set<std::string>& hot_lock_members() {
+    static const std::set<std::string> k = {
+        "lock",     "unlock",     "try_lock",   "wait",
+        "wait_for", "wait_until", "notify_one", "notify_all",
+    };
+    return k;
+}
+
+const std::set<std::string>& hot_io_names() {
+    static const std::set<std::string> k = {
+        "cout",     "cerr",        "clog",        "printf",  "fprintf",
+        "fputs",    "fputc",       "fwrite",      "fopen",   "fclose",
+        "puts",     "putchar",     "ofstream",    "ifstream","fstream",
+        "ostringstream", "istringstream", "stringstream",    "getline",
+    };
+    return k;
+}
+
+void check_hotpath(const lexed_file& file, const tree_context& ctx,
+                   bool alloc_on, bool lock_on, bool throw_on, bool io_on,
+                   std::vector<finding>& out) {
+    const auto hot = ctx.graph.hot_defs_in(file.path);
+    if (hot.empty()) return;
+    const auto& toks = file.tokens;
+    // Nested local definitions can sit inside an enclosing hot body; dedup
+    // by token index so overlapping ranges report each site once.
+    std::set<std::pair<std::size_t, std::string>> flagged;
+    const auto flag = [&](std::size_t idx, const char* rule,
+                          const std::string& what, const function_def& def,
+                          const char* advice) {
+        if (!flagged.insert({idx, rule}).second) return;
+        out.push_back(
+            {file.path, toks[idx].line, rule,
+             what + " inside hot function '" + def.name + "' (" +
+                 def.reached_via + "); " + advice});
+    };
+    for (const function_def* def : hot) {
+        const std::size_t end = std::min(def->body_end, toks.size());
+        for (std::size_t i = def->body_begin; i < end; ++i) {
+            const token& t = toks[i];
+            if (t.kind != tok_kind::identifier) continue;
+            const bool member_ctx =
+                i > 0 && (is_punct(toks[i - 1], ".") ||
+                          is_punct(toks[i - 1], "->"));
+            const bool call_next =
+                i + 1 < toks.size() && (is_punct(toks[i + 1], "(") ||
+                                        is_punct(toks[i + 1], "<"));
+            if (alloc_on) {
+                if (t.text == "new") {
+                    flag(i, "hotpath-alloc", "'new' allocates", *def,
+                         "hot-path work must be O(1) per tick: pre-size or "
+                         "pool the storage at assembly time, or suppress "
+                         "with a justification for bounded/amortized cases");
+                } else if (!member_ctx && call_next &&
+                           hot_alloc_calls().count(t.text) != 0) {
+                    flag(i, "hotpath-alloc", "'" + t.text + "' allocates",
+                         *def,
+                         "hot-path work must be O(1) per tick: allocate at "
+                         "assembly time and reuse, or suppress with a "
+                         "justification for bounded/amortized cases");
+                } else if (member_ctx && call_next &&
+                           hot_alloc_members().count(t.text) != 0) {
+                    flag(i, "hotpath-alloc",
+                         "growable-container '" + t.text + "'", *def,
+                         "a reallocation here is unbounded work on the "
+                         "tick path: reserve at assembly time and assert "
+                         "the bound, or suppress with a justification");
+                }
+            }
+            if (lock_on) {
+                if (!member_ctx && hot_lock_types().count(t.text) != 0) {
+                    flag(i, "hotpath-lock",
+                         "'" + t.text + "' synchronizes", *def,
+                         "the tick path must stay lock-free: components "
+                         "are single-threaded within a trial -- move "
+                         "synchronization to the harness boundary");
+                } else if (member_ctx && call_next &&
+                           hot_lock_members().count(t.text) != 0) {
+                    flag(i, "hotpath-lock",
+                         "blocking call '" + t.text + "'", *def,
+                         "the tick path must never block: move waits to "
+                         "the harness boundary, or suppress with a "
+                         "justification for non-blocking namesakes");
+                }
+            }
+            if (throw_on && t.text == "throw") {
+                flag(i, "hotpath-throw", "'throw'", *def,
+                     "exception unwinding is unbounded control flow on "
+                     "the tick path: assert() contract violations or "
+                     "return a status instead");
+            }
+            if (io_on && hot_io_names().count(t.text) != 0) {
+                flag(i, "hotpath-io", "stream/file use of '" + t.text + "'",
+                     *def,
+                     "the tick path must not touch streams or files: "
+                     "record through obs counters/trace and export after "
+                     "the run");
+            }
+        }
+    }
+}
+
 } // namespace
 
 // ---------------------------------------------------------------------------
@@ -776,6 +931,28 @@ const std::vector<rule_info>& all_rules() {
         {"include-guard",
          "headers must open with '#pragma once' before any code or other "
          "preprocessor directive"},
+        {"hotpath-alloc",
+         "flags heap growth (new, make_unique/make_shared, malloc, and "
+         "push_back/resize/insert/... on growable containers) in functions "
+         "the call graph marks reachable from the simulation hot-path "
+         "roots (tick/commit/next_event/advance/on_activation, push/pop on "
+         "the bounded queue classes): every tick must do O(1) work, so "
+         "storage is pre-sized at assembly time (reserve-then-emplace in "
+         "setup is sanctioned -- setup is not hot)"},
+        {"hotpath-lock",
+         "flags mutexes, lock guards, condition variables and "
+         "wait/notify calls on the hot path: components are "
+         "single-threaded within a trial and the tick path must never "
+         "block"},
+        {"hotpath-throw",
+         "flags `throw` on the hot path: exception unwinding is unbounded "
+         "control flow; assert() or status returns are the contract "
+         "idioms"},
+        {"hotpath-io",
+         "flags stream/file I/O (cout/cerr, printf family, fstream, "
+         "stringstream, getline) on the hot path, beyond what "
+         "metrics-bypass already polices: emission goes through obs "
+         "handles and leaves after the run"},
     };
     return rules;
 }
@@ -788,7 +965,10 @@ bool known_rule(const std::string& id) {
 void collect(const lexed_file& file, tree_context& ctx) {
     collect_unordered(file, ctx);
     collect_typed_names(file, ctx);
+    ctx.graph.add_file(file);
 }
+
+void finalize(tree_context& ctx) { ctx.graph.finalize(); }
 
 void check(const lexed_file& file, const tree_context& ctx,
            const std::set<std::string>& enabled,
@@ -804,6 +984,11 @@ void check(const lexed_file& file, const tree_context& ctx,
     if (on("libc-shadow")) check_libc_shadow(file, raw);
     if (on("metrics-bypass")) check_metrics_bypass(file, raw);
     if (on("include-guard")) check_include_guard(file, raw);
+    if (on("hotpath-alloc") || on("hotpath-lock") || on("hotpath-throw") ||
+        on("hotpath-io")) {
+        check_hotpath(file, ctx, on("hotpath-alloc"), on("hotpath-lock"),
+                      on("hotpath-throw"), on("hotpath-io"), raw);
+    }
     // Token order within each rule is already source order; interleave the
     // rules by line so a file's report reads top-to-bottom.
     std::stable_sort(raw.begin(), raw.end(),

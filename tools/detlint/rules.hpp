@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "callgraph.hpp"
 #include "lexer.hpp"
 
 namespace detlint {
@@ -47,6 +48,9 @@ struct tree_context {
     std::set<std::string> unordered_names;
     typed_names members;
     std::map<std::string, typed_names> locals_by_file;
+    /// Approximate intra-project call graph; finalize() computes the
+    /// hot-path reachable set the hotpath-* rules check.
+    call_graph graph;
 };
 
 struct rule_info {
@@ -62,6 +66,10 @@ struct rule_info {
 
 /// Phase 1: harvest declared-name facts from one file.
 void collect(const lexed_file& file, tree_context& ctx);
+
+/// Phase 1.5: runs once after every collect() and before any check() --
+/// resolves the call graph and marks the hot-path reachable set.
+void finalize(tree_context& ctx);
 
 /// Phase 2: append findings for one file. Only rules whose id is in
 /// `enabled` run (empty set = all rules). Findings are appended in token

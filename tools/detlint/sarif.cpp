@@ -1,0 +1,99 @@
+#include "sarif.hpp"
+
+#include <ostream>
+
+namespace detlint {
+
+namespace {
+
+/// JSON string escaping: control characters, quotes and backslashes.
+[[nodiscard]] std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (const char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                static const char* hex = "0123456789abcdef";
+                out += "\\u00";
+                out += hex[(c >> 4) & 0xf];
+                out += hex[c & 0xf];
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+[[nodiscard]] std::string relative_uri(const std::string& path,
+                                       const std::string& root_prefix) {
+    std::string uri = path;
+    if (!root_prefix.empty() &&
+        uri.compare(0, root_prefix.size(), root_prefix) == 0) {
+        uri.erase(0, root_prefix.size());
+        while (!uri.empty() && uri.front() == '/') uri.erase(0, 1);
+    }
+    return uri;
+}
+
+} // namespace
+
+void write_sarif(std::ostream& out, const std::vector<finding>& findings,
+                 const std::string& root_prefix) {
+    out << "{\n"
+        << "  \"$schema\": "
+           "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+        << "  \"version\": \"2.1.0\",\n"
+        << "  \"runs\": [\n"
+        << "    {\n"
+        << "      \"tool\": {\n"
+        << "        \"driver\": {\n"
+        << "          \"name\": \"detlint\",\n"
+        << "          \"informationUri\": "
+           "\"https://example.invalid/bluescale/tools/detlint\",\n"
+        << "          \"rules\": [\n";
+    const auto& rules = all_rules();
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+        out << "            {\n"
+            << "              \"id\": \"" << json_escape(rules[i].id)
+            << "\",\n"
+            << "              \"shortDescription\": { \"text\": \""
+            << json_escape(rules[i].summary) << "\" }\n"
+            << "            }" << (i + 1 < rules.size() ? "," : "") << "\n";
+    }
+    out << "          ]\n"
+        << "        }\n"
+        << "      },\n"
+        << "      \"results\": [\n";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        const finding& f = findings[i];
+        out << "        {\n"
+            << "          \"ruleId\": \"" << json_escape(f.rule) << "\",\n"
+            << "          \"level\": \"error\",\n"
+            << "          \"message\": { \"text\": \""
+            << json_escape(f.message) << "\" },\n"
+            << "          \"locations\": [\n"
+            << "            {\n"
+            << "              \"physicalLocation\": {\n"
+            << "                \"artifactLocation\": { \"uri\": \""
+            << json_escape(relative_uri(f.path, root_prefix)) << "\" },\n"
+            << "                \"region\": { \"startLine\": " << f.line
+            << " }\n"
+            << "              }\n"
+            << "            }\n"
+            << "          ]\n"
+            << "        }" << (i + 1 < findings.size() ? "," : "") << "\n";
+    }
+    out << "      ]\n"
+        << "    }\n"
+        << "  ]\n"
+        << "}\n";
+}
+
+} // namespace detlint

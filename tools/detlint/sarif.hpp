@@ -1,0 +1,23 @@
+// Minimal SARIF 2.1.0 emitter for detlint findings, enough for GitHub
+// code scanning to annotate PR diffs: one run, the full rule catalogue as
+// reportingDescriptors, one result per unsuppressed finding with a
+// file/line physical location.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace detlint {
+
+/// Writes `findings` as a SARIF 2.1.0 log to `out`. Paths that start
+/// with `root_prefix` are emitted relative to it (GitHub requires
+/// repository-relative URIs to attach annotations); other paths pass
+/// through unchanged. Output is deterministic: findings are emitted in
+/// the order given, keys in a fixed order.
+void write_sarif(std::ostream& out, const std::vector<finding>& findings,
+                 const std::string& root_prefix);
+
+} // namespace detlint
