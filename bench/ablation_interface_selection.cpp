@@ -40,9 +40,9 @@ selection_trial run_trial(std::uint32_t n_tasks, std::uint32_t trial) {
     }
 
     analysis::sched_test_stats work;
-    analysis::selection_config cfg;
-    cfg.sched.stats = &work;
-    auto sel = analysis::select_tree_interfaces(rt, cfg);
+    analysis::analysis_context ctx;
+    ctx.sched.stats = &work;
+    auto sel = analysis::select_tree_interfaces(rt, ctx);
 
     selection_trial out;
     out.feasible = sel.feasible;
@@ -50,11 +50,15 @@ selection_trial run_trial(std::uint32_t n_tasks, std::uint32_t trial) {
     out.tests_run = work.tests_run;
     out.points_checked = work.points_checked;
 
-    // Incremental refresh: change client 0's tasks.
+    // Incremental refresh: change client 0's tasks (evaluated const-ly,
+    // then applied -- the service-style two-step shape).
     rng rand2(5000 + trial);
     auto new_tasks =
         workload::to_rt_tasks(workload::make_taskset(rand2, params));
-    out.ses_updated = analysis::update_client_tasks(sel, rt, 0, new_tasks);
+    auto update =
+        analysis::evaluate_client_update(sel, rt, 0, new_tasks, ctx);
+    out.ses_updated = update.ses_changed;
+    analysis::apply_client_update(std::move(update), sel, rt);
     return out;
 }
 

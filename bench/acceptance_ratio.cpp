@@ -46,9 +46,9 @@ double acceptance(const sim::trial_runner& runner, std::uint32_t n_clients,
         for (const auto& s : sets) {
             rt.push_back(workload::to_rt_tasks(s));
         }
-        analysis::selection_config cfg;
-        cfg.bandwidth_tolerance = bandwidth_tolerance;
-        const auto sel = analysis::select_tree_interfaces(rt, cfg);
+        analysis::analysis_context ctx;
+        ctx.bandwidth_tolerance = bandwidth_tolerance;
+        const auto sel = analysis::select_tree_interfaces(rt, ctx);
         return selection_outcome{sel.feasible, sel.root_bandwidth};
     });
 

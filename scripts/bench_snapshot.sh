@@ -7,12 +7,24 @@
 # sorted, values rounded, so regenerating on the same machine produces a
 # minimal diff.
 #
-#   $ scripts/bench_snapshot.sh [build-dir]          # refresh the snapshot
+# Also captures BENCH_megascale.json from bench/megascale: the mega-scale
+# whole-tree selection curves. There the guarded quantities are the
+# deterministic work counters (tests_run / points_checked per depth) --
+# bit-identical across machines and thread counts by construction, so the
+# gate needs no normalization and no tolerance for machine noise: a drift
+# means the selection algorithm itself changed its work. Wall-clock ms in
+# that snapshot is trend-reading only, never gated.
+#
+#   $ scripts/bench_snapshot.sh [build-dir]          # refresh the snapshots
 #   $ scripts/bench_snapshot.sh --check [build-dir]  # CI perf-smoke gate
 #
 # --check reruns the benches and fails (exit 1) when an idle-heavy engine
 # case (the event scheduler's pop/advance and predicate-dispatch paths)
-# regresses more than 25% against the committed snapshot.
+# regresses more than 25% against the committed snapshot, or when a
+# megascale work counter grows more than 25% over the committed curve
+# (compared at the depths the shallow --check run shares with the
+# snapshot). The full megascale refresh sweeps to depth 8/10 and takes
+# minutes; --check stays shallow.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -24,8 +36,10 @@ if [[ "${1:-}" == "--check" ]]; then
 fi
 build_dir="${1:-build}"
 snapshot="BENCH_micro_hotpaths.json"
+mega_snapshot="BENCH_megascale.json"
 
-cmake --build "$build_dir" --target micro_hotpaths -j"$(nproc)" >/dev/null
+cmake --build "$build_dir" --target micro_hotpaths megascale \
+    -j"$(nproc)" >/dev/null
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
@@ -105,4 +119,59 @@ if failures:
         print(f"  {f_}")
     sys.exit(1)
 print("perf-smoke: guarded engine cases within tolerance.")
+PY
+
+# --- mega-scale whole-tree selection ---------------------------------------
+
+if [[ "$mode" == "snapshot" ]]; then
+    # Full curves: depth 8 timing, depth 10 feasibility, depth-4 parity.
+    # Takes minutes; that is the price of the committed snapshot.
+    "$build_dir/bench/megascale" --json "$mega_snapshot"
+    exit 0
+fi
+
+mega_raw="$(mktemp)"
+trap 'rm -f "$raw" "$mega_raw"' EXIT
+# The bench itself exits nonzero on a parity or determinism violation.
+"$build_dir/bench/megascale" --check --json "$mega_raw"
+
+python3 - "$mega_raw" "$mega_snapshot" <<'PY'
+import json
+import sys
+
+fresh_path, snapshot_path = sys.argv[1], sys.argv[2]
+# Deterministic work counters: identical on every machine and for every
+# --threads (cache hits replay the miss's counters), so growth is a real
+# algorithmic regression in the selection ladder/cache, not noise.
+GUARDED_KEYS = ("tests_run", "points_checked")
+TOLERANCE = 0.25
+
+with open(fresh_path) as f:
+    fresh = json.load(f)
+with open(snapshot_path) as f:
+    committed = json.load(f)
+
+failures = []
+for curve in ("timing", "feasibility"):
+    # --check runs shallow; gate only the depths both runs share.
+    for depth, got in sorted(fresh[curve].items()):
+        want = committed[curve].get(depth)
+        if want is None:
+            continue
+        for key in GUARDED_KEYS:
+            old, new = want[key], got[key]
+            ratio = new / old if old else (1.0 if new == 0 else 2.0)
+            verdict = "FAIL" if ratio > 1.0 + TOLERANCE else "ok"
+            print(f"{verdict:4} megascale {curve}/{depth}/{key}: "
+                  f"{old} -> {new} ({ratio - 1.0:+.1%})")
+            if verdict == "FAIL":
+                failures.append(f"{curve}/{depth}/{key}")
+
+if failures:
+    print(f"perf-smoke: {len(failures)} megascale counter(s) grew more "
+          f"than {TOLERANCE:.0%}:")
+    for f_ in failures:
+        print(f"  {f_}")
+    sys.exit(1)
+print("perf-smoke: megascale selection work within tolerance.")
 PY

@@ -15,8 +15,11 @@ cmake -B "$build_dir" -S . -DBLUESCALE_SANITIZE=thread \
 cmake --build "$build_dir" --target bluescale_tests \
     bluescale_resilience_tests bluescale_svc_tests -j"$(nproc)"
 
+# megascale_determinism drives the depth-8 parallel whole-tree selection
+# (ordered-merge worker pool + sharded selection cache) -- the byte-
+# identical-across-threads claim must hold without hiding a race.
 "$build_dir/tests/bluescale_tests" \
-    --gtest_filter='trial_runner.*:rng_substream.*:testbench.*:fig6.parallel*:fig7.parallel*:export_determinism.*:engine_equivalence.*:maintenance_determinism.*'
+    --gtest_filter='trial_runner.*:rng_substream.*:testbench.*:fig6.parallel*:fig7.parallel*:export_determinism.*:engine_equivalence.*:maintenance_determinism.*:megascale_determinism.*'
 
 # Fault campaigns run inside parallel trial sweeps: the injection windows,
 # retry bookkeeping, health monitoring and DRAM-maintenance accounting

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
+#include <vector>
+
+#include "analysis/selection_cache.hpp"
 
 namespace bluescale::analysis {
 
@@ -18,7 +22,7 @@ std::uint64_t theorem2_max_period(const task_set& tasks,
 
 std::optional<std::uint64_t>
 min_budget_for_period(const task_set& tasks, std::uint64_t period,
-                      const sched_test_config& cfg) {
+                      const analysis_context& ctx) {
     if (period == 0) return std::nullopt;
     if (tasks.empty()) return 0;
 
@@ -29,7 +33,7 @@ min_budget_for_period(const task_set& tasks, std::uint64_t period,
               1;
     if (lo > period) return std::nullopt;
 
-    if (is_schedulable(tasks, {period, period}, cfg) !=
+    if (is_schedulable(tasks, {period, period}, ctx.sched) !=
         sched_result::schedulable) {
         return std::nullopt;
     }
@@ -37,7 +41,7 @@ min_budget_for_period(const task_set& tasks, std::uint64_t period,
     std::uint64_t hi = period; // known schedulable
     while (lo < hi) {
         const std::uint64_t mid = lo + (hi - lo) / 2;
-        if (is_schedulable(tasks, {period, mid}, cfg) ==
+        if (is_schedulable(tasks, {period, mid}, ctx.sched) ==
             sched_result::schedulable) {
             hi = mid;
         } else {
@@ -47,18 +51,20 @@ min_budget_for_period(const task_set& tasks, std::uint64_t period,
     return hi;
 }
 
+namespace {
+
 std::optional<resource_interface>
-select_interface(const task_set& tasks, double level_utilization,
-                 const selection_config& cfg) {
+select_interface_uncached(const task_set& tasks, double level_utilization,
+                          const analysis_context& ctx) {
     if (tasks.empty()) return resource_interface{0, 0};
 
     const std::uint64_t pi_max =
         std::min(theorem2_max_period(tasks, level_utilization),
-                 cfg.max_period);
+                 ctx.max_period);
     if (pi_max == 0) return std::nullopt;
 
     const double u = utilization(tasks);
-    const double tol = std::max(0.0, cfg.bandwidth_tolerance);
+    const double tol = std::max(0.0, ctx.bandwidth_tolerance);
     std::vector<resource_interface> candidates;
     double best_bw = 2.0; // anything beats this
 
@@ -75,7 +81,7 @@ select_interface(const task_set& tasks, double level_utilization,
             static_cast<double>(theta_floor) / static_cast<double>(pi);
         if (bw_floor >= best_bw * (1.0 + tol) + 1e-12) continue;
 
-        const auto theta = min_budget_for_period(tasks, pi, cfg.sched);
+        const auto theta = min_budget_for_period(tasks, pi, ctx);
         if (!theta) continue;
         const resource_interface candidate{pi, *theta};
         candidates.push_back(candidate);
@@ -100,6 +106,40 @@ select_interface(const task_set& tasks, double level_utilization,
         }
     }
     return best;
+}
+
+} // namespace
+
+std::optional<resource_interface>
+select_interface(const task_set& tasks, double level_utilization,
+                 const analysis_context& ctx) {
+    if (ctx.cache == nullptr) {
+        return select_interface_uncached(tasks, level_utilization, ctx);
+    }
+
+    const selection_key key = make_selection_key(tasks, level_utilization, ctx);
+    if (auto hit = ctx.cache->lookup(key)) {
+        if (ctx.sched.stats != nullptr) {
+            ++ctx.sched.stats->cache_hits;
+            *ctx.sched.stats += hit->work; // replay the original work
+        }
+        return hit->iface;
+    }
+
+    // Compute with a private stats sink so the entry can replay the exact
+    // work on later hits, keeping totals identical with the cache on/off.
+    sched_test_stats work;
+    analysis_context local = ctx;
+    local.cache = nullptr;
+    local.sched.stats = &work;
+    const auto iface = select_interface_uncached(tasks, level_utilization,
+                                                 local);
+    ctx.cache->insert(key, selection_entry{iface, work});
+    if (ctx.sched.stats != nullptr) {
+        ++ctx.sched.stats->cache_misses;
+        *ctx.sched.stats += work;
+    }
+    return iface;
 }
 
 } // namespace bluescale::analysis

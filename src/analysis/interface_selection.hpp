@@ -6,27 +6,12 @@
 #include <cstdint>
 #include <optional>
 
+#include "analysis/analysis_context.hpp"
 #include "analysis/periodic_resource.hpp"
 #include "analysis/rt_task.hpp"
 #include "analysis/schedulability.hpp"
 
 namespace bluescale::analysis {
-
-struct selection_config {
-    /// Hard cap on candidate periods enumerated (Theorem 2's range can be
-    /// huge when the rest of the level is almost idle).
-    std::uint64_t max_period = 1u << 16;
-    /// Extension beyond the paper: accept up to this much extra bandwidth
-    /// over the true minimum in exchange for the largest feasible period.
-    /// 0 (the paper-faithful default) selects the strict minimum. A small
-    /// tolerance counters compositional inflation: a child interface with
-    /// a tiny period forces its parent to supply very frequently (the
-    /// sbf-blackout constraint), so each level of strict minimization
-    /// inflates total bandwidth by ~7-10%; trading a few percent at the
-    /// leaves relaxes every level above (see bench/acceptance_ratio).
-    double bandwidth_tolerance = 0.0;
-    sched_test_config sched = {};
-};
 
 /// Theorem 2's necessary upper bound on Pi_X:
 ///   Pi_X <= min_{tau_i in T_X} T_i / (2 (U_level - U_X))
@@ -40,10 +25,10 @@ struct selection_config {
 
 /// Minimum schedulable budget for a fixed period, found by binary search
 /// (schedulability is monotone in Theta). Returns nullopt when even
-/// Theta == Pi is unschedulable.
+/// Theta == Pi is unschedulable. Uses ctx.sched only.
 [[nodiscard]] std::optional<std::uint64_t>
 min_budget_for_period(const task_set& tasks, std::uint64_t period,
-                      const sched_test_config& cfg = {});
+                      const analysis_context& ctx = {});
 
 /// Full interface selection for one VE: enumerate feasible periods
 /// (1 .. Theorem-2 bound), binary-search the budget for each, and return
@@ -51,8 +36,13 @@ min_budget_for_period(const task_set& tasks, std::uint64_t period,
 /// minimizes supply jitter). Returns nullopt when no feasible pair exists.
 ///
 /// An empty task set yields the null interface {0, 0} (bandwidth 0).
+///
+/// With ctx.cache set, the result (and the sched_test_stats work the
+/// computation performed, replayed into ctx.sched.stats on a hit) is
+/// memoized on the full inputs -- see selection_cache.hpp for why no
+/// invalidation is needed and why the result is bit-identical either way.
 [[nodiscard]] std::optional<resource_interface>
 select_interface(const task_set& tasks, double level_utilization,
-                 const selection_config& cfg = {});
+                 const analysis_context& ctx = {});
 
 } // namespace bluescale::analysis

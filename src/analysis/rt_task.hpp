@@ -22,6 +22,8 @@ struct rt_task {
                            : static_cast<double>(wcet) /
                                  static_cast<double>(period);
     }
+
+    friend bool operator==(const rt_task&, const rt_task&) = default;
 };
 
 using task_set = std::vector<rt_task>;

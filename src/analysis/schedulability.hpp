@@ -25,6 +25,31 @@ enum class sched_result : std::uint8_t {
 struct sched_test_stats {
     std::uint64_t tests_run = 0;      ///< schedulability tests invoked
     std::uint64_t points_checked = 0; ///< dbf/sbf comparisons performed
+    /// Cheap-first ladder outcomes: candidates the O(n log n) sufficient
+    /// portfolio decided outright vs. those that fell through (`aborted`)
+    /// to the pseudo-polynomial exact test. Only advanced when
+    /// sched_test_config::cheap_first is set.
+    std::uint64_t ladder_cheap_decided = 0;
+    std::uint64_t ladder_exact_fallbacks = 0;
+    /// Selection-cache outcomes (analysis::selection_cache). A hit replays
+    /// the cached entry's tests_run/points_checked/ladder counters into
+    /// this struct, so the work totals are identical with the cache on or
+    /// off; only these two counters reveal the cache.
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+
+    sched_test_stats& operator+=(const sched_test_stats& other) {
+        tests_run += other.tests_run;
+        points_checked += other.points_checked;
+        ladder_cheap_decided += other.ladder_cheap_decided;
+        ladder_exact_fallbacks += other.ladder_exact_fallbacks;
+        cache_hits += other.cache_hits;
+        cache_misses += other.cache_misses;
+        return *this;
+    }
+
+    friend bool operator==(const sched_test_stats&,
+                           const sched_test_stats&) = default;
 };
 
 struct sched_test_config {
@@ -48,6 +73,15 @@ struct sched_test_config {
     /// treated as unschedulable by every caller). Default false reproduces
     /// the pseudo-polynomial exact test bit-for-bit.
     bool sufficient_only = false;
+    /// Cheap-first test ladder: is_schedulable() tries the O(n log n)
+    /// sufficient portfolio first and runs the pseudo-polynomial exact
+    /// test only when the portfolio returns `aborted` (undecided). Both
+    /// rungs are sound, so a laddered verdict can differ from the
+    /// exact-only verdict only where the exact test itself would abort
+    /// (work cap) -- there the ladder may still prove schedulability.
+    /// Ignored when sufficient_only is set. Default false reproduces the
+    /// exact test bit-for-bit.
+    bool cheap_first = false;
 };
 
 /// Theorem 1 test bound:

@@ -14,10 +14,10 @@ bool interface_selector::load_task(std::uint8_t client_port,
 
 selector_result
 interface_selector::select(double level_utilization,
-                           const analysis::selection_config& cfg) const {
+                           const analysis::analysis_context& ctx) const {
     selector_result result;
 
-    analysis::selection_config counted = cfg;
+    analysis::analysis_context counted = ctx;
     counted.sched.stats = &result.work;
 
     for (std::uint8_t port = 0; port < 4; ++port) {

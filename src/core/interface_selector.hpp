@@ -70,7 +70,7 @@ public:
     /// utilization of all tasks at this level across the sibling SEs.
     [[nodiscard]] selector_result
     select(double level_utilization,
-           const analysis::selection_config& cfg = {}) const;
+           const analysis::analysis_context& ctx = {}) const;
 
     /// FSM cycles charged per dbf/sbf comparison: table fetch, two ALU
     /// evaluations, one compare-and-branch.

@@ -31,13 +31,16 @@ task_set child_server_tasks(const se_interfaces& child) {
 }
 
 /// FSM cycles for one port's selection, counted from the algorithm work.
+/// A selection_cache in `ctx` does not perturb the price: a hit replays
+/// the original computation's counters, so the modeled latency is
+/// identical with the cache on or off.
 std::uint64_t selection_cycles(const task_set& tasks,
                                double level_utilization,
-                               const analysis::selection_config& cfg,
+                               const analysis::analysis_context& ctx,
                                const reconfig_costs& costs,
                                std::optional<resource_interface>* out) {
     analysis::sched_test_stats work;
-    analysis::selection_config counted = cfg;
+    analysis::analysis_context counted = ctx;
     counted.sched.stats = &work;
     auto iface = select_interface(tasks, level_utilization, counted);
     if (out != nullptr) *out = iface;
@@ -45,11 +48,39 @@ std::uint64_t selection_cycles(const task_set& tasks,
            work.points_checked * costs.cycles_per_point;
 }
 
+/// Rebuilds root bandwidth, the structured failure and feasibility from a
+/// fully-populated selection, latching the first failed port in the same
+/// leaf-to-root, ascending (order, port) scan order tree_analysis uses.
+void refresh_feasibility(analysis::tree_selection& sel) {
+    sel.failure = {};
+    const std::uint32_t depth = sel.shape.leaf_level;
+    for (std::uint32_t l = depth;; --l) {
+        const auto n = static_cast<std::uint32_t>(sel.levels[l].size());
+        for (std::uint32_t y = 0; y < n && sel.failure.empty(); ++y) {
+            for (std::uint32_t p = 0; p < k_se_fanin; ++p) {
+                if (!sel.levels[l][y].ports[p]) {
+                    sel.failure = analysis::selection_failure{
+                        analysis::selection_failure_reason::port_infeasible,
+                        l, y, p};
+                    break;
+                }
+            }
+        }
+        if (l == 0 || !sel.failure.empty()) break;
+    }
+    sel.root_bandwidth = sel.levels[0][0].total_bandwidth();
+    if (sel.failure.empty() && sel.root_bandwidth > 1.0 + 1e-9) {
+        sel.failure.reason =
+            analysis::selection_failure_reason::root_overutilized;
+    }
+    sel.feasible = sel.failure.empty();
+}
+
 } // namespace
 
 reconfig_report
 model_full_reconfiguration(const std::vector<analysis::task_set>& clients,
-                           const analysis::selection_config& cfg,
+                           const analysis::analysis_context& ctx,
                            const reconfig_costs& costs) {
     reconfig_report report;
     const auto shape = analysis::make_quadtree_shape(
@@ -81,7 +112,7 @@ model_full_reconfiguration(const std::vector<analysis::task_set>& clients,
                 c < clients.size() ? clients[c] : task_set{};
             entries += tasks.size();
             compute += selection_cycles(
-                tasks, u_level, cfg, costs,
+                tasks, u_level, ctx, costs,
                 &report.selection.levels[depth][y].ports[p]);
         }
         finish[depth][y] = entries * costs.cycles_per_entry + compute;
@@ -108,7 +139,7 @@ model_full_reconfiguration(const std::vector<analysis::task_set>& clients,
                     report.selection.levels[l + 1][child]);
                 entries += tasks.size();
                 compute += selection_cycles(
-                    tasks, u_children, cfg, costs,
+                    tasks, u_children, ctx, costs,
                     &report.selection.levels[l][y].ports[p]);
             }
             finish[l][y] =
@@ -125,17 +156,7 @@ model_full_reconfiguration(const std::vector<analysis::task_set>& clients,
     }
     report.total_cycles = report.level_finish_cycles[0];
 
-    report.selection.root_bandwidth =
-        report.selection.levels[0][0].total_bandwidth();
-    report.selection.feasible =
-        report.selection.root_bandwidth <= 1.0 + 1e-9;
-    for (const auto& level : report.selection.levels) {
-        for (const auto& se : level) {
-            for (const auto& p : se.ports) {
-                if (!p) report.selection.feasible = false;
-            }
-        }
-    }
+    refresh_feasibility(report.selection);
     report.feasible = report.selection.feasible;
     return report;
 }
@@ -144,7 +165,7 @@ reconfig_report
 model_client_update(const analysis::tree_selection& committed,
                     const std::vector<analysis::task_set>& committed_clients,
                     std::uint32_t client, analysis::task_set new_tasks,
-                    const analysis::selection_config& cfg,
+                    const analysis::analysis_context& ctx,
                     const reconfig_costs& costs) {
     // The update is modeled on copies; the committed inputs stay
     // untouched (re-entrancy for concurrent evaluators, and the rejection
@@ -174,7 +195,7 @@ model_client_update(const analysis::tree_selection& committed,
     std::uint32_t order = shape.leaf_se_of_client(client);
     std::uint32_t port = shape.leaf_port_of_client(client);
     wave_cycles += clients[client].size() * costs.cycles_per_entry;
-    wave_cycles += selection_cycles(clients[client], u_level, cfg, costs,
+    wave_cycles += selection_cycles(clients[client], u_level, ctx, costs,
                               &selection.levels[depth][order].ports[port]);
     report.level_finish_cycles[depth] = wave_cycles;
     ++report.ses_involved;
@@ -190,23 +211,14 @@ model_client_update(const analysis::tree_selection& committed,
         const task_set tasks =
             child_server_tasks(selection.levels[l + 1][child]);
         wave_cycles += tasks.size() * costs.cycles_per_entry;
-        wave_cycles += selection_cycles(tasks, u_children, cfg, costs,
+        wave_cycles += selection_cycles(tasks, u_children, ctx, costs,
                                   &selection.levels[l][order].ports[port]);
         report.level_finish_cycles[l] = wave_cycles;
         ++report.ses_involved;
     }
 
     report.total_cycles = wave_cycles;
-    selection.root_bandwidth = selection.levels[0][0].total_bandwidth();
-    selection.failure.clear();
-    selection.feasible = selection.root_bandwidth <= 1.0 + 1e-9;
-    for (const auto& level : selection.levels) {
-        for (const auto& se : level) {
-            for (const auto& p : se.ports) {
-                if (!p) selection.feasible = false;
-            }
-        }
-    }
+    refresh_feasibility(selection);
     report.feasible = selection.feasible;
     report.selection = std::move(selection);
     return report;

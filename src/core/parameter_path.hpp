@@ -46,7 +46,7 @@ struct reconfig_report {
 /// Models a full system reconfiguration: every SE reselects.
 [[nodiscard]] reconfig_report
 model_full_reconfiguration(const std::vector<analysis::task_set>& clients,
-                           const analysis::selection_config& cfg = {},
+                           const analysis::analysis_context& ctx = {},
                            const reconfig_costs& costs = {});
 
 /// Models the paper's incremental case: one client's tasks change, only
@@ -58,7 +58,7 @@ model_full_reconfiguration(const std::vector<analysis::task_set>& clients,
 model_client_update(const analysis::tree_selection& selection,
                     const std::vector<analysis::task_set>& clients,
                     std::uint32_t client, analysis::task_set new_tasks,
-                    const analysis::selection_config& cfg = {},
+                    const analysis::analysis_context& ctx = {},
                     const reconfig_costs& costs = {});
 
 } // namespace bluescale::core

@@ -117,19 +117,22 @@ reconfig_manager::evaluate(std::uint32_t client,
     assert(client < committed_.shape.padded_clients);
     admission_evaluation eval;
     eval.version = version_;
-    analysis::selection_config sel = cfg_.selection;
+    analysis::analysis_context sel = cfg_.selection;
     sel.sched.sufficient_only = sufficient_only;
     eval.report = model_client_update(committed_, client_tasks_, client,
                                       tasks, sel, cfg_.costs);
     eval.feasible = eval.report.feasible;
     if (!eval.feasible) {
+        const analysis::selection_failure& fail =
+            eval.report.selection.failure;
         eval.reject_reason =
-            eval.report.selection.root_bandwidth > 1.0 + 1e-9
+            fail.reason ==
+                    analysis::selection_failure_reason::root_overutilized
                 ? admission_outcome::rejected_overutilized
                 : admission_outcome::rejected_infeasible;
-        eval.detail = eval.report.selection.failure.empty()
+        eval.detail = fail.empty()
                           ? "no feasible interface on the request path"
-                          : eval.report.selection.failure;
+                          : fail.to_string();
     }
     return eval;
 }
@@ -223,12 +226,15 @@ void reconfig_manager::start_admission(queued_request req, cycle_t now) {
     rec.root_bandwidth = report.selection.root_bandwidth;
 
     if (!report.feasible) {
-        rec.outcome = report.selection.root_bandwidth > 1.0 + 1e-9
-                          ? admission_outcome::rejected_overutilized
-                          : admission_outcome::rejected_infeasible;
-        rec.detail = report.selection.failure.empty()
+        const analysis::selection_failure& fail = report.selection.failure;
+        rec.outcome =
+            fail.reason ==
+                    analysis::selection_failure_reason::root_overutilized
+                ? admission_outcome::rejected_overutilized
+                : admission_outcome::rejected_infeasible;
+        rec.detail = fail.empty()
                          ? "no feasible interface on the request path"
-                         : report.selection.failure;
+                         : fail.to_string();
         rec.resolved_at = now;
         rejected_.inc();
         resolve(rec, req.tasks);

@@ -77,7 +77,9 @@ enum class admission_outcome : std::uint8_t {
 [[nodiscard]] const char* admission_outcome_name(admission_outcome o);
 
 struct reconfig_config {
-    analysis::selection_config selection = {};
+    /// Unified analysis knobs (selection bounds, sched test mode, shared
+    /// selection cache, parallelism) threaded into every admission test.
+    analysis::analysis_context selection = {};
     reconfig_costs costs = {};
     /// Run the admission-time hazard check: reject a request outright when
     /// a request-path SE is already degraded or stalled (otherwise the

@@ -50,7 +50,11 @@ struct testbench_options {
     /// Selection/admission knobs for the whole-tree interface selection.
     /// Set `selection.sched.maintenance` (mem::to_maintenance_model) to
     /// provision (Pi, Theta) that stay feasible under DRAM maintenance.
-    analysis::selection_config selection = {};
+    /// Attach a selection.cache to share memoized per-port selections
+    /// between the initial whole-tree selection and the reconfig
+    /// manager's incremental reselections (pass the same context in
+    /// `reconfig`).
+    analysis::analysis_context selection = {};
     /// Fault campaign injected into the interconnect and the memory
     /// controller before the trial starts (nullptr = healthy run). The
     /// campaign object must outlive the testbench.

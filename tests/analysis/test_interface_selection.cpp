@@ -135,7 +135,7 @@ INSTANTIATE_TEST_SUITE_P(seeds, selection_optimality,
 TEST(select_interface, tolerance_trades_bandwidth_for_period) {
     const task_set s{{50, 5}, {100, 10}, {200, 20}};
     const auto strict = select_interface(s, 0.8);
-    selection_config cfg;
+    analysis_context cfg;
     cfg.bandwidth_tolerance = 0.15;
     const auto relaxed = select_interface(s, 0.8, cfg);
     ASSERT_TRUE(strict.has_value());
@@ -150,7 +150,7 @@ TEST(select_interface, tolerance_trades_bandwidth_for_period) {
 
 TEST(select_interface, zero_tolerance_is_strict_minimum) {
     const task_set s{{50, 5}, {100, 10}};
-    selection_config cfg;
+    analysis_context cfg;
     cfg.bandwidth_tolerance = 0.0;
     const auto a = select_interface(s, 0.5);
     const auto b = select_interface(s, 0.5, cfg);
@@ -168,7 +168,7 @@ TEST(select_interface, tolerant_tree_selection_remains_sound) {
         const std::uint64_t period = 100 + r.uniform_u64(0, 400);
         s.push_back({period, 1 + r.uniform_u64(0, period / 25)});
     }
-    selection_config cfg;
+    analysis_context cfg;
     cfg.bandwidth_tolerance = 0.10;
     const auto relaxed = select_tree_interfaces(clients, cfg);
     for (std::uint32_t y = 0; y < 4; ++y) {
@@ -182,7 +182,7 @@ TEST(select_interface, tolerant_tree_selection_remains_sound) {
 }
 
 TEST(select_interface, honors_max_period_cap) {
-    selection_config cfg;
+    analysis_context cfg;
     cfg.max_period = 3;
     const auto iface = select_interface({{100, 10}}, 0.1, cfg);
     ASSERT_TRUE(iface.has_value());

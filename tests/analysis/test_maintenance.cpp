@@ -132,8 +132,10 @@ TEST(maintenance_sched, corrected_admission_needs_more_budget) {
     sched_test_config plain;
     sched_test_config corrected;
     corrected.maintenance = one_op(80, 16); // mu = 0.2
-    const auto base = min_budget_for_period(tasks, period, plain);
-    const auto extra = min_budget_for_period(tasks, period, corrected);
+    const auto base =
+        min_budget_for_period(tasks, period, {.sched = plain});
+    const auto extra =
+        min_budget_for_period(tasks, period, {.sched = corrected});
     ASSERT_TRUE(base.has_value());
     ASSERT_TRUE(extra.has_value());
     EXPECT_GT(*extra, *base);

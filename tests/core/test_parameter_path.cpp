@@ -14,6 +14,14 @@ std::vector<analysis::task_set> uniform_clients(std::uint32_t n,
     return std::vector<analysis::task_set>(n, analysis::task_set{task});
 }
 
+void apply_update(analysis::tree_selection& sel,
+                  std::vector<analysis::task_set>& clients,
+                  std::uint32_t client, analysis::task_set new_tasks) {
+    auto update = analysis::evaluate_client_update(sel, clients, client,
+                                                   std::move(new_tasks));
+    analysis::apply_client_update(std::move(update), sel, clients);
+}
+
 TEST(parameter_path, full_reconfiguration_involves_every_se) {
     const auto report =
         model_full_reconfiguration(uniform_clients(16, {200, 4}));
@@ -169,8 +177,7 @@ TEST(parameter_path, update_selection_matches_incremental_analysis) {
 
     auto clients2 = uniform_clients(16, {200, 4});
     auto expected = analysis::select_tree_interfaces(clients2);
-    analysis::update_client_tasks(expected, clients2, 6,
-                                  analysis::task_set{{100, 8}});
+    apply_update(expected, clients2, 6, analysis::task_set{{100, 8}});
     for (std::uint32_t l = 0; l < expected.levels.size(); ++l) {
         for (std::uint32_t y = 0; y < expected.levels[l].size(); ++y) {
             for (std::uint32_t p = 0; p < 4; ++p) {

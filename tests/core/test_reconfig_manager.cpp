@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/selection_cache.hpp"
 #include "core/bluescale_ic.hpp"
 #include "core/reconfig_manager.hpp"
 #include "mem/memory_controller.hpp"
@@ -359,6 +360,54 @@ TEST(reconfig_manager, deadline_mid_staging_abandons_before_the_fabric) {
     expect_selections_equal(r.mgr->committed(), twin.mgr->committed());
     EXPECT_EQ(r.mgr->client_tasks()[6].size(), 1u);
     EXPECT_EQ(r.mgr->client_tasks()[6][0].period, 200u);
+}
+
+TEST(reconfig_manager, shares_one_selection_cache_with_whole_tree_selection) {
+    // The reconfig_config::selection analysis_context carries a
+    // selection_cache*: whole-tree selection (the testbench path) and the
+    // manager's admission tests then hit the SAME entries, and a shared
+    // cache changes no decision.
+    analysis::selection_cache cache;
+    reconfig_config cfg;
+    cfg.selection.cache = &cache;
+    rig cached(cfg);
+    rig plain;
+
+    // Warm the cache exactly as testbench whole-tree selection would:
+    // same clients, same knobs, same cache.
+    (void)analysis::select_tree_interfaces(cached.clients, cfg.selection);
+    const auto warmed = cache.stats();
+    EXPECT_GT(warmed.misses, 0u);
+
+    // A detached admission evaluation (the svc::analysis_service entry
+    // point) of an unchanged profile resolves the whole request path
+    // under warm keys: pure hits, zero new misses.
+    const auto noop =
+        cached.mgr->evaluate(3, analysis::task_set{{200, 4}}, false);
+    EXPECT_TRUE(noop.feasible);
+    EXPECT_GT(cache.stats().hits, warmed.hits);
+    EXPECT_EQ(cache.stats().misses, warmed.misses);
+
+    // A changed profile misses on the changed keys, then a redo of the
+    // same evaluation (svc's retry / crash-redo shape) re-hits them.
+    const auto once = cache.stats();
+    (void)cached.mgr->evaluate(3, analysis::task_set{{100, 8}}, false);
+    const auto twice = cache.stats();
+    EXPECT_GT(twice.misses, once.misses);
+    (void)cached.mgr->evaluate(3, analysis::task_set{{100, 8}}, false);
+    EXPECT_EQ(cache.stats().misses, twice.misses);
+    EXPECT_GT(cache.stats().hits, twice.hits);
+
+    // And the shared cache changes no decision: the committed admission
+    // matches a cache-less manager's, port for port.
+    const auto id_c = cached.mgr->submit(3, analysis::task_set{{100, 8}});
+    cached.run_until_resolved(id_c);
+    const auto id_p = plain.mgr->submit(3, analysis::task_set{{100, 8}});
+    plain.run_until_resolved(id_p);
+    EXPECT_EQ(cached.mgr->record(id_c).outcome,
+              admission_outcome::committed);
+    expect_selections_equal(cached.mgr->committed(),
+                            plain.mgr->committed());
 }
 
 TEST(reconfig_manager, leave_request_frees_the_port) {

@@ -131,7 +131,7 @@ TEST(end_to_end_bluescale, configured_fabric_meets_deadlines_at_80pct) {
     // The headline property: with the interface selection programmed,
     // BlueScale sustains 80% utilization without deadline misses.
     system_rig rig(ic_kind::bluescale, 16, 0.8, /*seed=*/42);
-    ASSERT_TRUE(rig.selection.feasible) << rig.selection.failure;
+    ASSERT_TRUE(rig.selection.feasible) << rig.selection.failure.to_string();
     rig.sim.run(100'000);
     for (auto& c : rig.clients) c->finalize(rig.sim.now());
     EXPECT_EQ(rig.total_missed(), 0u);
